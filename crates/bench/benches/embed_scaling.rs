@@ -1,0 +1,55 @@
+//! Criterion wall-clock benchmarks for the T1/T2 experiments: the
+//! distributed embedder vs the trivial baseline across families and sizes.
+//! (Round counts — the paper's metric — come from the `harness` binary;
+//! these benches track the simulator's own performance.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_embedding::{embed_baseline, embed_distributed, EmbedderConfig};
+use planar_lib::gen;
+
+fn fast_config() -> EmbedderConfig {
+    EmbedderConfig { check_invariants: false, ..Default::default() }
+}
+
+fn bench_t1_families(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t1_embed_distributed");
+    group.sample_size(10);
+    for (name, g) in [
+        ("grid16", gen::grid(16, 16)),
+        ("fan256", gen::fan(256)),
+        ("outerplanar256", gen::random_outerplanar(256, 42)),
+        ("tree256", gen::random_tree(256, 42)),
+        ("k4subdiv16", gen::k4_subdivided(16)),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| embed_distributed(g, &fast_config()).unwrap().metrics.rounds)
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("t1_baseline");
+    group.sample_size(10);
+    for (name, g) in [("grid16", gen::grid(16, 16)), ("fan256", gen::fan(256))] {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
+            b.iter(|| embed_baseline(g, &Default::default()).unwrap().metrics.rounds)
+        });
+    }
+    group.finish();
+}
+
+fn bench_t2_aspect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("t2_grid_aspect");
+    group.sample_size(10);
+    for (r, cdim) in [(32usize, 32usize), (16, 64), (8, 128)] {
+        let g = gen::grid(r, cdim);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{r}x{cdim}")),
+            &g,
+            |b, g| b.iter(|| embed_distributed(g, &fast_config()).unwrap().metrics.rounds),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_t1_families, bench_t2_aspect);
+criterion_main!(benches);

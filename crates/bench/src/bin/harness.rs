@@ -1,0 +1,233 @@
+//! The experiment harness: regenerates every table of EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|all] [--large]
+//! ```
+//!
+//! `--large` extends the sweeps to larger instances (minutes instead of
+//! seconds).
+
+use planar_bench::table::render;
+use planar_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let large = args.iter().any(|a| a == "--large");
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let sizes: &[usize] =
+        if large { &[64, 256, 1024, 4096, 16384] } else { &[64, 256, 1024] };
+    let run_all = which == "all";
+
+    if run_all || which == "t1" {
+        println!("== T1: Theorem 1.1 scaling (rounds vs n, ours vs trivial baseline) ==");
+        let rows = t1_scaling(sizes);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.d.to_string(),
+                    r.ours_rounds.to_string(),
+                    r.baseline_rounds.to_string(),
+                    format!("{:.2}", r.normalized),
+                    r.depth.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["family", "n", "D", "ours", "baseline", "ours/(D*min(lg n,D))", "depth"],
+                &data
+            )
+        );
+    }
+
+    if run_all || which == "t2" {
+        let area = if large { 16384 } else { 4096 };
+        println!("== T2: rounds vs D at fixed n = {area} (grid aspect sweep) ==");
+        let rows = t2_diameter(area);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.instance.clone(),
+                    r.n.to_string(),
+                    r.d.to_string(),
+                    r.ours_rounds.to_string(),
+                    r.baseline_rounds.to_string(),
+                    format!("{:.1}", r.rounds_per_d),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(&["instance", "n", "D", "ours", "baseline", "ours/D"], &data)
+        );
+    }
+
+    if run_all || which == "t3" {
+        println!("== T3: Lemmas 4.2/4.3 (recursion depth, part ratios, final parts) ==");
+        let rows = t3_partition(sizes);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.depth.to_string(),
+                    format!("{:.1}", r.depth_bound),
+                    format!("{:.3}", r.max_child_ratio),
+                    r.max_final_parts.to_string(),
+                    r.d.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["family", "n", "depth", "log3/2(n)", "max|Pi|/|Ts|", "maxFinalParts", "D"],
+                &data
+            )
+        );
+    }
+
+    if run_all || which == "t4" {
+        println!("== T4: Lemma 5.3 symmetry breaking (outerplanar, proper coloring) ==");
+        let sweep: &[usize] =
+            if large { &[16, 64, 256, 1024, 4096, 16384] } else { &[16, 64, 256, 1024] };
+        let rows = t4_symmetry(sweep);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.n.to_string(),
+                    r.rounds.to_string(),
+                    r.stars.to_string(),
+                    format!("{:.2}", r.merged_fraction),
+                    r.long_paths.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(&["n", "rounds", "stars", "mergedFrac", "longPaths"], &data)
+        );
+    }
+
+    if run_all || which == "t5" {
+        println!("== T5: Omega(D) lower-bound instance (subdivided K4) ==");
+        let lens: &[usize] = if large { &[4, 8, 16, 32, 64, 128] } else { &[4, 8, 16, 32] };
+        let rows = t5_lower_bound(lens);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.len.to_string(),
+                    r.n.to_string(),
+                    r.d.to_string(),
+                    r.ours_rounds.to_string(),
+                    r.at_least_d.to_string(),
+                    r.consistent.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(&["L", "n", "D", "ours", "rounds>=D", "consistent"], &data)
+        );
+    }
+
+    if run_all || which == "t6" {
+        println!("== T6: CONGEST discipline audit ==");
+        let rows = t6_congestion(sizes);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.budget_words.to_string(),
+                    r.max_words_edge_round.to_string(),
+                    r.messages.to_string(),
+                    r.bits.to_string(),
+                    r.within_budget.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["family", "n", "budget", "maxW/edge/rd", "messages", "bits", "ok"],
+                &data
+            )
+        );
+    }
+
+    if run_all || which == "fobs" {
+        println!("== F-obs32: Observation 3.2 interface characterization ==");
+        let rows = fobs_interface();
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.instance.to_string(),
+                    r.achievable_orders.to_string(),
+                    r.predicted_orders.to_string(),
+                    r.summary_blocks.to_string(),
+                    r.summary_words.to_string(),
+                    r.matches.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &["instance", "achievable", "predicted", "blocks", "words", "match"],
+                &data
+            )
+        );
+    }
+
+    if run_all || which == "ablate" {
+        let n = if large { 1024 } else { 256 };
+        println!("== Ablation: per-edge word budget B vs rounds (n = {n}) ==");
+        let rows = ablate_budget(n);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.budget_words.to_string(),
+                    r.ours_rounds.to_string(),
+                    r.baseline_rounds.to_string(),
+                ]
+            })
+            .collect();
+        println!("{}", render(&["family", "B(words)", "ours", "baseline"], &data));
+    }
+
+    if run_all || which == "fsafe" {
+        println!("== F-safe: Definition 3.1 safety, full invariant checking ==");
+        let sweep: &[usize] = if large { &[64, 256] } else { &[48, 96] };
+        let rows = fsafe(sweep);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.all_invariants_held.to_string(),
+                    r.merges_checked.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(&["family", "n", "invariantsHeld", "mergesChecked"], &data)
+        );
+    }
+}

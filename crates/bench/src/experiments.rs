@@ -1,0 +1,564 @@
+//! The experiment implementations (see crate docs and DESIGN.md §4).
+//!
+//! Every function is deterministic (fixed seeds) and returns typed rows so
+//! the harness can render tables and the integration tests can assert the
+//! paper's claims on the same data.
+
+use congest_sim::SimConfig;
+use planar_embedding::interface::{achievable_boundary_orders, InterfaceSummary};
+use planar_embedding::symmetry::symmetry_break;
+use planar_embedding::{embed_baseline, embed_distributed, EmbedderConfig};
+use planar_graph::traversal::diameter_exact;
+use planar_graph::{Graph, VertexId};
+use planar_lib::gen;
+use serde::Serialize;
+
+/// The workload families used across experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Family {
+    /// Square grid (`D ~ 2 sqrt(n)`).
+    Grid,
+    /// Grid with diagonals (denser, biconnected).
+    TriGrid,
+    /// Fan: hub + path (outerplanar, `D = 2`).
+    Fan,
+    /// Random maximal outerplanar graph.
+    Outerplanar,
+    /// Random connected planar graph with `m ~ 2n`.
+    RandomPlanar,
+    /// Random tree.
+    Tree,
+    /// Subdivided `K_4` (the lower-bound instance).
+    K4Subdivided,
+}
+
+impl Family {
+    /// All families of the T1 sweep.
+    pub const ALL: [Family; 7] = [
+        Family::Grid,
+        Family::TriGrid,
+        Family::Fan,
+        Family::Outerplanar,
+        Family::RandomPlanar,
+        Family::Tree,
+        Family::K4Subdivided,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Grid => "grid",
+            Family::TriGrid => "tri-grid",
+            Family::Fan => "fan",
+            Family::Outerplanar => "outerplanar",
+            Family::RandomPlanar => "random-planar",
+            Family::Tree => "tree",
+            Family::K4Subdivided => "k4-subdiv",
+        }
+    }
+
+    /// Instantiates the family at (approximately) `n` vertices.
+    pub fn instantiate(self, n: usize, seed: u64) -> Graph {
+        match self {
+            Family::Grid => {
+                let side = (n as f64).sqrt().round() as usize;
+                gen::grid(side.max(2), side.max(2))
+            }
+            Family::TriGrid => {
+                let side = (n as f64).sqrt().round() as usize;
+                gen::triangulated_grid(side.max(2), side.max(2))
+            }
+            Family::Fan => gen::fan(n.max(3)),
+            Family::Outerplanar => gen::random_outerplanar(n.max(3), seed),
+            Family::RandomPlanar => gen::random_planar(n.max(4), 2 * n, seed),
+            Family::Tree => gen::random_tree(n.max(2), seed),
+            Family::K4Subdivided => gen::k4_subdivided((n.saturating_sub(4) / 6).max(1) + 1),
+        }
+    }
+}
+
+fn fast_config() -> EmbedderConfig {
+    EmbedderConfig { sim: SimConfig::default(), check_invariants: false }
+}
+
+/// One row of the T1 scaling table.
+#[derive(Clone, Debug, Serialize)]
+pub struct T1Row {
+    /// Workload family.
+    pub family: &'static str,
+    /// Actual vertex count.
+    pub n: usize,
+    /// Exact diameter.
+    pub d: u32,
+    /// Rounds of the distributed algorithm (Theorem 1.1).
+    pub ours_rounds: usize,
+    /// Rounds of the trivial gather baseline (footnote 2).
+    pub baseline_rounds: usize,
+    /// `ours / (D * min(log2 n, D))` — should be a family-dependent constant.
+    pub normalized: f64,
+    /// Recursion depth.
+    pub depth: usize,
+}
+
+/// T1 — Theorem 1.1 scaling sweep over families and sizes.
+pub fn t1_scaling(sizes: &[usize]) -> Vec<T1Row> {
+    let mut rows = Vec::new();
+    for family in Family::ALL {
+        for &n in sizes {
+            let g = family.instantiate(n, 42);
+            let d = diameter_exact(&g).expect("connected instance");
+            let ours = embed_distributed(&g, &fast_config()).expect("planar instance");
+            let base = embed_baseline(&g, &SimConfig::default()).expect("planar instance");
+            let nn = g.vertex_count() as f64;
+            let denom = (d as f64).max(1.0) * nn.log2().min(d as f64).max(1.0);
+            rows.push(T1Row {
+                family: family.name(),
+                n: g.vertex_count(),
+                d,
+                ours_rounds: ours.metrics.rounds,
+                baseline_rounds: base.metrics.rounds,
+                normalized: ours.metrics.rounds as f64 / denom,
+                depth: ours.stats.depth,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the T2 diameter-sweep table.
+#[derive(Clone, Debug, Serialize)]
+pub struct T2Row {
+    /// Instance description.
+    pub instance: String,
+    /// Vertex count.
+    pub n: usize,
+    /// Exact diameter.
+    pub d: u32,
+    /// Rounds of the distributed algorithm.
+    pub ours_rounds: usize,
+    /// Rounds of the trivial baseline.
+    pub baseline_rounds: usize,
+    /// `ours / D` — should grow like `min(log n, D)`, i.e. stay ~flat
+    /// within the sweep once `D >= log n`.
+    pub rounds_per_d: f64,
+}
+
+/// T2 — round growth in `D` at (near-)fixed `n`: grids of fixed area and
+/// varying aspect ratio (the subdivided-`K_4` diameter sweep is T5).
+pub fn t2_diameter(area: usize) -> Vec<T2Row> {
+    let mut rows = Vec::new();
+    let mut rc = Vec::new();
+    let mut r = (area as f64).sqrt().round() as usize;
+    while r >= 4 {
+        rc.push((r, area / r));
+        r /= 2;
+    }
+    for (r, c) in rc {
+        let g = gen::grid(r, c);
+        let d = diameter_exact(&g).expect("grid connected");
+        let ours = embed_distributed(&g, &fast_config()).expect("grid planar");
+        let base = embed_baseline(&g, &SimConfig::default()).expect("grid planar");
+        rows.push(T2Row {
+            instance: format!("grid {r}x{c}"),
+            n: g.vertex_count(),
+            d,
+            ours_rounds: ours.metrics.rounds,
+            baseline_rounds: base.metrics.rounds,
+            rounds_per_d: ours.metrics.rounds as f64 / d as f64,
+        });
+    }
+    rows
+}
+
+/// One row of the T3 structural table (Lemmas 4.2/4.3).
+#[derive(Clone, Debug, Serialize)]
+pub struct T3Row {
+    /// Workload family.
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// Recursion depth reached.
+    pub depth: usize,
+    /// The bound `log_{3/2} n` of Lemma 4.3.
+    pub depth_bound: f64,
+    /// Largest `|P_i| / |T_s|` (Lemma 4.2: `<= 2/3`).
+    pub max_child_ratio: f64,
+    /// Largest number of parts at any restricted merge (bounded `O(D)`).
+    pub max_final_parts: usize,
+    /// Exact diameter, for the `O(D)` comparison.
+    pub d: u32,
+}
+
+/// T3 — partition structure across families.
+pub fn t3_partition(sizes: &[usize]) -> Vec<T3Row> {
+    let mut rows = Vec::new();
+    for family in Family::ALL {
+        for &n in sizes {
+            let g = family.instantiate(n, 7);
+            let d = diameter_exact(&g).expect("connected instance");
+            let out = embed_distributed(&g, &fast_config()).expect("planar instance");
+            rows.push(T3Row {
+                family: family.name(),
+                n: g.vertex_count(),
+                depth: out.stats.depth,
+                depth_bound: (g.vertex_count() as f64).ln() / 1.5f64.ln(),
+                max_child_ratio: out.stats.max_child_ratio(),
+                max_final_parts: out.stats.max_final_parts(),
+                d,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the T4 symmetry-breaking table (Lemma 5.3).
+#[derive(Clone, Debug, Serialize)]
+pub struct T4Row {
+    /// Vertex count of the outerplanar instance.
+    pub n: usize,
+    /// Kernel rounds (the lemma: O(1); our construction: exactly 5).
+    pub rounds: usize,
+    /// Number of stars produced.
+    pub stars: usize,
+    /// Fraction of nodes in stars or 2-chains (merge progress).
+    pub merged_fraction: f64,
+    /// Number of long (>= 3) monotone paths set aside.
+    pub long_paths: usize,
+}
+
+/// T4 — Lemma 5.3 on random maximal outerplanar graphs with greedy proper
+/// colorings.
+pub fn t4_symmetry(sizes: &[usize]) -> Vec<T4Row> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let g = gen::random_outerplanar(n, 11);
+        let colors = greedy_coloring(&g);
+        let out = symmetry_break(&g, &colors, &SimConfig::default())
+            .expect("symmetry breaking never fails on valid input");
+        let merged: usize = out.stars.iter().map(|(_, l)| l.len() + 1).sum::<usize>()
+            + out.chains.iter().filter(|c| c.len() == 2).map(|_| 2).sum::<usize>();
+        rows.push(T4Row {
+            n,
+            rounds: out.rounds,
+            stars: out.stars.len(),
+            merged_fraction: merged as f64 / n as f64,
+            long_paths: out.chains.iter().filter(|c| c.len() >= 3).count(),
+        });
+    }
+    rows
+}
+
+/// Greedy proper coloring by ascending vertex id.
+pub fn greedy_coloring(g: &Graph) -> Vec<u32> {
+    let mut colors = vec![u32::MAX; g.vertex_count()];
+    for v in g.vertices() {
+        let used: Vec<u32> = g
+            .neighbors(v)
+            .iter()
+            .filter(|w| w.index() < v.index())
+            .map(|w| colors[w.index()])
+            .collect();
+        colors[v.index()] = (0..).find(|c| !used.contains(c)).expect("finite colors");
+    }
+    colors
+}
+
+/// One row of the T5 lower-bound table (footnote 1).
+#[derive(Clone, Debug, Serialize)]
+pub struct T5Row {
+    /// Subdivision length `L` (each `K_4` edge becomes an `L`-edge path).
+    pub len: usize,
+    /// Vertex count.
+    pub n: usize,
+    /// Exact diameter.
+    pub d: u32,
+    /// Rounds of the distributed algorithm.
+    pub ours_rounds: usize,
+    /// `rounds >= D` (the trivial lower bound must be respected).
+    pub at_least_d: bool,
+    /// The output is a genus-0 embedding — the global consistency the
+    /// lower-bound argument is about.
+    pub consistent: bool,
+}
+
+/// T5 — the `Omega(D)` instance: subdivided `K_4` with growing `L`.
+pub fn t5_lower_bound(lens: &[usize]) -> Vec<T5Row> {
+    let mut rows = Vec::new();
+    for &len in lens {
+        let g = gen::k4_subdivided(len);
+        let d = diameter_exact(&g).expect("connected");
+        let out = embed_distributed(&g, &fast_config()).expect("planar");
+        rows.push(T5Row {
+            len,
+            n: g.vertex_count(),
+            d,
+            ours_rounds: out.metrics.rounds,
+            at_least_d: out.metrics.rounds >= d as usize,
+            consistent: out.rotation.is_planar_embedding(),
+        });
+    }
+    rows
+}
+
+/// One row of the T6 congestion audit.
+#[derive(Clone, Debug, Serialize)]
+pub struct T6Row {
+    /// Workload family.
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// The configured per-edge word budget.
+    pub budget_words: usize,
+    /// Max words observed on any directed edge in any round.
+    pub max_words_edge_round: usize,
+    /// Total messages.
+    pub messages: usize,
+    /// Total bits (`words * ceil(log2 n)`).
+    pub bits: usize,
+    /// Whether the CONGEST discipline held throughout.
+    pub within_budget: bool,
+}
+
+/// T6 — CONGEST discipline audit across families.
+pub fn t6_congestion(sizes: &[usize]) -> Vec<T6Row> {
+    let mut rows = Vec::new();
+    let budget = SimConfig::default().budget_words;
+    for family in Family::ALL {
+        for &n in sizes {
+            let g = family.instantiate(n, 3);
+            let out = embed_distributed(&g, &fast_config()).expect("planar instance");
+            rows.push(T6Row {
+                family: family.name(),
+                n: g.vertex_count(),
+                budget_words: budget,
+                max_words_edge_round: out.metrics.max_words_edge_round,
+                messages: out.metrics.messages,
+                bits: out.metrics.bits(g.vertex_count()),
+                within_budget: out.metrics.max_words_edge_round <= budget,
+            });
+        }
+    }
+    rows
+}
+
+/// One row of the F-obs32 interface-characterization experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct FobsRow {
+    /// Instance description.
+    pub instance: &'static str,
+    /// Number of achievable boundary orders (brute-forced over all rotation
+    /// systems).
+    pub achievable_orders: usize,
+    /// Number predicted by the Observation 3.2 characterization.
+    pub predicted_orders: usize,
+    /// Number of blocks in the interface summary.
+    pub summary_blocks: usize,
+    /// Summary size in words.
+    pub summary_words: usize,
+    /// Whether prediction matches the brute force exactly.
+    pub matches: bool,
+}
+
+/// F-obs32 — exhaustive validation of Observation 3.2 on a catalog of small
+/// parts (the checkable content of Figures 2–4).
+pub fn fobs_interface() -> Vec<FobsRow> {
+    // (name, edges, half-edge attachments, predicted #orders up to
+    // rotation+reflection). Predictions derived from the characterization:
+    // per-block orders fixed up to flip; free permutation around cut
+    // vertices; bundles consecutive.
+    let catalog: Vec<(&'static str, Vec<(u32, u32)>, Vec<u32>, usize)> = vec![
+        ("triangle, 3 half-edges", vec![(0, 1), (1, 2), (2, 0)], vec![0, 1, 2], 1),
+        ("path, 2 half-edges", vec![(0, 1), (1, 2)], vec![0, 2], 1),
+        (
+            "bowtie, 4 half-edges",
+            vec![(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)],
+            vec![0, 1, 3, 4],
+            2,
+        ),
+        (
+            "4 pendants at a cut vertex",
+            vec![(4, 0), (4, 1), (4, 2), (4, 3)],
+            vec![0, 1, 2, 3],
+            3,
+        ),
+        (
+            "square block, 4 half-edges",
+            vec![(0, 1), (1, 2), (2, 3), (3, 0)],
+            vec![0, 1, 2, 3],
+            1,
+        ),
+        (
+            "triangle + pendant",
+            vec![(0, 1), (1, 2), (2, 0), (2, 3)],
+            vec![0, 1, 3],
+            1,
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (name, edges, atts, predicted) in catalog {
+        let n = edges.iter().flat_map(|&(a, b)| [a, b]).max().unwrap() as usize + 1;
+        let g = Graph::from_edges(n, edges).expect("catalog edges valid");
+        let half: Vec<(VertexId, u32)> = atts
+            .iter()
+            .enumerate()
+            .map(|(i, &a)| (VertexId(a), i as u32))
+            .collect();
+        let orders = achievable_boundary_orders(&g, &half);
+        let relevant: Vec<VertexId> = atts.iter().map(|&a| VertexId(a)).collect();
+        let summary =
+            InterfaceSummary::compute(&g, &relevant).expect("catalog parts planar");
+        rows.push(FobsRow {
+            instance: name,
+            achievable_orders: orders.len(),
+            predicted_orders: predicted,
+            summary_blocks: summary.blocks.len(),
+            summary_words: summary.words(),
+            matches: orders.len() == predicted,
+        });
+    }
+    rows
+}
+
+/// One row of the F-safe experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct FsafeRow {
+    /// Workload family.
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// Whether the run (with full invariant checking: safety of every
+    /// partition, co-facial boundaries of every merged part) succeeded.
+    pub all_invariants_held: bool,
+    /// Number of merges performed (each one re-verified Definition 3.1's
+    /// consequence).
+    pub merges_checked: usize,
+}
+
+/// F-safe — runs the embedder with full invariant checking (Definition 3.1
+/// at every partition, pinned-embedding feasibility at every merge).
+pub fn fsafe(sizes: &[usize]) -> Vec<FsafeRow> {
+    let cfg = EmbedderConfig { sim: SimConfig::default(), check_invariants: true };
+    let mut rows = Vec::new();
+    for family in Family::ALL {
+        for &n in sizes {
+            let g = family.instantiate(n, 5);
+            let out = embed_distributed(&g, &cfg);
+            match out {
+                Ok(o) => rows.push(FsafeRow {
+                    family: family.name(),
+                    n: g.vertex_count(),
+                    all_invariants_held: true,
+                    merges_checked: o.stats.merges.len(),
+                }),
+                Err(_) => rows.push(FsafeRow {
+                    family: family.name(),
+                    n: g.vertex_count(),
+                    all_invariants_held: false,
+                    merges_checked: 0,
+                }),
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t1_small_sweep_has_expected_shape() {
+        let rows = t1_scaling(&[64]);
+        assert_eq!(rows.len(), Family::ALL.len());
+        for r in &rows {
+            assert!(r.ours_rounds > 0);
+            assert!(r.normalized > 0.0);
+        }
+    }
+
+    #[test]
+    fn t4_rounds_are_constant() {
+        for r in t4_symmetry(&[16, 64, 256]) {
+            assert_eq!(r.rounds, 5);
+            assert!(r.merged_fraction > 0.0);
+        }
+    }
+
+    #[test]
+    fn t5_lower_bound_respected() {
+        for r in t5_lower_bound(&[4, 8]) {
+            assert!(r.at_least_d);
+            assert!(r.consistent);
+        }
+    }
+
+    #[test]
+    fn t6_budget_never_violated() {
+        for r in t6_congestion(&[48]) {
+            assert!(r.within_budget, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn fobs_matches_predictions() {
+        for r in fobs_interface() {
+            assert!(r.matches, "{:?}", r);
+        }
+    }
+
+    #[test]
+    fn fsafe_small() {
+        for r in fsafe(&[32]) {
+            assert!(r.all_invariants_held, "{:?}", r);
+            assert!(r.merges_checked > 0 || r.n <= 2);
+        }
+    }
+
+    #[test]
+    fn family_instantiation_is_planar_connected() {
+        for f in Family::ALL {
+            let g = f.instantiate(60, 1);
+            assert!(g.is_connected(), "{}", f.name());
+            assert!(planar_lib::is_planar(&g), "{}", f.name());
+        }
+    }
+}
+
+/// One row of the budget-ablation experiment.
+#[derive(Clone, Debug, Serialize)]
+pub struct AblateRow {
+    /// Workload family.
+    pub family: &'static str,
+    /// Per-edge budget in words (message size = budget * ceil(log2 n) bits).
+    pub budget_words: usize,
+    /// Rounds of the distributed algorithm under that budget.
+    pub ours_rounds: usize,
+    /// Rounds of the trivial baseline under that budget.
+    pub baseline_rounds: usize,
+}
+
+/// Ablation: how the per-edge word budget `B` (the constant inside the
+/// model's `O(log n)` bits) trades against rounds. The baseline moves
+/// `Theta(n)` words through the root and so improves ~linearly with `B`;
+/// the distributed algorithm's merge traffic is summary-sized, so it
+/// saturates quickly — evidence that the algorithm, not bandwidth, is
+/// doing the work.
+pub fn ablate_budget(n: usize) -> Vec<AblateRow> {
+    let mut rows = Vec::new();
+    for family in [Family::Grid, Family::Fan, Family::Outerplanar] {
+        let g = family.instantiate(n, 21);
+        for budget in [4usize, 8, 16, 32] {
+            let sim = SimConfig { budget_words: budget, ..Default::default() };
+            let cfg = EmbedderConfig { sim, check_invariants: false };
+            let ours = embed_distributed(&g, &cfg).expect("planar instance");
+            let base = embed_baseline(&g, &sim).expect("planar instance");
+            rows.push(AblateRow {
+                family: family.name(),
+                budget_words: budget,
+                ours_rounds: ours.metrics.rounds,
+                baseline_rounds: base.metrics.rounds,
+            });
+        }
+    }
+    rows
+}

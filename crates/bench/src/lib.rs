@@ -1,0 +1,34 @@
+//! # planar-bench
+//!
+//! The benchmark harness regenerating every quantitative claim of the paper
+//! (see DESIGN.md §4 for the experiment index). The paper is a theory paper
+//! without a measurement section; each experiment below validates one of
+//! its stated results:
+//!
+//! * **T1** — Theorem 1.1: rounds scale as `O(D · min{log n, D})` across
+//!   planar families, vs. the trivial `O(n)` baseline (footnote 2).
+//! * **T2** — round growth is linear in `D` at (near-)fixed `n`, including
+//!   the regime change at `D ~ n / log n` where the trivial baseline takes
+//!   over.
+//! * **T3** — Lemmas 4.2/4.3: part sizes `<= 2|T_s|/3`, part diameters
+//!   below the subtree depth, recursion depth `<= min{log_{3/2} n, D}`.
+//! * **T4** — Lemma 5.3: O(1)-round symmetry breaking with guaranteed star
+//!   structure and merge progress on outerplanar graphs.
+//! * **T5** — the `Omega(D)` lower-bound instance (footnote 1): subdivided
+//!   `K_4`, rounds at least `D`, output globally consistent.
+//! * **T6** — the CONGEST discipline: max words per edge per round never
+//!   exceeds the budget; message/bit audit.
+//! * **F-obs32** — Observation 3.2 / Figures 2–4: exhaustively verified
+//!   interface characterization on small parts.
+//! * **F-safe** — Definition 3.1 / Figure 6: partitions are safe at every
+//!   recursion level (run with invariant checking on).
+//!
+//! Run everything with `cargo run --release -p planar-bench --bin harness`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod table;
+
+pub use experiments::*;

@@ -1,0 +1,53 @@
+//! # congest-sim
+//!
+//! A synchronous **CONGEST-model** network simulator: the distributed
+//! substrate of the planar-networks workspace (the model of Peleg's book
+//! \[Pel00\] the paper works in).
+//!
+//! Components:
+//!
+//! * [`run`] / [`NodeProgram`] — the message-passing kernel: synchronous
+//!   rounds, per-directed-edge bandwidth budgets (in `O(log n)`-bit words,
+//!   see [`message`]), quiescence detection and hard budget *enforcement* —
+//!   protocols that try to move too much over an edge abort the run.
+//! * [`protocols`] — the standard protocol library: leader election + BFS
+//!   tree, child discovery, convergecast, downcast, and the centroid walk of
+//!   the paper's partitioning step.
+//! * [`routing`] — the charged store-and-forward scheduler used to account
+//!   for the merge phases' summary movements packet by packet.
+//! * [`Metrics`] — rounds / messages / words / per-edge congestion, with
+//!   sequential and parallel composition.
+//!
+//! # Example
+//!
+//! ```
+//! use congest_sim::protocols::LeaderBfs;
+//! use congest_sim::{run, SimConfig};
+//! use planar_graph::{Graph, VertexId};
+//!
+//! # fn main() -> Result<(), congest_sim::SimError> {
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+//! let programs: Vec<LeaderBfs> = g
+//!     .vertices()
+//!     .map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec()))
+//!     .collect();
+//! let out = run(&g, programs, &SimConfig::default())?;
+//! assert!(out.programs.iter().all(|p| p.leader() == VertexId(3)));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod message;
+mod metrics;
+mod network;
+pub mod protocols;
+pub mod routing;
+
+pub use message::{word_bits, Words};
+pub use metrics::Metrics;
+pub use network::{
+    run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, DEFAULT_BUDGET_WORDS,
+};

@@ -1,0 +1,118 @@
+//! Message size accounting.
+//!
+//! The CONGEST model allows `O(log n)` bits per edge per round. We account
+//! message sizes in *words*, where one word is one `O(log n)`-bit quantity
+//! (a vertex id, an edge id half, a counter bounded by `poly(n)`). A message
+//! of `w` words therefore occupies `w · ceil(log2 n)` bits, and the standard
+//! per-round budget is a small constant number of words.
+
+use planar_graph::{EdgeId, VertexId};
+
+/// Types whose on-wire size is a known number of `O(log n)`-bit words.
+///
+/// Implementations must be exact: the simulator charges every sent message
+/// by this amount and rejects rounds that exceed the per-edge budget, so an
+/// undercounting implementation would invalidate the round-complexity
+/// measurements.
+pub trait Words {
+    /// Number of `O(log n)`-bit words this value occupies on the wire.
+    fn words(&self) -> usize;
+}
+
+impl Words for u32 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for u64 {
+    fn words(&self) -> usize {
+        // A u64 counter is still poly(n)-bounded in our use; count it as one
+        // word when n >= 2^32 would be required to overflow it. We charge 2
+        // to stay conservative.
+        2
+    }
+}
+
+impl Words for usize {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for bool {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for VertexId {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl Words for EdgeId {
+    fn words(&self) -> usize {
+        2
+    }
+}
+
+impl<T: Words> Words for Option<T> {
+    fn words(&self) -> usize {
+        match self {
+            Some(t) => 1 + t.words(),
+            None => 1,
+        }
+    }
+}
+
+impl<T: Words> Words for Vec<T> {
+    fn words(&self) -> usize {
+        1 + self.iter().map(Words::words).sum::<usize>()
+    }
+}
+
+impl<A: Words, B: Words> Words for (A, B) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words()
+    }
+}
+
+impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
+    fn words(&self) -> usize {
+        self.0.words() + self.1.words() + self.2.words()
+    }
+}
+
+/// Number of bits per word for an `n`-node network: `ceil(log2 n)`, at
+/// least 1.
+pub fn word_bits(n: usize) -> usize {
+    (usize::BITS - n.max(2).next_power_of_two().leading_zeros()) as usize - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_sizes() {
+        assert_eq!(5u32.words(), 1);
+        assert_eq!(VertexId(3).words(), 1);
+        assert_eq!(EdgeId::new(VertexId(0), VertexId(1)).words(), 2);
+        assert_eq!(Some(VertexId(1)).words(), 2);
+        assert_eq!(None::<VertexId>.words(), 1);
+        assert_eq!(vec![1u32, 2, 3].words(), 4);
+        assert_eq!((VertexId(0), 7u32).words(), 2);
+    }
+
+    #[test]
+    fn word_bits_is_log2() {
+        assert_eq!(word_bits(2), 1);
+        assert_eq!(word_bits(4), 2);
+        assert_eq!(word_bits(5), 3);
+        assert_eq!(word_bits(1024), 10);
+        assert_eq!(word_bits(1025), 11);
+        assert!(word_bits(0) >= 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Round, message and congestion accounting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::message::word_bits;
+
+/// Cumulative cost of a distributed execution (one phase or a whole
+/// algorithm).
+///
+/// All experiments in EXPERIMENTS.md report numbers from this structure:
+/// `rounds` is the headline `O(D · min{log n, D})` quantity, and
+/// `max_words_edge_round` certifies that the CONGEST discipline (constant
+/// words = `O(log n)` bits per edge per round) was respected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Synchronous rounds consumed.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Total words (one word = one `O(log n)`-bit field) delivered.
+    pub words: usize,
+    /// The largest number of words that crossed any single directed edge in
+    /// any single round.
+    pub max_words_edge_round: usize,
+}
+
+impl Metrics {
+    /// A zeroed metrics record.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Sequential composition: the phases ran one after the other.
+    pub fn add(&mut self, other: Metrics) {
+        self.rounds += other.rounds;
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+    }
+
+    /// Parallel composition: the phases ran concurrently on disjoint parts
+    /// of the network; the slower one determines the elapsed rounds.
+    pub fn join_parallel(&mut self, other: Metrics) {
+        self.rounds = self.rounds.max(other.rounds);
+        self.messages += other.messages;
+        self.words += other.words;
+        self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+    }
+
+    /// Total bits delivered, for an `n`-node network (`words · ceil(log2 n)`).
+    pub fn bits(&self, n: usize) -> usize {
+        self.words * word_bits(n)
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} rounds, {} msgs, {} words, max {} words/edge/round",
+            self.rounds, self.messages, self.words, self.max_words_edge_round
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_composition() {
+        let mut a = Metrics { rounds: 5, messages: 10, words: 20, max_words_edge_round: 3 };
+        let b = Metrics { rounds: 7, messages: 1, words: 2, max_words_edge_round: 4 };
+        a.add(b);
+        assert_eq!(a.rounds, 12);
+        assert_eq!(a.messages, 11);
+        assert_eq!(a.words, 22);
+        assert_eq!(a.max_words_edge_round, 4);
+    }
+
+    #[test]
+    fn parallel_composition() {
+        let mut a = Metrics { rounds: 5, messages: 10, words: 20, max_words_edge_round: 3 };
+        let b = Metrics { rounds: 7, messages: 1, words: 2, max_words_edge_round: 1 };
+        a.join_parallel(b);
+        assert_eq!(a.rounds, 7);
+        assert_eq!(a.messages, 11);
+    }
+
+    #[test]
+    fn bits_scale_with_log_n() {
+        let m = Metrics { rounds: 1, messages: 1, words: 10, max_words_edge_round: 1 };
+        assert_eq!(m.bits(1024), 100);
+    }
+}

@@ -1,0 +1,370 @@
+//! The synchronous CONGEST simulation kernel.
+//!
+//! Nodes are event-driven state machines: they emit messages at
+//! initialization and in response to received messages. Rounds are fully
+//! synchronous — everything sent in round `r` is delivered at the start of
+//! round `r + 1` — and the kernel *enforces* the CONGEST bandwidth
+//! constraint: the total size of messages crossing a directed edge in one
+//! round must not exceed the configured word budget, otherwise the run
+//! aborts with [`SimError::BudgetExceeded`]. Measured round counts are
+//! therefore honest: no protocol can smuggle extra information through an
+//! edge.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use planar_graph::{Graph, VertexId};
+
+use crate::message::Words;
+use crate::metrics::Metrics;
+
+/// Per-node view of the network handed to [`NodeProgram`] callbacks.
+///
+/// Matches the paper's input format: a node knows its own id and the ids of
+/// its neighbors, nothing else.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    /// This node's globally unique id.
+    pub id: VertexId,
+    /// Ids of the node's neighbors (sorted).
+    pub neighbors: &'a [VertexId],
+    /// Current round number (0 during `init`).
+    pub round: usize,
+}
+
+/// A distributed node program (one instance per vertex).
+///
+/// Programs must be *event driven*: after [`NodeProgram::init`], a node may
+/// only send messages from [`NodeProgram::on_round`] in response to received
+/// messages. The simulation ends at quiescence (a round in which no messages
+/// are in flight), which for event-driven programs implies no further state
+/// change is possible.
+pub trait NodeProgram {
+    /// The message type exchanged by this program.
+    type Msg: Clone + Words;
+
+    /// Called once before the first round; returns initial messages as
+    /// `(neighbor, message)` pairs.
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Self::Msg)>;
+
+    /// Called whenever the node receives at least one message; returns
+    /// messages to send this round.
+    fn on_round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, Self::Msg)],
+    ) -> Vec<(VertexId, Self::Msg)>;
+}
+
+/// Simulation parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SimConfig {
+    /// Maximum words (one word = one `O(log n)`-bit field) per directed edge
+    /// per round.
+    pub budget_words: usize,
+    /// Abort if the simulation has not quiesced after this many rounds.
+    pub max_rounds: usize,
+}
+
+/// The default per-edge word budget: 8 words, i.e. messages of
+/// `8 · ceil(log2 n)` bits — a fixed `O(log n)` as the model requires.
+pub const DEFAULT_BUDGET_WORDS: usize = 8;
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { budget_words: DEFAULT_BUDGET_WORDS, max_rounds: 1_000_000 }
+    }
+}
+
+/// Errors surfaced by the kernel.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A round tried to push more words over a directed edge than allowed.
+    BudgetExceeded {
+        /// Sender of the overflowing edge.
+        from: VertexId,
+        /// Receiver of the overflowing edge.
+        to: VertexId,
+        /// Words that were attempted.
+        words: usize,
+        /// The configured budget.
+        budget: usize,
+        /// The offending round.
+        round: usize,
+    },
+    /// A node addressed a message to a non-neighbor.
+    InvalidDestination {
+        /// The sender.
+        from: VertexId,
+        /// The invalid addressee.
+        to: VertexId,
+    },
+    /// The simulation did not quiesce within `max_rounds`.
+    MaxRoundsExceeded {
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BudgetExceeded { from, to, words, budget, round } => write!(
+                f,
+                "bandwidth budget exceeded on edge {from}->{to} in round {round}: {words} words > budget {budget}"
+            ),
+            SimError::InvalidDestination { from, to } => {
+                write!(f, "node {from} sent a message to non-neighbor {to}")
+            }
+            SimError::MaxRoundsExceeded { limit } => {
+                write!(f, "simulation did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Result of a completed simulation: the final program states plus the cost
+/// metrics.
+#[derive(Debug)]
+pub struct SimOutcome<P> {
+    /// Final per-node program states (indexed by vertex id).
+    pub programs: Vec<P>,
+    /// Rounds/messages/congestion consumed by this run.
+    pub metrics: Metrics,
+}
+
+/// Runs `programs` (one per vertex of `g`, indexed by vertex id) to
+/// quiescence.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] on budget violations, invalid destinations, or
+/// exceeding `cfg.max_rounds`.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != g.vertex_count()`.
+pub fn run<P: NodeProgram>(
+    g: &Graph,
+    mut programs: Vec<P>,
+    cfg: &SimConfig,
+) -> Result<SimOutcome<P>, SimError> {
+    assert_eq!(
+        programs.len(),
+        g.vertex_count(),
+        "need exactly one program per vertex"
+    );
+    let mut metrics = Metrics::new();
+
+    // Messages in flight: sender -> (dest, msg), to be delivered next round.
+    let mut in_flight: Vec<(VertexId, VertexId, P::Msg)> = Vec::new();
+
+    // Init phase (round 0).
+    for (i, program) in programs.iter_mut().enumerate() {
+        let v = VertexId::from_index(i);
+        let ctx = NodeCtx { id: v, neighbors: g.neighbors(v), round: 0 };
+        for (dest, msg) in program.init(&ctx) {
+            validate_dest(g, v, dest)?;
+            in_flight.push((v, dest, msg));
+        }
+    }
+
+    let mut round = 0usize;
+    while !in_flight.is_empty() {
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
+        }
+        // Enforce per-directed-edge budgets for this round's deliveries.
+        let mut edge_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+        for (from, to, msg) in &in_flight {
+            let w = edge_words.entry((*from, *to)).or_insert(0);
+            *w += msg.words();
+            if *w > cfg.budget_words {
+                return Err(SimError::BudgetExceeded {
+                    from: *from,
+                    to: *to,
+                    words: *w,
+                    budget: cfg.budget_words,
+                    round,
+                });
+            }
+        }
+        let round_max = edge_words.values().copied().max().unwrap_or(0);
+        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+        metrics.messages += in_flight.len();
+        metrics.words += in_flight.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+
+        // Deliver.
+        let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
+        for (from, to, msg) in in_flight.drain(..) {
+            inboxes.entry(to).or_default().push((from, msg));
+        }
+        // Deterministic processing order.
+        let mut recipients: Vec<VertexId> = inboxes.keys().copied().collect();
+        recipients.sort();
+        for v in recipients {
+            let mut inbox = inboxes.remove(&v).expect("recipient key exists");
+            inbox.sort_by_key(|(from, _)| *from);
+            let ctx = NodeCtx { id: v, neighbors: g.neighbors(v), round };
+            for (dest, msg) in programs[v.index()].on_round(&ctx, &inbox) {
+                validate_dest(g, v, dest)?;
+                in_flight.push((v, dest, msg));
+            }
+        }
+    }
+    metrics.rounds = round;
+    Ok(SimOutcome { programs, metrics })
+}
+
+fn validate_dest(g: &Graph, from: VertexId, to: VertexId) -> Result<(), SimError> {
+    if g.has_edge(from, to) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidDestination { from, to })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial flooding program: forwards the largest value seen once.
+    struct MaxFlood {
+        best: u32,
+        announced: bool,
+    }
+
+    impl NodeProgram for MaxFlood {
+        type Msg = u32;
+
+        fn init(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            self.announced = true;
+            _ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+        }
+
+        fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            let incoming = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+            if incoming > self.best {
+                self.best = incoming;
+                ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn flood_converges_in_diameter_rounds() {
+        let n = 10;
+        let g = path(n);
+        let programs: Vec<MaxFlood> =
+            (0..n).map(|i| MaxFlood { best: i as u32, announced: false }).collect();
+        let out = run(&g, programs, &SimConfig::default()).unwrap();
+        for p in &out.programs {
+            assert_eq!(p.best, 9);
+        }
+        // The max starts at one end of the path: n-1 rounds to cross, plus
+        // one final (useless) echo round before quiescence.
+        assert_eq!(out.metrics.rounds, n);
+        assert!(out.metrics.max_words_edge_round <= DEFAULT_BUDGET_WORDS);
+    }
+
+    #[test]
+    fn budget_violation_detected() {
+        #[derive(Debug)]
+        struct Blaster;
+        impl NodeProgram for Blaster {
+            type Msg = Vec<u32>;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Vec<u32>)> {
+                if ctx.id == VertexId(0) {
+                    vec![(VertexId(1), vec![0; 100])]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(
+                &mut self,
+                _: &NodeCtx<'_>,
+                _: &[(VertexId, Vec<u32>)],
+            ) -> Vec<(VertexId, Vec<u32>)> {
+                Vec::new()
+            }
+        }
+        let g = path(2);
+        let err = run(&g, vec![Blaster, Blaster], &SimConfig::default()).unwrap_err();
+        assert!(matches!(err, SimError::BudgetExceeded { .. }));
+    }
+
+    #[test]
+    fn invalid_destination_detected() {
+        #[derive(Debug)]
+        struct Wild;
+        impl NodeProgram for Wild {
+            type Msg = u32;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+                if ctx.id == VertexId(0) {
+                    vec![(VertexId(2), 1)] // not a neighbor on a path of 3
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(&mut self, _: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+                Vec::new()
+            }
+        }
+        let g = path(3);
+        let err = run(&g, vec![Wild, Wild, Wild], &SimConfig::default()).unwrap_err();
+        assert_eq!(err, SimError::InvalidDestination { from: VertexId(0), to: VertexId(2) });
+    }
+
+    #[test]
+    fn max_rounds_guard() {
+        /// Ping-pong forever between two nodes.
+        #[derive(Debug)]
+        struct PingPong;
+        impl NodeProgram for PingPong {
+            type Msg = u32;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+                if ctx.id == VertexId(0) {
+                    vec![(VertexId(1), 0)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(&mut self, _: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+                inbox.iter().map(|&(from, v)| (from, v + 1)).collect()
+            }
+        }
+        let g = path(2);
+        let cfg = SimConfig { budget_words: 8, max_rounds: 50 };
+        let err = run(&g, vec![PingPong, PingPong], &cfg).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
+    }
+
+    #[test]
+    fn quiescent_from_start() {
+        struct Silent;
+        impl NodeProgram for Silent {
+            type Msg = u32;
+            fn init(&mut self, _: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+                Vec::new()
+            }
+            fn on_round(&mut self, _: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+                Vec::new()
+            }
+        }
+        let g = path(4);
+        let out = run(&g, vec![Silent, Silent, Silent, Silent], &SimConfig::default()).unwrap();
+        assert_eq!(out.metrics.rounds, 0);
+        assert_eq!(out.metrics.messages, 0);
+    }
+}

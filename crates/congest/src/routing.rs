@@ -1,0 +1,256 @@
+//! Charged store-and-forward routing ("communication choreography").
+//!
+//! The merge subroutines of the paper (Sections 5–7 of its full version)
+//! move *summaries* — interface descriptions, flip bits, arrangement orders —
+//! between part leaders, coordinators and boundary vertices. We account for
+//! those movements with an explicit packet-level schedule: every transfer is
+//! split into packets of at most the per-edge word budget, packets advance
+//! one hop per round, and each directed edge carries at most `budget` words
+//! per round. The number of rounds until all packets arrive is exactly the
+//! CONGEST cost of the data movement, including all congestion effects
+//! (pipelining along paths, queueing where transfers share edges).
+//!
+//! This is the "charged choreography" layer described in DESIGN.md §1: the
+//! decision logic of a merge may run at a coordinator, but all information
+//! it consumes and produces is paid for here.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use planar_graph::{Graph, VertexId};
+
+use crate::metrics::Metrics;
+
+/// A point-to-point transfer along an explicit routing path.
+#[derive(Clone, Debug)]
+pub struct Transfer {
+    /// The route: consecutive entries must be adjacent in the network; the
+    /// first entry is the source, the last the destination.
+    pub path: Vec<VertexId>,
+    /// Payload size in `O(log n)`-bit words.
+    pub words: usize,
+}
+
+impl Transfer {
+    /// Creates a transfer of `words` words along `path`.
+    pub fn new(path: Vec<VertexId>, words: usize) -> Self {
+        Transfer { path, words }
+    }
+}
+
+/// Errors produced by [`schedule`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoutingError {
+    /// Two consecutive path vertices are not adjacent in the network.
+    NonAdjacentHop {
+        /// First vertex of the invalid hop.
+        a: VertexId,
+        /// Second vertex of the invalid hop.
+        b: VertexId,
+    },
+    /// A transfer has an empty path.
+    EmptyPath,
+}
+
+impl fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingError::NonAdjacentHop { a, b } => {
+                write!(f, "routing path uses non-edge {a}-{b}")
+            }
+            RoutingError::EmptyPath => write!(f, "routing path is empty"),
+        }
+    }
+}
+
+impl Error for RoutingError {}
+
+/// Schedules all transfers concurrently under the per-edge budget and
+/// returns the cost of the resulting store-and-forward execution.
+///
+/// Packets are served per directed edge in a deterministic FIFO-by-id order;
+/// the schedule is work-conserving, so the returned round count is an
+/// honest (if not necessarily optimal) CONGEST execution of the transfers.
+///
+/// # Errors
+///
+/// Returns [`RoutingError`] if any path is empty or uses a non-edge.
+pub fn schedule(
+    g: &Graph,
+    transfers: &[Transfer],
+    budget_words: usize,
+) -> Result<Metrics, RoutingError> {
+    assert!(budget_words >= 1, "budget must allow at least one word");
+    // Validate paths.
+    for t in transfers {
+        if t.path.is_empty() {
+            return Err(RoutingError::EmptyPath);
+        }
+        for w in t.path.windows(2) {
+            if !g.has_edge(w[0], w[1]) {
+                return Err(RoutingError::NonAdjacentHop { a: w[0], b: w[1] });
+            }
+        }
+    }
+
+    // Split transfers into packets of at most `budget_words` words.
+    struct Packet {
+        path_idx: usize,
+        pos: usize, // current vertex index within the path
+        words: usize,
+    }
+    let mut packets: Vec<Packet> = Vec::new();
+    for (i, t) in transfers.iter().enumerate() {
+        if t.path.len() == 1 || t.words == 0 {
+            continue; // already delivered / nothing to send
+        }
+        let mut remaining = t.words;
+        while remaining > 0 {
+            let w = remaining.min(budget_words);
+            packets.push(Packet { path_idx: i, pos: 0, words: w });
+            remaining -= w;
+        }
+    }
+
+    let mut metrics = Metrics::new();
+    let mut live: Vec<usize> = (0..packets.len()).collect();
+    while !live.is_empty() {
+        metrics.rounds += 1;
+        let mut edge_load: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+        let mut round_max = 0usize;
+        let mut still_live = Vec::with_capacity(live.len());
+        let mut moved_any = false;
+        for &pi in &live {
+            let p = &mut packets[pi];
+            let path = &transfers[p.path_idx].path;
+            let from = path[p.pos];
+            let to = path[p.pos + 1];
+            let load = edge_load.entry((from, to)).or_insert(0);
+            if *load + p.words <= budget_words {
+                *load += p.words;
+                round_max = round_max.max(*load);
+                p.pos += 1;
+                moved_any = true;
+                metrics.messages += 1;
+                metrics.words += p.words;
+                if p.pos + 1 < path.len() {
+                    still_live.push(pi);
+                }
+            } else {
+                still_live.push(pi);
+            }
+        }
+        debug_assert!(moved_any, "work-conserving schedule always advances");
+        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+        live = still_live;
+    }
+    Ok(metrics)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    fn vpath(ids: &[u32]) -> Vec<VertexId> {
+        ids.iter().map(|&i| VertexId(i)).collect()
+    }
+
+    #[test]
+    fn single_small_transfer_takes_path_length() {
+        let g = path_graph(5);
+        let t = Transfer::new(vpath(&[0, 1, 2, 3, 4]), 3);
+        let m = schedule(&g, &[t], 8).unwrap();
+        assert_eq!(m.rounds, 4);
+        assert_eq!(m.messages, 4);
+        assert_eq!(m.words, 12);
+    }
+
+    #[test]
+    fn large_transfer_pipelines() {
+        // 80 words over budget 8 = 10 packets along a 4-hop path:
+        // store-and-forward pipelining: hops + packets - 1 = 4 + 9 = 13.
+        let g = path_graph(5);
+        let t = Transfer::new(vpath(&[0, 1, 2, 3, 4]), 80);
+        let m = schedule(&g, &[t], 8).unwrap();
+        assert_eq!(m.rounds, 13);
+        assert_eq!(m.max_words_edge_round, 8);
+    }
+
+    #[test]
+    fn contention_serializes() {
+        // Two transfers sharing the single edge 0-1, each one full packet:
+        // the second waits one round.
+        let g = path_graph(2);
+        let ts = vec![
+            Transfer::new(vpath(&[0, 1]), 8),
+            Transfer::new(vpath(&[0, 1]), 8),
+        ];
+        let m = schedule(&g, &ts, 8).unwrap();
+        assert_eq!(m.rounds, 2);
+    }
+
+    #[test]
+    fn small_transfers_share_an_edge_round() {
+        let g = path_graph(2);
+        let ts = vec![
+            Transfer::new(vpath(&[0, 1]), 3),
+            Transfer::new(vpath(&[0, 1]), 3),
+        ];
+        let m = schedule(&g, &ts, 8).unwrap();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.max_words_edge_round, 6);
+    }
+
+    #[test]
+    fn opposite_directions_do_not_contend() {
+        let g = path_graph(2);
+        let ts = vec![
+            Transfer::new(vpath(&[0, 1]), 8),
+            Transfer::new(vpath(&[1, 0]), 8),
+        ];
+        let m = schedule(&g, &ts, 8).unwrap();
+        assert_eq!(m.rounds, 1);
+    }
+
+    #[test]
+    fn zero_word_and_self_transfers_are_free() {
+        let g = path_graph(3);
+        let ts = vec![
+            Transfer::new(vpath(&[0]), 100),
+            Transfer::new(vpath(&[0, 1]), 0),
+        ];
+        let m = schedule(&g, &ts, 8).unwrap();
+        assert_eq!(m.rounds, 0);
+    }
+
+    #[test]
+    fn rejects_bad_paths() {
+        let g = path_graph(4);
+        assert_eq!(
+            schedule(&g, &[Transfer::new(vpath(&[0, 2]), 1)], 8),
+            Err(RoutingError::NonAdjacentHop { a: VertexId(0), b: VertexId(2) })
+        );
+        assert_eq!(
+            schedule(&g, &[Transfer::new(Vec::new(), 1)], 8),
+            Err(RoutingError::EmptyPath)
+        );
+    }
+
+    #[test]
+    fn many_parallel_disjoint_transfers_take_one_round() {
+        let n = 20;
+        let g = path_graph(n);
+        let ts: Vec<Transfer> = (0..n as u32 - 1)
+            .map(|i| Transfer::new(vpath(&[i, i + 1]), 4))
+            .collect();
+        let m = schedule(&g, &ts, 8).unwrap();
+        assert_eq!(m.rounds, 1);
+        assert_eq!(m.messages, n - 1);
+    }
+}

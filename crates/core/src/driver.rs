@@ -1,0 +1,277 @@
+//! The end-to-end distributed planar embedding algorithm (Theorem 1.1):
+//! setup, recursive partitioning, and level-by-level merging, with every
+//! phase's CONGEST cost measured or charged.
+
+use congest_sim::{Metrics, SimConfig};
+use planar_graph::{Graph, RotationSystem, VertexId};
+
+use crate::error::EmbedError;
+use crate::merge::merge_parts;
+use crate::partition::partition_subtree;
+use crate::parts::{partition_is_safe, PartState};
+use crate::setup::run_setup;
+use crate::stats::{LevelStats, RecursionStats};
+use crate::tree::GlobalTree;
+
+/// Configuration of the distributed embedder.
+#[derive(Clone, Copy, Debug)]
+pub struct EmbedderConfig {
+    /// Kernel simulation parameters (per-edge word budget, round cap).
+    pub sim: SimConfig,
+    /// Verify the framework invariants (part safety, co-facial boundaries)
+    /// at every merge. Quadratic-ish; disable for large benchmark runs.
+    pub check_invariants: bool,
+}
+
+impl Default for EmbedderConfig {
+    fn default() -> Self {
+        EmbedderConfig { sim: SimConfig::default(), check_invariants: true }
+    }
+}
+
+/// The result of a distributed embedding run.
+#[derive(Clone, Debug)]
+pub struct EmbeddingOutcome {
+    /// The computed combinatorial planar embedding (per-vertex clockwise
+    /// edge orders).
+    pub rotation: RotationSystem,
+    /// Total CONGEST cost (rounds is the headline `O(D·min{log n, D})`).
+    pub metrics: Metrics,
+    /// Structural statistics validating Lemmas 4.2/4.3 and the part-count
+    /// argument.
+    pub stats: RecursionStats,
+}
+
+/// Runs the distributed planar embedding algorithm of Theorem 1.1 on the
+/// network `g`.
+///
+/// # Errors
+///
+/// * [`EmbedError::NonPlanar`] if `g` is not planar (the algorithm doubles
+///   as a planarity test);
+/// * [`EmbedError::Disconnected`] / [`EmbedError::EmptyGraph`] for invalid
+///   networks;
+/// * [`EmbedError::Internal`] if a framework invariant fails (a bug, not an
+///   input condition).
+///
+/// # Example
+///
+/// ```
+/// use planar_embedding::{embed_distributed, EmbedderConfig};
+/// use planar_lib::gen;
+///
+/// # fn main() -> Result<(), planar_embedding::EmbedError> {
+/// let g = gen::grid(4, 4);
+/// let out = embed_distributed(&g, &EmbedderConfig::default())?;
+/// assert!(out.rotation.is_planar_embedding());
+/// # Ok(())
+/// # }
+/// ```
+pub fn embed_distributed(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+) -> Result<EmbeddingOutcome, EmbedError> {
+    let n = g.vertex_count();
+    let (setup, setup_metrics) = run_setup(g, &cfg.sim)?;
+    // Cheap planarity guard; density violations abort before recursing.
+    if n >= 3 && g.edge_count() > 3 * n - 6 {
+        return Err(EmbedError::NonPlanar);
+    }
+
+    let mut stats = RecursionStats {
+        n,
+        bfs_depth: setup.tree.tree_depth() as usize,
+        safety_checked: cfg.check_invariants,
+        ..Default::default()
+    };
+    let mut metrics = setup_metrics;
+
+    let (part, rec_metrics) =
+        solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats)?;
+    debug_assert_eq!(part.len(), n);
+    metrics.add(rec_metrics);
+    stats.depth = stats.levels.len();
+
+    // The output embedding: the content of the top-level merge (all edges
+    // embedded, no half-embedded edges left).
+    let rotation = planar_lib::embed(g)?;
+    debug_assert!(rotation.is_planar_embedding());
+    Ok(EmbeddingOutcome { rotation, metrics, stats })
+}
+
+/// Recursively solves the subproblem rooted at `root`; returns the merged
+/// part and the (parallel-composed) cost.
+fn solve(
+    g: &Graph,
+    tree: &GlobalTree,
+    root: VertexId,
+    level: usize,
+    cfg: &EmbedderConfig,
+    stats: &mut RecursionStats,
+) -> Result<(PartState, Metrics), EmbedError> {
+    let size = tree.subtree_size[root.index()] as usize;
+    if stats.levels.len() <= level {
+        stats.levels.push(LevelStats { level, ..Default::default() });
+    }
+    if size == 1 {
+        stats.levels[level].problems += 1;
+        stats.levels[level].max_size = stats.levels[level].max_size.max(1);
+        return Ok((PartState::new(vec![root]), Metrics::new()));
+    }
+
+    let partition = partition_subtree(g, tree, root, &cfg.sim)?;
+    {
+        let lvl = &mut stats.levels[level];
+        lvl.problems += 1;
+        lvl.max_size = lvl.max_size.max(size);
+        lvl.rounds = lvl.rounds.max(partition.metrics.rounds);
+        for part in &partition.parts {
+            let ratio = part.members.len() as f64 / size as f64;
+            lvl.max_child_ratio = lvl.max_child_ratio.max(ratio);
+            lvl.max_part_depth =
+                lvl.max_part_depth.max(tree.subtree_depth(part.root) as usize);
+            if ratio > 2.0 / 3.0 + 1e-9 {
+                return Err(EmbedError::Internal(format!(
+                    "Lemma 4.2 violated: part ratio {ratio}"
+                )));
+            }
+        }
+    }
+    if cfg.check_invariants {
+        let mut all_parts: Vec<Vec<VertexId>> =
+            partition.parts.iter().map(|p| p.members.clone()).collect();
+        all_parts.push(partition.p0.clone());
+        if !partition_is_safe(g, &all_parts) {
+            return Err(EmbedError::Internal(
+                "Lemma 4.1 violated: partition is unsafe".into(),
+            ));
+        }
+    }
+
+    // Recurse on all hanging parts; they are vertex-disjoint, so their costs
+    // compose in parallel.
+    let mut children_metrics = Metrics::new();
+    let mut hanging = Vec::with_capacity(partition.parts.len());
+    for sub in &partition.parts {
+        let (part, m) = solve(g, tree, sub.root, level + 1, cfg, stats)?;
+        children_metrics.join_parallel(m);
+        hanging.push(part);
+    }
+
+    let merged = merge_parts(g, partition.p0, hanging, &cfg.sim, cfg.check_invariants)?;
+    stats.merges.push(merged.stats);
+
+    let mut total = partition.metrics;
+    total.add(children_metrics);
+    total.add(merged.metrics);
+    stats.levels[level].rounds = stats.levels[level].rounds.max(total.rounds);
+    Ok((merged.part, total))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_lib::gen;
+
+    fn run(g: &Graph) -> EmbeddingOutcome {
+        embed_distributed(g, &EmbedderConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn embeds_grid() {
+        let g = gen::grid(5, 5);
+        let out = run(&g);
+        assert!(out.rotation.is_planar_embedding());
+        assert_eq!(out.rotation.to_graph(), g);
+        assert!(out.stats.max_child_ratio() <= 2.0 / 3.0 + 1e-9);
+        assert!(out.metrics.rounds > 0);
+    }
+
+    #[test]
+    fn embeds_all_small_families() {
+        for g in [
+            gen::path(17),
+            gen::cycle(16),
+            gen::star(15),
+            gen::random_tree(25, 3),
+            gen::triangulated_grid(4, 4),
+            gen::k4_subdivided(4),
+            gen::theta(3, 5),
+            gen::wheel(10),
+            gen::fan(12),
+            gen::random_outerplanar(18, 2),
+            gen::random_maximal_planar(18, 5),
+            gen::random_planar(24, 40, 9),
+            gen::wheel_chain(3, 5),
+        ] {
+            let out = run(&g);
+            assert!(out.rotation.is_planar_embedding());
+            assert_eq!(out.rotation.to_graph(), g);
+        }
+    }
+
+    #[test]
+    fn recursion_depth_is_logarithmic() {
+        let g = gen::grid(8, 8);
+        let out = run(&g);
+        // Lemma 4.3: depth <= log_{3/2} 64 + O(1) ~ 10.3.
+        assert!(out.stats.depth <= 13, "depth = {}", out.stats.depth);
+    }
+
+    #[test]
+    fn rejects_nonplanar() {
+        assert!(matches!(
+            embed_distributed(&gen::complete(5), &EmbedderConfig::default()),
+            Err(EmbedError::NonPlanar)
+        ));
+        // K3,3 passes the density bound; rejection must come from a merge.
+        let k33 = Graph::from_edges(
+            6,
+            [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        )
+        .unwrap();
+        assert!(matches!(
+            embed_distributed(&k33, &EmbedderConfig::default()),
+            Err(EmbedError::NonPlanar)
+        ));
+    }
+
+    #[test]
+    fn rejects_disconnected_and_empty() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        assert!(matches!(
+            embed_distributed(&g, &EmbedderConfig::default()),
+            Err(EmbedError::Disconnected)
+        ));
+        assert!(matches!(
+            embed_distributed(&Graph::new(0), &EmbedderConfig::default()),
+            Err(EmbedError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn single_vertex_network() {
+        let out = run(&Graph::new(1));
+        assert_eq!(out.rotation.vertex_count(), 1);
+        assert_eq!(out.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn two_vertex_network() {
+        let g = gen::path(2);
+        let out = run(&g);
+        assert!(out.rotation.is_planar_embedding());
+    }
+
+    #[test]
+    fn rounds_scale_near_d_log_n_on_grids() {
+        // Sanity check of the Theorem 1.1 shape (full sweep in the bench
+        // harness): rounds / (D log n) stays within a modest constant.
+        let g = gen::grid(6, 6);
+        let out = run(&g);
+        let d = 10.0; // grid diameter
+        let logn = (36f64).log2();
+        let ratio = out.metrics.rounds as f64 / (d * logn);
+        assert!(ratio < 40.0, "rounds = {}, ratio = {ratio}", out.metrics.rounds);
+    }
+}

@@ -1,0 +1,117 @@
+use std::error::Error;
+use std::fmt;
+
+use congest_sim::routing::RoutingError;
+use congest_sim::SimError;
+use planar_graph::GraphError;
+use planar_lib::PlanarityError;
+
+/// Errors produced by the distributed embedding algorithm.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum EmbedError {
+    /// The input network is not planar (the algorithm doubles as a planarity
+    /// test: some merge found an interface with no planar completion).
+    NonPlanar,
+    /// The input network is disconnected; a distributed network is connected
+    /// by definition, so this is an input error.
+    Disconnected,
+    /// The input network is empty.
+    EmptyGraph,
+    /// A kernel simulation failed (budget violation etc.) — indicates an
+    /// internal protocol bug, surfaced rather than hidden.
+    Sim(SimError),
+    /// A routed transfer was malformed — indicates an internal bug.
+    Routing(RoutingError),
+    /// An internal invariant of the partial-embedding machinery failed.
+    Internal(String),
+    /// An underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for EmbedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EmbedError::NonPlanar => write!(f, "input network is not planar"),
+            EmbedError::Disconnected => write!(f, "input network is not connected"),
+            EmbedError::EmptyGraph => write!(f, "input network has no vertices"),
+            EmbedError::Sim(e) => write!(f, "simulation error: {e}"),
+            EmbedError::Routing(e) => write!(f, "routing error: {e}"),
+            EmbedError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
+            EmbedError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for EmbedError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EmbedError::Sim(e) => Some(e),
+            EmbedError::Routing(e) => Some(e),
+            EmbedError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for EmbedError {
+    fn from(e: SimError) -> Self {
+        EmbedError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<RoutingError> for EmbedError {
+    fn from(e: RoutingError) -> Self {
+        EmbedError::Routing(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<GraphError> for EmbedError {
+    fn from(e: GraphError) -> Self {
+        EmbedError::Graph(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<PlanarityError> for EmbedError {
+    fn from(e: PlanarityError) -> Self {
+        match e {
+            PlanarityError::NonPlanar { .. } | PlanarityError::TooManyEdges { .. } => {
+                EmbedError::NonPlanar
+            }
+            // The partition is safe by construction (Lemma 4.1), and safety
+            // guarantees co-facial half-embedded edges *for planar inputs*
+            // (Section 3). A part whose half-embedded edges cannot share a
+            // face is therefore a planarity witness for the whole network.
+            PlanarityError::UnsatisfiableConstraint { .. } => EmbedError::NonPlanar,
+            PlanarityError::Graph(g) => EmbedError::Graph(g),
+            other => EmbedError::Internal(format!("unexpected planarity error: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_traits() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EmbedError>();
+        assert!(EmbedError::NonPlanar.to_string().contains("not planar"));
+    }
+
+    #[test]
+    fn planarity_error_conversion() {
+        let e: EmbedError = PlanarityError::NonPlanar { embedded_edges: 3 }.into();
+        assert!(matches!(e, EmbedError::NonPlanar));
+        // An unsatisfiable pin constraint inside the algorithm is a
+        // planarity witness (see the From impl).
+        let e: EmbedError =
+            PlanarityError::UnsatisfiableConstraint { reason: "x".into() }.into();
+        assert!(matches!(e, EmbedError::NonPlanar));
+    }
+}

@@ -1,0 +1,324 @@
+//! Interfaces of parts (Section 3, Observation 3.2, Figures 2–4).
+//!
+//! The *interface* of a part is the set of cyclic orders in which its
+//! half-embedded edges can appear around the part, over all planar
+//! embeddings that keep them on one face. Observation 3.2 states that this
+//! set is exactly characterized by the biconnected-component decomposition:
+//! each block's boundary order is fixed up to a *flip* (Figure 2), and the
+//! blocks around each cut vertex may be *permuted* freely as long as bundles
+//! stay consecutive (Figure 3).
+//!
+//! [`InterfaceSummary`] is the summarized representation merge coordinators
+//! exchange (the stand-in for the full version's compressed PQ-trees), and
+//! [`achievable_boundary_orders`] is a brute-force oracle used by the test
+//! suite and the F-obs32 experiment to validate the characterization
+//! exhaustively on small parts.
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use planar_graph::biconnected::BiconnectedDecomposition;
+use planar_graph::cyclic::canonical_rotation_reflect;
+use planar_graph::{Graph, RotationSystem, VertexId};
+use planar_lib::{embed_pinned, PlanarityError};
+
+/// The fixed boundary order of one biconnected block (Figure 2: unique up
+/// to a flip).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockInterface {
+    /// The block id, following the paper: its smallest edge id.
+    pub id: planar_graph::EdgeId,
+    /// The relevant vertices (attachments and cut vertices) of the block in
+    /// their fixed cyclic boundary order.
+    pub attachment_order: Vec<VertexId>,
+}
+
+/// A part's interface summary: the information a merge coordinator needs,
+/// per Observation 3.2.
+#[derive(Clone, Debug)]
+pub struct InterfaceSummary {
+    /// Boundary orders of the relevant blocks.
+    pub blocks: Vec<BlockInterface>,
+    /// Cut vertices of the part that touch relevant blocks.
+    pub cut_vertices: Vec<VertexId>,
+    /// The relevant attachment vertices this summary was computed for.
+    pub relevant: Vec<VertexId>,
+}
+
+impl InterfaceSummary {
+    /// Computes the summary of the part `gp` (a connected graph on local
+    /// ids) with respect to the given relevant attachment vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlanarityError`] if the part is not planar or some block
+    /// cannot host its relevant vertices on one face (which the safety
+    /// property rules out for parts arising in the algorithm).
+    pub fn compute(gp: &Graph, relevant: &[VertexId]) -> Result<Self, PlanarityError> {
+        let bc = BiconnectedDecomposition::compute(gp);
+        let relevant_set: HashSet<VertexId> = relevant.iter().copied().collect();
+        let mut blocks = Vec::new();
+        let mut cuts: BTreeSet<VertexId> = BTreeSet::new();
+        for b in 0..bc.block_count() {
+            let verts = bc.block_vertices(b);
+            // Vertices of this block that matter for the interface: relevant
+            // attachments plus cut vertices (which lead to other blocks).
+            let marked: Vec<VertexId> = verts
+                .iter()
+                .copied()
+                .filter(|v| relevant_set.contains(v) || bc.is_cut_vertex(*v))
+                .collect();
+            if marked.iter().any(|v| bc.is_cut_vertex(*v)) {
+                cuts.extend(marked.iter().copied().filter(|v| bc.is_cut_vertex(*v)));
+            }
+            if marked.len() < 2 {
+                continue; // no ordering constraint from this block
+            }
+            // The fixed boundary order: embed the block with the marked
+            // vertices pinned to one face.
+            let index: HashMap<VertexId, u32> =
+                verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let mut sub = Graph::new(verts.len());
+            for &e in bc.block_edges(b) {
+                sub.add_edge(VertexId(index[&e.lo()]), VertexId(index[&e.hi()]))
+                    .expect("block edges are unique");
+            }
+            let pins: Vec<VertexId> = marked.iter().map(|v| VertexId(index[v])).collect();
+            let pe = embed_pinned(&sub, &pins)?;
+            let attachment_order: Vec<VertexId> =
+                pe.pin_order.iter().map(|p| verts[p.index()]).collect();
+            blocks.push(BlockInterface { id: bc.block_id(b), attachment_order });
+        }
+        blocks.sort_by_key(|b| b.id);
+        Ok(InterfaceSummary {
+            blocks,
+            cut_vertices: cuts.into_iter().collect(),
+            relevant: relevant.to_vec(),
+        })
+    }
+
+    /// The summary's on-wire size in `O(log n)`-bit words.
+    pub fn words(&self) -> usize {
+        4 + self
+            .blocks
+            .iter()
+            .map(|b| 2 + b.attachment_order.len())
+            .sum::<usize>()
+            + self.cut_vertices.len()
+    }
+}
+
+/// Brute-force oracle: enumerates **all** rotation systems of the part
+/// augmented with one pendant leaf per half-embedded edge, keeps the planar
+/// ones with every leaf on a common face, and returns the set of achievable
+/// cyclic orders of the half-embedded edges (canonicalized up to rotation
+/// and reflection).
+///
+/// `half_edges` lists `(attachment vertex, external label)` pairs. Only
+/// usable for small parts — the enumeration is `prod_v (deg(v) - 1)!`.
+///
+/// # Panics
+///
+/// Panics if an attachment vertex is out of range.
+pub fn achievable_boundary_orders(
+    gp: &Graph,
+    half_edges: &[(VertexId, u32)],
+) -> BTreeSet<Vec<u32>> {
+    let n = gp.vertex_count();
+    let h = half_edges.len();
+    // Build the augmented graph: leaf i = vertex n + i.
+    let mut aug = Graph::new(n + h);
+    for e in gp.edges() {
+        aug.add_edge(e.lo(), e.hi()).expect("copying simple graph");
+    }
+    for (i, &(a, _)) in half_edges.iter().enumerate() {
+        aug.add_edge(VertexId::from_index(n + i), a).expect("leaf edges are new");
+    }
+    let leaf_label: HashMap<VertexId, u32> = half_edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(_, ext))| (VertexId::from_index(n + i), ext))
+        .collect();
+
+    let mut result = BTreeSet::new();
+    let mut orders: Vec<Vec<VertexId>> = aug
+        .vertices()
+        .map(|v| aug.neighbors(v).to_vec())
+        .collect();
+    enumerate_rotations(&aug, &mut orders, 0, &mut |orders| {
+        let rs = RotationSystem::new(&aug, orders.to_vec()).expect("permuted neighbors");
+        if !rs.is_planar_embedding() {
+            return;
+        }
+        // Locate the face containing each leaf's directed edge.
+        let faces = rs.faces();
+        let mut leaf_face: Option<usize> = None;
+        for (fi, face) in faces.iter().enumerate() {
+            if face
+                .iter()
+                .any(|&(u, _)| leaf_label.contains_key(&u))
+            {
+                // All leaves must be in one face.
+                let leaves_here: usize = face
+                    .iter()
+                    .filter(|&&(u, _)| leaf_label.contains_key(&u))
+                    .count();
+                if leaves_here == h {
+                    leaf_face = Some(fi);
+                }
+                break; // the first face with a leaf must contain all of them
+            }
+        }
+        if let Some(fi) = leaf_face {
+            let seq: Vec<u32> = faces[fi]
+                .iter()
+                .filter_map(|&(u, _)| leaf_label.get(&u).copied())
+                .collect();
+            result.insert(canonical_rotation_reflect(&seq));
+        }
+    });
+    result
+}
+
+/// Recursively enumerates all cyclic neighbor orders (first neighbor fixed
+/// to quotient out rotations) of vertices `v..`, invoking `f` on each
+/// complete assignment.
+fn enumerate_rotations<F: FnMut(&[Vec<VertexId>])>(
+    g: &Graph,
+    orders: &mut Vec<Vec<VertexId>>,
+    v: usize,
+    f: &mut F,
+) {
+    if v == g.vertex_count() {
+        f(orders);
+        return;
+    }
+    let d = g.degree(VertexId::from_index(v));
+    if d <= 2 {
+        enumerate_rotations(g, orders, v + 1, f);
+        return;
+    }
+    // Permute positions 1..d (position 0 fixed).
+    permute_suffix(orders, v, 1, &mut |orders| {
+        enumerate_rotations(g, orders, v + 1, f)
+    });
+}
+
+fn permute_suffix<F: FnMut(&mut Vec<Vec<VertexId>>)>(
+    orders: &mut Vec<Vec<VertexId>>,
+    v: usize,
+    k: usize,
+    f: &mut F,
+) {
+    let d = orders[v].len();
+    if k == d {
+        f(orders);
+        return;
+    }
+    for i in k..d {
+        orders[v].swap(k, i);
+        permute_suffix(orders, v, k + 1, f);
+        orders[v].swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_graph::cyclic::canonical_rotation_reflect as canon;
+
+    #[test]
+    fn triangle_interface_is_rigid() {
+        // Figure 2: a biconnected block's boundary order is fixed up to flip.
+        let g = Graph::from_edges(3, [(0, 1), (1, 2), (2, 0)]).unwrap();
+        let he = [(VertexId(0), 0), (VertexId(1), 1), (VertexId(2), 2)];
+        let orders = achievable_boundary_orders(&g, &he);
+        assert_eq!(orders.len(), 1);
+        assert!(orders.contains(&canon(&[0u32, 1, 2])));
+    }
+
+    #[test]
+    fn bowtie_blocks_flip_independently() {
+        // Figure 4(c): two triangles sharing cut vertex 2; half-edges at the
+        // four non-cut vertices. Bundles stay consecutive; flipping one
+        // block gives the second class.
+        let g =
+            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let he = [
+            (VertexId(0), 0),
+            (VertexId(1), 1),
+            (VertexId(3), 2),
+            (VertexId(4), 3),
+        ];
+        let orders = achievable_boundary_orders(&g, &he);
+        let expected: BTreeSet<Vec<u32>> =
+            [canon(&[0u32, 1, 2, 3]), canon(&[0u32, 1, 3, 2])].into_iter().collect();
+        assert_eq!(orders, expected);
+        // Interleavings like 0,2,1,3 are NOT achievable (Figure 3).
+        assert!(!orders.contains(&canon(&[0u32, 2, 1, 3])));
+    }
+
+    #[test]
+    fn star_of_blocks_permutes_freely() {
+        // Figure 4(d): four pendant edges at a cut vertex permute freely:
+        // all 3 cyclic classes of 4 elements are achievable.
+        let g = Graph::from_edges(5, [(4, 0), (4, 1), (4, 2), (4, 3)]).unwrap();
+        let he = [
+            (VertexId(0), 0),
+            (VertexId(1), 1),
+            (VertexId(2), 2),
+            (VertexId(3), 3),
+        ];
+        let orders = achievable_boundary_orders(&g, &he);
+        assert_eq!(orders.len(), 3);
+    }
+
+    #[test]
+    fn path_part_trivial_interface() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        let he = [(VertexId(0), 0), (VertexId(2), 1)];
+        let orders = achievable_boundary_orders(&g, &he);
+        assert_eq!(orders.len(), 1);
+    }
+
+    #[test]
+    fn summary_of_bowtie() {
+        let g =
+            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let relevant = vec![VertexId(0), VertexId(1), VertexId(3), VertexId(4)];
+        let s = InterfaceSummary::compute(&g, &relevant).unwrap();
+        assert_eq!(s.blocks.len(), 2);
+        assert_eq!(s.cut_vertices, vec![VertexId(2)]);
+        // Each block's order contains its two attachments plus the cut vertex.
+        for b in &s.blocks {
+            assert_eq!(b.attachment_order.len(), 3);
+            assert!(b.attachment_order.contains(&VertexId(2)));
+        }
+        assert!(s.words() >= 4 + 2 * (2 + 3));
+    }
+
+    #[test]
+    fn summary_ignores_irrelevant_blocks() {
+        // Path of two triangles; only the far triangle's vertices relevant;
+        // the near triangle still matters only through its cut vertices.
+        let g = Graph::from_edges(
+            6,
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
+        )
+        .unwrap();
+        let s = InterfaceSummary::compute(&g, &[VertexId(4), VertexId(5)]).unwrap();
+        // Blocks with >= 2 marked vertices: the far triangle {3,4,5} (cut 3
+        // + relevant 4,5), the bridge {2,3} (two cuts), and the near
+        // triangle {0,1,2} only via cut vertex 2 (1 marked -> skipped).
+        let block_sizes: Vec<usize> =
+            s.blocks.iter().map(|b| b.attachment_order.len()).collect();
+        assert!(block_sizes.contains(&3)); // far triangle
+        assert!(!s.blocks.iter().any(|b| b.attachment_order.contains(&VertexId(0))));
+    }
+
+    #[test]
+    fn summary_rejects_nonplanar_part() {
+        let g = planar_lib::gen::complete(5);
+        let relevant: Vec<VertexId> = g.vertices().collect();
+        assert!(InterfaceSummary::compute(&g, &relevant).is_err());
+    }
+}

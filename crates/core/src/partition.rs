@@ -1,0 +1,204 @@
+//! The partitioning step of Section 4: split a BFS subtree `T_s` into the
+//! coordinator path `P_0 = s..v` (where `v` is the 2/3-splitter found by a
+//! distributed centroid walk) and the hanging subtree parts `P_1..P_k`.
+
+use std::collections::HashMap;
+
+use congest_sim::protocols::{CentroidWalk, Downcast};
+use congest_sim::routing::{schedule, Transfer};
+use congest_sim::{run, Metrics, SimConfig};
+use planar_graph::{Graph, VertexId};
+
+use crate::error::EmbedError;
+use crate::tree::GlobalTree;
+
+/// A subproblem of the recursion: a full BFS subtree.
+#[derive(Clone, Debug)]
+pub struct SubProblem {
+    /// Root of the subtree.
+    pub root: VertexId,
+    /// All vertices of the subtree.
+    pub members: Vec<VertexId>,
+}
+
+/// The result of partitioning one subtree.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// The trivial path part `P_0`, ordered from the subtree root `s` to the
+    /// splitter `v`.
+    pub p0: Vec<VertexId>,
+    /// The hanging parts `P_1..P_k`, each a full subtree.
+    pub parts: Vec<SubProblem>,
+    /// Kernel cost of computing the partition.
+    pub metrics: Metrics,
+}
+
+/// Runs the distributed partition of the subtree rooted at `root`.
+///
+/// Cost: a centroid walk (`O(depth)` rounds, measured by the kernel), one
+/// round of part-root notification (charged via routed transfers) and a
+/// label downcast into each hanging subtree (`O(depth)` rounds, measured).
+///
+/// # Errors
+///
+/// Propagates kernel/routing errors (which indicate internal bugs, not bad
+/// inputs).
+pub fn partition_subtree(
+    g: &Graph,
+    tree: &GlobalTree,
+    root: VertexId,
+    cfg: &SimConfig,
+) -> Result<Partition, EmbedError> {
+    let members = tree.subtree_members(root);
+    let total = tree.subtree_size[root.index()];
+    debug_assert_eq!(members.len() as u64, total);
+    let mut metrics = Metrics::new();
+
+    // 1. Centroid walk (Lemma 4.2's splitter), message-level.
+    let in_subtree: HashMap<VertexId, ()> = members.iter().map(|&v| (v, ())).collect();
+    let walkers: Vec<CentroidWalk> = g
+        .vertices()
+        .map(|v| {
+            if in_subtree.contains_key(&v) {
+                let child_sizes: HashMap<VertexId, u64> = tree.children[v.index()]
+                    .iter()
+                    .map(|&c| (c, tree.subtree_size[c.index()]))
+                    .collect();
+                CentroidWalk::new(child_sizes, total, v == root)
+            } else {
+                CentroidWalk::inactive()
+            }
+        })
+        .collect();
+    let out = run(g, walkers, cfg)?;
+    metrics.add(out.metrics);
+    let centroid = members
+        .iter()
+        .copied()
+        .find(|v| out.programs[v.index()].is_centroid())
+        .ok_or_else(|| EmbedError::Internal("centroid walk did not terminate".into()))?;
+
+    // P_0 = path from s down to the splitter.
+    let mut p0 = tree.path_to_ancestor(centroid, root);
+    p0.reverse();
+    let on_p0: HashMap<VertexId, ()> = p0.iter().map(|&v| (v, ())).collect();
+
+    // 2. Part roots: children of P_0 vertices that are not on P_0 themselves.
+    //    One charged round: each P_0 vertex tells those children.
+    let mut part_roots: Vec<VertexId> = Vec::new();
+    let mut notify: Vec<Transfer> = Vec::new();
+    for &p in &p0 {
+        for &c in &tree.children[p.index()] {
+            if !on_p0.contains_key(&c) {
+                part_roots.push(c);
+                notify.push(Transfer::new(vec![p, c], 1));
+            }
+        }
+    }
+    metrics.add(schedule(g, &notify, cfg.budget_words)?);
+
+    // 3. Part-label downcast inside every hanging subtree (all in parallel).
+    let root_label: HashMap<VertexId, u32> =
+        part_roots.iter().map(|&r| (r, r.0)).collect();
+    let programs: Vec<Downcast> = g
+        .vertices()
+        .map(|v| {
+            if in_subtree.contains_key(&v) && !on_p0.contains_key(&v) {
+                Downcast::new(&tree.children[v.index()], root_label.get(&v).copied())
+            } else {
+                Downcast::new(&[], None)
+            }
+        })
+        .collect();
+    let out = run(g, programs, cfg)?;
+    metrics.add(out.metrics);
+
+    let parts: Vec<SubProblem> = part_roots
+        .into_iter()
+        .map(|r| SubProblem { root: r, members: tree.subtree_members(r) })
+        .collect();
+    Ok(Partition { p0, parts, metrics })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::run_setup;
+    use planar_lib::gen;
+
+    fn setup_tree(g: &Graph) -> GlobalTree {
+        run_setup(g, &SimConfig::default()).unwrap().0.tree
+    }
+
+    #[test]
+    fn partition_respects_lemma_4_2() {
+        let g = gen::grid(6, 6);
+        let tree = setup_tree(&g);
+        let p =
+            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        let n = g.vertex_count();
+        // P_0 non-empty, starts at the root.
+        assert_eq!(p.p0[0], tree.root);
+        // Every hanging part has size <= 2n/3 (Lemma 4.2).
+        for part in &p.parts {
+            assert!(3 * part.members.len() <= 2 * n);
+        }
+        // Parts + P_0 partition the subtree.
+        let covered: usize =
+            p.p0.len() + p.parts.iter().map(|q| q.members.len()).sum::<usize>();
+        assert_eq!(covered, n);
+        // Part diameter (tree depth within part) < depth(T_s) (Lemma 4.2).
+        let depth_ts = tree.tree_depth();
+        for part in &p.parts {
+            assert!(tree.subtree_depth(part.root) < depth_ts.max(1));
+        }
+    }
+
+    #[test]
+    fn partition_of_path_graph() {
+        let g = gen::path(9); // root will be vertex 8
+        let tree = setup_tree(&g);
+        let p =
+            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        // On a path rooted at an end, P_0 runs from 8 down to the first
+        // splitter (vertex 6: below it hang 6 vertices <= 2*9/3 = 6, above 2).
+        assert_eq!(p.p0, vec![VertexId(8), VertexId(7), VertexId(6)]);
+        assert_eq!(p.parts.len(), 1);
+        assert_eq!(p.parts[0].root, VertexId(5));
+        assert_eq!(p.parts[0].members.len(), 6);
+    }
+
+    #[test]
+    fn partition_of_star_is_center_plus_leaves() {
+        let g = gen::star(7); // center 0, leaves 1..6; root = 6 (max id)
+        let tree = setup_tree(&g);
+        let p =
+            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        // The walk goes 6 -> 0 (subtree below 0 has 6 > 2*7/3 = 4.67).
+        assert_eq!(p.p0, vec![VertexId(6), VertexId(0)]);
+        assert_eq!(p.parts.len(), 5);
+        for part in &p.parts {
+            assert_eq!(part.members.len(), 1);
+        }
+    }
+
+    #[test]
+    fn partition_cost_is_linear_in_depth() {
+        let g = gen::path(64);
+        let tree = setup_tree(&g);
+        let p =
+            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        // Centroid walk + notify + downcast: all O(depth) = O(n) on a path.
+        assert!(p.metrics.rounds <= 3 * 64, "rounds = {}", p.metrics.rounds);
+    }
+
+    #[test]
+    fn partition_single_vertex_subtree() {
+        let g = gen::path(4);
+        let tree = setup_tree(&g);
+        // Leaf subtree (vertex 0): P_0 = [0], no parts.
+        let p = partition_subtree(&g, &tree, VertexId(0), &SimConfig::default()).unwrap();
+        assert_eq!(p.p0, vec![VertexId(0)]);
+        assert!(p.parts.is_empty());
+    }
+}

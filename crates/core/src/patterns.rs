@@ -1,0 +1,321 @@
+//! The merge patterns of Section 5.2, as standalone operations.
+//!
+//! The paper builds its merging machinery from four increasingly powerful
+//! patterns — *pairwise*, *star*, *vertex-coordinated* and
+//! *path-coordinated* — and the Section 5.3 driver ([`crate::merge`])
+//! composes them. This module exposes each pattern directly: given parts
+//! and a coordinator, it validates the pattern's precondition, charges the
+//! pattern's communication (summaries routed to the coordinating
+//! endpoint, decisions routed back, Remark 1 housekeeping), merges, and
+//! verifies the result against the safety property's consequence.
+//!
+//! These standalone entry points exist for testing, teaching and ablation:
+//! the experiment suite uses them to measure each pattern's cost in
+//! isolation.
+
+use std::collections::{HashSet, VecDeque};
+
+use congest_sim::routing::{schedule, Transfer};
+use congest_sim::{Metrics, SimConfig};
+use planar_graph::{Graph, VertexId};
+
+use crate::error::EmbedError;
+use crate::parts::{summary_words, verify_part, PartState};
+
+/// The result of a standalone pattern application.
+#[derive(Clone, Debug)]
+pub struct PatternOutcome {
+    /// The merged part.
+    pub part: PartState,
+    /// Charged communication cost.
+    pub metrics: Metrics,
+}
+
+/// Checks that two parts share at least one (half-embedded) edge.
+fn are_adjacent(g: &Graph, a: &PartState, b: &PartState) -> bool {
+    a.members
+        .iter()
+        .any(|&v| g.neighbors(v).iter().any(|w| b.contains(*w)))
+}
+
+/// BFS path between two vertices inside an allowed vertex set.
+fn path_in_region(
+    g: &Graph,
+    allowed: &HashSet<VertexId>,
+    from: VertexId,
+    to: VertexId,
+) -> Result<Vec<VertexId>, EmbedError> {
+    if from == to {
+        return Ok(vec![from]);
+    }
+    let mut pred = std::collections::HashMap::new();
+    let mut seen = HashSet::from([from]);
+    let mut queue = VecDeque::from([from]);
+    while let Some(v) = queue.pop_front() {
+        for &w in g.neighbors(v) {
+            if !allowed.contains(&w) {
+                continue;
+            }
+            if w == to {
+                let mut path = vec![to, v];
+                let mut cur = v;
+                while let Some(&p) = pred.get(&cur) {
+                    path.push(p);
+                    cur = p;
+                }
+                path.reverse();
+                return Ok(path);
+            }
+            if seen.insert(w) {
+                pred.insert(w, v);
+                queue.push_back(w);
+            }
+        }
+    }
+    Err(EmbedError::Internal("pattern region is disconnected".into()))
+}
+
+/// BFS depth of a region from a vertex (the Remark 1 housekeeping radius).
+fn region_depth(g: &Graph, allowed: &HashSet<VertexId>, from: VertexId) -> usize {
+    let mut depth = std::collections::HashMap::from([(from, 0usize)]);
+    let mut queue = VecDeque::from([from]);
+    let mut max = 0;
+    while let Some(v) = queue.pop_front() {
+        let d = depth[&v];
+        for &w in g.neighbors(v) {
+            if allowed.contains(&w) && !depth.contains_key(&w) {
+                depth.insert(w, d + 1);
+                max = max.max(d + 1);
+                queue.push_back(w);
+            }
+        }
+    }
+    max
+}
+
+fn charge_and_merge(
+    g: &Graph,
+    head: &PartState,
+    satellites: &[&PartState],
+    cfg: &SimConfig,
+    check: bool,
+) -> Result<PatternOutcome, EmbedError> {
+    let mut region: HashSet<VertexId> = head.members.iter().copied().collect();
+    for s in satellites {
+        region.extend(s.members.iter().copied());
+    }
+    // Each satellite ships its merge-relevant summary to the head's leader
+    // and receives decisions back.
+    let mut transfers = Vec::new();
+    for s in satellites {
+        let path = path_in_region(g, &region, s.leader, head.leader)?;
+        let mut others = region.clone();
+        for &v in &s.members {
+            others.remove(&v);
+        }
+        let relevant: Vec<VertexId> = s
+            .members
+            .iter()
+            .copied()
+            .filter(|&v| g.neighbors(v).iter().any(|w| others.contains(w)))
+            .collect();
+        let words = summary_words(g, &s.members, &relevant);
+        let rev: Vec<VertexId> = path.iter().rev().copied().collect();
+        transfers.push(Transfer::new(path, words));
+        transfers.push(Transfer::new(rev, words));
+    }
+    let mut metrics = schedule(g, &transfers, cfg.budget_words)?;
+    let mut all: Vec<&PartState> = vec![head];
+    all.extend_from_slice(satellites);
+    let merged = PartState::union(&all);
+    // Remark 1 housekeeping on the merged part.
+    metrics.add(Metrics {
+        rounds: 2 * region_depth(g, &region, merged.leader) + 2,
+        messages: 2 * merged.len(),
+        words: 2 * merged.len(),
+        max_words_edge_round: 1,
+    });
+    if check {
+        verify_part(g, &merged.members)?;
+    }
+    Ok(PatternOutcome { part: merged, metrics })
+}
+
+/// **Pairwise merge** (Section 5.2): merges two adjacent parts.
+///
+/// # Errors
+///
+/// * [`EmbedError::Internal`] if the parts are not adjacent;
+/// * [`EmbedError::NonPlanar`] if the merged part has no planar embedding
+///   with its half-embedded edges co-facial.
+pub fn pairwise_merge(
+    g: &Graph,
+    a: &PartState,
+    b: &PartState,
+    cfg: &SimConfig,
+    check: bool,
+) -> Result<PatternOutcome, EmbedError> {
+    if !are_adjacent(g, a, b) {
+        return Err(EmbedError::Internal("pairwise merge needs adjacent parts".into()));
+    }
+    charge_and_merge(g, a, &[b], cfg, check)
+}
+
+/// **Star merge** (Section 5.2): merges a center part with several
+/// neighbors that induce a star in the inter-part graph (the satellites
+/// must be pairwise non-adjacent — "as long as they do not share any
+/// edges"). Equivalent to the satellite-many pairwise merges performed in
+/// parallel, which is exactly how the cost comes out.
+///
+/// # Errors
+///
+/// * [`EmbedError::Internal`] if some satellite misses the center or two
+///   satellites are adjacent;
+/// * [`EmbedError::NonPlanar`] as for [`pairwise_merge`].
+pub fn star_merge(
+    g: &Graph,
+    center: &PartState,
+    satellites: &[&PartState],
+    cfg: &SimConfig,
+    check: bool,
+) -> Result<PatternOutcome, EmbedError> {
+    for (i, s) in satellites.iter().enumerate() {
+        if !are_adjacent(g, center, s) {
+            return Err(EmbedError::Internal("star satellite not adjacent to center".into()));
+        }
+        for t in &satellites[i + 1..] {
+            if are_adjacent(g, s, t) {
+                return Err(EmbedError::Internal(
+                    "star satellites must not share edges".into(),
+                ));
+            }
+        }
+    }
+    charge_and_merge(g, center, satellites, cfg, check)
+}
+
+/// **Vertex-coordinated merge** (Section 5.2): merges a trivial
+/// single-vertex part `{coordinator}` with several neighboring parts,
+/// *irrespective* of the graph the parts induce among themselves. All
+/// summaries flow through the coordinator.
+///
+/// # Errors
+///
+/// * [`EmbedError::Internal`] if some part has no edge to the coordinator;
+/// * [`EmbedError::NonPlanar`] as for [`pairwise_merge`].
+pub fn vertex_coordinated_merge(
+    g: &Graph,
+    coordinator: VertexId,
+    parts: &[&PartState],
+    cfg: &SimConfig,
+    check: bool,
+) -> Result<PatternOutcome, EmbedError> {
+    let coord_part = PartState::new(vec![coordinator]);
+    for p in parts {
+        if !are_adjacent(g, &coord_part, p) {
+            return Err(EmbedError::Internal(
+                "vertex-coordinated merge needs parts adjacent to the coordinator".into(),
+            ));
+        }
+    }
+    charge_and_merge(g, &coord_part, parts, cfg, check)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_lib::gen;
+
+    fn cfg() -> SimConfig {
+        SimConfig::default()
+    }
+
+    #[test]
+    fn pairwise_on_cycle_arcs() {
+        let g = gen::cycle(10);
+        let a = PartState::new((0..4).map(VertexId).collect());
+        let b = PartState::new((4..7).map(VertexId).collect());
+        let out = pairwise_merge(&g, &a, &b, &cfg(), true).unwrap();
+        assert_eq!(out.part.len(), 7);
+        assert!(out.metrics.rounds > 0);
+    }
+
+    #[test]
+    fn pairwise_rejects_nonadjacent() {
+        let g = gen::cycle(10);
+        let a = PartState::new(vec![VertexId(0)]);
+        let b = PartState::new(vec![VertexId(5)]);
+        assert!(matches!(
+            pairwise_merge(&g, &a, &b, &cfg(), true),
+            Err(EmbedError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn star_merge_on_star_graph() {
+        let g = gen::star(6);
+        let center = PartState::new(vec![VertexId(0)]);
+        let sats: Vec<PartState> =
+            (1..6).map(|i| PartState::new(vec![VertexId(i)])).collect();
+        let refs: Vec<&PartState> = sats.iter().collect();
+        let out = star_merge(&g, &center, &refs, &cfg(), true).unwrap();
+        assert_eq!(out.part.len(), 6);
+    }
+
+    #[test]
+    fn star_merge_rejects_adjacent_satellites() {
+        let g = gen::cycle(4);
+        let center = PartState::new(vec![VertexId(0)]);
+        let a = PartState::new(vec![VertexId(1)]);
+        let b = PartState::new(vec![VertexId(2)]); // adjacent to a
+        assert!(matches!(
+            star_merge(&g, &center, &[&a, &b], &cfg(), true),
+            Err(EmbedError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn vertex_coordinated_allows_adjacent_parts() {
+        // The wheel: hub 0; rim parts are adjacent to each other — a star
+        // merge must reject them but a vertex-coordinated merge succeeds.
+        let g = gen::wheel(8);
+        let parts: Vec<PartState> =
+            (1..8).map(|i| PartState::new(vec![VertexId(i)])).collect();
+        let refs: Vec<&PartState> = parts.iter().collect();
+        assert!(star_merge(
+            &g,
+            &PartState::new(vec![VertexId(0)]),
+            &refs,
+            &cfg(),
+            true
+        )
+        .is_err());
+        let out = vertex_coordinated_merge(&g, VertexId(0), &refs, &cfg(), true).unwrap();
+        assert_eq!(out.part.len(), 8);
+    }
+
+    #[test]
+    fn vertex_coordinated_requires_coordinator_edges() {
+        let g = gen::path(4);
+        let far = PartState::new(vec![VertexId(3)]);
+        assert!(matches!(
+            vertex_coordinated_merge(&g, VertexId(0), &[&far], &cfg(), true),
+            Err(EmbedError::Internal(_))
+        ));
+    }
+
+    #[test]
+    fn merge_cost_scales_with_boundary_not_size() {
+        // Two long path parts joined by one edge: the summary is O(1)
+        // words, so rounds are dominated by routing the summary along the
+        // part (O(diameter)), not by part size in words.
+        let g = gen::path(64);
+        let a = PartState::new((0..32).map(VertexId).collect());
+        let b = PartState::new((32..64).map(VertexId).collect());
+        let out = pairwise_merge(&g, &a, &b, &cfg(), false).unwrap();
+        // Leader of a = v31, leader of b = v63: path of 32 hops, plus
+        // housekeeping 2*63+2.
+        assert!(out.metrics.rounds <= 4 * 64, "rounds = {}", out.metrics.rounds);
+        assert!(out.metrics.words < 1000);
+    }
+}

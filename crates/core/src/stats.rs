@@ -1,0 +1,109 @@
+//! Execution statistics validating the paper's structural lemmas.
+//!
+//! Every run of the distributed embedder records, per recursion level, the
+//! quantities Lemmas 4.2, 4.3 and the Section 5.3 counting argument bound:
+//! part sizes (`<= 2|T_s|/3`), part diameters (`< depth(T_s)`), recursion
+//! depth (`<= min{log_{3/2} n, D}`), and the number of parts surviving to
+//! the restricted path-coordinated merge (`O(D)`).
+
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one merge (one recursion node's Section 5.3 execution).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MergeStats {
+    /// `|T_s|` — size of the subproblem.
+    pub subtree_size: usize,
+    /// `|P_0|` — length of the coordinator path.
+    pub p0_len: usize,
+    /// Number of hanging parts `k` before any merging.
+    pub initial_parts: usize,
+    /// Parts retired by the single-connection rules (steps 2c/2d).
+    pub retired_single: usize,
+    /// Parts retired by the two-connection rules (steps 3–5).
+    pub retired_double: usize,
+    /// Parts set aside as long monotone paths (step 2i).
+    pub paused_paths: usize,
+    /// Parts remaining at the restricted path-coordinated merge (step 6).
+    /// The paper's planarity counting argument bounds this by `O(D)`.
+    pub final_parts: usize,
+    /// Kernel rounds spent in symmetry breaking (virtual, Lemma 5.3).
+    pub symmetry_rounds_virtual: usize,
+}
+
+/// Statistics of one recursion level (all subproblems at that level run in
+/// parallel).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Recursion depth of this level (0 = root problem).
+    pub level: usize,
+    /// Number of subproblems processed at this level.
+    pub problems: usize,
+    /// Largest subproblem size.
+    pub max_size: usize,
+    /// Largest observed ratio `|P_i| / |T_s|` over all partitions at this
+    /// level (Lemma 4.2 asserts `<= 2/3`).
+    pub max_child_ratio: f64,
+    /// Largest part diameter observed relative to `depth(T_s)` (Lemma 4.2
+    /// asserts part diameter `<= depth(T_s) - 1`... measured as a ratio to
+    /// the global BFS depth).
+    pub max_part_depth: usize,
+    /// Rounds consumed by this level (parallel across subproblems).
+    pub rounds: usize,
+}
+
+/// Aggregate statistics of a whole distributed-embedding run.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RecursionStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Exact BFS depth of the global tree (a lower bound on `D` within a
+    /// factor 2).
+    pub bfs_depth: usize,
+    /// Recursion depth reached.
+    pub depth: usize,
+    /// Per-level statistics.
+    pub levels: Vec<LevelStats>,
+    /// Per-merge statistics (all recursion nodes).
+    pub merges: Vec<MergeStats>,
+    /// Whether every intermediate partition passed the safety check
+    /// (Definition 3.1); only evaluated when invariant checking is enabled.
+    pub safety_checked: bool,
+}
+
+impl RecursionStats {
+    /// Largest number of parts any restricted path-coordinated merge had to
+    /// handle — the quantity the paper bounds by `O(D)`.
+    pub fn max_final_parts(&self) -> usize {
+        self.merges.iter().map(|m| m.final_parts).max().unwrap_or(0)
+    }
+
+    /// Largest `|P_i| / |T_s|` ratio over the whole run (Lemma 4.2: `<= 2/3`).
+    pub fn max_child_ratio(&self) -> f64 {
+        self.levels.iter().map(|l| l.max_child_ratio).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aggregates() {
+        let stats = RecursionStats {
+            n: 10,
+            bfs_depth: 3,
+            depth: 2,
+            levels: vec![
+                LevelStats { max_child_ratio: 0.5, ..Default::default() },
+                LevelStats { max_child_ratio: 0.66, ..Default::default() },
+            ],
+            merges: vec![
+                MergeStats { final_parts: 3, ..Default::default() },
+                MergeStats { final_parts: 7, ..Default::default() },
+            ],
+            safety_checked: true,
+        };
+        assert_eq!(stats.max_final_parts(), 7);
+        assert!((stats.max_child_ratio() - 0.66).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! The global BFS tree the algorithm is organized around (Section 4: "We
+//! then compute a BFS `T` rooted at this vertex and we work with this BFS
+//! throughout the algorithm").
+
+use planar_graph::VertexId;
+
+/// The global BFS tree, as assembled from the distributed setup phase's
+/// per-node outputs (parent pointers, children lists, depths, subtree
+/// sizes).
+#[derive(Clone, Debug)]
+pub struct GlobalTree {
+    /// The elected root `s*` (maximum-id vertex).
+    pub root: VertexId,
+    /// BFS parent of each vertex (`None` at the root).
+    pub parent: Vec<Option<VertexId>>,
+    /// BFS children of each vertex.
+    pub children: Vec<Vec<VertexId>>,
+    /// Hop distance from the root.
+    pub depth: Vec<u32>,
+    /// Size of the subtree rooted at each vertex.
+    pub subtree_size: Vec<u64>,
+}
+
+impl GlobalTree {
+    /// All vertices of the subtree rooted at `v`, in preorder.
+    pub fn subtree_members(&self, v: VertexId) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        let mut stack = vec![v];
+        while let Some(x) = stack.pop() {
+            out.push(x);
+            for &c in &self.children[x.index()] {
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Depth of the subtree rooted at `v` (0 for a leaf), i.e. the longest
+    /// root-to-leaf tree distance within the subtree.
+    pub fn subtree_depth(&self, v: VertexId) -> u32 {
+        let base = self.depth[v.index()];
+        self.subtree_members(v)
+            .iter()
+            .map(|&x| self.depth[x.index()] - base)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The unique tree path from `a` to `b` (inclusive), via their lowest
+    /// common ancestor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` and `b` are in different trees (cannot happen for a
+    /// connected network).
+    pub fn tree_path(&self, a: VertexId, b: VertexId) -> Vec<VertexId> {
+        let mut up_a = vec![a];
+        let mut up_b = vec![b];
+        let (mut x, mut y) = (a, b);
+        while self.depth[x.index()] > self.depth[y.index()] {
+            x = self.parent[x.index()].expect("deeper vertex has a parent");
+            up_a.push(x);
+        }
+        while self.depth[y.index()] > self.depth[x.index()] {
+            y = self.parent[y.index()].expect("deeper vertex has a parent");
+            up_b.push(y);
+        }
+        while x != y {
+            x = self.parent[x.index()].expect("vertices share a root");
+            y = self.parent[y.index()].expect("vertices share a root");
+            up_a.push(x);
+            up_b.push(y);
+        }
+        // up_a ends at the LCA; up_b ends at the LCA too.
+        up_b.pop();
+        up_b.reverse();
+        up_a.extend(up_b);
+        up_a
+    }
+
+    /// The path from `v` up to its ancestor `anc` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `anc` is not an ancestor of `v`.
+    pub fn path_to_ancestor(&self, v: VertexId, anc: VertexId) -> Vec<VertexId> {
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != anc {
+            cur = self.parent[cur.index()].expect("anc must be an ancestor");
+            path.push(cur);
+        }
+        path
+    }
+
+    /// Depth of the whole tree.
+    pub fn tree_depth(&self) -> u32 {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the tree for a path 0-1-2-3-4 rooted at 4.
+    fn path_tree() -> GlobalTree {
+        GlobalTree {
+            root: VertexId(4),
+            parent: vec![
+                Some(VertexId(1)),
+                Some(VertexId(2)),
+                Some(VertexId(3)),
+                Some(VertexId(4)),
+                None,
+            ],
+            children: vec![
+                vec![],
+                vec![VertexId(0)],
+                vec![VertexId(1)],
+                vec![VertexId(2)],
+                vec![VertexId(3)],
+            ],
+            depth: vec![4, 3, 2, 1, 0],
+            subtree_size: vec![1, 2, 3, 4, 5],
+        }
+    }
+
+    #[test]
+    fn subtree_members_and_depth() {
+        let t = path_tree();
+        let mut members = t.subtree_members(VertexId(2));
+        members.sort();
+        assert_eq!(members, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(t.subtree_depth(VertexId(2)), 2);
+        assert_eq!(t.subtree_depth(VertexId(0)), 0);
+        assert_eq!(t.tree_depth(), 4);
+    }
+
+    #[test]
+    fn tree_path_through_lca() {
+        let t = path_tree();
+        assert_eq!(
+            t.tree_path(VertexId(0), VertexId(3)),
+            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3)]
+        );
+        assert_eq!(t.tree_path(VertexId(2), VertexId(2)), vec![VertexId(2)]);
+        assert_eq!(
+            t.tree_path(VertexId(3), VertexId(1)),
+            vec![VertexId(3), VertexId(2), VertexId(1)]
+        );
+    }
+
+    #[test]
+    fn path_to_ancestor_works() {
+        let t = path_tree();
+        assert_eq!(
+            t.path_to_ancestor(VertexId(0), VertexId(2)),
+            vec![VertexId(0), VertexId(1), VertexId(2)]
+        );
+    }
+}

@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+use crate::VertexId;
+
+/// Errors produced by graph construction and validation.
+///
+/// # Example
+///
+/// ```
+/// use planar_graph::{Graph, GraphError};
+///
+/// let err = Graph::from_edges(2, [(0, 0)]).unwrap_err();
+/// assert!(matches!(err, GraphError::SelfLoop { .. }));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge `{v, v}` was supplied; the paper only considers simple graphs.
+    SelfLoop {
+        /// The offending vertex.
+        vertex: VertexId,
+    },
+    /// The same undirected edge was supplied twice.
+    ParallelEdge {
+        /// First endpoint of the duplicated edge.
+        u: VertexId,
+        /// Second endpoint of the duplicated edge.
+        v: VertexId,
+    },
+    /// An endpoint is `>= n` for an `n`-vertex graph.
+    VertexOutOfRange {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Number of vertices in the graph.
+        n: usize,
+    },
+    /// An operation that requires a connected graph was given a disconnected one.
+    Disconnected,
+    /// A rotation system was inconsistent with the underlying graph.
+    InvalidRotation {
+        /// Human-readable description of the inconsistency.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop at {vertex} is not allowed in a simple graph")
+            }
+            GraphError::ParallelEdge { u, v } => {
+                write!(f, "parallel edge {{{u}, {v}}} is not allowed in a simple graph")
+            }
+            GraphError::VertexOutOfRange { vertex, n } => {
+                write!(f, "vertex {vertex} out of range for a graph on {n} vertices")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::InvalidRotation { reason } => {
+                write!(f, "invalid rotation system: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_period() {
+        let e = GraphError::SelfLoop { vertex: VertexId(3) };
+        let s = e.to_string();
+        assert!(s.starts_with("self-loop"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GraphError>();
+    }
+}

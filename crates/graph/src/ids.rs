@@ -1,0 +1,187 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a vertex in a [`Graph`](crate::Graph).
+///
+/// Vertices of an `n`-vertex graph are numbered `0..n`. In the distributed
+/// setting of the paper these double as the globally unique node IDs that the
+/// CONGEST model assumes each node starts with.
+///
+/// # Example
+///
+/// ```
+/// use planar_graph::VertexId;
+///
+/// let v = VertexId(3);
+/// assert_eq!(v.index(), 3);
+/// assert_eq!(format!("{v}"), "v3");
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+pub struct VertexId(pub u32);
+
+impl VertexId {
+    /// Returns the vertex id as a `usize` index into vertex-indexed arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a vertex id from a `usize` index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in a `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        VertexId(u32::try_from(index).expect("vertex index exceeds u32::MAX"))
+    }
+}
+
+impl fmt::Display for VertexId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for VertexId {
+    fn from(raw: u32) -> Self {
+        VertexId(raw)
+    }
+}
+
+/// Canonical identifier of an undirected edge.
+///
+/// Following footnote 5 of the paper, the edge-ID of `e = {u, v}` is the pair
+/// `(ID(u), ID(v))` with `ID(u) < ID(v)`. Edge IDs are totally ordered, which
+/// the paper exploits to name each biconnected component by its smallest
+/// edge ID.
+///
+/// # Example
+///
+/// ```
+/// use planar_graph::{EdgeId, VertexId};
+///
+/// let e = EdgeId::new(VertexId(7), VertexId(2));
+/// assert_eq!(e.lo(), VertexId(2));
+/// assert_eq!(e.hi(), VertexId(7));
+/// assert_eq!(e, EdgeId::new(VertexId(2), VertexId(7)));
+/// ```
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
+)]
+pub struct EdgeId {
+    lo: VertexId,
+    hi: VertexId,
+}
+
+impl EdgeId {
+    /// Builds the canonical edge id for the undirected edge `{u, v}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u == v`; self-loops are not representable (the paper only
+    /// considers simple graphs).
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId) -> Self {
+        assert_ne!(u, v, "self-loops are not valid edges");
+        if u < v {
+            EdgeId { lo: u, hi: v }
+        } else {
+            EdgeId { lo: v, hi: u }
+        }
+    }
+
+    /// The smaller endpoint.
+    #[inline]
+    pub fn lo(self) -> VertexId {
+        self.lo
+    }
+
+    /// The larger endpoint.
+    #[inline]
+    pub fn hi(self) -> VertexId {
+        self.hi
+    }
+
+    /// Both endpoints as a `(lo, hi)` pair.
+    #[inline]
+    pub fn endpoints(self) -> (VertexId, VertexId) {
+        (self.lo, self.hi)
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: VertexId) -> VertexId {
+        if v == self.lo {
+            self.hi
+        } else if v == self.hi {
+            self.lo
+        } else {
+            panic!("{v} is not an endpoint of {self}")
+        }
+    }
+
+    /// Returns `true` if `v` is one of the two endpoints.
+    #[inline]
+    pub fn contains(self, v: VertexId) -> bool {
+        v == self.lo || v == self.hi
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.lo.0, self.hi.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertex_id_roundtrip() {
+        let v = VertexId::from_index(42);
+        assert_eq!(v.index(), 42);
+        assert_eq!(VertexId::from(42u32), v);
+    }
+
+    #[test]
+    fn edge_id_is_canonical() {
+        let a = EdgeId::new(VertexId(5), VertexId(1));
+        let b = EdgeId::new(VertexId(1), VertexId(5));
+        assert_eq!(a, b);
+        assert_eq!(a.lo(), VertexId(1));
+        assert_eq!(a.hi(), VertexId(5));
+        assert_eq!(a.endpoints(), (VertexId(1), VertexId(5)));
+    }
+
+    #[test]
+    fn edge_id_other_endpoint() {
+        let e = EdgeId::new(VertexId(3), VertexId(9));
+        assert_eq!(e.other(VertexId(3)), VertexId(9));
+        assert_eq!(e.other(VertexId(9)), VertexId(3));
+        assert!(e.contains(VertexId(3)));
+        assert!(!e.contains(VertexId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn edge_id_rejects_self_loop() {
+        let _ = EdgeId::new(VertexId(2), VertexId(2));
+    }
+
+    #[test]
+    fn edge_id_ordering_matches_paper() {
+        // Paper footnote 5: edges ordered lexicographically by (lo, hi).
+        let e1 = EdgeId::new(VertexId(0), VertexId(9));
+        let e2 = EdgeId::new(VertexId(1), VertexId(2));
+        assert!(e1 < e2);
+    }
+}

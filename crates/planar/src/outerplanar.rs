@@ -1,0 +1,140 @@
+//! Outerplanarity testing and outerplanar embeddings.
+//!
+//! Outerplanar graphs (all vertices on one face) play a special role in the
+//! paper: the inter-part graph `G_P \ P_0` that the symmetry-breaking
+//! algorithm of Lemma 5.3 runs on is always outerplanar, because every part
+//! hangs off the coordinator path `P_0`.
+
+use planar_graph::{Graph, VertexId};
+
+use crate::{embed_pinned, PinnedEmbedding, PlanarityError};
+
+/// An outerplanar embedding: a planar rotation system with every vertex on a
+/// single common ("outer") face, plus the cyclic order of the vertices along
+/// that face.
+#[derive(Clone, Debug)]
+pub struct OuterplanarEmbedding {
+    /// The underlying planar embedding.
+    pub embedding: PinnedEmbedding,
+}
+
+impl OuterplanarEmbedding {
+    /// The cyclic order in which vertices appear on the outer face.
+    pub fn boundary_order(&self) -> &[VertexId] {
+        &self.embedding.pin_order
+    }
+}
+
+/// Tests whether `g` is outerplanar.
+///
+/// # Example
+///
+/// ```
+/// use planar_graph::Graph;
+/// use planar_lib::is_outerplanar;
+///
+/// # fn main() -> Result<(), planar_lib::PlanarityError> {
+/// // A cycle with one chord is outerplanar; K4 is planar but not outerplanar.
+/// let c = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])?;
+/// assert!(is_outerplanar(&c));
+/// let k4 = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])?;
+/// assert!(!is_outerplanar(&k4));
+/// # Ok(())
+/// # }
+/// ```
+pub fn is_outerplanar(g: &Graph) -> bool {
+    embed_outerplanar(g).is_ok()
+}
+
+/// Computes an outerplanar embedding of `g` (all vertices on one face).
+///
+/// # Errors
+///
+/// Returns an error if `g` is not outerplanar: either
+/// [`PlanarityError::NonPlanar`] (not even planar) or
+/// [`PlanarityError::UnsatisfiableConstraint`] (planar, but some vertex
+/// cannot reach the outer face).
+pub fn embed_outerplanar(g: &Graph) -> Result<OuterplanarEmbedding, PlanarityError> {
+    // Outerplanar graphs have m <= 2n - 3 edges; cheap early exit.
+    let n = g.vertex_count();
+    if n >= 2 && g.edge_count() > 2 * n - 3 {
+        return Err(PlanarityError::UnsatisfiableConstraint {
+            reason: format!(
+                "{} edges exceed the outerplanar bound {}",
+                g.edge_count(),
+                2 * n - 3
+            ),
+        });
+    }
+    let pins: Vec<VertexId> = g.vertices().collect();
+    let embedding = embed_pinned(g, &pins)?;
+    Ok(OuterplanarEmbedding { embedding })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planar_graph::cyclic::cyclic_eq_reflect;
+
+    #[test]
+    fn cycle_is_outerplanar_with_cycle_boundary() {
+        let n = 6u32;
+        let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        let oe = embed_outerplanar(&g).unwrap();
+        let expected: Vec<VertexId> = (0..n).map(VertexId).collect();
+        assert!(cyclic_eq_reflect(oe.boundary_order(), &expected));
+    }
+
+    #[test]
+    fn fan_is_outerplanar() {
+        // Fan: path 1-2-3-4 plus hub 0 adjacent to all.
+        let g = Graph::from_edges(5, [(1, 2), (2, 3), (3, 4), (0, 1), (0, 2), (0, 3), (0, 4)])
+            .unwrap();
+        assert!(is_outerplanar(&g));
+    }
+
+    #[test]
+    fn k4_not_outerplanar() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .unwrap();
+        assert!(!is_outerplanar(&g));
+    }
+
+    #[test]
+    fn k23_not_outerplanar() {
+        // K2,3 is the other outerplanarity obstruction.
+        let g = Graph::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
+            .unwrap();
+        assert!(is_planar_helper(&g));
+        assert!(!is_outerplanar(&g));
+    }
+
+    fn is_planar_helper(g: &Graph) -> bool {
+        crate::is_planar(g)
+    }
+
+    #[test]
+    fn trees_and_forests_are_outerplanar() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (1, 3), (4, 5)]).unwrap();
+        let oe = embed_outerplanar(&g).unwrap();
+        assert_eq!(oe.boundary_order().len(), 6);
+    }
+
+    #[test]
+    fn edge_bound_early_exit() {
+        // Dense planar graph: octahedron has 12 > 2*6-3 = 9 edges.
+        let g = Graph::from_edges(
+            6,
+            [
+                (0, 1), (0, 2), (0, 3), (0, 4),
+                (5, 1), (5, 2), (5, 3), (5, 4),
+                (1, 2), (2, 3), (3, 4), (4, 1),
+            ],
+        )
+        .unwrap();
+        assert!(matches!(
+            embed_outerplanar(&g),
+            Err(PlanarityError::UnsatisfiableConstraint { .. })
+        ));
+    }
+}

@@ -1,0 +1,57 @@
+//! Explorer for the paper's Observation 3.2 (Figures 2–4): the *interface*
+//! of a part — all cyclic orders its half-embedded edges can take — is
+//! exactly captured by the biconnected decomposition: per-block orders
+//! fixed up to flips, free permutation around cut vertices.
+//!
+//! Prints, for a bow-tie part, the brute-forced achievable orders (over all
+//! rotation systems of the part) next to the interface summary a merge
+//! coordinator would receive.
+//!
+//! ```text
+//! cargo run --release --example interface_explorer
+//! ```
+
+use planar_embedding::interface::{achievable_boundary_orders, InterfaceSummary};
+use planar_graph::{Graph, VertexId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The bow-tie: two triangles sharing cut vertex 2 (the paper's
+    // Figure 4 shape), with half-embedded edges e0..e3 hanging off the four
+    // outer vertices.
+    let part = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)])?;
+    let half_edges = [
+        (VertexId(0), 0),
+        (VertexId(1), 1),
+        (VertexId(3), 2),
+        (VertexId(4), 3),
+    ];
+    println!("part: bow-tie (two triangles at cut vertex v2)");
+    println!("half-embedded edges: e0@v0 e1@v1 e2@v3 e3@v4\n");
+
+    println!("achievable boundary orders (brute force over ALL rotation systems,");
+    println!("canonicalized up to rotation+reflection):");
+    for order in achievable_boundary_orders(&part, &half_edges) {
+        let pretty: Vec<String> = order.iter().map(|e| format!("e{e}")).collect();
+        println!("  ({})", pretty.join(" "));
+    }
+    println!("  -> exactly two classes: bundles of each triangle stay");
+    println!("     consecutive (Figure 3); flipping one block swaps e2,e3");
+    println!("     (Figure 2); interleavings like (e0 e2 e1 e3) never occur.\n");
+
+    let relevant: Vec<VertexId> = half_edges.iter().map(|&(v, _)| v).collect();
+    let summary = InterfaceSummary::compute(&part, &relevant)?;
+    println!(
+        "interface summary shipped to a merge coordinator ({} words):",
+        summary.words()
+    );
+    for b in &summary.blocks {
+        let order: Vec<String> =
+            b.attachment_order.iter().map(|v| v.to_string()).collect();
+        println!("  block {}: boundary order [{}] (fixed up to flip)", b.id, order.join(" "));
+    }
+    let cuts: Vec<String> = summary.cut_vertices.iter().map(|v| v.to_string()).collect();
+    println!("  cut vertices: [{}] (blocks permute freely around them)", cuts.join(" "));
+    println!("\nObservation 3.2: the summary determines the interface exactly —");
+    println!("this is what makes O(log n)-word merge messages possible.");
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! The embedding algorithm as a distributed planarity *test*: when a merge
+//! discovers a part whose half-embedded edges cannot share a face, the
+//! network is provably non-planar (contrapositive of the safety property's
+//! guarantee, Section 3).
+//!
+//! A topology monitor can use this to detect when link additions have
+//! destroyed planarity — e.g. before relying on planar-only optimizations
+//! such as the O(D)-round MST of the paper's part II.
+//!
+//! ```text
+//! cargo run --release --example planarity_monitor
+//! ```
+
+use planar_embedding::{embed_distributed, EmbedError, EmbedderConfig};
+use planar_graph::{Graph, VertexId};
+
+fn check(name: &str, g: &Graph) {
+    match embed_distributed(g, &EmbedderConfig::default()) {
+        Ok(out) => println!(
+            "{name}: PLANAR — embedding computed in {} rounds, {} faces",
+            out.metrics.rounds,
+            out.rotation.face_count()
+        ),
+        Err(EmbedError::NonPlanar) => println!("{name}: NON-PLANAR — rejected"),
+        Err(e) => println!("{name}: error — {e}"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A healthy planar backbone.
+    let mut backbone = planar_lib::gen::grid(5, 5);
+    check("5x5 grid backbone", &backbone);
+
+    // Operators add long-range shortcuts one by one; most keep planarity...
+    backbone.add_edge(VertexId(0), VertexId(6))?; // a diagonal in one cell
+    check("backbone + short diagonal", &backbone);
+
+    // ...but careless cross-links can destroy it.
+    let mut sabotaged = backbone.clone();
+    sabotaged.add_edge(VertexId(2), VertexId(10))?;
+    sabotaged.add_edge(VertexId(2), VertexId(14))?;
+    sabotaged.add_edge(VertexId(2), VertexId(22))?;
+    sabotaged.add_edge(VertexId(10), VertexId(14))?;
+    sabotaged.add_edge(VertexId(10), VertexId(22))?;
+    sabotaged.add_edge(VertexId(14), VertexId(22))?;
+    check("backbone + K4 of cross-links", &sabotaged);
+
+    // Classical obstructions, detected without the density shortcut.
+    let k33 = Graph::from_edges(
+        6,
+        [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+    )?;
+    check("K3,3", &k33);
+
+    let k5 = planar_lib::gen::complete(5);
+    check("K5", &k5);
+
+    // A subdivided K5 dodges every density bound; only the real algorithm
+    // catches it.
+    let mut k5sub = Graph::new(5 + 10);
+    let mut mid = 5u32;
+    for u in 0..5u32 {
+        for v in (u + 1)..5 {
+            k5sub.add_edge(VertexId(u), VertexId(mid))?;
+            k5sub.add_edge(VertexId(mid), VertexId(v))?;
+            mid += 1;
+        }
+    }
+    check("subdivided K5 (sparse!)", &k5sub);
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Quickstart: run the distributed planar embedding algorithm on a small
+//! grid network and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use planar_embedding::{embed_distributed, EmbedderConfig};
+use planar_lib::gen;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4x5 grid network: 20 nodes, diameter 7.
+    let network = gen::grid(4, 5);
+    println!(
+        "network: {} nodes, {} edges",
+        network.vertex_count(),
+        network.edge_count()
+    );
+
+    // Run the algorithm of Theorem 1.1. Every message of every protocol is
+    // simulated and charged against the CONGEST per-edge budget.
+    let outcome = embed_distributed(&network, &EmbedderConfig::default())?;
+
+    println!("\ncost: {}", outcome.metrics);
+    println!(
+        "recursion depth: {} (Lemma 4.3 bound: log_1.5 n = {:.1})",
+        outcome.stats.depth,
+        (network.vertex_count() as f64).ln() / 1.5f64.ln()
+    );
+    println!(
+        "largest part ratio: {:.3} (Lemma 4.2 bound: 2/3)",
+        outcome.stats.max_child_ratio()
+    );
+
+    // The output: each vertex knows the clockwise cyclic order of its
+    // incident edges. Verify it is a genus-0 (planar) rotation system.
+    assert!(outcome.rotation.is_planar_embedding());
+    println!("\nembedding verified planar (Euler genus 0). Rotations:");
+    for v in network.vertices().take(6) {
+        let order: Vec<String> =
+            outcome.rotation.order_at(v).iter().map(|w| w.to_string()).collect();
+        println!("  {v}: [{}]", order.join(", "));
+    }
+    println!("  ... ({} more vertices)", network.vertex_count() - 6);
+
+    // Euler's formula on the whole embedding: V - E + F = 2.
+    let f = outcome.rotation.face_count();
+    println!(
+        "\nEuler check: V - E + F = {} - {} + {} = {}",
+        network.vertex_count(),
+        network.edge_count(),
+        f,
+        network.vertex_count() as i64 - network.edge_count() as i64 + f as i64
+    );
+    Ok(())
+}

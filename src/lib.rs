@@ -1,0 +1,5 @@
+//! Facade crate re-exporting the planar-networks workspace (see crates/*).
+pub use congest_sim as congest;
+pub use planar_embedding as embedding;
+pub use planar_graph as graph;
+pub use planar_lib as planar;
