@@ -1,19 +1,23 @@
-//! Criterion wall-clock benchmarks for the T1/T2 experiments: the
-//! distributed embedder vs the trivial baseline across families and sizes.
-//! (Round counts — the paper's metric — come from the `harness` binary;
-//! these benches track the simulator's own performance.)
+//! Wall-clock benchmarks for the T1/T2 experiments: the distributed
+//! embedder vs the trivial baseline across families and sizes. (Round
+//! counts — the paper's metric — come from the `harness` binary; these
+//! benches track the simulator's own performance.) Timing is hand-rolled
+//! via `planar_bench::timing` since criterion cannot be vendored offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use planar_bench::timing::bench;
 use planar_embedding::{embed_baseline, embed_distributed, EmbedderConfig};
 use planar_lib::gen;
 
+const SAMPLES: usize = 10;
+
 fn fast_config() -> EmbedderConfig {
-    EmbedderConfig { check_invariants: false, ..Default::default() }
+    EmbedderConfig {
+        check_invariants: false,
+        ..Default::default()
+    }
 }
 
-fn bench_t1_families(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t1_embed_distributed");
-    group.sample_size(10);
+fn bench_t1_families() {
     for (name, g) in [
         ("grid16", gen::grid(16, 16)),
         ("fan256", gen::fan(256)),
@@ -21,35 +25,37 @@ fn bench_t1_families(c: &mut Criterion) {
         ("tree256", gen::random_tree(256, 42)),
         ("k4subdiv16", gen::k4_subdivided(16)),
     ] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| embed_distributed(g, &fast_config()).unwrap().metrics.rounds)
+        bench(&format!("t1_embed_distributed/{name}"), SAMPLES, || {
+            embed_distributed(&g, &fast_config())
+                .unwrap()
+                .metrics
+                .rounds
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("t1_baseline");
-    group.sample_size(10);
     for (name, g) in [("grid16", gen::grid(16, 16)), ("fan256", gen::fan(256))] {
-        group.bench_with_input(BenchmarkId::from_parameter(name), &g, |b, g| {
-            b.iter(|| embed_baseline(g, &Default::default()).unwrap().metrics.rounds)
+        bench(&format!("t1_baseline/{name}"), SAMPLES, || {
+            embed_baseline(&g, &Default::default())
+                .unwrap()
+                .metrics
+                .rounds
         });
     }
-    group.finish();
 }
 
-fn bench_t2_aspect(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t2_grid_aspect");
-    group.sample_size(10);
+fn bench_t2_aspect() {
     for (r, cdim) in [(32usize, 32usize), (16, 64), (8, 128)] {
         let g = gen::grid(r, cdim);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("{r}x{cdim}")),
-            &g,
-            |b, g| b.iter(|| embed_distributed(g, &fast_config()).unwrap().metrics.rounds),
-        );
+        bench(&format!("t2_grid_aspect/{r}x{cdim}"), SAMPLES, || {
+            embed_distributed(&g, &fast_config())
+                .unwrap()
+                .metrics
+                .rounds
+        });
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_t1_families, bench_t2_aspect);
-criterion_main!(benches);
+fn main() {
+    bench_t1_families();
+    bench_t2_aspect();
+}

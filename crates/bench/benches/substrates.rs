@@ -1,80 +1,76 @@
-//! Criterion benchmarks of the individual substrates: the centralized DMP
+//! Wall-clock benchmarks of the individual substrates: the centralized DMP
 //! embedder (the baseline's solver and the merge skeleton solver), the
 //! CONGEST kernel protocols (T3's building blocks), the routing scheduler,
-//! and the Lemma 5.3 symmetry breaking (T4).
+//! and the Lemma 5.3 symmetry breaking (T4). Timing is hand-rolled via
+//! `planar_bench::timing` since criterion cannot be vendored offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use congest_sim::protocols::LeaderBfs;
 use congest_sim::routing::{schedule, Transfer};
 use congest_sim::{run, SimConfig};
 use planar_bench::greedy_coloring;
+use planar_bench::timing::bench;
 use planar_embedding::symmetry::symmetry_break;
 use planar_lib::gen;
 
-fn bench_dmp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dmp_embed");
-    group.sample_size(10);
+const SAMPLES: usize = 10;
+
+fn bench_dmp() {
     for n in [64usize, 256, 1024] {
         let g = gen::random_maximal_planar(n, 9);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &g, |b, g| {
-            b.iter(|| planar_lib::embed(g).unwrap().vertex_count())
+        bench(&format!("dmp_embed/{n}"), SAMPLES, || {
+            planar_lib::embed(&g).unwrap().vertex_count()
         });
     }
-    group.finish();
 }
 
-fn bench_kernel_leader_bfs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernel_leader_bfs");
-    group.sample_size(10);
+fn bench_kernel_leader_bfs() {
     for side in [8usize, 16, 32] {
         let g = gen::grid(side, side);
-        group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
-            b.iter(|| {
+        bench(
+            &format!("kernel_leader_bfs/{}", side * side),
+            SAMPLES,
+            || {
                 let programs: Vec<LeaderBfs> = g
                     .vertices()
                     .map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec()))
                     .collect();
-                run(g, programs, &SimConfig::default()).unwrap().metrics.rounds
-            })
-        });
+                run(&g, programs, &SimConfig::default())
+                    .unwrap()
+                    .metrics
+                    .rounds
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_routing(c: &mut Criterion) {
-    let mut group = c.benchmark_group("routing_schedule");
-    group.sample_size(10);
+fn bench_routing() {
     for n in [128usize, 512] {
         let g = gen::path(n);
         // All-to-root convergecast-style transfer pattern.
         let transfers: Vec<Transfer> = (1..n as u32)
             .map(|i| Transfer::new((0..=i).rev().map(planar_graph::VertexId).collect(), 2))
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &transfers, |b, ts| {
-            b.iter(|| schedule(&g, ts, 8).unwrap().rounds)
+        bench(&format!("routing_schedule/{n}"), SAMPLES, || {
+            schedule(&g, &transfers, 8).unwrap().rounds
         });
     }
-    group.finish();
 }
 
-fn bench_symmetry(c: &mut Criterion) {
-    let mut group = c.benchmark_group("t4_symmetry_break");
-    group.sample_size(10);
+fn bench_symmetry() {
     for n in [256usize, 1024] {
         let g = gen::random_outerplanar(n, 5);
         let colors = greedy_coloring(&g);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(g, colors), |b, (g, colors)| {
-            b.iter(|| symmetry_break(g, colors, &SimConfig::default()).unwrap().rounds)
+        bench(&format!("t4_symmetry_break/{n}"), SAMPLES, || {
+            symmetry_break(&g, &colors, &SimConfig::default())
+                .unwrap()
+                .rounds
         });
     }
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_dmp,
-    bench_kernel_leader_bfs,
-    bench_routing,
-    bench_symmetry
-);
-criterion_main!(benches);
+fn main() {
+    bench_dmp();
+    bench_kernel_leader_bfs();
+    bench_routing();
+    bench_symmetry();
+}

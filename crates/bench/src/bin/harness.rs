@@ -3,11 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|all] [--large]
+//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|all] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
 //! seconds).
+//!
+//! `bench-kernel` times the simulation kernel against the preserved seed
+//! kernel (flood throughput on grid/tri-grid substrates) and writes the
+//! record to `BENCH_kernel.json` in the current directory. It is not part
+//! of `all`; run it explicitly (ideally under `--release`).
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -15,10 +20,52 @@ use planar_bench::*;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let large = args.iter().any(|a| a == "--large");
-    let which = args.first().map(String::as_str).unwrap_or("all");
-    let sizes: &[usize] =
-        if large { &[64, 256, 1024, 4096, 16384] } else { &[64, 256, 1024] };
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+    let sizes: &[usize] = if large {
+        &[64, 256, 1024, 4096, 16384]
+    } else {
+        &[64, 256, 1024]
+    };
     let run_all = which == "all";
+
+    const KNOWN: &[&str] = &[
+        "all",
+        "t1",
+        "t2",
+        "t3",
+        "t4",
+        "t5",
+        "t6",
+        "fobs",
+        "fsafe",
+        "ablate",
+        "bench-kernel",
+    ];
+    if !KNOWN.contains(&which) {
+        eprintln!("unknown experiment `{which}`");
+        eprintln!("usage: harness [{}] [--large]", KNOWN.join("|"));
+        std::process::exit(2);
+    }
+
+    if which == "bench-kernel" {
+        // n ~ {1k, 10k}; --large adds the 100k point of the cargo-bench
+        // target. Substrate sides are round(sqrt(n)).
+        let ns: &[usize] = if large {
+            &[1024, 10_000, 100_000]
+        } else {
+            &[1024, 10_000]
+        };
+        println!("== kernel throughput: flood, fast vs seed reference kernel ==");
+        let rows = planar_bench::kernelbench::kernel_bench(ns);
+        let path = std::path::Path::new("BENCH_kernel.json");
+        planar_bench::kernelbench::write_json(path, &rows).expect("write BENCH_kernel.json");
+        println!("wrote {}", path.display());
+        return;
+    }
 
     if run_all || which == "t1" {
         println!("== T1: Theorem 1.1 scaling (rounds vs n, ours vs trivial baseline) ==");
@@ -40,7 +87,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["family", "n", "D", "ours", "baseline", "ours/(D*min(lg n,D))", "depth"],
+                &[
+                    "family",
+                    "n",
+                    "D",
+                    "ours",
+                    "baseline",
+                    "ours/(D*min(lg n,D))",
+                    "depth"
+                ],
                 &data
             )
         );
@@ -89,7 +144,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["family", "n", "depth", "log3/2(n)", "max|Pi|/|Ts|", "maxFinalParts", "D"],
+                &[
+                    "family",
+                    "n",
+                    "depth",
+                    "log3/2(n)",
+                    "max|Pi|/|Ts|",
+                    "maxFinalParts",
+                    "D"
+                ],
                 &data
             )
         );
@@ -97,8 +160,11 @@ fn main() {
 
     if run_all || which == "t4" {
         println!("== T4: Lemma 5.3 symmetry breaking (outerplanar, proper coloring) ==");
-        let sweep: &[usize] =
-            if large { &[16, 64, 256, 1024, 4096, 16384] } else { &[16, 64, 256, 1024] };
+        let sweep: &[usize] = if large {
+            &[16, 64, 256, 1024, 4096, 16384]
+        } else {
+            &[16, 64, 256, 1024]
+        };
         let rows = t4_symmetry(sweep);
         let data: Vec<Vec<String>> = rows
             .iter()
@@ -120,7 +186,11 @@ fn main() {
 
     if run_all || which == "t5" {
         println!("== T5: Omega(D) lower-bound instance (subdivided K4) ==");
-        let lens: &[usize] = if large { &[4, 8, 16, 32, 64, 128] } else { &[4, 8, 16, 32] };
+        let lens: &[usize] = if large {
+            &[4, 8, 16, 32, 64, 128]
+        } else {
+            &[4, 8, 16, 32]
+        };
         let rows = t5_lower_bound(lens);
         let data: Vec<Vec<String>> = rows
             .iter()
@@ -161,7 +231,15 @@ fn main() {
         println!(
             "{}",
             render(
-                &["family", "n", "budget", "maxW/edge/rd", "messages", "bits", "ok"],
+                &[
+                    "family",
+                    "n",
+                    "budget",
+                    "maxW/edge/rd",
+                    "messages",
+                    "bits",
+                    "ok"
+                ],
                 &data
             )
         );
@@ -186,7 +264,14 @@ fn main() {
         println!(
             "{}",
             render(
-                &["instance", "achievable", "predicted", "blocks", "words", "match"],
+                &[
+                    "instance",
+                    "achievable",
+                    "predicted",
+                    "blocks",
+                    "words",
+                    "match"
+                ],
                 &data
             )
         );
@@ -207,7 +292,10 @@ fn main() {
                 ]
             })
             .collect();
-        println!("{}", render(&["family", "B(words)", "ours", "baseline"], &data));
+        println!(
+            "{}",
+            render(&["family", "B(words)", "ours", "baseline"], &data)
+        );
     }
 
     if run_all || which == "fsafe" {

@@ -3,7 +3,14 @@
 //! Every function is deterministic (fixed seeds) and returns typed rows so
 //! the harness can render tables and the integration tests can assert the
 //! paper's claims on the same data.
+//!
+//! Each sweep is a cross product of independent trials (family × size,
+//! aspect ratio, budget, …); the trial list is fanned out through
+//! [`crate::parallel::par_map`], which returns rows in input order, so the
+//! tables are byte-identical to a sequential run (asserted by
+//! `tests/parallel_determinism.rs`).
 
+use crate::parallel::par_map;
 use congest_sim::SimConfig;
 use planar_embedding::interface::{achievable_boundary_orders, InterfaceSummary};
 use planar_embedding::symmetry::symmetry_break;
@@ -78,11 +85,23 @@ impl Family {
 }
 
 fn fast_config() -> EmbedderConfig {
-    EmbedderConfig { sim: SimConfig::default(), check_invariants: false }
+    EmbedderConfig {
+        sim: SimConfig::default(),
+        check_invariants: false,
+    }
+}
+
+/// The `family × size` trial list shared by the sweep experiments, in the
+/// deterministic order the result tables are rendered in.
+fn family_size_trials(sizes: &[usize]) -> Vec<(Family, usize)> {
+    Family::ALL
+        .into_iter()
+        .flat_map(|f| sizes.iter().map(move |&n| (f, n)))
+        .collect()
 }
 
 /// One row of the T1 scaling table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T1Row {
     /// Workload family.
     pub family: &'static str,
@@ -100,33 +119,32 @@ pub struct T1Row {
     pub depth: usize,
 }
 
+/// One T1 trial (used by both the parallel sweep and the determinism test).
+pub fn t1_trial(family: Family, n: usize) -> T1Row {
+    let g = family.instantiate(n, 42);
+    let d = diameter_exact(&g).expect("connected instance");
+    let ours = embed_distributed(&g, &fast_config()).expect("planar instance");
+    let base = embed_baseline(&g, &SimConfig::default()).expect("planar instance");
+    let nn = g.vertex_count() as f64;
+    let denom = (d as f64).max(1.0) * nn.log2().min(d as f64).max(1.0);
+    T1Row {
+        family: family.name(),
+        n: g.vertex_count(),
+        d,
+        ours_rounds: ours.metrics.rounds,
+        baseline_rounds: base.metrics.rounds,
+        normalized: ours.metrics.rounds as f64 / denom,
+        depth: ours.stats.depth,
+    }
+}
+
 /// T1 — Theorem 1.1 scaling sweep over families and sizes.
 pub fn t1_scaling(sizes: &[usize]) -> Vec<T1Row> {
-    let mut rows = Vec::new();
-    for family in Family::ALL {
-        for &n in sizes {
-            let g = family.instantiate(n, 42);
-            let d = diameter_exact(&g).expect("connected instance");
-            let ours = embed_distributed(&g, &fast_config()).expect("planar instance");
-            let base = embed_baseline(&g, &SimConfig::default()).expect("planar instance");
-            let nn = g.vertex_count() as f64;
-            let denom = (d as f64).max(1.0) * nn.log2().min(d as f64).max(1.0);
-            rows.push(T1Row {
-                family: family.name(),
-                n: g.vertex_count(),
-                d,
-                ours_rounds: ours.metrics.rounds,
-                baseline_rounds: base.metrics.rounds,
-                normalized: ours.metrics.rounds as f64 / denom,
-                depth: ours.stats.depth,
-            });
-        }
-    }
-    rows
+    par_map(family_size_trials(sizes), |(family, n)| t1_trial(family, n))
 }
 
 /// One row of the T2 diameter-sweep table.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T2Row {
     /// Instance description.
     pub instance: String,
@@ -146,32 +164,30 @@ pub struct T2Row {
 /// T2 — round growth in `D` at (near-)fixed `n`: grids of fixed area and
 /// varying aspect ratio (the subdivided-`K_4` diameter sweep is T5).
 pub fn t2_diameter(area: usize) -> Vec<T2Row> {
-    let mut rows = Vec::new();
     let mut rc = Vec::new();
     let mut r = (area as f64).sqrt().round() as usize;
     while r >= 4 {
         rc.push((r, area / r));
         r /= 2;
     }
-    for (r, c) in rc {
+    par_map(rc, |(r, c)| {
         let g = gen::grid(r, c);
         let d = diameter_exact(&g).expect("grid connected");
         let ours = embed_distributed(&g, &fast_config()).expect("grid planar");
         let base = embed_baseline(&g, &SimConfig::default()).expect("grid planar");
-        rows.push(T2Row {
+        T2Row {
             instance: format!("grid {r}x{c}"),
             n: g.vertex_count(),
             d,
             ours_rounds: ours.metrics.rounds,
             baseline_rounds: base.metrics.rounds,
             rounds_per_d: ours.metrics.rounds as f64 / d as f64,
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One row of the T3 structural table (Lemmas 4.2/4.3).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T3Row {
     /// Workload family.
     pub family: &'static str,
@@ -191,28 +207,24 @@ pub struct T3Row {
 
 /// T3 — partition structure across families.
 pub fn t3_partition(sizes: &[usize]) -> Vec<T3Row> {
-    let mut rows = Vec::new();
-    for family in Family::ALL {
-        for &n in sizes {
-            let g = family.instantiate(n, 7);
-            let d = diameter_exact(&g).expect("connected instance");
-            let out = embed_distributed(&g, &fast_config()).expect("planar instance");
-            rows.push(T3Row {
-                family: family.name(),
-                n: g.vertex_count(),
-                depth: out.stats.depth,
-                depth_bound: (g.vertex_count() as f64).ln() / 1.5f64.ln(),
-                max_child_ratio: out.stats.max_child_ratio(),
-                max_final_parts: out.stats.max_final_parts(),
-                d,
-            });
+    par_map(family_size_trials(sizes), |(family, n)| {
+        let g = family.instantiate(n, 7);
+        let d = diameter_exact(&g).expect("connected instance");
+        let out = embed_distributed(&g, &fast_config()).expect("planar instance");
+        T3Row {
+            family: family.name(),
+            n: g.vertex_count(),
+            depth: out.stats.depth,
+            depth_bound: (g.vertex_count() as f64).ln() / 1.5f64.ln(),
+            max_child_ratio: out.stats.max_child_ratio(),
+            max_final_parts: out.stats.max_final_parts(),
+            d,
         }
-    }
-    rows
+    })
 }
 
 /// One row of the T4 symmetry-breaking table (Lemma 5.3).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T4Row {
     /// Vertex count of the outerplanar instance.
     pub n: usize,
@@ -229,23 +241,26 @@ pub struct T4Row {
 /// T4 — Lemma 5.3 on random maximal outerplanar graphs with greedy proper
 /// colorings.
 pub fn t4_symmetry(sizes: &[usize]) -> Vec<T4Row> {
-    let mut rows = Vec::new();
-    for &n in sizes {
+    par_map(sizes.to_vec(), |n| {
         let g = gen::random_outerplanar(n, 11);
         let colors = greedy_coloring(&g);
         let out = symmetry_break(&g, &colors, &SimConfig::default())
             .expect("symmetry breaking never fails on valid input");
         let merged: usize = out.stars.iter().map(|(_, l)| l.len() + 1).sum::<usize>()
-            + out.chains.iter().filter(|c| c.len() == 2).map(|_| 2).sum::<usize>();
-        rows.push(T4Row {
+            + out
+                .chains
+                .iter()
+                .filter(|c| c.len() == 2)
+                .map(|_| 2)
+                .sum::<usize>();
+        T4Row {
             n,
             rounds: out.rounds,
             stars: out.stars.len(),
             merged_fraction: merged as f64 / n as f64,
             long_paths: out.chains.iter().filter(|c| c.len() >= 3).count(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// Greedy proper coloring by ascending vertex id.
@@ -264,7 +279,7 @@ pub fn greedy_coloring(g: &Graph) -> Vec<u32> {
 }
 
 /// One row of the T5 lower-bound table (footnote 1).
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T5Row {
     /// Subdivision length `L` (each `K_4` edge becomes an `L`-edge path).
     pub len: usize,
@@ -283,25 +298,23 @@ pub struct T5Row {
 
 /// T5 — the `Omega(D)` instance: subdivided `K_4` with growing `L`.
 pub fn t5_lower_bound(lens: &[usize]) -> Vec<T5Row> {
-    let mut rows = Vec::new();
-    for &len in lens {
+    par_map(lens.to_vec(), |len| {
         let g = gen::k4_subdivided(len);
         let d = diameter_exact(&g).expect("connected");
         let out = embed_distributed(&g, &fast_config()).expect("planar");
-        rows.push(T5Row {
+        T5Row {
             len,
             n: g.vertex_count(),
             d,
             ours_rounds: out.metrics.rounds,
             at_least_d: out.metrics.rounds >= d as usize,
             consistent: out.rotation.is_planar_embedding(),
-        });
-    }
-    rows
+        }
+    })
 }
 
 /// One row of the T6 congestion audit.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct T6Row {
     /// Workload family.
     pub family: &'static str,
@@ -321,28 +334,24 @@ pub struct T6Row {
 
 /// T6 — CONGEST discipline audit across families.
 pub fn t6_congestion(sizes: &[usize]) -> Vec<T6Row> {
-    let mut rows = Vec::new();
     let budget = SimConfig::default().budget_words;
-    for family in Family::ALL {
-        for &n in sizes {
-            let g = family.instantiate(n, 3);
-            let out = embed_distributed(&g, &fast_config()).expect("planar instance");
-            rows.push(T6Row {
-                family: family.name(),
-                n: g.vertex_count(),
-                budget_words: budget,
-                max_words_edge_round: out.metrics.max_words_edge_round,
-                messages: out.metrics.messages,
-                bits: out.metrics.bits(g.vertex_count()),
-                within_budget: out.metrics.max_words_edge_round <= budget,
-            });
+    par_map(family_size_trials(sizes), move |(family, n)| {
+        let g = family.instantiate(n, 3);
+        let out = embed_distributed(&g, &fast_config()).expect("planar instance");
+        T6Row {
+            family: family.name(),
+            n: g.vertex_count(),
+            budget_words: budget,
+            max_words_edge_round: out.metrics.max_words_edge_round,
+            messages: out.metrics.messages,
+            bits: out.metrics.bits(g.vertex_count()),
+            within_budget: out.metrics.max_words_edge_round <= budget,
         }
-    }
-    rows
+    })
 }
 
 /// One row of the F-obs32 interface-characterization experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FobsRow {
     /// Instance description.
     pub instance: &'static str,
@@ -359,15 +368,22 @@ pub struct FobsRow {
     pub matches: bool,
 }
 
+/// One F-obs32 catalog entry: (name, edges, half-edge attachments,
+/// predicted #orders up to rotation+reflection).
+type FobsCase = (&'static str, Vec<(u32, u32)>, Vec<u32>, usize);
+
 /// F-obs32 — exhaustive validation of Observation 3.2 on a catalog of small
 /// parts (the checkable content of Figures 2–4).
 pub fn fobs_interface() -> Vec<FobsRow> {
-    // (name, edges, half-edge attachments, predicted #orders up to
-    // rotation+reflection). Predictions derived from the characterization:
-    // per-block orders fixed up to flip; free permutation around cut
-    // vertices; bundles consecutive.
-    let catalog: Vec<(&'static str, Vec<(u32, u32)>, Vec<u32>, usize)> = vec![
-        ("triangle, 3 half-edges", vec![(0, 1), (1, 2), (2, 0)], vec![0, 1, 2], 1),
+    // Predictions derived from the characterization: per-block orders fixed
+    // up to flip; free permutation around cut vertices; bundles consecutive.
+    let catalog: Vec<FobsCase> = vec![
+        (
+            "triangle, 3 half-edges",
+            vec![(0, 1), (1, 2), (2, 0)],
+            vec![0, 1, 2],
+            1,
+        ),
         ("path, 2 half-edges", vec![(0, 1), (1, 2)], vec![0, 2], 1),
         (
             "bowtie, 4 half-edges",
@@ -405,8 +421,7 @@ pub fn fobs_interface() -> Vec<FobsRow> {
             .collect();
         let orders = achievable_boundary_orders(&g, &half);
         let relevant: Vec<VertexId> = atts.iter().map(|&a| VertexId(a)).collect();
-        let summary =
-            InterfaceSummary::compute(&g, &relevant).expect("catalog parts planar");
+        let summary = InterfaceSummary::compute(&g, &relevant).expect("catalog parts planar");
         rows.push(FobsRow {
             instance: name,
             achievable_orders: orders.len(),
@@ -420,7 +435,7 @@ pub fn fobs_interface() -> Vec<FobsRow> {
 }
 
 /// One row of the F-safe experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct FsafeRow {
     /// Workload family.
     pub family: &'static str,
@@ -437,29 +452,27 @@ pub struct FsafeRow {
 /// F-safe — runs the embedder with full invariant checking (Definition 3.1
 /// at every partition, pinned-embedding feasibility at every merge).
 pub fn fsafe(sizes: &[usize]) -> Vec<FsafeRow> {
-    let cfg = EmbedderConfig { sim: SimConfig::default(), check_invariants: true };
-    let mut rows = Vec::new();
-    for family in Family::ALL {
-        for &n in sizes {
-            let g = family.instantiate(n, 5);
-            let out = embed_distributed(&g, &cfg);
-            match out {
-                Ok(o) => rows.push(FsafeRow {
-                    family: family.name(),
-                    n: g.vertex_count(),
-                    all_invariants_held: true,
-                    merges_checked: o.stats.merges.len(),
-                }),
-                Err(_) => rows.push(FsafeRow {
-                    family: family.name(),
-                    n: g.vertex_count(),
-                    all_invariants_held: false,
-                    merges_checked: 0,
-                }),
-            }
+    let cfg = EmbedderConfig {
+        sim: SimConfig::default(),
+        check_invariants: true,
+    };
+    par_map(family_size_trials(sizes), move |(family, n)| {
+        let g = family.instantiate(n, 5);
+        match embed_distributed(&g, &cfg) {
+            Ok(o) => FsafeRow {
+                family: family.name(),
+                n: g.vertex_count(),
+                all_invariants_held: true,
+                merges_checked: o.stats.merges.len(),
+            },
+            Err(_) => FsafeRow {
+                family: family.name(),
+                n: g.vertex_count(),
+                all_invariants_held: false,
+                merges_checked: 0,
+            },
         }
-    }
-    rows
+    })
 }
 
 #[cfg(test)]
@@ -525,7 +538,7 @@ mod tests {
 }
 
 /// One row of the budget-ablation experiment.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Serialize)]
 pub struct AblateRow {
     /// Workload family.
     pub family: &'static str,
@@ -544,21 +557,27 @@ pub struct AblateRow {
 /// saturates quickly — evidence that the algorithm, not bandwidth, is
 /// doing the work.
 pub fn ablate_budget(n: usize) -> Vec<AblateRow> {
-    let mut rows = Vec::new();
-    for family in [Family::Grid, Family::Fan, Family::Outerplanar] {
+    let trials: Vec<(Family, usize)> = [Family::Grid, Family::Fan, Family::Outerplanar]
+        .into_iter()
+        .flat_map(|f| [4usize, 8, 16, 32].into_iter().map(move |b| (f, b)))
+        .collect();
+    par_map(trials, move |(family, budget)| {
         let g = family.instantiate(n, 21);
-        for budget in [4usize, 8, 16, 32] {
-            let sim = SimConfig { budget_words: budget, ..Default::default() };
-            let cfg = EmbedderConfig { sim, check_invariants: false };
-            let ours = embed_distributed(&g, &cfg).expect("planar instance");
-            let base = embed_baseline(&g, &sim).expect("planar instance");
-            rows.push(AblateRow {
-                family: family.name(),
-                budget_words: budget,
-                ours_rounds: ours.metrics.rounds,
-                baseline_rounds: base.metrics.rounds,
-            });
+        let sim = SimConfig {
+            budget_words: budget,
+            ..Default::default()
+        };
+        let cfg = EmbedderConfig {
+            sim,
+            check_invariants: false,
+        };
+        let ours = embed_distributed(&g, &cfg).expect("planar instance");
+        let base = embed_baseline(&g, &sim).expect("planar instance");
+        AblateRow {
+            family: family.name(),
+            budget_words: budget,
+            ours_rounds: ours.metrics.rounds,
+            baseline_rounds: base.metrics.rounds,
         }
-    }
-    rows
+    })
 }

@@ -1,0 +1,279 @@
+//! Simulation-kernel throughput benchmark: the perf record behind
+//! `BENCH_kernel.json`.
+//!
+//! Measures delivered messages per second of a single-source flood over
+//! planar substrates (square grid and triangulated grid) for **both**
+//! kernels:
+//!
+//! * `fast` — the allocation-free arc-indexed kernel ([`congest_sim::run`]);
+//! * `reference` — the original seed kernel
+//!   ([`congest_sim::reference::run_reference`]), kept as the baseline the
+//!   speedup is measured against.
+//!
+//! The flood program is the canonical kernel microworkload: every node
+//! forwards exactly once on first receipt, so total delivered messages are
+//! exactly `2m + deg(source)`-ish (each node fires its whole out-star once)
+//! and the round count equals the source's eccentricity. Both kernels must
+//! report identical [`Metrics`] on every case — the measurement doubles as
+//! a conformance check.
+//!
+//! Entry points: [`kernel_bench`] produces rows, [`write_json`] emits the
+//! `BENCH_kernel.json` record (hand-rolled JSON; `serde_json` is not
+//! available offline, see `shims/README.md`). Reachable via
+//! `cargo run -p planar-bench --bin harness -- bench-kernel` and
+//! `cargo bench -p planar-bench --bench kernel`.
+
+use std::time::Instant;
+
+use congest_sim::reference::run_reference;
+use congest_sim::{Metrics, NodeCtx, NodeProgram, SimConfig, Simulator};
+use planar_graph::{Graph, VertexId};
+use planar_lib::gen;
+
+/// Single-source flood: node 0 announces in round 0; every other node
+/// forwards one word to its whole neighborhood on first receipt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Flood {
+    seen: bool,
+}
+
+impl NodeProgram for Flood {
+    type Msg = u32;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+        if ctx.id == VertexId(0) {
+            self.seen = true;
+            ctx.neighbors.iter().map(|&w| (w, 0)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+        if self.seen || inbox.is_empty() {
+            return Vec::new();
+        }
+        self.seen = true;
+        let hop = inbox.iter().map(|&(_, h)| h).min().unwrap_or(0) + 1;
+        ctx.neighbors.iter().map(|&w| (w, hop)).collect()
+    }
+}
+
+/// Fresh flood programs for `g` (all unseen; the kernel calls `init`).
+pub fn flood_programs(g: &Graph) -> Vec<Flood> {
+    vec![Flood { seen: false }; g.vertex_count()]
+}
+
+/// One benchmark case: a flood over one substrate, timed on both kernels.
+#[derive(Clone, Debug)]
+pub struct KernelBenchRow {
+    /// Substrate family (`"grid"` or `"tri-grid"`).
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Rounds to quiescence (identical on both kernels).
+    pub rounds: usize,
+    /// Messages delivered per run (identical on both kernels).
+    pub messages: usize,
+    /// Measured iterations per kernel (best-of is reported).
+    pub iters: usize,
+    /// Fastest wall-clock run of the arc-indexed kernel, seconds.
+    pub fast_secs: f64,
+    /// Fastest wall-clock run of the seed reference kernel, seconds.
+    pub reference_secs: f64,
+}
+
+impl KernelBenchRow {
+    /// Delivered messages per second, fast kernel.
+    pub fn fast_mps(&self) -> f64 {
+        self.messages as f64 / self.fast_secs
+    }
+
+    /// Delivered messages per second, reference kernel.
+    pub fn reference_mps(&self) -> f64 {
+        self.messages as f64 / self.reference_secs
+    }
+
+    /// Throughput ratio fast / reference.
+    pub fn speedup(&self) -> f64 {
+        self.fast_mps() / self.reference_mps()
+    }
+}
+
+fn timed(mut f: impl FnMut() -> Metrics) -> (f64, Metrics) {
+    let t0 = Instant::now();
+    let m = f();
+    (t0.elapsed().as_secs_f64(), m)
+}
+
+/// Times one substrate on both kernels; panics if their [`Metrics`]
+/// disagree (the determinism contract).
+///
+/// The two kernels are timed *interleaved* (fast, reference, fast,
+/// reference, …) and best-of-`iters` is reported for each, so machine
+/// drift and allocator/cache state affect both measurements symmetrically
+/// instead of biasing whichever kernel runs last.
+pub fn measure(family: &'static str, g: &Graph, iters: usize) -> KernelBenchRow {
+    let cfg = SimConfig::default();
+    // A repeat caller holds one Simulator; buffer capacity carries over.
+    let mut sim: Simulator<u32> = Simulator::new();
+    let mut run_fast = || {
+        sim.run(g, flood_programs(g), &cfg)
+            .expect("flood stays within budget")
+            .metrics
+    };
+    let run_ref = || {
+        run_reference(g, flood_programs(g), &cfg)
+            .expect("flood stays within budget")
+            .metrics
+    };
+    let fast_m = run_fast(); // warm-up, and the metrics all runs must reproduce
+    let ref_m = run_ref();
+    assert_eq!(
+        fast_m, ref_m,
+        "fast and reference kernels diverged on {family}"
+    );
+    let mut fast_secs = f64::INFINITY;
+    let mut reference_secs = f64::INFINITY;
+    for _ in 0..iters {
+        let (dt, m) = timed(&mut run_fast);
+        assert_eq!(
+            m, fast_m,
+            "fast kernel produced different metrics across runs"
+        );
+        fast_secs = fast_secs.min(dt);
+        let (dt, m) = timed(run_ref);
+        assert_eq!(
+            m, ref_m,
+            "reference kernel produced different metrics across runs"
+        );
+        reference_secs = reference_secs.min(dt);
+    }
+    KernelBenchRow {
+        family,
+        n: g.vertex_count(),
+        edges: g.edge_count(),
+        rounds: fast_m.rounds,
+        messages: fast_m.messages,
+        iters,
+        fast_secs,
+        reference_secs,
+    }
+}
+
+/// Measured iterations for a substrate of `n` vertices: more for small
+/// (noisy) cases, fewer for the big ones.
+fn iters_for(n: usize) -> usize {
+    if n <= 2_000 {
+        20
+    } else if n <= 20_000 {
+        7
+    } else {
+        3
+    }
+}
+
+/// Runs the flood benchmark over grid and triangulated-grid substrates at
+/// (approximately) each requested vertex count, printing one line per case.
+pub fn kernel_bench(sizes: &[usize]) -> Vec<KernelBenchRow> {
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let side = (n as f64).sqrt().round() as usize;
+        for (family, g) in [
+            ("grid", gen::grid(side, side)),
+            ("tri-grid", gen::triangulated_grid(side, side)),
+        ] {
+            let row = measure(family, &g, iters_for(g.vertex_count()));
+            println!(
+                "flood/{:<9} n={:<7} rounds={:<4} msgs={:<8} fast={:>10.6}s ref={:>10.6}s  {:>8.0} vs {:>8.0} msg/s  speedup {:.2}x",
+                row.family,
+                row.n,
+                row.rounds,
+                row.messages,
+                row.fast_secs,
+                row.reference_secs,
+                row.fast_mps(),
+                row.reference_mps(),
+                row.speedup(),
+            );
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders rows as the `BENCH_kernel.json` document. Hand-rolled: every
+/// field is numeric or a known-safe literal, so no escaping is needed.
+pub fn to_json(rows: &[KernelBenchRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"congest-kernel-flood\",\n");
+    s.push_str("  \"metric\": \"delivered messages per second (best of N runs)\",\n");
+    s.push_str(&format!(
+        "  \"budget_words\": {},\n  \"workloads\": [\n",
+        SimConfig::default().budget_words
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"n\": {}, \"edges\": {}, ",
+                "\"rounds\": {}, \"messages\": {}, \"iters\": {}, ",
+                "\"fast_secs\": {:.9}, \"reference_secs\": {:.9}, ",
+                "\"fast_msgs_per_sec\": {:.1}, \"reference_msgs_per_sec\": {:.1}, ",
+                "\"speedup\": {:.3}}}{}\n"
+            ),
+            r.family,
+            r.n,
+            r.edges,
+            r.rounds,
+            r.messages,
+            r.iters,
+            r.fast_secs,
+            r.reference_secs,
+            r.fast_mps(),
+            r.reference_mps(),
+            r.speedup(),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &std::path::Path, rows: &[KernelBenchRow]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flood_covers_graph_and_kernels_agree() {
+        let g = gen::grid(8, 8);
+        let row = measure("grid", &g, 1);
+        assert_eq!(row.n, 64);
+        // Every node fires its out-star exactly once.
+        assert_eq!(row.messages, 2 * g.edge_count());
+        // Source eccentricity on an 8x8 grid from the corner, +1 for the
+        // final round of ignored deliveries.
+        assert_eq!(row.rounds, 15);
+    }
+
+    #[test]
+    fn json_record_is_well_formed_enough() {
+        let g = gen::grid(4, 4);
+        let rows = vec![measure("grid", &g, 1)];
+        let j = to_json(&rows);
+        assert!(j.contains("\"fast_msgs_per_sec\""));
+        assert!(j.contains("\"reference_msgs_per_sec\""));
+        assert!(j.contains("\"speedup\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

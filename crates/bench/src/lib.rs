@@ -23,12 +23,20 @@
 //! * **F-safe** — Definition 3.1 / Figure 6: partitions are safe at every
 //!   recursion level (run with invariant checking on).
 //!
+//! Independent trials of a sweep are fanned out through [`parallel::par_map`]
+//! (deterministic, input-order results). [`kernelbench`] measures the
+//! simulation kernel's message throughput against the preserved seed kernel
+//! and emits `BENCH_kernel.json`.
+//!
 //! Run everything with `cargo run --release -p planar-bench --bin harness`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kernelbench;
+pub mod parallel;
 pub mod table;
+pub mod timing;
 
 pub use experiments::*;

@@ -1,0 +1,113 @@
+//! Deterministic parallel execution of independent bench trials.
+//!
+//! The experiment sweeps (seeds × graph families × sizes) are
+//! embarrassingly parallel: every trial builds its own `Graph` and runs its
+//! own simulation, sharing nothing. This module fans those trials out over
+//! scoped `std::thread` workers pulling from an atomic work queue, and
+//! collects results **by trial index** — never by completion order — so the
+//! output of [`par_map`] is byte-identical to the sequential `map` no
+//! matter how the OS schedules the workers.
+//!
+//! rayon would be the natural backend, but it cannot be vendored in this
+//! offline build environment (see `shims/README.md`); the semantics here
+//! are the same as `par_iter().map().collect()`. Disabling the crate's
+//! `parallel` feature (or setting `PLANAR_BENCH_THREADS=1`) degrades to a
+//! plain sequential map, which is how the determinism conformance test
+//! cross-checks the two paths.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads to use: `PLANAR_BENCH_THREADS` if set, else
+/// available parallelism, else 1. Always at least 1.
+pub fn worker_threads() -> usize {
+    if let Ok(v) = std::env::var("PLANAR_BENCH_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item, in parallel when the `parallel` feature is on,
+/// returning results in input order (deterministic regardless of scheduling).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first worker panic observed).
+pub fn par_map<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let threads = if cfg!(feature = "parallel") {
+        worker_threads()
+    } else {
+        1
+    };
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let n = items.len();
+    // Hand each item an index so results land in their input slot.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot poisoned")
+                    .take()
+                    .expect("each slot is claimed exactly once");
+                let out = f(item);
+                *results[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn matches_sequential_map() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq: Vec<u64> = items.iter().map(|&i| i.wrapping_mul(0x9E3779B9)).collect();
+        let par = par_map(items, |i| i.wrapping_mul(0x9E3779B9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert_eq!(par_map(Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        assert_eq!(par_map(vec![7u32], |i| i + 1), vec![8]);
+    }
+}

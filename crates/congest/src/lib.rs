@@ -9,7 +9,11 @@
 //! * [`run`] / [`NodeProgram`] — the message-passing kernel: synchronous
 //!   rounds, per-directed-edge bandwidth budgets (in `O(log n)`-bit words,
 //!   see [`message`]), quiescence detection and hard budget *enforcement* —
-//!   protocols that try to move too much over an edge abort the run.
+//!   protocols that try to move too much over an edge abort the run. The
+//!   per-round loop is allocation-free in steady state, built on the
+//!   graph's CSR arc index (see [`network`] for the architecture);
+//!   [`reference::run_reference`] keeps the original kernel as the
+//!   executable spec the fast kernel is conformance-tested against.
 //! * [`protocols`] — the standard protocol library: leader election + BFS
 //!   tree, child discovery, convergecast, downcast, and the centroid walk of
 //!   the paper's partitioning step.
@@ -42,12 +46,13 @@
 
 pub mod message;
 mod metrics;
-mod network;
+pub mod network;
 pub mod protocols;
+pub mod reference;
 pub mod routing;
 
 pub use message::{word_bits, Words};
 pub use metrics::Metrics;
 pub use network::{
-    run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, DEFAULT_BUDGET_WORDS,
+    run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
 };

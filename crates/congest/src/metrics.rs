@@ -69,8 +69,18 @@ mod tests {
 
     #[test]
     fn sequential_composition() {
-        let mut a = Metrics { rounds: 5, messages: 10, words: 20, max_words_edge_round: 3 };
-        let b = Metrics { rounds: 7, messages: 1, words: 2, max_words_edge_round: 4 };
+        let mut a = Metrics {
+            rounds: 5,
+            messages: 10,
+            words: 20,
+            max_words_edge_round: 3,
+        };
+        let b = Metrics {
+            rounds: 7,
+            messages: 1,
+            words: 2,
+            max_words_edge_round: 4,
+        };
         a.add(b);
         assert_eq!(a.rounds, 12);
         assert_eq!(a.messages, 11);
@@ -80,8 +90,18 @@ mod tests {
 
     #[test]
     fn parallel_composition() {
-        let mut a = Metrics { rounds: 5, messages: 10, words: 20, max_words_edge_round: 3 };
-        let b = Metrics { rounds: 7, messages: 1, words: 2, max_words_edge_round: 1 };
+        let mut a = Metrics {
+            rounds: 5,
+            messages: 10,
+            words: 20,
+            max_words_edge_round: 3,
+        };
+        let b = Metrics {
+            rounds: 7,
+            messages: 1,
+            words: 2,
+            max_words_edge_round: 1,
+        };
         a.join_parallel(b);
         assert_eq!(a.rounds, 7);
         assert_eq!(a.messages, 11);
@@ -89,7 +109,12 @@ mod tests {
 
     #[test]
     fn bits_scale_with_log_n() {
-        let m = Metrics { rounds: 1, messages: 1, words: 10, max_words_edge_round: 1 };
+        let m = Metrics {
+            rounds: 1,
+            messages: 1,
+            words: 10,
+            max_words_edge_round: 1,
+        };
         assert_eq!(m.bits(1024), 100);
     }
 }

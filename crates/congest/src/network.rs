@@ -9,12 +9,57 @@
 //! aborts with [`SimError::BudgetExceeded`]. Measured round counts are
 //! therefore honest: no protocol can smuggle extra information through an
 //! edge.
+//!
+//! # Kernel architecture (allocation-free steady state)
+//!
+//! The per-round loop performs **zero heap allocations in steady state**
+//! (after buffer capacities have warmed up over the first few rounds). All
+//! round state lives in flat vectors indexed by the graph's dense
+//! [`ArcId`]s (one per directed edge, CSR layout; see
+//! [`planar_graph::arcs`]) and by vertex id:
+//!
+//! * **Mailboxes** — two arc-indexed buffer sets (`cur`/`nxt`) of per-arc
+//!   message queues, swapped each round. Sends from round `r` accumulate in
+//!   `nxt`; after the swap they are this round's deliveries in `cur`.
+//!   Because an arc has exactly one sender, per-arc queues preserve
+//!   emission order, and the in-arcs of a node — enumerated through the
+//!   reverse-arc table in slot order — arrive already sorted by sender id.
+//!   Each queue keeps its head message inline in a flat `head` array (see
+//!   `MailPlane`), so the budget-typical one-message-per-arc round never
+//!   allocates and the hot working set stays compact.
+//!   Inboxes are therefore deterministic *by construction*: the seed
+//!   kernel's per-round `recipients.sort()` + per-inbox `sort_by_key` are
+//!   gone, yet inbox contents are byte-identical (adjacency lists are
+//!   sorted, so slot order *is* sender-id order).
+//! * **Budget accounting** — a flat `words[arc]` vector accumulated at send
+//!   time; touched arcs are tracked in a dirty list and only those entries
+//!   are reset after delivery, so quiet regions of a large graph cost
+//!   nothing.
+//! * **Destination validation** — an epoch-stamped slot table
+//!   (`slot_epoch`/`slot_val`, one entry per vertex): before a node's sends
+//!   are recorded, its neighbor slots are stamped with a fresh epoch, making
+//!   each subsequent lookup `O(1)` instead of the seed kernel's per-message
+//!   binary search. An unstamped destination is a non-neighbor.
+//! * **Recipient schedule** — nodes are appended to a recipient list the
+//!   first time a message is addressed to them (deduplicated by an epoch
+//!   stamp) and processed in that order. Processing order cannot influence
+//!   outcomes — a node only observes its own inbox, and per-arc queues are
+//!   single-sender — so this order is as deterministic as the sorted order
+//!   the seed kernel used, without the sort.
+//!
+//! Budget violations are detected at send time but *reported* at the
+//! delivery round, after the max-rounds check — exactly the seed kernel's
+//! observable error ordering. The seed kernel itself is preserved verbatim
+//! as [`crate::reference::run_reference`]; the determinism conformance
+//! suite (`crates/congest/tests/determinism.rs`) asserts both kernels
+//! produce identical final states and [`Metrics`] on every workload, and
+//! the kernel benchmark records the resulting speedup in
+//! `BENCH_kernel.json`.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
-use planar_graph::{Graph, VertexId};
+use planar_graph::{ArcIndex, Graph, VertexId};
 
 use crate::message::Words;
 use crate::metrics::Metrics;
@@ -64,6 +109,11 @@ pub struct SimConfig {
     /// per round.
     pub budget_words: usize,
     /// Abort if the simulation has not quiesced after this many rounds.
+    ///
+    /// The bound is inclusive: a run whose final messages are delivered in
+    /// round `max_rounds` (and which quiesces there) succeeds with
+    /// `metrics.rounds == max_rounds`; only a run that would need to deliver
+    /// in round `max_rounds + 1` fails with [`SimError::MaxRoundsExceeded`].
     pub max_rounds: usize,
 }
 
@@ -73,7 +123,10 @@ pub const DEFAULT_BUDGET_WORDS: usize = 8;
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { budget_words: DEFAULT_BUDGET_WORDS, max_rounds: 1_000_000 }
+        SimConfig {
+            budget_words: DEFAULT_BUDGET_WORDS,
+            max_rounds: 1_000_000,
+        }
     }
 }
 
@@ -137,8 +190,325 @@ pub struct SimOutcome<P> {
     pub metrics: Metrics,
 }
 
+/// One direction of the double-buffered mailbox plane, with a dirty list so
+/// resets touch only active arcs. All vectors are sized once (`2m` arcs)
+/// and reused.
+///
+/// Per-arc FIFOs keep their head message *inline* (`head[a]`) and spill
+/// only messages beyond the first into the heap-backed `spill[a]`. Under a
+/// CONGEST budget an arc almost always carries at most one message per
+/// round, so the common path never touches the heap (a plain `Vec` per arc
+/// would malloc on the first push of every freshly-activated arc), and the
+/// hot random-access working set is just the compact `head`/`words` arrays
+/// plus the tiny `spilled` bitset — the pointer-heavy `spill` vector is
+/// cold unless an arc actually batches messages.
+///
+/// Invariant: `head[a].is_none()` implies `spill[a].is_empty()` and the
+/// `spilled` bit for `a` is clear (pushes fill the head before spilling;
+/// delivery drains head + spill together), so `head` alone answers "any
+/// messages queued?".
+struct MailPlane<M> {
+    /// Inline FIFO head per arc (`None` = arc idle this round).
+    head: Vec<Option<M>>,
+    /// Word total queued per arc this round (budget + congestion metrics).
+    words: Vec<u64>,
+    /// Overflow tails beyond the head, in emission order (single sender per
+    /// arc). Cold: only touched when an arc carries 2+ messages.
+    spill: Vec<Vec<M>>,
+    /// Bitset over arcs: set iff `spill[a]` is non-empty.
+    spilled: Vec<u64>,
+    /// Arc ids with at least one queued message (each exactly once).
+    touched: Vec<u32>,
+    /// Recipients in first-delivery order (each exactly once).
+    recipients: Vec<VertexId>,
+    /// Total queued messages across all arcs.
+    msg_count: usize,
+}
+
+impl<M> MailPlane<M> {
+    fn new() -> Self {
+        MailPlane {
+            head: Vec::new(),
+            words: Vec::new(),
+            spill: Vec::new(),
+            spilled: Vec::new(),
+            touched: Vec::new(),
+            recipients: Vec::new(),
+            msg_count: 0,
+        }
+    }
+
+    /// Sizes and clears the plane for a run over `arcs` arcs, retaining
+    /// previously allocated capacity (sequential writes over warm memory —
+    /// much cheaper than fresh page-faulting allocations).
+    fn prepare(&mut self, arcs: usize) {
+        self.head.clear();
+        self.head.resize_with(arcs, || None);
+        self.words.clear();
+        self.words.resize(arcs, 0);
+        for q in &mut self.spill {
+            q.clear();
+        }
+        if self.spill.len() < arcs {
+            self.spill.resize_with(arcs, Vec::new);
+        }
+        self.spilled.clear();
+        self.spilled.resize(arcs.div_ceil(64), 0);
+        self.touched.clear();
+        self.recipients.clear();
+        self.msg_count = 0;
+    }
+
+    /// Clears bookkeeping after all queues were drained by delivery.
+    /// `O(touched)`, never `O(arcs)`; retains every buffer's capacity.
+    fn reset(&mut self) {
+        for &a in &self.touched {
+            let a = a as usize;
+            self.words[a] = 0;
+            debug_assert!(self.head[a].is_none(), "undelivered arc");
+            debug_assert!(self.spill[a].is_empty(), "undelivered spill");
+            debug_assert_eq!(self.spilled[a >> 6] & (1 << (a & 63)), 0);
+        }
+        self.touched.clear();
+        self.recipients.clear();
+        self.msg_count = 0;
+    }
+}
+
+/// A reusable simulation kernel (see module docs): all round state —
+/// mailbox planes, slot tables, scratch buffers — allocated before round 1
+/// and only growing buffer capacities afterwards.
+///
+/// A `Simulator` can be reused across runs (over different graphs, programs
+/// and configs of the same message type): every [`Simulator::run`] fully
+/// reinitializes the logical state but *retains buffer capacity*, so
+/// repeated simulations — the embedder's recursion, benchmark loops —
+/// skip the multi-megabyte allocate/fault/free cycle of a cold start. The
+/// free function [`run`] is the one-shot convenience wrapper.
+pub struct Simulator<M> {
+    /// Deliveries of the current round.
+    cur: MailPlane<M>,
+    /// Sends accumulating for the next round.
+    nxt: MailPlane<M>,
+    /// Epoch-stamped `O(1)` neighbor-slot table: `slot_val[v]` is valid iff
+    /// `slot_epoch[v]` equals the current sender's epoch.
+    slot_epoch: Vec<u64>,
+    /// Slot of `v` in the current sender's neighbor list.
+    slot_val: Vec<u32>,
+    /// Monotone counter distinguishing senders' stamping passes.
+    sender_epoch: u64,
+    /// `recipient_round[v] == r` iff `v` is already scheduled to receive in
+    /// round `r` (rounds increase strictly, so no clearing is needed).
+    recipient_round: Vec<usize>,
+    /// First budget violation observed while recording sends, reported at
+    /// the start of the delivery round (after the max-rounds check) to
+    /// match the reference kernel's observable error ordering.
+    pending_overflow: Option<SimError>,
+    /// Reusable inbox assembled for one recipient at a time.
+    inbox: Vec<(VertexId, M)>,
+}
+
+impl<M: Words> Simulator<M> {
+    /// Creates an empty simulator; buffers are sized lazily by each run.
+    pub fn new() -> Self {
+        Simulator {
+            cur: MailPlane::new(),
+            nxt: MailPlane::new(),
+            slot_epoch: Vec::new(),
+            slot_val: Vec::new(),
+            sender_epoch: 0,
+            recipient_round: Vec::new(),
+            pending_overflow: None,
+            inbox: Vec::new(),
+        }
+    }
+
+    /// Reinitializes all logical state for a run over `n` vertices and
+    /// `arcs` arcs, keeping buffer capacity. Equivalent to a fresh
+    /// `Simulator` — no state can leak between runs (including from a run
+    /// that aborted mid-round with an error).
+    fn prepare(&mut self, n: usize, arcs: usize) {
+        self.cur.prepare(arcs);
+        self.nxt.prepare(arcs);
+        self.slot_epoch.clear();
+        self.slot_epoch.resize(n, 0);
+        self.slot_val.clear();
+        self.slot_val.resize(n, 0);
+        self.sender_epoch = 0;
+        self.recipient_round.clear();
+        self.recipient_round.resize(n, usize::MAX);
+        self.pending_overflow = None;
+        self.inbox.clear();
+    }
+
+    /// Records `from`'s outgoing messages (sent during `round`, delivered in
+    /// `round + 1`) into the `nxt` plane.
+    fn record_sends(
+        &mut self,
+        idx: &ArcIndex,
+        cfg: &SimConfig,
+        from: VertexId,
+        round: usize,
+        out: Vec<(VertexId, M)>,
+    ) -> Result<(), SimError> {
+        if out.is_empty() {
+            return Ok(());
+        }
+        // Stamp this sender's neighbor slots: every later lookup is O(1).
+        self.sender_epoch += 1;
+        for (slot, _, w) in idx.out_arcs(from) {
+            self.slot_epoch[w.index()] = self.sender_epoch;
+            self.slot_val[w.index()] = slot as u32;
+        }
+        for (dest, msg) in out {
+            if dest.index() >= self.slot_epoch.len()
+                || self.slot_epoch[dest.index()] != self.sender_epoch
+            {
+                return Err(SimError::InvalidDestination { from, to: dest });
+            }
+            let a = idx
+                .arc_at(from, self.slot_val[dest.index()] as usize)
+                .index();
+            let plane = &mut self.nxt;
+            plane.words[a] += msg.words() as u64;
+            if plane.words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
+                self.pending_overflow = Some(SimError::BudgetExceeded {
+                    from,
+                    to: dest,
+                    words: plane.words[a] as usize,
+                    budget: cfg.budget_words,
+                    round: round + 1,
+                });
+            }
+            if plane.head[a].is_none() {
+                plane.head[a] = Some(msg);
+                plane.touched.push(a as u32);
+            } else {
+                plane.spill[a].push(msg);
+                plane.spilled[a >> 6] |= 1 << (a & 63);
+            }
+            plane.msg_count += 1;
+            if self.recipient_round[dest.index()] != round + 1 {
+                self.recipient_round[dest.index()] = round + 1;
+                plane.recipients.push(dest);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs `programs` (one per vertex of `g`, indexed by vertex id) to
+    /// quiescence, reusing this simulator's buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] on budget violations, invalid destinations,
+    /// or exceeding `cfg.max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != g.vertex_count()`.
+    pub fn run<P: NodeProgram<Msg = M>>(
+        &mut self,
+        g: &Graph,
+        mut programs: Vec<P>,
+        cfg: &SimConfig,
+    ) -> Result<SimOutcome<P>, SimError> {
+        assert_eq!(
+            programs.len(),
+            g.vertex_count(),
+            "need exactly one program per vertex"
+        );
+        let idx = g.arc_index();
+        let mut metrics = Metrics::new();
+        self.prepare(g.vertex_count(), idx.arc_count());
+        let kernel = self;
+
+        // Init phase (round 0): sends land in the `nxt` plane for round 1.
+        for (i, program) in programs.iter_mut().enumerate() {
+            let v = VertexId::from_index(i);
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                round: 0,
+            };
+            let out = program.init(&ctx);
+            kernel.record_sends(&idx, cfg, v, 0, out)?;
+        }
+
+        let mut round = 0usize;
+        loop {
+            // Sends accumulated last round become this round's deliveries.
+            std::mem::swap(&mut kernel.cur, &mut kernel.nxt);
+            if kernel.cur.msg_count == 0 {
+                break; // quiescence
+            }
+            round += 1;
+            if round > cfg.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: cfg.max_rounds,
+                });
+            }
+            if let Some(overflow) = kernel.pending_overflow.take() {
+                return Err(overflow);
+            }
+
+            // Congestion accounting over the active arcs only.
+            let mut round_words = 0usize;
+            let mut round_max = 0usize;
+            for &a in &kernel.cur.touched {
+                let w = kernel.cur.words[a as usize] as usize;
+                round_words += w;
+                round_max = round_max.max(w);
+            }
+            metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+            metrics.messages += kernel.cur.msg_count;
+            metrics.words += round_words;
+
+            // Deliver and run recipients in first-delivery order (outcome
+            // independent of this order; see module docs).
+            for r in 0..kernel.cur.recipients.len() {
+                let v = kernel.cur.recipients[r];
+                kernel.inbox.clear();
+                // In-arcs in slot order == sender-id order (sorted adjacency).
+                for (_, a, w) in idx.out_arcs(v) {
+                    let b = idx.rev(a).index();
+                    if let Some(msg) = kernel.cur.head[b].take() {
+                        kernel.inbox.push((w, msg));
+                        if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                            kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
+                            for msg in kernel.cur.spill[b].drain(..) {
+                                kernel.inbox.push((w, msg));
+                            }
+                        }
+                    }
+                }
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    round,
+                };
+                let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
+                kernel.record_sends(&idx, cfg, v, round, out)?;
+            }
+            kernel.cur.reset();
+        }
+        metrics.rounds = round;
+        Ok(SimOutcome { programs, metrics })
+    }
+}
+
+impl<M: Words> Default for Simulator<M> {
+    fn default() -> Self {
+        Simulator::new()
+    }
+}
+
 /// Runs `programs` (one per vertex of `g`, indexed by vertex id) to
-/// quiescence.
+/// quiescence with a freshly allocated [`Simulator`].
+///
+/// Convenience wrapper around [`Simulator::run`]; callers that simulate
+/// repeatedly should hold a `Simulator` and reuse it, which skips the
+/// kernel's buffer allocations on every run after the first.
 ///
 /// # Errors
 ///
@@ -150,90 +520,20 @@ pub struct SimOutcome<P> {
 /// Panics if `programs.len() != g.vertex_count()`.
 pub fn run<P: NodeProgram>(
     g: &Graph,
-    mut programs: Vec<P>,
+    programs: Vec<P>,
     cfg: &SimConfig,
 ) -> Result<SimOutcome<P>, SimError> {
-    assert_eq!(
-        programs.len(),
-        g.vertex_count(),
-        "need exactly one program per vertex"
-    );
-    let mut metrics = Metrics::new();
-
-    // Messages in flight: sender -> (dest, msg), to be delivered next round.
-    let mut in_flight: Vec<(VertexId, VertexId, P::Msg)> = Vec::new();
-
-    // Init phase (round 0).
-    for (i, program) in programs.iter_mut().enumerate() {
-        let v = VertexId::from_index(i);
-        let ctx = NodeCtx { id: v, neighbors: g.neighbors(v), round: 0 };
-        for (dest, msg) in program.init(&ctx) {
-            validate_dest(g, v, dest)?;
-            in_flight.push((v, dest, msg));
-        }
-    }
-
-    let mut round = 0usize;
-    while !in_flight.is_empty() {
-        round += 1;
-        if round > cfg.max_rounds {
-            return Err(SimError::MaxRoundsExceeded { limit: cfg.max_rounds });
-        }
-        // Enforce per-directed-edge budgets for this round's deliveries.
-        let mut edge_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
-        for (from, to, msg) in &in_flight {
-            let w = edge_words.entry((*from, *to)).or_insert(0);
-            *w += msg.words();
-            if *w > cfg.budget_words {
-                return Err(SimError::BudgetExceeded {
-                    from: *from,
-                    to: *to,
-                    words: *w,
-                    budget: cfg.budget_words,
-                    round,
-                });
-            }
-        }
-        let round_max = edge_words.values().copied().max().unwrap_or(0);
-        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
-        metrics.messages += in_flight.len();
-        metrics.words += in_flight.iter().map(|(_, _, m)| m.words()).sum::<usize>();
-
-        // Deliver.
-        let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
-        for (from, to, msg) in in_flight.drain(..) {
-            inboxes.entry(to).or_default().push((from, msg));
-        }
-        // Deterministic processing order.
-        let mut recipients: Vec<VertexId> = inboxes.keys().copied().collect();
-        recipients.sort();
-        for v in recipients {
-            let mut inbox = inboxes.remove(&v).expect("recipient key exists");
-            inbox.sort_by_key(|(from, _)| *from);
-            let ctx = NodeCtx { id: v, neighbors: g.neighbors(v), round };
-            for (dest, msg) in programs[v.index()].on_round(&ctx, &inbox) {
-                validate_dest(g, v, dest)?;
-                in_flight.push((v, dest, msg));
-            }
-        }
-    }
-    metrics.rounds = round;
-    Ok(SimOutcome { programs, metrics })
-}
-
-fn validate_dest(g: &Graph, from: VertexId, to: VertexId) -> Result<(), SimError> {
-    if g.has_edge(from, to) {
-        Ok(())
-    } else {
-        Err(SimError::InvalidDestination { from, to })
-    }
+    Simulator::new().run(g, programs, cfg)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    /// A trivial flooding program: forwards the largest value seen once.
+    /// A trivial flooding program: forwards the largest value seen, once per
+    /// improvement; `announced` guards the initial broadcast so a node that
+    /// already flooded its own value in `init` does not re-announce it when
+    /// an inferior value arrives.
     struct MaxFlood {
         best: u32,
         announced: bool,
@@ -242,15 +542,20 @@ mod tests {
     impl NodeProgram for MaxFlood {
         type Msg = u32;
 
-        fn init(&mut self, _ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
             self.announced = true;
-            _ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+            ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
         }
 
-        fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+        fn on_round(
+            &mut self,
+            ctx: &NodeCtx<'_>,
+            inbox: &[(VertexId, u32)],
+        ) -> Vec<(VertexId, u32)> {
             let incoming = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
-            if incoming > self.best {
-                self.best = incoming;
+            if incoming > self.best || !self.announced {
+                self.best = self.best.max(incoming);
+                self.announced = true;
                 ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
             } else {
                 Vec::new()
@@ -266,11 +571,16 @@ mod tests {
     fn flood_converges_in_diameter_rounds() {
         let n = 10;
         let g = path(n);
-        let programs: Vec<MaxFlood> =
-            (0..n).map(|i| MaxFlood { best: i as u32, announced: false }).collect();
+        let programs: Vec<MaxFlood> = (0..n)
+            .map(|i| MaxFlood {
+                best: i as u32,
+                announced: false,
+            })
+            .collect();
         let out = run(&g, programs, &SimConfig::default()).unwrap();
         for p in &out.programs {
             assert_eq!(p.best, 9);
+            assert!(p.announced);
         }
         // The max starts at one end of the path: n-1 rounds to cross, plus
         // one final (useless) echo round before quiescence.
@@ -323,7 +633,41 @@ mod tests {
         }
         let g = path(3);
         let err = run(&g, vec![Wild, Wild, Wild], &SimConfig::default()).unwrap_err();
-        assert_eq!(err, SimError::InvalidDestination { from: VertexId(0), to: VertexId(2) });
+        assert_eq!(
+            err,
+            SimError::InvalidDestination {
+                from: VertexId(0),
+                to: VertexId(2)
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_destination_detected() {
+        #[derive(Debug)]
+        struct Wilder;
+        impl NodeProgram for Wilder {
+            type Msg = u32;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+                if ctx.id == VertexId(0) {
+                    vec![(VertexId(99), 1)] // beyond the vertex range
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(&mut self, _: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+                Vec::new()
+            }
+        }
+        let g = path(2);
+        let err = run(&g, vec![Wilder, Wilder], &SimConfig::default()).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::InvalidDestination {
+                from: VertexId(0),
+                to: VertexId(99)
+            }
+        );
     }
 
     #[test]
@@ -340,14 +684,70 @@ mod tests {
                     Vec::new()
                 }
             }
-            fn on_round(&mut self, _: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            fn on_round(
+                &mut self,
+                _: &NodeCtx<'_>,
+                inbox: &[(VertexId, u32)],
+            ) -> Vec<(VertexId, u32)> {
                 inbox.iter().map(|&(from, v)| (from, v + 1)).collect()
             }
         }
         let g = path(2);
-        let cfg = SimConfig { budget_words: 8, max_rounds: 50 };
+        let cfg = SimConfig {
+            budget_words: 8,
+            max_rounds: 50,
+        };
         let err = run(&g, vec![PingPong, PingPong], &cfg).unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
+    }
+
+    /// `max_rounds` is inclusive: a run that quiesces exactly at the limit
+    /// succeeds; one that needs a single extra round fails. (Guards the
+    /// off-by-one: `round > max_rounds` aborts, `round == max_rounds` runs.)
+    #[test]
+    fn max_rounds_boundary_is_inclusive() {
+        /// Relay a token down a path; takes exactly n-1 delivery rounds.
+        #[derive(Debug)]
+        struct Relay;
+        impl NodeProgram for Relay {
+            type Msg = u32;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+                if ctx.id == VertexId(0) {
+                    vec![(VertexId(1), 0)]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(
+                &mut self,
+                ctx: &NodeCtx<'_>,
+                _: &[(VertexId, u32)],
+            ) -> Vec<(VertexId, u32)> {
+                let next = VertexId(ctx.id.0 + 1);
+                if ctx.neighbors.contains(&next) {
+                    vec![(next, 0)]
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+        let n = 6; // token needs exactly n-1 = 5 rounds
+        let g = path(n);
+        let mk = || (0..n).map(|_| Relay).collect::<Vec<_>>();
+
+        let exact = SimConfig {
+            budget_words: 8,
+            max_rounds: n - 1,
+        };
+        let out = run(&g, mk(), &exact).expect("quiescing at max_rounds succeeds");
+        assert_eq!(out.metrics.rounds, n - 1);
+
+        let tight = SimConfig {
+            budget_words: 8,
+            max_rounds: n - 2,
+        };
+        let err = run(&g, mk(), &tight).unwrap_err();
+        assert_eq!(err, SimError::MaxRoundsExceeded { limit: n - 2 });
     }
 
     #[test]
@@ -363,7 +763,12 @@ mod tests {
             }
         }
         let g = path(4);
-        let out = run(&g, vec![Silent, Silent, Silent, Silent], &SimConfig::default()).unwrap();
+        let out = run(
+            &g,
+            vec![Silent, Silent, Silent, Silent],
+            &SimConfig::default(),
+        )
+        .unwrap();
         assert_eq!(out.metrics.rounds, 0);
         assert_eq!(out.metrics.messages, 0);
     }

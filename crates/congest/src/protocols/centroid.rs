@@ -33,7 +33,13 @@ impl CentroidWalk {
     /// * `total` — `|T_s|`, known tree-wide after the size broadcast;
     /// * `is_root` — whether this node is `s`, the walk's origin.
     pub fn new(children_sizes: HashMap<VertexId, u64>, total: u64, is_root: bool) -> Self {
-        CentroidWalk { children_sizes, total, is_root, on_path: false, is_centroid: false }
+        CentroidWalk {
+            children_sizes,
+            total,
+            is_root,
+            on_path: false,
+            is_centroid: false,
+        }
     }
 
     /// A node not participating in any walk.
@@ -89,7 +95,11 @@ impl NodeProgram for CentroidWalk {
         }
     }
 
-    fn on_round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(VertexId, bool)]) -> Vec<(VertexId, bool)> {
+    fn on_round(
+        &mut self,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, bool)],
+    ) -> Vec<(VertexId, bool)> {
         if inbox.is_empty() {
             return Vec::new();
         }
@@ -111,9 +121,7 @@ mod tests {
         let tree = bfs(g, root);
         let programs: Vec<Convergecast> = g
             .vertices()
-            .map(|v| {
-                Convergecast::new(tree.parent[v.index()], &tree.children(v), 1, AggOp::Sum)
-            })
+            .map(|v| Convergecast::new(tree.parent[v.index()], &tree.children(v), 1, AggOp::Sum))
             .collect();
         let sizes = run(g, programs, &SimConfig::default()).unwrap().programs;
         let total = sizes[root.index()].result().unwrap();
@@ -126,8 +134,10 @@ mod tests {
             .vertices()
             .find(|&v| out.programs[v.index()].is_centroid())
             .expect("walk terminates at a centroid");
-        let path: Vec<VertexId> =
-            g.vertices().filter(|&v| out.programs[v.index()].on_path()).collect();
+        let path: Vec<VertexId> = g
+            .vertices()
+            .filter(|&v| out.programs[v.index()].on_path())
+            .collect();
         (centroid, path, out.metrics.rounds)
     }
 
@@ -156,7 +166,17 @@ mod tests {
         // Random-ish tree.
         let g = Graph::from_edges(
             10,
-            [(0, 1), (1, 2), (1, 3), (3, 4), (3, 5), (5, 6), (6, 7), (6, 8), (8, 9)],
+            [
+                (0, 1),
+                (1, 2),
+                (1, 3),
+                (3, 4),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+                (6, 8),
+                (8, 9),
+            ],
         )
         .unwrap();
         let root = VertexId(0);

@@ -28,7 +28,13 @@ impl LeaderBfs {
     /// neighbor set (`allowed` must be a subset of the node's real
     /// neighbors; `id` is the node's own id).
     pub fn new(id: VertexId, allowed: Vec<VertexId>) -> Self {
-        LeaderBfs { allowed, active: true, best_leader: id, best_dist: 0, parent: None }
+        LeaderBfs {
+            allowed,
+            active: true,
+            best_leader: id,
+            best_dist: 0,
+            parent: None,
+        }
     }
 
     /// Creates an inactive program (the node is not part of any group).
@@ -63,8 +69,8 @@ impl LeaderBfs {
     }
 
     fn offer(&mut self, from: VertexId, leader: VertexId, dist: u32) -> bool {
-        let better = leader > self.best_leader
-            || (leader == self.best_leader && dist < self.best_dist);
+        let better =
+            leader > self.best_leader || (leader == self.best_leader && dist < self.best_dist);
         if better {
             self.best_leader = leader;
             self.best_dist = dist;
@@ -184,8 +190,10 @@ mod tests {
     #[test]
     fn inactive_nodes_stay_silent() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
-        let programs =
-            vec![LeaderBfs::inactive(VertexId(0)), LeaderBfs::inactive(VertexId(1))];
+        let programs = vec![
+            LeaderBfs::inactive(VertexId(0)),
+            LeaderBfs::inactive(VertexId(1)),
+        ];
         let out = run(&g, programs, &SimConfig::default()).unwrap();
         assert_eq!(out.metrics.messages, 0);
     }

@@ -22,7 +22,10 @@ impl ChildNotify {
     /// Creates the program given this node's tree parent (or `None` for
     /// roots and non-participants).
     pub fn new(parent: Option<VertexId>) -> Self {
-        ChildNotify { parent, children: Vec::new() }
+        ChildNotify {
+            parent,
+            children: Vec::new(),
+        }
     }
 
     /// The children discovered (valid after the run).
@@ -41,7 +44,11 @@ impl NodeProgram for ChildNotify {
         }
     }
 
-    fn on_round(&mut self, _ctx: &NodeCtx<'_>, inbox: &[(VertexId, bool)]) -> Vec<(VertexId, bool)> {
+    fn on_round(
+        &mut self,
+        _ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, bool)],
+    ) -> Vec<(VertexId, bool)> {
         for &(from, _) in inbox {
             self.children.push(from);
         }
@@ -186,7 +193,10 @@ pub struct Downcast {
 impl Downcast {
     /// Creates the program; `label` is `Some` at source nodes.
     pub fn new(children: &[VertexId], label: Option<u32>) -> Self {
-        Downcast { children: children.to_vec(), label }
+        Downcast {
+            children: children.to_vec(),
+            label,
+        }
     }
 
     /// The label this node ended up with.
@@ -229,7 +239,13 @@ mod tests {
     fn path_tree(n: usize) -> (Graph, Vec<Option<VertexId>>) {
         let g = Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap();
         let parents = (0..n)
-            .map(|i| if i == 0 { None } else { Some(VertexId(i as u32 - 1)) })
+            .map(|i| {
+                if i == 0 {
+                    None
+                } else {
+                    Some(VertexId(i as u32 - 1))
+                }
+            })
             .collect();
         (g, parents)
     }
@@ -237,8 +253,7 @@ mod tests {
     #[test]
     fn child_notify_discovers_children() {
         let (g, parents) = path_tree(4);
-        let programs: Vec<ChildNotify> =
-            parents.iter().map(|&p| ChildNotify::new(p)).collect();
+        let programs: Vec<ChildNotify> = parents.iter().map(|&p| ChildNotify::new(p)).collect();
         let out = run(&g, programs, &SimConfig::default()).unwrap();
         assert_eq!(out.metrics.rounds, 1);
         assert_eq!(out.programs[0].children(), &[VertexId(1)]);
@@ -250,8 +265,11 @@ mod tests {
         let (g, parents) = path_tree(6);
         let programs: Vec<Convergecast> = (0..6)
             .map(|i| {
-                let children: Vec<VertexId> =
-                    if i < 5 { vec![VertexId(i as u32 + 1)] } else { vec![] };
+                let children: Vec<VertexId> = if i < 5 {
+                    vec![VertexId(i as u32 + 1)]
+                } else {
+                    vec![]
+                };
                 Convergecast::new(parents[i], &children, 1, AggOp::Sum)
             })
             .collect();
@@ -283,8 +301,10 @@ mod tests {
     #[test]
     fn convergecast_single_node_tree() {
         let g = Graph::from_edges(2, [(0, 1)]).unwrap();
-        let programs =
-            vec![Convergecast::new(None, &[], 5, AggOp::Min), Convergecast::inactive()];
+        let programs = vec![
+            Convergecast::new(None, &[], 5, AggOp::Min),
+            Convergecast::inactive(),
+        ];
         let out = run(&g, programs, &SimConfig::default()).unwrap();
         assert_eq!(out.programs[0].result(), Some(5));
         assert_eq!(out.metrics.rounds, 0);
@@ -295,8 +315,11 @@ mod tests {
         let (g, _) = path_tree(5);
         let programs: Vec<Downcast> = (0..5)
             .map(|i| {
-                let children: Vec<VertexId> =
-                    if i < 4 { vec![VertexId(i as u32 + 1)] } else { vec![] };
+                let children: Vec<VertexId> = if i < 4 {
+                    vec![VertexId(i as u32 + 1)]
+                } else {
+                    vec![]
+                };
                 Downcast::new(&children, if i == 0 { Some(42) } else { None })
             })
             .collect();

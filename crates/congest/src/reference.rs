@@ -1,0 +1,126 @@
+//! The original (seed) simulation kernel, kept verbatim as an executable
+//! specification.
+//!
+//! [`run_reference`] is the `HashMap`-based kernel the workspace shipped
+//! with before the allocation-free rewrite in [`crate::network`]. It is
+//! deliberately simple — per-round hash maps for budget accounting and
+//! inbox construction, explicit recipient sorting — and serves two
+//! purposes:
+//!
+//! * the determinism conformance suite asserts the fast kernel produces
+//!   **identical final states and [`Metrics`]** on every program it runs;
+//! * the kernel throughput benchmark (`crates/bench/benches/kernel.rs` and
+//!   `harness bench-kernel`) uses it as the baseline the speedup is
+//!   measured against, recorded in `BENCH_kernel.json`.
+//!
+//! Do not optimize this module; its value is that it stays obviously
+//! correct.
+
+use std::collections::HashMap;
+
+use planar_graph::{Graph, VertexId};
+
+use crate::message::Words;
+use crate::metrics::Metrics;
+use crate::network::{NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
+
+/// Runs `programs` to quiescence with the original quadratic-allocation
+/// kernel (see module docs). Semantics are identical to [`crate::run`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] exactly as [`crate::run`] does.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != g.vertex_count()`.
+pub fn run_reference<P: NodeProgram>(
+    g: &Graph,
+    mut programs: Vec<P>,
+    cfg: &SimConfig,
+) -> Result<SimOutcome<P>, SimError> {
+    assert_eq!(
+        programs.len(),
+        g.vertex_count(),
+        "need exactly one program per vertex"
+    );
+    let mut metrics = Metrics::new();
+
+    // Messages in flight: sender -> (dest, msg), to be delivered next round.
+    let mut in_flight: Vec<(VertexId, VertexId, P::Msg)> = Vec::new();
+
+    // Init phase (round 0).
+    for (i, program) in programs.iter_mut().enumerate() {
+        let v = VertexId::from_index(i);
+        let ctx = NodeCtx {
+            id: v,
+            neighbors: g.neighbors(v),
+            round: 0,
+        };
+        for (dest, msg) in program.init(&ctx) {
+            validate_dest(g, v, dest)?;
+            in_flight.push((v, dest, msg));
+        }
+    }
+
+    let mut round = 0usize;
+    while !in_flight.is_empty() {
+        round += 1;
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: cfg.max_rounds,
+            });
+        }
+        // Enforce per-directed-edge budgets for this round's deliveries.
+        let mut edge_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+        for (from, to, msg) in &in_flight {
+            let w = edge_words.entry((*from, *to)).or_insert(0);
+            *w += msg.words();
+            if *w > cfg.budget_words {
+                return Err(SimError::BudgetExceeded {
+                    from: *from,
+                    to: *to,
+                    words: *w,
+                    budget: cfg.budget_words,
+                    round,
+                });
+            }
+        }
+        let round_max = edge_words.values().copied().max().unwrap_or(0);
+        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+        metrics.messages += in_flight.len();
+        metrics.words += in_flight.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+
+        // Deliver.
+        let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
+        for (from, to, msg) in in_flight.drain(..) {
+            inboxes.entry(to).or_default().push((from, msg));
+        }
+        // Deterministic processing order.
+        let mut recipients: Vec<VertexId> = inboxes.keys().copied().collect();
+        recipients.sort();
+        for v in recipients {
+            let mut inbox = inboxes.remove(&v).expect("recipient key exists");
+            inbox.sort_by_key(|(from, _)| *from);
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                round,
+            };
+            for (dest, msg) in programs[v.index()].on_round(&ctx, &inbox) {
+                validate_dest(g, v, dest)?;
+                in_flight.push((v, dest, msg));
+            }
+        }
+    }
+    metrics.rounds = round;
+    Ok(SimOutcome { programs, metrics })
+}
+
+fn validate_dest(g: &Graph, from: VertexId, to: VertexId) -> Result<(), SimError> {
+    if g.has_edge(from, to) {
+        Ok(())
+    } else {
+        Err(SimError::InvalidDestination { from, to })
+    }
+}

@@ -109,7 +109,11 @@ pub fn schedule(
         let mut remaining = t.words;
         while remaining > 0 {
             let w = remaining.min(budget_words);
-            packets.push(Packet { path_idx: i, pos: 0, words: w });
+            packets.push(Packet {
+                path_idx: i,
+                pos: 0,
+                words: w,
+            });
             remaining -= w;
         }
     }
@@ -234,7 +238,10 @@ mod tests {
         let g = path_graph(4);
         assert_eq!(
             schedule(&g, &[Transfer::new(vpath(&[0, 2]), 1)], 8),
-            Err(RoutingError::NonAdjacentHop { a: VertexId(0), b: VertexId(2) })
+            Err(RoutingError::NonAdjacentHop {
+                a: VertexId(0),
+                b: VertexId(2)
+            })
         );
         assert_eq!(
             schedule(&g, &[Transfer::new(Vec::new(), 1)], 8),

@@ -1,0 +1,323 @@
+//! Determinism conformance suite for the simulation kernel.
+//!
+//! The allocation-free kernel (`congest_sim::run`) must be byte-for-byte
+//! equivalent to the seed kernel preserved in
+//! `congest_sim::reference::run_reference`: identical final program states,
+//! identical [`Metrics`], identical errors. These tests pin that contract
+//! so kernel optimizations cannot silently introduce ordering
+//! nondeterminism — the property the round-count measurements in
+//! EXPERIMENTS.md depend on.
+
+use congest_sim::reference::run_reference;
+use congest_sim::{run, Metrics, NodeCtx, NodeProgram, SimConfig, SimError, Simulator};
+use planar_graph::{Graph, VertexId};
+
+/// Max-flood: every node announces, floods improvements. Deterministic and
+/// touches every edge repeatedly.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MaxFlood {
+    best: u32,
+}
+
+impl NodeProgram for MaxFlood {
+    type Msg = u32;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+        ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+        let incoming = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        if incoming > self.best {
+            self.best = incoming;
+            ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Inbox transcript recorder: state is the full ordered history of
+/// `(round, from, value)` triples — the strongest determinism witness, since
+/// any change in delivery *order*, not just content, changes the state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Transcript {
+    log: Vec<(usize, u32, u64)>,
+    hops: u32,
+}
+
+impl NodeProgram for Transcript {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u64)> {
+        ctx.neighbors
+            .iter()
+            .map(|&w| (w, u64::from(ctx.id.0) << 8))
+            .collect()
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u64)]) -> Vec<(VertexId, u64)> {
+        for &(from, v) in inbox {
+            self.log.push((ctx.round, from.0, v));
+        }
+        if ctx.round >= usize::from(self.hops as u16) {
+            return Vec::new();
+        }
+        // Forward a decremented copy of the smallest value to all neighbors.
+        let min = inbox.iter().map(|&(_, v)| v).min().unwrap_or(0);
+        ctx.neighbors.iter().map(|&w| (w, min + 1)).collect()
+    }
+}
+
+fn grid(rows: usize, cols: usize, diagonals: bool) -> Graph {
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if diagonals && r + 1 < rows && c + 1 < cols {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges).unwrap()
+}
+
+fn star(n: usize) -> Graph {
+    Graph::from_edges(n, (1..n as u32).map(|i| (0, i))).unwrap()
+}
+
+fn path(n: usize) -> Graph {
+    Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("path32", path(32)),
+        ("star17", star(17)),
+        ("grid8x8", grid(8, 8, false)),
+        ("trigrid6x6", grid(6, 6, true)),
+    ]
+}
+
+fn flood_programs(g: &Graph) -> Vec<MaxFlood> {
+    (0..g.vertex_count())
+        .map(|i| MaxFlood {
+            best: (i as u32 * 7) % 64,
+        })
+        .collect()
+}
+
+fn transcript_programs(g: &Graph) -> Vec<Transcript> {
+    (0..g.vertex_count())
+        .map(|_| Transcript {
+            log: Vec::new(),
+            hops: 6,
+        })
+        .collect()
+}
+
+fn run_pair<P: NodeProgram + Clone + PartialEq + std::fmt::Debug>(
+    name: &str,
+    g: &Graph,
+    programs: Vec<P>,
+    cfg: &SimConfig,
+) -> (Vec<P>, Metrics) {
+    let fast =
+        run(g, programs.clone(), cfg).unwrap_or_else(|e| panic!("{name}: fast kernel failed: {e}"));
+    let slow = run_reference(g, programs, cfg)
+        .unwrap_or_else(|e| panic!("{name}: reference kernel failed: {e}"));
+    assert_eq!(fast.programs, slow.programs, "{name}: final states diverge");
+    assert_eq!(fast.metrics, slow.metrics, "{name}: metrics diverge");
+    (fast.programs, fast.metrics)
+}
+
+/// Three identical runs of the fast kernel agree with each other and with
+/// the reference kernel, on every workload, for both program shapes.
+#[test]
+fn kernels_agree_and_reruns_are_identical() {
+    let cfg = SimConfig::default();
+    for (name, g) in workloads() {
+        let (s1, m1) = run_pair(name, &g, flood_programs(&g), &cfg);
+        for _ in 0..2 {
+            let (s, m) = run_pair(name, &g, flood_programs(&g), &cfg);
+            assert_eq!(s, s1, "{name}: flood rerun diverged");
+            assert_eq!(m, m1, "{name}: flood rerun metrics diverged");
+        }
+
+        let (t1, tm1) = run_pair(name, &g, transcript_programs(&g), &cfg);
+        for _ in 0..2 {
+            let (t, tm) = run_pair(name, &g, transcript_programs(&g), &cfg);
+            assert_eq!(t, t1, "{name}: transcript rerun diverged");
+            assert_eq!(tm, tm1, "{name}: transcript rerun metrics diverged");
+        }
+    }
+}
+
+/// A `Simulator` reused across runs — different graphs, and immediately
+/// after a run that aborted with an error — behaves exactly like a fresh
+/// one: buffer reuse must not leak any state between runs.
+#[test]
+fn simulator_reuse_matches_fresh_runs() {
+    /// Overflows the word budget toward node 0 at init time.
+    #[derive(Clone, Debug)]
+    struct Overflow;
+    impl NodeProgram for Overflow {
+        type Msg = u32;
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(1) {
+                (0..50).map(|i| (VertexId(0), i)).collect()
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_round(&mut self, _: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            Vec::new()
+        }
+    }
+
+    let cfg = SimConfig::default();
+    let mut sim: Simulator<u32> = Simulator::new();
+    for round_trip in 0..2 {
+        for (name, g) in workloads() {
+            let fresh = run(&g, flood_programs(&g), &cfg)
+                .unwrap_or_else(|e| panic!("{name}: fresh run failed: {e}"));
+            let reused = sim
+                .run(&g, flood_programs(&g), &cfg)
+                .unwrap_or_else(|e| panic!("{name}: reused run failed: {e}"));
+            assert_eq!(
+                fresh.programs, reused.programs,
+                "{name} (pass {round_trip})"
+            );
+            assert_eq!(fresh.metrics, reused.metrics, "{name} (pass {round_trip})");
+
+            // Poison the simulator with an aborted run; the next iteration
+            // must still match a fresh simulator exactly.
+            let n = g.vertex_count();
+            let err = sim.run(&g, vec![Overflow; n], &cfg).unwrap_err();
+            assert!(
+                matches!(err, SimError::BudgetExceeded { .. }),
+                "{name}: {err}"
+            );
+        }
+    }
+}
+
+/// Budget-overflow regression: the fast kernel reports the same
+/// `(from, to, words, budget, round)` as the seed kernel did.
+#[test]
+fn budget_exceeded_matches_reference() {
+    /// Node 0 floods `words_per_round` one-word messages to node 1 starting
+    /// in the given round, overflowing a budget of 8.
+    #[derive(Clone, Debug)]
+    struct Burst {
+        fire_round: usize,
+        volume: usize,
+    }
+    impl NodeProgram for Burst {
+        type Msg = u32;
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(0) {
+                vec![(VertexId(1), 1)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_round(&mut self, ctx: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(1) && ctx.round == self.fire_round {
+                (0..self.volume).map(|i| (VertexId(2), i as u32)).collect()
+            } else if ctx.id == VertexId(1) && ctx.round < self.fire_round {
+                vec![(VertexId(0), 0)] // keep the run alive until fire_round
+            } else if ctx.id == VertexId(0) && ctx.round < self.fire_round {
+                vec![(VertexId(1), 0)]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+    let g = path(3);
+    let cfg = SimConfig {
+        budget_words: 8,
+        max_rounds: 100,
+    };
+    let mk = || {
+        (0..3)
+            .map(|_| Burst {
+                fire_round: 3,
+                volume: 20,
+            })
+            .collect::<Vec<_>>()
+    };
+    let fast_err = run(&g, mk(), &cfg).unwrap_err();
+    let slow_err = run_reference(&g, mk(), &cfg).unwrap_err();
+    assert_eq!(fast_err, slow_err);
+    // The overflow happens on the 9th word sent by node 1 to node 2 in
+    // round 3, delivered (and reported) in round 4.
+    assert_eq!(
+        fast_err,
+        SimError::BudgetExceeded {
+            from: VertexId(1),
+            to: VertexId(2),
+            words: 9,
+            budget: 8,
+            round: 4,
+        }
+    );
+}
+
+/// Invalid destinations and the max-rounds guard error identically on both
+/// kernels.
+#[test]
+fn error_surfaces_match_reference() {
+    #[derive(Clone, Debug)]
+    struct Wild;
+    impl NodeProgram for Wild {
+        type Msg = u32;
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(2) {
+                vec![(VertexId(0), 1)] // 0 is not adjacent to 2 on a path
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_round(&mut self, _: &NodeCtx<'_>, _: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            Vec::new()
+        }
+    }
+    let g = path(4);
+    let cfg = SimConfig::default();
+    assert_eq!(
+        run(&g, vec![Wild; 4], &cfg).unwrap_err(),
+        run_reference(&g, vec![Wild; 4], &cfg).unwrap_err(),
+    );
+
+    #[derive(Clone, Debug)]
+    struct PingPong;
+    impl NodeProgram for PingPong {
+        type Msg = u32;
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(0) {
+                vec![(VertexId(1), 0)]
+            } else {
+                Vec::new()
+            }
+        }
+        fn on_round(&mut self, _: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+            inbox.iter().map(|&(from, v)| (from, v + 1)).collect()
+        }
+    }
+    let g = path(2);
+    let cfg = SimConfig {
+        budget_words: 8,
+        max_rounds: 25,
+    };
+    assert_eq!(
+        run(&g, vec![PingPong; 2], &cfg).unwrap_err(),
+        run_reference(&g, vec![PingPong; 2], &cfg).unwrap_err(),
+    );
+}

@@ -75,7 +75,11 @@ pub fn embed_baseline(g: &Graph, cfg: &SimConfig) -> Result<EmbeddingOutcome, Em
         bfs_depth: tree.tree_depth() as usize,
         ..Default::default()
     };
-    Ok(EmbeddingOutcome { rotation, metrics, stats })
+    Ok(EmbeddingOutcome {
+        rotation,
+        metrics,
+        stats,
+    })
 }
 
 #[cfg(test)]

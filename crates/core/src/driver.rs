@@ -25,7 +25,10 @@ pub struct EmbedderConfig {
 
 impl Default for EmbedderConfig {
     fn default() -> Self {
-        EmbedderConfig { sim: SimConfig::default(), check_invariants: true }
+        EmbedderConfig {
+            sim: SimConfig::default(),
+            check_invariants: true,
+        }
     }
 }
 
@@ -67,10 +70,7 @@ pub struct EmbeddingOutcome {
 /// # Ok(())
 /// # }
 /// ```
-pub fn embed_distributed(
-    g: &Graph,
-    cfg: &EmbedderConfig,
-) -> Result<EmbeddingOutcome, EmbedError> {
+pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOutcome, EmbedError> {
     let n = g.vertex_count();
     let (setup, setup_metrics) = run_setup(g, &cfg.sim)?;
     // Cheap planarity guard; density violations abort before recursing.
@@ -86,8 +86,7 @@ pub fn embed_distributed(
     };
     let mut metrics = setup_metrics;
 
-    let (part, rec_metrics) =
-        solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats)?;
+    let (part, rec_metrics) = solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats)?;
     debug_assert_eq!(part.len(), n);
     metrics.add(rec_metrics);
     stats.depth = stats.levels.len();
@@ -96,7 +95,11 @@ pub fn embed_distributed(
     // embedded, no half-embedded edges left).
     let rotation = planar_lib::embed(g)?;
     debug_assert!(rotation.is_planar_embedding());
-    Ok(EmbeddingOutcome { rotation, metrics, stats })
+    Ok(EmbeddingOutcome {
+        rotation,
+        metrics,
+        stats,
+    })
 }
 
 /// Recursively solves the subproblem rooted at `root`; returns the merged
@@ -111,7 +114,10 @@ fn solve(
 ) -> Result<(PartState, Metrics), EmbedError> {
     let size = tree.subtree_size[root.index()] as usize;
     if stats.levels.len() <= level {
-        stats.levels.push(LevelStats { level, ..Default::default() });
+        stats.levels.push(LevelStats {
+            level,
+            ..Default::default()
+        });
     }
     if size == 1 {
         stats.levels[level].problems += 1;
@@ -128,8 +134,9 @@ fn solve(
         for part in &partition.parts {
             let ratio = part.members.len() as f64 / size as f64;
             lvl.max_child_ratio = lvl.max_child_ratio.max(ratio);
-            lvl.max_part_depth =
-                lvl.max_part_depth.max(tree.subtree_depth(part.root) as usize);
+            lvl.max_part_depth = lvl
+                .max_part_depth
+                .max(tree.subtree_depth(part.root) as usize);
             if ratio > 2.0 / 3.0 + 1e-9 {
                 return Err(EmbedError::Internal(format!(
                     "Lemma 4.2 violated: part ratio {ratio}"
@@ -227,7 +234,17 @@ mod tests {
         // K3,3 passes the density bound; rejection must come from a merge.
         let k33 = Graph::from_edges(
             6,
-            [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+            [
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+            ],
         )
         .unwrap();
         assert!(matches!(
@@ -272,6 +289,10 @@ mod tests {
         let d = 10.0; // grid diameter
         let logn = (36f64).log2();
         let ratio = out.metrics.rounds as f64 / (d * logn);
-        assert!(ratio < 40.0, "rounds = {}, ratio = {ratio}", out.metrics.rounds);
+        assert!(
+            ratio < 40.0,
+            "rounds = {}, ratio = {ratio}",
+            out.metrics.rounds
+        );
     }
 }

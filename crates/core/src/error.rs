@@ -110,8 +110,7 @@ mod tests {
         assert!(matches!(e, EmbedError::NonPlanar));
         // An unsatisfiable pin constraint inside the algorithm is a
         // planarity witness (see the From impl).
-        let e: EmbedError =
-            PlanarityError::UnsatisfiableConstraint { reason: "x".into() }.into();
+        let e: EmbedError = PlanarityError::UnsatisfiableConstraint { reason: "x".into() }.into();
         assert!(matches!(e, EmbedError::NonPlanar));
     }
 }

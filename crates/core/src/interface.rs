@@ -75,8 +75,11 @@ impl InterfaceSummary {
             }
             // The fixed boundary order: embed the block with the marked
             // vertices pinned to one face.
-            let index: HashMap<VertexId, u32> =
-                verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let index: HashMap<VertexId, u32> = verts
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| (v, i as u32))
+                .collect();
             let mut sub = Graph::new(verts.len());
             for &e in bc.block_edges(b) {
                 sub.add_edge(VertexId(index[&e.lo()]), VertexId(index[&e.hi()]))
@@ -86,7 +89,10 @@ impl InterfaceSummary {
             let pe = embed_pinned(&sub, &pins)?;
             let attachment_order: Vec<VertexId> =
                 pe.pin_order.iter().map(|p| verts[p.index()]).collect();
-            blocks.push(BlockInterface { id: bc.block_id(b), attachment_order });
+            blocks.push(BlockInterface {
+                id: bc.block_id(b),
+                attachment_order,
+            });
         }
         blocks.sort_by_key(|b| b.id);
         Ok(InterfaceSummary {
@@ -131,7 +137,8 @@ pub fn achievable_boundary_orders(
         aug.add_edge(e.lo(), e.hi()).expect("copying simple graph");
     }
     for (i, &(a, _)) in half_edges.iter().enumerate() {
-        aug.add_edge(VertexId::from_index(n + i), a).expect("leaf edges are new");
+        aug.add_edge(VertexId::from_index(n + i), a)
+            .expect("leaf edges are new");
     }
     let leaf_label: HashMap<VertexId, u32> = half_edges
         .iter()
@@ -140,10 +147,8 @@ pub fn achievable_boundary_orders(
         .collect();
 
     let mut result = BTreeSet::new();
-    let mut orders: Vec<Vec<VertexId>> = aug
-        .vertices()
-        .map(|v| aug.neighbors(v).to_vec())
-        .collect();
+    let mut orders: Vec<Vec<VertexId>> =
+        aug.vertices().map(|v| aug.neighbors(v).to_vec()).collect();
     enumerate_rotations(&aug, &mut orders, 0, &mut |orders| {
         let rs = RotationSystem::new(&aug, orders.to_vec()).expect("permuted neighbors");
         if !rs.is_planar_embedding() {
@@ -153,10 +158,7 @@ pub fn achievable_boundary_orders(
         let faces = rs.faces();
         let mut leaf_face: Option<usize> = None;
         for (fi, face) in faces.iter().enumerate() {
-            if face
-                .iter()
-                .any(|&(u, _)| leaf_label.contains_key(&u))
-            {
+            if face.iter().any(|&(u, _)| leaf_label.contains_key(&u)) {
                 // All leaves must be in one face.
                 let leaves_here: usize = face
                     .iter()
@@ -241,8 +243,7 @@ mod tests {
         // Figure 4(c): two triangles sharing cut vertex 2; half-edges at the
         // four non-cut vertices. Bundles stay consecutive; flipping one
         // block gives the second class.
-        let g =
-            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let he = [
             (VertexId(0), 0),
             (VertexId(1), 1),
@@ -250,8 +251,9 @@ mod tests {
             (VertexId(4), 3),
         ];
         let orders = achievable_boundary_orders(&g, &he);
-        let expected: BTreeSet<Vec<u32>> =
-            [canon(&[0u32, 1, 2, 3]), canon(&[0u32, 1, 3, 2])].into_iter().collect();
+        let expected: BTreeSet<Vec<u32>> = [canon(&[0u32, 1, 2, 3]), canon(&[0u32, 1, 3, 2])]
+            .into_iter()
+            .collect();
         assert_eq!(orders, expected);
         // Interleavings like 0,2,1,3 are NOT achievable (Figure 3).
         assert!(!orders.contains(&canon(&[0u32, 2, 1, 3])));
@@ -282,8 +284,7 @@ mod tests {
 
     #[test]
     fn summary_of_bowtie() {
-        let g =
-            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let relevant = vec![VertexId(0), VertexId(1), VertexId(3), VertexId(4)];
         let s = InterfaceSummary::compute(&g, &relevant).unwrap();
         assert_eq!(s.blocks.len(), 2);
@@ -300,19 +301,18 @@ mod tests {
     fn summary_ignores_irrelevant_blocks() {
         // Path of two triangles; only the far triangle's vertices relevant;
         // the near triangle still matters only through its cut vertices.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (3, 5)]).unwrap();
         let s = InterfaceSummary::compute(&g, &[VertexId(4), VertexId(5)]).unwrap();
         // Blocks with >= 2 marked vertices: the far triangle {3,4,5} (cut 3
         // + relevant 4,5), the bridge {2,3} (two cuts), and the near
         // triangle {0,1,2} only via cut vertex 2 (1 marked -> skipped).
-        let block_sizes: Vec<usize> =
-            s.blocks.iter().map(|b| b.attachment_order.len()).collect();
+        let block_sizes: Vec<usize> = s.blocks.iter().map(|b| b.attachment_order.len()).collect();
         assert!(block_sizes.contains(&3)); // far triangle
-        assert!(!s.blocks.iter().any(|b| b.attachment_order.contains(&VertexId(0))));
+        assert!(!s
+            .blocks
+            .iter()
+            .any(|b| b.attachment_order.contains(&VertexId(0))));
     }
 
     #[test]

@@ -64,10 +64,10 @@ mod error;
 pub mod interface;
 pub mod merge;
 pub mod neighborhood;
-pub mod ruling;
 pub mod partition;
 pub mod parts;
 pub mod patterns;
+pub mod ruling;
 pub mod setup;
 pub mod stats;
 pub mod symmetry;

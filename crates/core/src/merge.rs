@@ -11,8 +11,9 @@
 //!    single-connection parts, (e) coordinator copy split-off, (f) Lemma 5.3
 //!    symmetry breaking on the inter-part graph, (g)/(h) star merges, (i)
 //!    setting aside long monotone paths };
-//! 3.–5. two-connection parts: local embedding, delivery of orders, and the
-//!    keep-highest-ID rule;
+//!
+//! 3.–5. two-connection parts: local embedding, delivery of orders, and
+//! the keep-highest-ID rule;
 //! 6. the restricted path-coordinated merge with `P_0` as coordinator.
 //!
 //! **Simulation strategy** (DESIGN.md §1): the *control flow* above runs
@@ -89,8 +90,7 @@ pub fn merge_parts(
     h_members.sort();
     h_members.dedup();
 
-    let p0_pos: HashMap<VertexId, usize> =
-        p0.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+    let p0_pos: HashMap<VertexId, usize> = p0.iter().enumerate().map(|(i, &v)| (v, i)).collect();
     let h_set: HashSet<VertexId> = h_members.iter().copied().collect();
     let mut part_of = HashMap::new();
     for (i, p) in hanging.iter().enumerate() {
@@ -124,7 +124,11 @@ pub fn merge_parts(
     ctx.steps_3_to_5()?; // two-connection parts
     let part = ctx.step_6(&h_members)?; // restricted path-coordinated merge
 
-    Ok(MergeOutcome { part, metrics: ctx.metrics, stats: ctx.stats })
+    Ok(MergeOutcome {
+        part,
+        metrics: ctx.metrics,
+        stats: ctx.stats,
+    })
 }
 
 impl<'g> MergeCtx<'g> {
@@ -219,7 +223,9 @@ impl<'g> MergeCtx<'g> {
                 }
             }
         }
-        Err(EmbedError::Internal(format!("no route from {from} to {to} within part")))
+        Err(EmbedError::Internal(format!(
+            "no route from {from} to {to} within part"
+        )))
     }
 
     /// Routing region of a part: its members plus the `P_0` spine (the
@@ -357,16 +363,14 @@ impl<'g> MergeCtx<'g> {
                         EmbedError::Internal("low-connection without attachment".into())
                     })?;
                     let region = self.region(&[i]);
-                    let mut path =
-                        self.path_within(&region, self.parts[i].leader, att)?;
+                    let mut path = self.path_within(&region, self.parts[i].leader, att)?;
                     path.push(coord);
                     let mut others = targets.clone();
                     for &v in &self.parts[i].members {
                         others.remove(&v);
                     }
                     let relevant = self.attachments_toward(i, &others);
-                    let words =
-                        summary_words(self.g, &self.parts[i].members, &relevant);
+                    let words = summary_words(self.g, &self.parts[i].members, &relevant);
                     let rev: Vec<VertexId> = path.iter().rev().copied().collect();
                     transfers.push(Transfer::new(path, words));
                     transfers.push(Transfer::new(rev, words));
@@ -374,7 +378,8 @@ impl<'g> MergeCtx<'g> {
                 merges.push(comp);
             }
         }
-        self.metrics.add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+        self.metrics
+            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
         let mut step = Metrics::new();
         for comp in merges {
             let kept = self.union_parts(&comp)?;
@@ -414,7 +419,8 @@ impl<'g> MergeCtx<'g> {
             self.status[i] = Status::Retired;
         }
         self.metrics.add(step);
-        self.metrics.add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+        self.metrics
+            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
         Ok(())
     }
 
@@ -436,11 +442,8 @@ impl<'g> MergeCtx<'g> {
             for nb in self.part_neighbors(i) {
                 if let Some(&vj) = vidx.get(&nb) {
                     if vi < vj {
-                        gv.add_edge(
-                            VertexId::from_index(vi),
-                            VertexId::from_index(vj),
-                        )
-                        .ok();
+                        gv.add_edge(VertexId::from_index(vi), VertexId::from_index(vj))
+                            .ok();
                     }
                 }
             }
@@ -470,8 +473,7 @@ impl<'g> MergeCtx<'g> {
         }
         for chain in &outcome.chains {
             match chain.len() {
-                2 => merge_groups
-                    .push(chain.iter().map(|c| actives[c.index()]).collect()),
+                2 => merge_groups.push(chain.iter().map(|c| actives[c.index()]).collect()),
                 l if l >= 3 => {
                     // (i): set aside; these skip the next iteration.
                     self.stats.paused_paths += 1;
@@ -494,11 +496,8 @@ impl<'g> MergeCtx<'g> {
                 group_vertices.extend(self.parts[i].members.iter().copied());
             }
             for &i in &group[1..] {
-                let path = self.path_within(
-                    &region,
-                    self.parts[i].leader,
-                    self.parts[head].leader,
-                )?;
+                let path =
+                    self.path_within(&region, self.parts[i].leader, self.parts[head].leader)?;
                 let mut others = group_vertices.clone();
                 for &v in &self.parts[i].members {
                     others.remove(&v);
@@ -512,7 +511,8 @@ impl<'g> MergeCtx<'g> {
             let kept = self.union_parts(&group)?;
             step.join_parallel(self.housekeeping(&[kept]));
         }
-        self.metrics.add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+        self.metrics
+            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
         self.metrics.add(step);
         Ok(())
     }
@@ -533,10 +533,7 @@ impl<'g> MergeCtx<'g> {
         let mut step = Metrics::new();
         for i in self.active_indices() {
             let conns = self.connections(i);
-            if conns.len() != 2
-                || !self.part_neighbors(i).is_empty()
-                || self.has_outside(i)
-            {
+            if conns.len() != 2 || !self.part_neighbors(i).is_empty() || self.has_outside(i) {
                 continue;
             }
             let mut it = conns.iter();
@@ -552,7 +549,8 @@ impl<'g> MergeCtx<'g> {
             doubles.entry((a, b)).or_default().push(i);
         }
         self.metrics.add(step);
-        self.metrics.add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+        self.metrics
+            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
         // Step 5: keep only the highest-leader part per (i, j) pair.
         for (_, group) in doubles {
             let keep = group
@@ -617,7 +615,8 @@ impl<'g> MergeCtx<'g> {
             max_words_edge_round: 1,
         });
         self.metrics.add(step);
-        self.metrics.add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+        self.metrics
+            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
         let _ = s;
 
         let merged = PartState::new(h_members.to_vec());
@@ -642,8 +641,11 @@ mod tests {
         let cfg = SimConfig::default();
         let (setup, _) = run_setup(g, &cfg).unwrap();
         let p = partition_subtree(g, &setup.tree, setup.tree.root, &cfg).unwrap();
-        let hanging: Vec<PartState> =
-            p.parts.iter().map(|q| PartState::new(q.members.clone())).collect();
+        let hanging: Vec<PartState> = p
+            .parts
+            .iter()
+            .map(|q| PartState::new(q.members.clone()))
+            .collect();
         merge_parts(g, p.p0.clone(), hanging, &cfg, true).unwrap()
     }
 
@@ -693,8 +695,11 @@ mod tests {
         let cfg = SimConfig::default();
         let (setup, _) = run_setup(&g, &cfg).unwrap();
         let p = partition_subtree(&g, &setup.tree, setup.tree.root, &cfg).unwrap();
-        let hanging: Vec<PartState> =
-            p.parts.iter().map(|q| PartState::new(q.members.clone())).collect();
+        let hanging: Vec<PartState> = p
+            .parts
+            .iter()
+            .map(|q| PartState::new(q.members.clone()))
+            .collect();
         let out = merge_parts(&g, p.p0, hanging, &cfg, true).unwrap();
         assert_eq!(out.part.len(), 2);
     }

@@ -144,7 +144,10 @@ impl NodeProgram for PeelProgram {
         if self.wants_to_peel() {
             self.peel_now()
         } else {
-            self.alive_neighbors.iter().map(|&w| (w, PeelMsg::Tick)).collect()
+            self.alive_neighbors
+                .iter()
+                .map(|&w| (w, PeelMsg::Tick))
+                .collect()
         }
     }
 
@@ -173,7 +176,10 @@ impl NodeProgram for PeelProgram {
             self.peel_now()
         } else {
             // Keep the synchronous iterations ticking.
-            self.alive_neighbors.iter().map(|&w| (w, PeelMsg::Tick)).collect()
+            self.alive_neighbors
+                .iter()
+                .map(|&w| (w, PeelMsg::Tick))
+                .collect()
         }
     }
 }
@@ -201,8 +207,9 @@ pub fn peel_orientation(
         })
         .collect();
     let out = run(g, programs, cfg)?;
-    let orientation =
-        Orientation { out: out.programs.into_iter().map(|p| p.out).collect() };
+    let orientation = Orientation {
+        out: out.programs.into_iter().map(|p| p.out).collect(),
+    };
     Ok((orientation, out.metrics))
 }
 
@@ -220,7 +227,10 @@ impl NodeProgram for LearnProgram {
 
     fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Vec<VertexId>)> {
         self.neighbors = ctx.neighbors.to_vec();
-        ctx.neighbors.iter().map(|&w| (w, self.out.clone())).collect()
+        ctx.neighbors
+            .iter()
+            .map(|&w| (w, self.out.clone()))
+            .collect()
     }
 
     fn on_round(
@@ -276,8 +286,7 @@ pub fn learn_neighborhoods(
 
 /// Ground truth for tests: the edges induced by the neighborhood of `v`.
 pub fn induced_neighborhood_edges(g: &Graph, v: VertexId) -> Vec<EdgeId> {
-    let nbrs: HashMap<VertexId, ()> =
-        g.neighbors(v).iter().map(|&w| (w, ())).collect();
+    let nbrs: HashMap<VertexId, ()> = g.neighbors(v).iter().map(|&w| (w, ())).collect();
     let mut out = Vec::new();
     for &u in g.neighbors(v) {
         for &w in g.neighbors(u) {
@@ -304,7 +313,10 @@ mod tests {
         let g = gen::random_outerplanar(40, 3);
         let o = degeneracy_orientation(&g);
         assert!(o.covers(&g));
-        assert!(o.max_outdegree() <= 2, "outerplanar degeneracy is at most 2");
+        assert!(
+            o.max_outdegree() <= 2,
+            "outerplanar degeneracy is at most 2"
+        );
         let g = gen::random_tree(40, 3);
         assert!(degeneracy_orientation(&g).max_outdegree() <= 1);
     }
@@ -328,7 +340,10 @@ mod tests {
         ] {
             let o = degeneracy_orientation(&g);
             assert!(o.max_outdegree() <= k);
-            let cfg = SimConfig { budget_words: k + 2, ..Default::default() };
+            let cfg = SimConfig {
+                budget_words: k + 2,
+                ..Default::default()
+            };
             let (learned, metrics) = learn_neighborhoods(&g, &o, &cfg).unwrap();
             assert_eq!(metrics.rounds, 1, "one-round exchange");
             for v in g.vertices() {
@@ -350,7 +365,10 @@ mod tests {
                 .chain((1..12).map(|_| Vec::new()))
                 .collect(),
         };
-        let cfg = SimConfig { budget_words: 4, ..Default::default() };
+        let cfg = SimConfig {
+            budget_words: 4,
+            ..Default::default()
+        };
         assert!(learn_neighborhoods(&g, &o, &cfg).is_err());
     }
 

@@ -98,8 +98,7 @@ pub fn partition_subtree(
     metrics.add(schedule(g, &notify, cfg.budget_words)?);
 
     // 3. Part-label downcast inside every hanging subtree (all in parallel).
-    let root_label: HashMap<VertexId, u32> =
-        part_roots.iter().map(|&r| (r, r.0)).collect();
+    let root_label: HashMap<VertexId, u32> = part_roots.iter().map(|&r| (r, r.0)).collect();
     let programs: Vec<Downcast> = g
         .vertices()
         .map(|v| {
@@ -115,7 +114,10 @@ pub fn partition_subtree(
 
     let parts: Vec<SubProblem> = part_roots
         .into_iter()
-        .map(|r| SubProblem { root: r, members: tree.subtree_members(r) })
+        .map(|r| SubProblem {
+            root: r,
+            members: tree.subtree_members(r),
+        })
         .collect();
     Ok(Partition { p0, parts, metrics })
 }
@@ -134,8 +136,7 @@ mod tests {
     fn partition_respects_lemma_4_2() {
         let g = gen::grid(6, 6);
         let tree = setup_tree(&g);
-        let p =
-            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        let p = partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
         let n = g.vertex_count();
         // P_0 non-empty, starts at the root.
         assert_eq!(p.p0[0], tree.root);
@@ -144,8 +145,7 @@ mod tests {
             assert!(3 * part.members.len() <= 2 * n);
         }
         // Parts + P_0 partition the subtree.
-        let covered: usize =
-            p.p0.len() + p.parts.iter().map(|q| q.members.len()).sum::<usize>();
+        let covered: usize = p.p0.len() + p.parts.iter().map(|q| q.members.len()).sum::<usize>();
         assert_eq!(covered, n);
         // Part diameter (tree depth within part) < depth(T_s) (Lemma 4.2).
         let depth_ts = tree.tree_depth();
@@ -158,8 +158,7 @@ mod tests {
     fn partition_of_path_graph() {
         let g = gen::path(9); // root will be vertex 8
         let tree = setup_tree(&g);
-        let p =
-            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        let p = partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
         // On a path rooted at an end, P_0 runs from 8 down to the first
         // splitter (vertex 6: below it hang 6 vertices <= 2*9/3 = 6, above 2).
         assert_eq!(p.p0, vec![VertexId(8), VertexId(7), VertexId(6)]);
@@ -172,8 +171,7 @@ mod tests {
     fn partition_of_star_is_center_plus_leaves() {
         let g = gen::star(7); // center 0, leaves 1..6; root = 6 (max id)
         let tree = setup_tree(&g);
-        let p =
-            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        let p = partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
         // The walk goes 6 -> 0 (subtree below 0 has 6 > 2*7/3 = 4.67).
         assert_eq!(p.p0, vec![VertexId(6), VertexId(0)]);
         assert_eq!(p.parts.len(), 5);
@@ -186,8 +184,7 @@ mod tests {
     fn partition_cost_is_linear_in_depth() {
         let g = gen::path(64);
         let tree = setup_tree(&g);
-        let p =
-            partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
+        let p = partition_subtree(&g, &tree, tree.root, &SimConfig::default()).unwrap();
         // Centroid walk + notify + downcast: all O(depth) = O(n) on a path.
         assert!(p.metrics.rounds <= 3 * 64, "rounds = {}", p.metrics.rounds);
     }

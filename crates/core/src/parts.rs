@@ -77,8 +77,10 @@ pub fn half_embedded_edges(g: &Graph, members: &[VertexId]) -> Vec<(VertexId, Ve
 /// The attachment vertices of a part: members incident to at least one
 /// half-embedded edge, sorted.
 pub fn attachments(g: &Graph, members: &[VertexId]) -> Vec<VertexId> {
-    let mut att: Vec<VertexId> =
-        half_embedded_edges(g, members).into_iter().map(|(v, _)| v).collect();
+    let mut att: Vec<VertexId> = half_embedded_edges(g, members)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
     att.sort();
     att.dedup();
     att
@@ -107,8 +109,7 @@ pub fn verify_part(g: &Graph, members: &[VertexId]) -> Result<(), EmbedError> {
         .enumerate()
         .map(|(i, &v)| (v, VertexId::from_index(i)))
         .collect();
-    let pins: Vec<VertexId> =
-        attachments(g, members).iter().map(|a| reverse[a]).collect();
+    let pins: Vec<VertexId> = attachments(g, members).iter().map(|a| reverse[a]).collect();
     embed_pinned(&sub, &pins)?;
     Ok(())
 }
@@ -123,14 +124,18 @@ pub fn partition_is_safe(g: &Graph, parts: &[Vec<VertexId>]) -> bool {
         // Trivial part (induces a forest)? Count induced edges.
         let induced_edges = part
             .iter()
-            .map(|&v| g.neighbors(v).iter().filter(|&&w| v < w && set.contains(&w)).count())
+            .map(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .filter(|&&w| v < w && set.contains(&w))
+                    .count()
+            })
             .sum::<usize>();
         if induced_edges < part.len() {
             continue; // a tree/forest: trivial, no constraint
         }
         // Non-trivial: complement must be connected (or empty).
-        let complement: Vec<VertexId> =
-            g.vertices().filter(|v| !set.contains(v)).collect();
+        let complement: Vec<VertexId> = g.vertices().filter(|v| !set.contains(v)).collect();
         if complement.is_empty() {
             continue;
         }
@@ -207,7 +212,10 @@ mod tests {
         let g = gen::cycle(6);
         let members = vec![VertexId(0), VertexId(1), VertexId(2)];
         let he = half_embedded_edges(&g, &members);
-        assert_eq!(he, vec![(VertexId(0), VertexId(5)), (VertexId(2), VertexId(3))]);
+        assert_eq!(
+            he,
+            vec![(VertexId(0), VertexId(5)), (VertexId(2), VertexId(3))]
+        );
         assert_eq!(attachments(&g, &members), vec![VertexId(0), VertexId(2)]);
     }
 
@@ -235,12 +243,17 @@ mod tests {
         let g = gen::theta(4, 4);
         // A single path interior is a tree: trivial, hence always safe.
         let path1: Vec<VertexId> = vec![VertexId(2), VertexId(3), VertexId(4)];
-        assert!(partition_is_safe(&g, &[path1.clone()]));
+        assert!(partition_is_safe(&g, std::slice::from_ref(&path1)));
         // Both hubs + one path interior induce a *tree* too (hubs are not
         // adjacent), so even though removing it disconnects the rest, the
         // part is trivial and Definition 3.1 does not constrain it.
-        let tree_part: Vec<VertexId> =
-            vec![VertexId(0), VertexId(1), VertexId(2), VertexId(3), VertexId(4)];
+        let tree_part: Vec<VertexId> = vec![
+            VertexId(0),
+            VertexId(1),
+            VertexId(2),
+            VertexId(3),
+            VertexId(4),
+        ];
         assert!(partition_is_safe(&g, &[tree_part]));
         // Both hubs + two path interiors induce a cycle: non-trivial, and
         // removing it separates the remaining two path interiors -> unsafe.
@@ -254,7 +267,7 @@ mod tests {
             VertexId(6),
             VertexId(7),
         ];
-        assert!(!partition_is_safe(&g, &[cyc.clone()]));
+        assert!(!partition_is_safe(&g, std::slice::from_ref(&cyc)));
         // With only three paths total the complement is a single path
         // interior, which is connected -> safe.
         let g3 = gen::theta(3, 4);

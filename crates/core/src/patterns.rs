@@ -72,7 +72,9 @@ fn path_in_region(
             }
         }
     }
-    Err(EmbedError::Internal("pattern region is disconnected".into()))
+    Err(EmbedError::Internal(
+        "pattern region is disconnected".into(),
+    ))
 }
 
 /// BFS depth of a region from a vertex (the Remark 1 housekeeping radius).
@@ -138,7 +140,10 @@ fn charge_and_merge(
     if check {
         verify_part(g, &merged.members)?;
     }
-    Ok(PatternOutcome { part: merged, metrics })
+    Ok(PatternOutcome {
+        part: merged,
+        metrics,
+    })
 }
 
 /// **Pairwise merge** (Section 5.2): merges two adjacent parts.
@@ -156,7 +161,9 @@ pub fn pairwise_merge(
     check: bool,
 ) -> Result<PatternOutcome, EmbedError> {
     if !are_adjacent(g, a, b) {
-        return Err(EmbedError::Internal("pairwise merge needs adjacent parts".into()));
+        return Err(EmbedError::Internal(
+            "pairwise merge needs adjacent parts".into(),
+        ));
     }
     charge_and_merge(g, a, &[b], cfg, check)
 }
@@ -181,7 +188,9 @@ pub fn star_merge(
 ) -> Result<PatternOutcome, EmbedError> {
     for (i, s) in satellites.iter().enumerate() {
         if !are_adjacent(g, center, s) {
-            return Err(EmbedError::Internal("star satellite not adjacent to center".into()));
+            return Err(EmbedError::Internal(
+                "star satellite not adjacent to center".into(),
+            ));
         }
         for t in &satellites[i + 1..] {
             if are_adjacent(g, s, t) {
@@ -255,8 +264,7 @@ mod tests {
     fn star_merge_on_star_graph() {
         let g = gen::star(6);
         let center = PartState::new(vec![VertexId(0)]);
-        let sats: Vec<PartState> =
-            (1..6).map(|i| PartState::new(vec![VertexId(i)])).collect();
+        let sats: Vec<PartState> = (1..6).map(|i| PartState::new(vec![VertexId(i)])).collect();
         let refs: Vec<&PartState> = sats.iter().collect();
         let out = star_merge(&g, &center, &refs, &cfg(), true).unwrap();
         assert_eq!(out.part.len(), 6);
@@ -279,17 +287,9 @@ mod tests {
         // The wheel: hub 0; rim parts are adjacent to each other — a star
         // merge must reject them but a vertex-coordinated merge succeeds.
         let g = gen::wheel(8);
-        let parts: Vec<PartState> =
-            (1..8).map(|i| PartState::new(vec![VertexId(i)])).collect();
+        let parts: Vec<PartState> = (1..8).map(|i| PartState::new(vec![VertexId(i)])).collect();
         let refs: Vec<&PartState> = parts.iter().collect();
-        assert!(star_merge(
-            &g,
-            &PartState::new(vec![VertexId(0)]),
-            &refs,
-            &cfg(),
-            true
-        )
-        .is_err());
+        assert!(star_merge(&g, &PartState::new(vec![VertexId(0)]), &refs, &cfg(), true).is_err());
         let out = vertex_coordinated_merge(&g, VertexId(0), &refs, &cfg(), true).unwrap();
         assert_eq!(out.part.len(), 8);
     }
@@ -315,7 +315,11 @@ mod tests {
         let out = pairwise_merge(&g, &a, &b, &cfg(), false).unwrap();
         // Leader of a = v31, leader of b = v63: path of 32 hops, plus
         // housekeeping 2*63+2.
-        assert!(out.metrics.rounds <= 4 * 64, "rounds = {}", out.metrics.rounds);
+        assert!(
+            out.metrics.rounds <= 4 * 64,
+            "rounds = {}",
+            out.metrics.rounds
+        );
         assert!(out.metrics.words < 1000);
     }
 }

@@ -137,9 +137,7 @@ impl SlotProgram {
             }
             _ => {
                 // Settle: accepted proposers announce they are matched.
-                if self.matched_edge.map(|e| e.contains(self.id)) == Some(true)
-                    && !self.matched
-                {
+                if self.matched_edge.map(|e| e.contains(self.id)) == Some(true) && !self.matched {
                     self.matched = true;
                     return self.broadcast(MatchMsg::Matched);
                 }
@@ -288,8 +286,7 @@ pub fn ruling_edge_set(
         metrics.add(out.metrics);
         for p in &out.programs {
             if let Some(e) = p.matched_edge {
-                if !matched_vertices[e.lo().index()] && !matched_vertices[e.hi().index()]
-                {
+                if !matched_vertices[e.lo().index()] && !matched_vertices[e.hi().index()] {
                     matched_vertices[e.lo().index()] = true;
                     matched_vertices[e.hi().index()] = true;
                     edges.push(e);
@@ -313,7 +310,8 @@ pub fn is_valid_ruling_set(g: &Graph, edges: &[EdgeId]) -> bool {
         used[e.lo().index()] = true;
         used[e.hi().index()] = true;
     }
-    g.edges().all(|e| used[e.lo().index()] || used[e.hi().index()])
+    g.edges()
+        .all(|e| used[e.lo().index()] || used[e.hi().index()])
 }
 
 #[cfg(test)]
@@ -368,10 +366,7 @@ mod tests {
         // constant over this whole range).
         let r1 = check(&gen::random_outerplanar(32, 7)).metrics.rounds;
         let r2 = check(&gen::random_outerplanar(1024, 7)).metrics.rounds;
-        assert!(
-            r2 <= r1 + 10,
-            "rounds should be ~constant: {r1} vs {r2}"
-        );
+        assert!(r2 <= r1 + 10, "rounds should be ~constant: {r1} vs {r2}");
     }
 
     #[test]

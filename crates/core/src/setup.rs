@@ -34,8 +34,10 @@ pub fn run_setup(g: &Graph, cfg: &SimConfig) -> Result<(Setup, Metrics), EmbedEr
     let mut metrics = Metrics::new();
 
     // 1. Leader election + BFS by flooding.
-    let programs: Vec<LeaderBfs> =
-        g.vertices().map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec())).collect();
+    let programs: Vec<LeaderBfs> = g
+        .vertices()
+        .map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec()))
+        .collect();
     let out = run(g, programs, cfg)?;
     metrics.add(out.metrics);
     let leaders: Vec<VertexId> = out.programs.iter().map(|p| p.leader()).collect();
@@ -52,8 +54,7 @@ pub fn run_setup(g: &Graph, cfg: &SimConfig) -> Result<(Setup, Metrics), EmbedEr
     let programs: Vec<ChildNotify> = parent.iter().map(|&p| ChildNotify::new(p)).collect();
     let out = run(g, programs, cfg)?;
     metrics.add(out.metrics);
-    let children: Vec<Vec<VertexId>> =
-        out.programs.iter().map(|p| p.children().to_vec()).collect();
+    let children: Vec<Vec<VertexId>> = out.programs.iter().map(|p| p.children().to_vec()).collect();
 
     // 3. Subtree sizes by convergecast (each node contributes 1).
     let programs: Vec<Convergecast> = g
@@ -62,8 +63,7 @@ pub fn run_setup(g: &Graph, cfg: &SimConfig) -> Result<(Setup, Metrics), EmbedEr
         .collect();
     let out = run(g, programs, cfg)?;
     metrics.add(out.metrics);
-    let subtree_size: Vec<u64> =
-        out.programs.iter().map(|p| p.subtree_value()).collect();
+    let subtree_size: Vec<u64> = out.programs.iter().map(|p| p.subtree_value()).collect();
     let total = out.programs[root.index()]
         .result()
         .ok_or_else(|| EmbedError::Internal("root missed the size convergecast".into()))?;
@@ -91,15 +91,31 @@ pub fn run_setup(g: &Graph, cfg: &SimConfig) -> Result<(Setup, Metrics), EmbedEr
         let programs: Vec<Downcast> = g
             .vertices()
             .map(|v| {
-                Downcast::new(&children[v.index()], if v == root { Some(value) } else { None })
+                Downcast::new(
+                    &children[v.index()],
+                    if v == root { Some(value) } else { None },
+                )
             })
             .collect();
         let out = run(g, programs, cfg)?;
         metrics.add(out.metrics);
     }
 
-    let tree = GlobalTree { root, parent, children, depth, subtree_size };
-    Ok((Setup { tree, n: total, diameter_estimate: 2 * ecc }, metrics))
+    let tree = GlobalTree {
+        root,
+        parent,
+        children,
+        depth,
+        subtree_size,
+    };
+    Ok((
+        Setup {
+            tree,
+            n: total,
+            diameter_estimate: 2 * ecc,
+        },
+        metrics,
+    ))
 }
 
 #[cfg(test)]

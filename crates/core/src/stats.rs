@@ -79,7 +79,10 @@ impl RecursionStats {
 
     /// Largest `|P_i| / |T_s|` ratio over the whole run (Lemma 4.2: `<= 2/3`).
     pub fn max_child_ratio(&self) -> f64 {
-        self.levels.iter().map(|l| l.max_child_ratio).fold(0.0, f64::max)
+        self.levels
+            .iter()
+            .map(|l| l.max_child_ratio)
+            .fold(0.0, f64::max)
     }
 }
 
@@ -94,12 +97,24 @@ mod tests {
             bfs_depth: 3,
             depth: 2,
             levels: vec![
-                LevelStats { max_child_ratio: 0.5, ..Default::default() },
-                LevelStats { max_child_ratio: 0.66, ..Default::default() },
+                LevelStats {
+                    max_child_ratio: 0.5,
+                    ..Default::default()
+                },
+                LevelStats {
+                    max_child_ratio: 0.66,
+                    ..Default::default()
+                },
             ],
             merges: vec![
-                MergeStats { final_parts: 3, ..Default::default() },
-                MergeStats { final_parts: 7, ..Default::default() },
+                MergeStats {
+                    final_parts: 3,
+                    ..Default::default()
+                },
+                MergeStats {
+                    final_parts: 7,
+                    ..Default::default()
+                },
             ],
             safety_checked: true,
         };

@@ -191,15 +191,19 @@ impl NodeProgram for SymmetryBreak {
                     // exists (ties among adjacent siblings broken by id so
                     // the star stays induced).
                     let blocked = self.nbr_leaf.iter().any(|(&w, &leaf)| {
-                        leaf
-                            && w < self.id
+                        leaf && w < self.id
                             && self.nbr_pointer.get(&w).copied().flatten() == self.pointer
                     });
                     if !blocked {
                         self.joined = self.pointer;
                     }
                 }
-                self.broadcast(ctx, SymMsg::Join { target: self.joined })
+                self.broadcast(
+                    ctx,
+                    SymMsg::Join {
+                        target: self.joined,
+                    },
+                )
             }
             4 => {
                 for (from, msg) in inbox {
@@ -211,7 +215,12 @@ impl NodeProgram for SymmetryBreak {
                 }
                 self.joiners.sort();
                 self.consumed = self.joined.is_some() || !self.joiners.is_empty();
-                self.broadcast(ctx, SymMsg::Consumed { consumed: self.consumed })
+                self.broadcast(
+                    ctx,
+                    SymMsg::Consumed {
+                        consumed: self.consumed,
+                    },
+                )
             }
             _ => {
                 for (from, msg) in inbox {
@@ -270,8 +279,10 @@ pub fn symmetry_break(
 
     // Chain links among unconsumed nodes: v -> pointer(v) when the pointer
     // is unconsumed and v is its unique unconsumed child.
-    let remaining: Vec<VertexId> =
-        gv.vertices().filter(|v| !ps[v.index()].consumed()).collect();
+    let remaining: Vec<VertexId> = gv
+        .vertices()
+        .filter(|v| !ps[v.index()].consumed())
+        .collect();
     let mut next: HashMap<VertexId, VertexId> = HashMap::new();
     let mut has_incoming: HashMap<VertexId, usize> = HashMap::new();
     for &v in &remaining {
@@ -303,7 +314,11 @@ pub fn symmetry_break(
         }
         chains.push(chain);
     }
-    Ok(SymmetryOutcome { stars, chains, rounds: out.metrics.rounds })
+    Ok(SymmetryOutcome {
+        stars,
+        chains,
+        rounds: out.metrics.rounds,
+    })
 }
 
 #[cfg(test)]
@@ -417,7 +432,12 @@ mod tests {
             let out = symmetry_break(&g, &colors, &SimConfig::default()).unwrap();
             check_outcome(&g, &out, &colors);
             merged += out.stars.iter().map(|(_, l)| l.len() + 1).sum::<usize>();
-            merged += out.chains.iter().filter(|c| c.len() == 2).map(|_| 2).sum::<usize>();
+            merged += out
+                .chains
+                .iter()
+                .filter(|c| c.len() == 2)
+                .map(|_| 2)
+                .sum::<usize>();
             total += 30;
         }
         assert!(

@@ -32,8 +32,13 @@ use crate::error::EmbedError;
 pub fn verify_embedding(g: &Graph, rotation: &RotationSystem) -> Result<(), EmbedError> {
     // Revalidate against the graph (catches mismatched vertex counts and
     // neighbor sets).
-    let orders: Vec<_> =
-        (0..rotation.vertex_count()).map(|v| rotation.order_at(planar_graph::VertexId::from_index(v)).to_vec()).collect();
+    let orders: Vec<_> = (0..rotation.vertex_count())
+        .map(|v| {
+            rotation
+                .order_at(planar_graph::VertexId::from_index(v))
+                .to_vec()
+        })
+        .collect();
     let revalidated = RotationSystem::new(g, orders).map_err(EmbedError::Graph)?;
     if revalidated.is_planar_embedding() {
         Ok(())
@@ -63,10 +68,7 @@ pub fn verify_embedding(g: &Graph, rotation: &RotationSystem) -> Result<(), Embe
 /// # Ok(())
 /// # }
 /// ```
-pub fn is_planar_distributed(
-    g: &Graph,
-    cfg: &crate::EmbedderConfig,
-) -> Result<bool, EmbedError> {
+pub fn is_planar_distributed(g: &Graph, cfg: &crate::EmbedderConfig) -> Result<bool, EmbedError> {
     match crate::embed_distributed(g, cfg) {
         Ok(_) => Ok(true),
         Err(EmbedError::NonPlanar) => Ok(false),
@@ -103,7 +105,10 @@ mod tests {
         // The sorted-default rotation of K4 has genus 1.
         let g = gen::complete(4);
         let bad = RotationSystem::sorted_default(&g);
-        assert!(matches!(verify_embedding(&g, &bad), Err(EmbedError::NonPlanar)));
+        assert!(matches!(
+            verify_embedding(&g, &bad),
+            Err(EmbedError::NonPlanar)
+        ));
     }
 
     #[test]
@@ -111,10 +116,8 @@ mod tests {
         let cfg = EmbedderConfig::default();
         assert!(is_planar_distributed(&gen::theta(3, 4), &cfg).unwrap());
         assert!(!is_planar_distributed(&gen::complete(6), &cfg).unwrap());
-        assert!(is_planar_distributed(
-            &Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(),
-            &cfg
-        )
-        .is_err());
+        assert!(
+            is_planar_distributed(&Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap(), &cfg).is_err()
+        );
     }
 }

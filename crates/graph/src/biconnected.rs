@@ -68,7 +68,12 @@ impl BiconnectedDecomposition {
             timer += 1;
             disc[root.index()] = timer;
             low[root.index()] = timer;
-            let mut stack = vec![Frame { v: root, parent: None, next: 0, children: 0 }];
+            let mut stack = vec![Frame {
+                v: root,
+                parent: None,
+                next: 0,
+                children: 0,
+            }];
             while let Some(frame) = stack.last_mut() {
                 let v = frame.v;
                 if frame.next < g.degree(v) {
@@ -80,7 +85,12 @@ impl BiconnectedDecomposition {
                         timer += 1;
                         disc[w.index()] = timer;
                         low[w.index()] = timer;
-                        stack.push(Frame { v: w, parent: Some(v), next: 0, children: 0 });
+                        stack.push(Frame {
+                            v: w,
+                            parent: Some(v),
+                            next: 0,
+                            children: 0,
+                        });
                     } else if Some(w) != frame.parent && disc[w.index()] < disc[v.index()] {
                         // Back edge to a strict ancestor.
                         edge_stack.push(EdgeId::new(v, w));
@@ -117,20 +127,24 @@ impl BiconnectedDecomposition {
             for &e in block {
                 block_of_edge.insert(e, i);
                 for v in [e.lo(), e.hi()] {
-                    if blocks_of_vertex[v.index()].last() != Some(&i) {
-                        if !blocks_of_vertex[v.index()].contains(&i) {
-                            blocks_of_vertex[v.index()].push(i);
-                        }
+                    if blocks_of_vertex[v.index()].last() != Some(&i)
+                        && !blocks_of_vertex[v.index()].contains(&i)
+                    {
+                        blocks_of_vertex[v.index()].push(i);
                     }
                 }
             }
         }
         // A vertex is a cut vertex iff it lies in >= 2 blocks (the paper's
         // own criterion in Section 3).
-        let is_cut: Vec<bool> =
-            (0..n).map(|v| blocks_of_vertex[v].len() >= 2).collect();
+        let is_cut: Vec<bool> = (0..n).map(|v| blocks_of_vertex[v].len() >= 2).collect();
 
-        BiconnectedDecomposition { blocks, block_of_edge, blocks_of_vertex, is_cut }
+        BiconnectedDecomposition {
+            blocks,
+            block_of_edge,
+            blocks_of_vertex,
+            is_cut,
+        }
     }
 
     /// Number of blocks (biconnected components).
@@ -149,8 +163,10 @@ impl BiconnectedDecomposition {
 
     /// The distinct vertices of block `b` (in ascending order).
     pub fn block_vertices(&self, b: usize) -> Vec<VertexId> {
-        let mut vs: Vec<VertexId> =
-            self.blocks[b].iter().flat_map(|e| [e.lo(), e.hi()]).collect();
+        let mut vs: Vec<VertexId> = self.blocks[b]
+            .iter()
+            .flat_map(|e| [e.lo(), e.hi()])
+            .collect();
         vs.sort();
         vs.dedup();
         vs
@@ -196,8 +212,7 @@ impl BiconnectedDecomposition {
         let cuts = self.cut_vertices();
         let total = self.blocks.len() + cuts.len();
         let mut tree = Graph::new(total);
-        let block_node: Vec<VertexId> =
-            (0..self.blocks.len()).map(VertexId::from_index).collect();
+        let block_node: Vec<VertexId> = (0..self.blocks.len()).map(VertexId::from_index).collect();
         let mut cut_node = HashMap::new();
         for (i, &c) in cuts.iter().enumerate() {
             cut_node.insert(c, VertexId::from_index(self.blocks.len() + i));
@@ -255,8 +270,7 @@ mod tests {
 
     #[test]
     fn bowtie_blocks_and_cut() {
-        let g =
-            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let bc = BiconnectedDecomposition::compute(&g);
         assert_eq!(bc.block_count(), 2);
         assert_eq!(bc.cut_vertices(), vec![VertexId(2)]);
@@ -271,8 +285,7 @@ mod tests {
 
     #[test]
     fn block_ids_are_min_edge_ids() {
-        let g =
-            Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]).unwrap();
         let bc = BiconnectedDecomposition::compute(&g);
         let mut ids: Vec<EdgeId> = (0..bc.block_count()).map(|b| bc.block_id(b)).collect();
         ids.sort();
@@ -285,7 +298,17 @@ mod tests {
         // Random-ish mixed graph: triangle + pendant path + extra block.
         let g = Graph::from_edges(
             8,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 3), (6, 7)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+                (6, 7),
+            ],
         )
         .unwrap();
         let bc = BiconnectedDecomposition::compute(&g);
@@ -303,7 +326,17 @@ mod tests {
     fn block_cut_tree_is_tree() {
         let g = Graph::from_edges(
             8,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 3), (6, 7)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 3),
+                (6, 7),
+            ],
         )
         .unwrap();
         let bc = BiconnectedDecomposition::compute(&g);
@@ -321,8 +354,7 @@ mod tests {
 
     #[test]
     fn k4_is_biconnected() {
-        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let bc = BiconnectedDecomposition::compute(&g);
         assert!(bc.is_biconnected(&g));
         assert!(bc.cut_vertices().is_empty());

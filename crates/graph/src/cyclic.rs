@@ -64,8 +64,9 @@ pub fn canonical_rotation<T: Ord + Clone>(a: &[T]) -> Vec<T> {
     }
     let mut best: Option<Vec<T>> = None;
     for shift in 0..a.len() {
-        let rot: Vec<T> =
-            (0..a.len()).map(|i| a[(i + shift) % a.len()].clone()).collect();
+        let rot: Vec<T> = (0..a.len())
+            .map(|i| a[(i + shift) % a.len()].clone())
+            .collect();
         if best.as_ref().is_none_or(|b| rot < *b) {
             best = Some(rot);
         }
@@ -131,7 +132,10 @@ pub fn predecessor<'a, T: PartialEq>(seq: &'a [T], x: &T) -> Option<&'a T> {
 ///
 /// Panics if `x` is not present.
 pub fn rotate_to_start<T: PartialEq>(seq: &mut [T], x: &T) {
-    let pos = seq.iter().position(|y| y == x).expect("element not present");
+    let pos = seq
+        .iter()
+        .position(|y| y == x)
+        .expect("element not present");
     seq.rotate_left(pos);
 }
 
@@ -169,7 +173,10 @@ mod tests {
         let a = [5, 1, 4, 2];
         let mut r = a.to_vec();
         r.reverse();
-        assert_eq!(canonical_rotation_reflect(&a), canonical_rotation_reflect(&r));
+        assert_eq!(
+            canonical_rotation_reflect(&a),
+            canonical_rotation_reflect(&r)
+        );
     }
 
     #[test]

@@ -51,10 +51,16 @@ impl fmt::Display for GraphError {
                 write!(f, "self-loop at {vertex} is not allowed in a simple graph")
             }
             GraphError::ParallelEdge { u, v } => {
-                write!(f, "parallel edge {{{u}, {v}}} is not allowed in a simple graph")
+                write!(
+                    f,
+                    "parallel edge {{{u}, {v}}} is not allowed in a simple graph"
+                )
             }
             GraphError::VertexOutOfRange { vertex, n } => {
-                write!(f, "vertex {vertex} out of range for a graph on {n} vertices")
+                write!(
+                    f,
+                    "vertex {vertex} out of range for a graph on {n} vertices"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::InvalidRotation { reason } => {
@@ -72,7 +78,9 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_without_period() {
-        let e = GraphError::SelfLoop { vertex: VertexId(3) };
+        let e = GraphError::SelfLoop {
+            vertex: VertexId(3),
+        };
         let s = e.to_string();
         assert!(s.starts_with("self-loop"));
         assert!(!s.ends_with('.'));

@@ -40,7 +40,10 @@ pub struct Graph {
 impl Graph {
     /// Creates an edgeless graph on `n` vertices.
     pub fn new(n: usize) -> Self {
-        Graph { adj: vec![Vec::new(); n], m: 0 }
+        Graph {
+            adj: vec![Vec::new(); n],
+            m: 0,
+        }
     }
 
     /// Builds a graph on `n` vertices from an iterator of edges given as
@@ -82,7 +85,9 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
         self.adj.iter().enumerate().flat_map(|(u, nbrs)| {
             let u = VertexId::from_index(u);
-            nbrs.iter().filter(move |&&v| u < v).map(move |&v| EdgeId::new(u, v))
+            nbrs.iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| EdgeId::new(u, v))
         })
     }
 
@@ -93,7 +98,10 @@ impl Graph {
     /// Returns [`GraphError::VertexOutOfRange`] when `v.index() >= n`.
     pub fn check_vertex(&self, v: VertexId) -> Result<(), GraphError> {
         if v.index() >= self.adj.len() {
-            Err(GraphError::VertexOutOfRange { vertex: v, n: self.adj.len() })
+            Err(GraphError::VertexOutOfRange {
+                vertex: v,
+                n: self.adj.len(),
+            })
         } else {
             Ok(())
         }
@@ -229,7 +237,10 @@ mod tests {
     #[test]
     fn adjacency_is_sorted() {
         let g = Graph::from_edges(4, [(0, 3), (0, 1), (0, 2)]).unwrap();
-        assert_eq!(g.neighbors(VertexId(0)), &[VertexId(1), VertexId(2), VertexId(3)]);
+        assert_eq!(
+            g.neighbors(VertexId(0)),
+            &[VertexId(1), VertexId(2), VertexId(3)]
+        );
     }
 
     #[test]

@@ -69,9 +69,7 @@ impl From<u32> for VertexId {
 /// assert_eq!(e.hi(), VertexId(7));
 /// assert_eq!(e, EdgeId::new(VertexId(2), VertexId(7)));
 /// ```
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct EdgeId {
     lo: VertexId,
     hi: VertexId,

@@ -19,6 +19,9 @@
 //!   tracing and the Euler-genus planarity check that all embeddings in the
 //!   workspace are verified against.
 //! * [`cyclic`] — utilities for comparing and editing cyclic orders.
+//! * [`arcs`] — a CSR-style directed-arc index ([`ArcIndex`]) assigning
+//!   every ordered pair `(u, v)` a dense [`ArcId`]; the congest simulation
+//!   kernel runs allocation-free on top of it.
 //!
 //! # Example
 //!
@@ -38,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arcs;
 pub mod biconnected;
 pub mod cyclic;
 mod error;
@@ -46,6 +50,7 @@ mod ids;
 pub mod rotation;
 pub mod traversal;
 
+pub use arcs::{ArcId, ArcIndex};
 pub use error::GraphError;
 pub use graph::Graph;
 pub use ids::{EdgeId, VertexId};

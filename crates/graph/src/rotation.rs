@@ -209,7 +209,8 @@ impl RotationSystem {
             let v = VertexId::from_index(v);
             for &u in order {
                 if v < u {
-                    g.add_edge(v, u).expect("rotation lists are symmetric and simple");
+                    g.add_edge(v, u)
+                        .expect("rotation lists are symmetric and simple");
                 }
             }
         }
@@ -258,8 +259,7 @@ mod tests {
 
     #[test]
     fn k4_planar_and_nonplanar_rotations() {
-        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         // A known planar rotation of K4 (vertex 3 in the center).
         let planar = RotationSystem::new(
             &g,
@@ -337,8 +337,7 @@ mod tests {
     #[test]
     fn disconnected_components_counted_separately() {
         // Two disjoint triangles: each planar, total genus 0.
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
-            .unwrap();
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)]).unwrap();
         let rot = RotationSystem::sorted_default(&g);
         assert!(rot.is_planar_embedding());
         assert_eq!(rot.face_count(), 4);

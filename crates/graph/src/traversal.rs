@@ -43,7 +43,11 @@ pub struct BfsTree {
 impl BfsTree {
     /// Depth of the BFS tree: maximum distance of any reachable vertex.
     pub fn depth(&self) -> u32 {
-        self.order.iter().map(|v| self.dist[v.index()]).max().unwrap_or(0)
+        self.order
+            .iter()
+            .map(|v| self.dist[v.index()])
+            .max()
+            .unwrap_or(0)
     }
 
     /// The children of `v` in the BFS tree.
@@ -61,7 +65,11 @@ impl BfsTree {
     ///
     /// Panics if `v` was not reached by the search.
     pub fn path_to_root(&self, v: VertexId) -> Vec<VertexId> {
-        assert_ne!(self.dist[v.index()], UNREACHABLE, "{v} unreachable from root");
+        assert_ne!(
+            self.dist[v.index()],
+            UNREACHABLE,
+            "{v} unreachable from root"
+        );
         let mut path = vec![v];
         let mut cur = v;
         while let Some(p) = self.parent[cur.index()] {
@@ -110,7 +118,12 @@ pub fn bfs(g: &Graph, root: VertexId) -> BfsTree {
             }
         }
     }
-    BfsTree { root, parent, dist, order }
+    BfsTree {
+        root,
+        parent,
+        dist,
+        order,
+    }
 }
 
 /// Returns the connected components as lists of vertices.
@@ -238,14 +251,10 @@ mod tests {
     #[test]
     fn diameter_of_cycle() {
         let n = 8u32;
-        let g = Graph::from_edges(
-            n as usize,
-            (0..n).map(|i| (i, (i + 1) % n)),
-        )
-        .unwrap();
+        let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
         assert_eq!(diameter_exact(&g), Some(4));
         let approx = diameter_2approx(&g).unwrap();
-        assert!(approx >= 4 && approx <= 8);
+        assert!((4..=8).contains(&approx));
     }
 
     #[test]

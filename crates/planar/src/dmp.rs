@@ -201,7 +201,11 @@ impl<'g> DmpState<'g> {
                 attachments.len() >= 2,
                 "fragment of a 2-connected graph has >= 2 attachments"
             );
-            frags.push(Fragment { attachments, interior: comp, chord: None });
+            frags.push(Fragment {
+                attachments,
+                interior: comp,
+                chord: None,
+            });
         }
         frags
     }
@@ -339,9 +343,7 @@ fn find_cycle(g: &Graph) -> Option<Vec<VertexId>> {
                     depth[w.index()] = Some(depth[v.index()].unwrap() + 1);
                     parent[w.index()] = Some(v);
                     stack.push((w, 0));
-                } else if Some(w) != parent[v.index()]
-                    && depth[w.index()] < depth[v.index()]
-                {
+                } else if Some(w) != parent[v.index()] && depth[w.index()] < depth[v.index()] {
                     // Back edge (v, w): cycle is w -> ... -> v via parents.
                     let mut cycle = vec![v];
                     let mut cur = v;
@@ -381,8 +383,7 @@ mod tests {
 
     #[test]
     fn k4_embeds_with_four_faces() {
-        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let rs = embed_and_verify(&g);
         assert_eq!(rs.face_count(), 4);
     }
@@ -393,9 +394,18 @@ mod tests {
         let g = Graph::from_edges(
             8,
             [
-                (0, 1), (1, 2), (2, 3), (3, 0), // bottom
-                (4, 5), (5, 6), (6, 7), (7, 4), // top
-                (0, 4), (1, 5), (2, 6), (3, 7), // pillars
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0), // bottom
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4), // top
+                (0, 4),
+                (1, 5),
+                (2, 6),
+                (3, 7), // pillars
             ],
         )
         .unwrap();
@@ -409,9 +419,18 @@ mod tests {
         let g = Graph::from_edges(
             6,
             [
-                (0, 1), (0, 2), (0, 3), (0, 4),
-                (5, 1), (5, 2), (5, 3), (5, 4),
-                (1, 2), (2, 3), (3, 4), (4, 1),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
             ],
         )
         .unwrap();
@@ -442,7 +461,17 @@ mod tests {
     fn k33_is_nonplanar() {
         let g = Graph::from_edges(
             6,
-            [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+            [
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+            ],
         )
         .unwrap();
         // K3,3 passes the edge bound (9 <= 12) so DMP itself must reject it.
@@ -470,7 +499,16 @@ mod tests {
     fn k33_minus_edge_is_planar() {
         let g = Graph::from_edges(
             6,
-            [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4)],
+            [
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+            ],
         )
         .unwrap();
         embed_and_verify(&g);
@@ -492,8 +530,7 @@ mod tests {
 
     #[test]
     fn find_cycle_returns_real_cycle() {
-        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5)])
-            .unwrap();
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5)]).unwrap();
         let c = find_cycle(&g).unwrap();
         assert!(c.len() >= 3);
         for i in 0..c.len() {

@@ -45,21 +45,20 @@ pub fn embed(g: &Graph) -> Result<RotationSystem, PlanarityError> {
     let mut rot: Vec<Vec<VertexId>> = vec![Vec::new(); n];
     for b in 0..bc.block_count() {
         let verts = bc.block_vertices(b);
-        let index: HashMap<VertexId, u32> =
-            verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+        let index: HashMap<VertexId, u32> = verts
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, i as u32))
+            .collect();
         let mut sub = Graph::new(verts.len());
         for &e in bc.block_edges(b) {
-            sub.add_edge(
-                VertexId(index[&e.lo()]),
-                VertexId(index[&e.hi()]),
-            )
-            .expect("block edges are unique");
+            sub.add_edge(VertexId(index[&e.lo()]), VertexId(index[&e.hi()]))
+                .expect("block edges are unique");
         }
         let sub_rot = embed_biconnected(&sub)?;
         for (local, order) in sub_rot.into_iter().enumerate() {
             let global = verts[local];
-            rot[global.index()]
-                .extend(order.into_iter().map(|w| verts[w.index()]));
+            rot[global.index()].extend(order.into_iter().map(|w| verts[w.index()]));
         }
     }
     Ok(RotationSystem::new(g, rot).expect("block composition yields valid rotations"))
@@ -120,13 +119,17 @@ pub fn embed_pinned(g: &Graph, pins: &[VertexId]) -> Result<PinnedEmbedding, Pla
     }
     if unique_pins.is_empty() {
         let rotation = embed(g)?;
-        return Ok(PinnedEmbedding { rotation, pin_order: Vec::new() });
+        return Ok(PinnedEmbedding {
+            rotation,
+            pin_order: Vec::new(),
+        });
     }
     // Augment with an apex vertex adjacent to every pin.
     let apex = VertexId::from_index(n);
     let mut aug = Graph::new(n + 1);
     for e in g.edges() {
-        aug.add_edge(e.lo(), e.hi()).expect("copying a simple graph");
+        aug.add_edge(e.lo(), e.hi())
+            .expect("copying a simple graph");
     }
     for &p in &unique_pins {
         aug.add_edge(apex, p).expect("apex edges are new");
@@ -157,10 +160,12 @@ pub fn embed_pinned(g: &Graph, pins: &[VertexId]) -> Result<PinnedEmbedding, Pla
     for order in &mut orders {
         order.retain(|&w| w != apex);
     }
-    let rotation =
-        RotationSystem::new(g, orders).expect("removing the apex preserves validity");
+    let rotation = RotationSystem::new(g, orders).expect("removing the apex preserves validity");
     debug_assert!(rotation.is_planar_embedding());
-    Ok(PinnedEmbedding { rotation, pin_order })
+    Ok(PinnedEmbedding {
+        rotation,
+        pin_order,
+    })
 }
 
 #[cfg(test)]
@@ -181,7 +186,16 @@ mod tests {
         // Bow-tie plus a pendant path.
         let g = Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4), (4, 5), (5, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (2, 4),
+                (4, 5),
+                (5, 6),
+            ],
         )
         .unwrap();
         let rs = embed(&g).unwrap();
@@ -206,7 +220,17 @@ mod tests {
         assert!(!is_planar(&Graph::from_edges(5, edges).unwrap()));
         let k33 = Graph::from_edges(
             6,
-            [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+            [
+                (0, 3),
+                (0, 4),
+                (0, 5),
+                (1, 3),
+                (1, 4),
+                (1, 5),
+                (2, 3),
+                (2, 4),
+                (2, 5),
+            ],
         )
         .unwrap();
         assert!(!is_planar(&k33));
@@ -231,14 +255,26 @@ mod tests {
         let g = Graph::from_edges(
             6,
             [
-                (0, 1), (0, 2), (0, 3), (0, 4),
-                (5, 1), (5, 2), (5, 3), (5, 4),
-                (1, 2), (2, 3), (3, 4), (4, 1),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
             ],
         )
         .unwrap();
         let err = embed_pinned(&g, &[VertexId(0), VertexId(5)]).unwrap_err();
-        assert!(matches!(err, PlanarityError::UnsatisfiableConstraint { .. }));
+        assert!(matches!(
+            err,
+            PlanarityError::UnsatisfiableConstraint { .. }
+        ));
     }
 
     #[test]
@@ -264,8 +300,7 @@ mod tests {
 
     #[test]
     fn pin_order_covers_k4_outer_triangle() {
-        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let pe = embed_pinned(&g, &[VertexId(0), VertexId(1), VertexId(2)]).unwrap();
         assert_eq!(pe.pin_order.len(), 3);
         assert!(pe.rotation.is_planar_embedding());

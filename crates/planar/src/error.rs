@@ -37,10 +37,17 @@ impl fmt::Display for PlanarityError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PlanarityError::NonPlanar { embedded_edges } => {
-                write!(f, "graph is not planar (obstruction after embedding {embedded_edges} edges)")
+                write!(
+                    f,
+                    "graph is not planar (obstruction after embedding {embedded_edges} edges)"
+                )
             }
             PlanarityError::TooManyEdges { n, m } => {
-                write!(f, "graph has {m} edges but planar graphs on {n} vertices have at most {}", 3 * (*n).max(3) - 6)
+                write!(
+                    f,
+                    "graph has {m} edges but planar graphs on {n} vertices have at most {}",
+                    3 * (*n).max(3) - 6
+                )
             }
             PlanarityError::UnsatisfiableConstraint { reason } => {
                 write!(f, "embedding constraint cannot be satisfied: {reason}")

@@ -229,10 +229,12 @@ pub fn random_outerplanar(n: usize, seed: u64) -> Graph {
         // Split the sub-polygon lo..hi with triangle (lo, mid, hi).
         let mid = rng.gen_range(lo + 1..hi);
         if mid != lo + 1 && !g.has_edge(VertexId(lo), VertexId(mid)) {
-            g.add_edge(VertexId(lo), VertexId(mid)).expect("non-crossing chord");
+            g.add_edge(VertexId(lo), VertexId(mid))
+                .expect("non-crossing chord");
         }
         if hi != mid + 1 && !g.has_edge(VertexId(mid), VertexId(hi)) {
-            g.add_edge(VertexId(mid), VertexId(hi)).expect("non-crossing chord");
+            g.add_edge(VertexId(mid), VertexId(hi))
+                .expect("non-crossing chord");
         }
         stack.push((lo, mid));
         stack.push((mid, hi));
@@ -267,7 +269,8 @@ pub fn sparse_outerplanar(n: usize, chords: usize, seed: u64) -> Graph {
         if placed.iter().any(|&p| crosses((a, b), p)) {
             continue;
         }
-        g.add_edge(VertexId(a), VertexId(b)).expect("validated chord");
+        g.add_edge(VertexId(a), VertexId(b))
+            .expect("validated chord");
         placed.push((a, b));
     }
     g
@@ -413,6 +416,6 @@ mod tests {
     fn theta_diameter_scales_with_len() {
         let g = theta(3, 10);
         let d = diameter_exact(&g).unwrap();
-        assert!(d >= 10 && d <= 20);
+        assert!((10..=20).contains(&d));
     }
 }

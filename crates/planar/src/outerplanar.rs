@@ -88,23 +88,21 @@ mod tests {
     #[test]
     fn fan_is_outerplanar() {
         // Fan: path 1-2-3-4 plus hub 0 adjacent to all.
-        let g = Graph::from_edges(5, [(1, 2), (2, 3), (3, 4), (0, 1), (0, 2), (0, 3), (0, 4)])
-            .unwrap();
+        let g =
+            Graph::from_edges(5, [(1, 2), (2, 3), (3, 4), (0, 1), (0, 2), (0, 3), (0, 4)]).unwrap();
         assert!(is_outerplanar(&g));
     }
 
     #[test]
     fn k4_not_outerplanar() {
-        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
-            .unwrap();
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         assert!(!is_outerplanar(&g));
     }
 
     #[test]
     fn k23_not_outerplanar() {
         // K2,3 is the other outerplanarity obstruction.
-        let g = Graph::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)])
-            .unwrap();
+        let g = Graph::from_edges(5, [(0, 2), (0, 3), (0, 4), (1, 2), (1, 3), (1, 4)]).unwrap();
         assert!(is_planar_helper(&g));
         assert!(!is_outerplanar(&g));
     }
@@ -126,9 +124,18 @@ mod tests {
         let g = Graph::from_edges(
             6,
             [
-                (0, 1), (0, 2), (0, 3), (0, 4),
-                (5, 1), (5, 2), (5, 3), (5, 4),
-                (1, 2), (2, 3), (3, 4), (4, 1),
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (5, 1),
+                (5, 2),
+                (5, 3),
+                (5, 4),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 1),
             ],
         )
         .unwrap();

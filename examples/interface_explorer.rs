@@ -45,12 +45,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         summary.words()
     );
     for b in &summary.blocks {
-        let order: Vec<String> =
-            b.attachment_order.iter().map(|v| v.to_string()).collect();
-        println!("  block {}: boundary order [{}] (fixed up to flip)", b.id, order.join(" "));
+        let order: Vec<String> = b.attachment_order.iter().map(|v| v.to_string()).collect();
+        println!(
+            "  block {}: boundary order [{}] (fixed up to flip)",
+            b.id,
+            order.join(" ")
+        );
     }
     let cuts: Vec<String> = summary.cut_vertices.iter().map(|v| v.to_string()).collect();
-    println!("  cut vertices: [{}] (blocks permute freely around them)", cuts.join(" "));
+    println!(
+        "  cut vertices: [{}] (blocks permute freely around them)",
+        cuts.join(" ")
+    );
     println!("\nObservation 3.2: the summary determines the interface exactly —");
     println!("this is what makes O(log n)-word merge messages possible.");
     Ok(())

@@ -17,7 +17,10 @@ use planar_graph::traversal::diameter_exact;
 use planar_lib::gen;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = EmbedderConfig { check_invariants: false, ..Default::default() };
+    let cfg = EmbedderConfig {
+        check_invariants: false,
+        ..Default::default()
+    };
     println!("L    n     D     rounds  rounds/D  planar-consistent");
     println!("-----------------------------------------------------");
     for l in [4usize, 8, 16, 32, 64] {
@@ -42,8 +45,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if l == 8 {
             println!("\n  rotations of the four degree-3 branch vertices (L = 8):");
             for v in g.vertices().take(4) {
-                let order: Vec<String> =
-                    out.rotation.order_at(v).iter().map(|w| w.to_string()).collect();
+                let order: Vec<String> = out
+                    .rotation
+                    .order_at(v)
+                    .iter()
+                    .map(|w| w.to_string())
+                    .collect();
                 println!("    {v}: [{}]", order.join(", "));
             }
             println!("  (consistent: the embedding has Euler genus 0)\n");

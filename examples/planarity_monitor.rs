@@ -48,7 +48,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Classical obstructions, detected without the density shortcut.
     let k33 = Graph::from_edges(
         6,
-        [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        [
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+        ],
     )?;
     check("K3,3", &k33);
 

@@ -37,8 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(outcome.rotation.is_planar_embedding());
     println!("\nembedding verified planar (Euler genus 0). Rotations:");
     for v in network.vertices().take(6) {
-        let order: Vec<String> =
-            outcome.rotation.order_at(v).iter().map(|w| w.to_string()).collect();
+        let order: Vec<String> = outcome
+            .rotation
+            .order_at(v)
+            .iter()
+            .map(|w| w.to_string())
+            .collect();
         println!("  {v}: [{}]", order.join(", "));
     }
     println!("  ... ({} more vertices)", network.vertex_count() - 6);

@@ -28,7 +28,7 @@ fn damaged_mesh(side: usize, failure_pct: u32, seed: u64) -> Graph {
     for e in full.edges() {
         let is_tree_edge = tree.parent[e.lo().index()] == Some(e.hi())
             || tree.parent[e.hi().index()] == Some(e.lo());
-        if is_tree_edge || rng.gen_range(0..100) >= failure_pct {
+        if is_tree_edge || rng.gen_range(0..100u32) >= failure_pct {
             g.add_edge(e.lo(), e.hi()).expect("copying grid edges");
         }
     }
@@ -38,7 +38,10 @@ fn damaged_mesh(side: usize, failure_pct: u32, seed: u64) -> Graph {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("side  n     D    ours(rounds)  baseline(rounds)  speedup");
     println!("----------------------------------------------------------");
-    let cfg = EmbedderConfig { check_invariants: false, ..Default::default() };
+    let cfg = EmbedderConfig {
+        check_invariants: false,
+        ..Default::default()
+    };
     for side in [8usize, 16, 24, 32] {
         let mesh = damaged_mesh(side, 20, 0xC0FFEE);
         let d = diameter_exact(&mesh).expect("mesh is connected");
@@ -55,9 +58,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             base.metrics.rounds as f64 / ours.metrics.rounds as f64,
         );
     }
-    println!(
-        "\nThe distributed algorithm scales with D*log n; the baseline with n."
-    );
+    println!("\nThe distributed algorithm scales with D*log n; the baseline with n.");
     println!("On low-diameter meshes the gap widens without bound:");
     for n in [512usize, 2048] {
         // A hub-and-ring topology (outerplanar, diameter 2).

@@ -1,0 +1,18 @@
+//! Offline shim for `serde` (see `shims/README.md`).
+//!
+//! The build environment cannot reach crates.io, so this crate stands in
+//! for the real `serde`: [`Serialize`] and [`Deserialize`] are *marker
+//! traits* with no methods, and the derives emit empty impls. Nothing in
+//! the workspace currently serializes through serde (the harness writes
+//! its JSON by hand), so the markers preserve the source-level API —
+//! `use serde::{Serialize, Deserialize}` and `#[derive(Serialize)]` —
+//! at zero cost. Swapping the real serde back in is a one-line change in
+//! the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+pub use serde_derive::{Deserialize, Serialize};

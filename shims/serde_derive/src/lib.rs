@@ -1,0 +1,56 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors a minimal stand-in: `serde::Serialize` / `serde::Deserialize`
+//! are marker traits and these derives emit empty impls for them. The
+//! derive intentionally supports only the shapes the workspace uses —
+//! non-generic structs and enums; for anything with generic parameters it
+//! emits nothing (the marker impl can be written by hand if ever needed).
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum` keyword, returning
+/// `None` for generic types (which this shim does not attempt to handle).
+fn type_name(input: TokenStream) -> Option<String> {
+    let mut tokens = input.into_iter();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let kw = id.to_string();
+            if kw == "struct" || kw == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    // A `<` right after the name means generics: bail out.
+                    if let Some(TokenTree::Punct(p)) = tokens.next() {
+                        if p.as_char() == '<' {
+                            return None;
+                        }
+                    }
+                    return Some(name.to_string());
+                }
+                return None;
+            }
+        }
+    }
+    None
+}
+
+/// Derives the `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl serde::Serialize for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}
+
+/// Derives the `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(input) {
+        Some(name) => format!("impl<'de> serde::Deserialize<'de> for {name} {{}}")
+            .parse()
+            .expect("generated impl parses"),
+        None => TokenStream::new(),
+    }
+}

@@ -34,7 +34,11 @@ fn distributed_embedding_is_planar_on_all_families() {
         let out = embed_distributed(&g, &EmbedderConfig::default())
             .unwrap_or_else(|e| panic!("{name}: {e}"));
         assert!(out.rotation.is_planar_embedding(), "{name}: genus != 0");
-        assert_eq!(out.rotation.to_graph(), g, "{name}: rotation covers wrong graph");
+        assert_eq!(
+            out.rotation.to_graph(),
+            g,
+            "{name}: rotation covers wrong graph"
+        );
     }
 }
 
@@ -79,7 +83,10 @@ fn rounds_beat_baseline_on_low_diameter_networks() {
     let g = gen::fan(2048);
     let ours = embed_distributed(
         &g,
-        &EmbedderConfig { check_invariants: false, ..Default::default() },
+        &EmbedderConfig {
+            check_invariants: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let base = embed_baseline(&g, &SimConfig::default()).unwrap();
@@ -95,7 +102,10 @@ fn rounds_beat_baseline_on_low_diameter_networks() {
 fn rounds_scale_with_diameter_not_n() {
     // Fix the family, grow n: rounds / (D log n) stays bounded by a
     // constant (Theorem 1.1).
-    let cfg = EmbedderConfig { check_invariants: false, ..Default::default() };
+    let cfg = EmbedderConfig {
+        check_invariants: false,
+        ..Default::default()
+    };
     let mut ratios = Vec::new();
     for side in [8usize, 16, 24] {
         let g = gen::grid(side, side);
@@ -118,7 +128,17 @@ fn nonplanar_inputs_rejected_by_both() {
     let k5 = gen::complete(5);
     let k33 = Graph::from_edges(
         6,
-        [(0, 3), (0, 4), (0, 5), (1, 3), (1, 4), (1, 5), (2, 3), (2, 4), (2, 5)],
+        [
+            (0, 3),
+            (0, 4),
+            (0, 5),
+            (1, 3),
+            (1, 4),
+            (1, 5),
+            (2, 3),
+            (2, 4),
+            (2, 5),
+        ],
     )
     .unwrap();
     // A subdivided K3,3 defeats density checks.
@@ -169,7 +189,6 @@ fn deterministic_across_runs() {
 fn facade_crate_reexports_work() {
     // The root package re-exports all crates under stable names.
     let g = planar_networks::planar::gen::cycle(8);
-    let out =
-        planar_networks::embedding::embed_distributed(&g, &Default::default()).unwrap();
+    let out = planar_networks::embedding::embed_distributed(&g, &Default::default()).unwrap();
     assert!(out.rotation.is_planar_embedding());
 }
