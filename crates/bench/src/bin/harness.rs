@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|all] [--large]
+//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|all] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
@@ -13,6 +13,11 @@
 //! kernel (flood throughput on grid/tri-grid substrates) and writes the
 //! record to `BENCH_kernel.json` in the current directory. It is not part
 //! of `all`; run it explicitly (ideally under `--release`).
+//!
+//! `chaos` sweeps the embedder under seeded link faults (drop / duplicate /
+//! delay at several rates, reliable delivery on) over grid and tri-grid
+//! substrates and writes `BENCH_chaos.json` (success rate and round
+//! overhead vs the fault-free baseline per cell). Also not part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -44,6 +49,7 @@ fn main() {
         "fsafe",
         "ablate",
         "bench-kernel",
+        "chaos",
     ];
     if !KNOWN.contains(&which) {
         eprintln!("unknown experiment `{which}`");
@@ -63,6 +69,48 @@ fn main() {
         let rows = planar_bench::kernelbench::kernel_bench(ns);
         let path = std::path::Path::new("BENCH_kernel.json");
         planar_bench::kernelbench::write_json(path, &rows).expect("write BENCH_kernel.json");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    if which == "chaos" {
+        // n <= 1k keeps the seeded smoke sweep CI-sized; --large adds it.
+        let ns: &[usize] = if large { &[64, 256, 1024] } else { &[64, 256] };
+        println!("== chaos: embedding under seeded link faults (reliable delivery on) ==");
+        let rows = planar_bench::chaos::chaos_sweep(ns);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    format!("{}", r.rate),
+                    format!("{:.2}", r.success_rate()),
+                    r.degraded.to_string(),
+                    format!("{:.2}", r.mean_round_overhead),
+                    r.dropped.to_string(),
+                    r.retransmissions.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[
+                    "family",
+                    "n",
+                    "dropRate",
+                    "successRate",
+                    "degraded",
+                    "overhead",
+                    "dropped",
+                    "retx"
+                ],
+                &data
+            )
+        );
+        let path = std::path::Path::new("BENCH_chaos.json");
+        planar_bench::chaos::write_json(path, &rows).expect("write BENCH_chaos.json");
         println!("wrote {}", path.display());
         return;
     }

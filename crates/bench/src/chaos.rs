@@ -1,0 +1,270 @@
+//! Chaos sweep: the embedding algorithm under seeded fault injection — the
+//! record behind `BENCH_chaos.json`.
+//!
+//! For each substrate (`grid`, `tri-grid`) × size × fault rate, the sweep
+//! runs several independently-seeded trials of the full distributed
+//! embedding with per-link drop/duplicate/delay faults
+//! ([`congest_sim::FaultPlan::uniform`]) and reliable delivery
+//! ([`planar_embedding::ReliableConfig`]) switched on. Every trial must end
+//! in either a verified embedding or a typed
+//! [`EmbedError::Degraded`](planar_embedding::EmbedError) — any other
+//! outcome (a hang would trip the watchdog; an untyped error) fails the
+//! sweep with a panic.
+//!
+//! Reported per row: success rate, mean round overhead of successful runs
+//! against the fault-free baseline on the same substrate, and the fault /
+//! recovery counters. All trials are seeded deterministically from the row
+//! coordinates, so the sweep is replayable and its rows are directly
+//! comparable across machines (timings are deliberately not recorded).
+
+use congest_sim::{FaultPlan, SimConfig};
+use planar_embedding::{embed_distributed, EmbedError, EmbedderConfig, ReliableConfig};
+use planar_graph::Graph;
+use planar_lib::gen;
+
+use crate::parallel::par_map;
+
+/// The drop rates swept (duplicate rate is half, delay rate is equal, max
+/// delay 3 rounds). Rate 0.0 measures the pure overhead of the reliable
+/// wrapper (sequence words + acks), isolating recovery cost from transport
+/// cost.
+pub const RATES: [f64; 4] = [0.0, 0.01, 0.03, 0.1];
+
+/// Trials per row; seeds are `trial`-indexed, so rows are replayable.
+pub const TRIALS: usize = 5;
+
+/// One row of the chaos sweep: a substrate × fault-rate cell.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosRow {
+    /// Substrate family (`"grid"` or `"tri-grid"`).
+    pub family: &'static str,
+    /// Vertex count.
+    pub n: usize,
+    /// Per-message drop probability (duplicate = rate/2, delay = rate).
+    pub rate: f64,
+    /// Independent seeded trials run.
+    pub trials: usize,
+    /// Trials that produced a verified embedding.
+    pub successes: usize,
+    /// Trials that ended in [`EmbedError::Degraded`].
+    pub degraded: usize,
+    /// Fault-free round count of the same substrate (the overhead
+    /// denominator), run without the wrapper.
+    pub baseline_rounds: usize,
+    /// Mean over successful trials of `rounds / baseline_rounds`
+    /// (0.0 when no trial succeeded).
+    pub mean_round_overhead: f64,
+    /// Total messages dropped across all trials.
+    pub dropped: usize,
+    /// Total retransmissions across all trials.
+    pub retransmissions: usize,
+}
+
+impl ChaosRow {
+    /// Fraction of trials ending in a verified embedding.
+    pub fn success_rate(&self) -> f64 {
+        self.successes as f64 / self.trials as f64
+    }
+}
+
+fn substrate(family: &'static str, n: usize) -> Graph {
+    let side = (n as f64).sqrt().round() as usize;
+    match family {
+        "grid" => gen::grid(side, side),
+        "tri-grid" => gen::triangulated_grid(side, side),
+        other => unreachable!("unknown chaos substrate {other}"),
+    }
+}
+
+/// Deterministic per-trial plan seed from the row coordinates.
+fn trial_seed(fam_idx: usize, n: usize, rate_idx: usize, trial: usize) -> u64 {
+    0x9E37_79B9_7F4A_7C15u64
+        .wrapping_mul(fam_idx as u64 + 1)
+        .wrapping_add((n as u64) << 24)
+        .wrapping_add((rate_idx as u64) << 8)
+        .wrapping_add(trial as u64)
+}
+
+/// Runs one chaos cell: `TRIALS` seeded faulty runs against the fault-free
+/// baseline of the same substrate.
+///
+/// # Panics
+///
+/// Panics if any trial ends in something other than a verified embedding
+/// or [`EmbedError::Degraded`] — the tentpole's graceful-degradation
+/// contract.
+pub fn chaos_cell(family: &'static str, fam_idx: usize, n: usize, rate_idx: usize) -> ChaosRow {
+    let rate = RATES[rate_idx];
+    let g = substrate(family, n);
+    let baseline = embed_distributed(
+        &g,
+        &EmbedderConfig {
+            check_invariants: false,
+            ..EmbedderConfig::default()
+        },
+    )
+    .expect("fault-free baseline embeds");
+    let baseline_rounds = baseline.metrics.rounds.max(1);
+
+    let mut successes = 0;
+    let mut degraded = 0;
+    let mut overhead_sum = 0.0;
+    let mut dropped = 0;
+    let mut retransmissions = 0;
+    for trial in 0..TRIALS {
+        let cfg = EmbedderConfig {
+            sim: SimConfig {
+                faults: FaultPlan::uniform(
+                    trial_seed(fam_idx, n, rate_idx, trial),
+                    rate,
+                    rate / 2.0,
+                    rate,
+                    3,
+                ),
+                ..SimConfig::default()
+            },
+            check_invariants: false,
+            reliability: Some(ReliableConfig::default()),
+        };
+        match embed_distributed(&g, &cfg) {
+            Ok(out) => {
+                successes += 1;
+                overhead_sum += out.metrics.rounds as f64 / baseline_rounds as f64;
+                dropped += out.metrics.dropped;
+                retransmissions += out.metrics.retransmissions;
+            }
+            Err(EmbedError::Degraded { .. }) => degraded += 1,
+            Err(other) => panic!(
+                "chaos trial {family}/n={n}/rate={rate}/#{trial} must end in \
+                 success or Degraded, got: {other}"
+            ),
+        }
+    }
+    ChaosRow {
+        family,
+        n,
+        rate,
+        trials: TRIALS,
+        successes,
+        degraded,
+        baseline_rounds,
+        mean_round_overhead: if successes > 0 {
+            overhead_sum / successes as f64
+        } else {
+            0.0
+        },
+        dropped,
+        retransmissions,
+    }
+}
+
+/// Runs the full sweep (`RATES` × substrates × `sizes`), fanning the cells
+/// out through [`par_map`], printing one line per row. Deterministic:
+/// repeat calls return identical rows.
+pub fn chaos_sweep(sizes: &[usize]) -> Vec<ChaosRow> {
+    let cells: Vec<(&'static str, usize, usize, usize)> = ["grid", "tri-grid"]
+        .into_iter()
+        .enumerate()
+        .flat_map(|(fam_idx, family)| {
+            sizes.iter().flat_map(move |&n| {
+                (0..RATES.len()).map(move |rate_idx| (family, fam_idx, n, rate_idx))
+            })
+        })
+        .collect();
+    let rows = par_map(cells, |(family, fam_idx, n, rate_idx)| {
+        chaos_cell(family, fam_idx, n, rate_idx)
+    });
+    for r in &rows {
+        println!(
+            "chaos/{:<9} n={:<6} rate={:<5} success={}/{} degraded={} overhead={:.2}x dropped={} retx={}",
+            r.family,
+            r.n,
+            r.rate,
+            r.successes,
+            r.trials,
+            r.degraded,
+            r.mean_round_overhead,
+            r.dropped,
+            r.retransmissions,
+        );
+    }
+    rows
+}
+
+/// Renders rows as the `BENCH_chaos.json` document (hand-rolled JSON, as
+/// `BENCH_kernel.json`: every field numeric or a known-safe literal).
+pub fn to_json(rows: &[ChaosRow]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"embedding-chaos\",\n");
+    s.push_str(
+        "  \"metric\": \"success rate and round overhead under seeded link faults \
+         (drop/duplicate/delay), reliable delivery on\",\n",
+    );
+    s.push_str(&format!(
+        "  \"trials_per_cell\": {TRIALS},\n  \"cells\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"n\": {}, \"drop_rate\": {}, ",
+                "\"trials\": {}, \"successes\": {}, \"degraded\": {}, ",
+                "\"success_rate\": {:.3}, \"baseline_rounds\": {}, ",
+                "\"mean_round_overhead\": {:.4}, \"dropped\": {}, ",
+                "\"retransmissions\": {}}}{}\n"
+            ),
+            r.family,
+            r.n,
+            r.rate,
+            r.trials,
+            r.successes,
+            r.degraded,
+            r.success_rate(),
+            r.baseline_rounds,
+            r.mean_round_overhead,
+            r.dropped,
+            r.retransmissions,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &std::path::Path, rows: &[ChaosRow]) -> std::io::Result<()> {
+    std::fs::write(path, to_json(rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chaos_cell_is_deterministic_and_total() {
+        let a = chaos_cell("grid", 0, 64, 3); // rate 0.1, the nastiest cell
+        let b = chaos_cell("grid", 0, 64, 3);
+        assert_eq!(a, b, "chaos cells must replay identically");
+        assert_eq!(a.successes + a.degraded, a.trials);
+    }
+
+    #[test]
+    fn zero_rate_cell_always_succeeds() {
+        let r = chaos_cell("tri-grid", 1, 64, 0);
+        assert_eq!(r.successes, r.trials);
+        assert_eq!(r.dropped, 0);
+        assert_eq!(r.retransmissions, 0);
+    }
+
+    #[test]
+    fn json_record_is_well_formed_enough() {
+        let rows = vec![chaos_cell("grid", 0, 64, 1)];
+        let j = to_json(&rows);
+        assert!(j.contains("\"success_rate\""));
+        assert!(j.contains("\"mean_round_overhead\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -88,6 +88,7 @@ fn fast_config() -> EmbedderConfig {
     EmbedderConfig {
         sim: SimConfig::default(),
         check_invariants: false,
+        ..EmbedderConfig::default()
     }
 }
 
@@ -455,6 +456,7 @@ pub fn fsafe(sizes: &[usize]) -> Vec<FsafeRow> {
     let cfg = EmbedderConfig {
         sim: SimConfig::default(),
         check_invariants: true,
+        ..EmbedderConfig::default()
     };
     par_map(family_size_trials(sizes), move |(family, n)| {
         let g = family.instantiate(n, 5);
@@ -568,8 +570,9 @@ pub fn ablate_budget(n: usize) -> Vec<AblateRow> {
             ..Default::default()
         };
         let cfg = EmbedderConfig {
-            sim,
+            sim: sim.clone(),
             check_invariants: false,
+            ..EmbedderConfig::default()
         };
         let ours = embed_distributed(&g, &cfg).expect("planar instance");
         let base = embed_baseline(&g, &sim).expect("planar instance");

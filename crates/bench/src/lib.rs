@@ -26,13 +26,15 @@
 //! Independent trials of a sweep are fanned out through [`parallel::par_map`]
 //! (deterministic, input-order results). [`kernelbench`] measures the
 //! simulation kernel's message throughput against the preserved seed kernel
-//! and emits `BENCH_kernel.json`.
+//! and emits `BENCH_kernel.json`; [`chaos`] sweeps the embedder under
+//! seeded fault injection and emits `BENCH_chaos.json`.
 //!
 //! Run everything with `cargo run --release -p planar-bench --bin harness`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod experiments;
 pub mod kernelbench;
 pub mod parallel;

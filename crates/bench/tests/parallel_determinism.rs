@@ -2,6 +2,7 @@
 //! worker threads must produce tables byte-identical to a sequential run,
 //! no matter how the OS schedules the workers.
 
+use planar_bench::chaos::{chaos_cell, chaos_sweep};
 use planar_bench::parallel::par_map;
 use planar_bench::{t1_scaling, t1_trial, t5_lower_bound, Family};
 
@@ -29,6 +30,25 @@ fn t5_parallel_is_stable() {
     let b = t5_lower_bound(&[4, 8, 16]);
     assert_eq!(a, b);
     assert_eq!(a.len(), 3);
+}
+
+/// Faulty runs stay deterministic through the parallel harness: the chaos
+/// sweep (seeded fault plans, reliable delivery, worker threads) equals
+/// both a rerun of itself and the same cells computed sequentially.
+#[test]
+fn chaos_parallel_matches_sequential() {
+    let sizes = [64usize];
+    let parallel = chaos_sweep(&sizes);
+    assert_eq!(chaos_sweep(&sizes), parallel, "chaos rerun diverged");
+    let sequential: Vec<_> = ["grid", "tri-grid"]
+        .into_iter()
+        .enumerate()
+        .flat_map(|(fam_idx, family)| {
+            (0..planar_bench::chaos::RATES.len())
+                .map(move |rate_idx| chaos_cell(family, fam_idx, 64, rate_idx))
+        })
+        .collect();
+    assert_eq!(parallel, sequential, "parallel chaos diverged");
 }
 
 /// par_map preserves input order even when work sizes are skewed enough

@@ -1,0 +1,423 @@
+//! Deterministic, seeded fault injection for the CONGEST kernels.
+//!
+//! A [`FaultPlan`] describes which message-level faults a simulation should
+//! inject: per-link drop / duplicate / delay probabilities, per-node
+//! crash-stops, and link-down windows. The plan lives on
+//! [`SimConfig`](crate::SimConfig) and is applied by **both** kernels — the
+//! allocation-free kernel in [`crate::network`] and the seed oracle in
+//! [`crate::reference`] — through the same decision function, so the
+//! determinism conformance suite keeps pinning them equal under faults.
+//!
+//! # Replayability contract
+//!
+//! Every per-message decision is a pure function of
+//! `(plan.seed, from, to, send_round, k)`, where `k` is the index of the
+//! message among everything the sender emitted over the directed link
+//! `(from, to)` in `send_round`. There is **no shared RNG stream**: the two
+//! kernels iterate senders in different orders (first-delivery vs. sorted),
+//! and a sequential stream would make the schedule depend on that order.
+//! Instead each decision seeds a fresh vendored SplitMix64 [`StdRng`]
+//! (`shims/rand`) from a hash of those fields, so a fixed `(seed, plan)`
+//! replays to an identical [`SimOutcome`](crate::SimOutcome) on either
+//! kernel, sequentially or under the parallel bench harness.
+//!
+//! # Fault semantics (shared by both kernels)
+//!
+//! For a message sent over `(from, to)` in round `s` (nominal delivery
+//! round `s + 1`):
+//!
+//! 1. if a [`LinkDown`] window covers the *nominal* delivery round `s + 1`,
+//!    the message is dropped;
+//! 2. else it is dropped with probability `drop`;
+//! 3. else it is duplicated with probability `duplicate` (two identical
+//!    copies, delivered back to back);
+//! 4. else/additionally it is delayed with probability `delay` by a uniform
+//!    `d ∈ [1, max_delay]` rounds, arriving in round `s + 1 + d` (both
+//!    copies of a duplicate travel together).
+//!
+//! Crash-stop: a node with crash round `r` does nothing from round `r` on
+//! (crash at round 0 suppresses even `init`), and any message copy whose
+//! arrival round is `>= r` is discarded at the sender's queue. Sends *to* an
+//! already-crashed neighbor are governed by [`CrashPolicy`].
+//!
+//! Delivery order at a node is normalized identically by both kernels: the
+//! inbox is grouped by sender in sender-id order; within one sender, on-time
+//! messages come first (in emission order, duplicate copies adjacent),
+//! followed by delayed arrivals ordered by `(send_round, k)`.
+//!
+//! Budget enforcement under faults charges the words the protocol
+//! *attempted* to send on each link per round (faults cannot launder
+//! bandwidth), while [`Metrics`](crate::Metrics) congestion counters keep
+//! reporting *delivered* traffic.
+
+use planar_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Per-link fault probabilities (applied independently per message).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability a message is silently dropped.
+    pub drop: f64,
+    /// Probability a surviving message is delivered twice.
+    pub duplicate: f64,
+    /// Probability a surviving message is delayed.
+    pub delay: f64,
+    /// Maximum delay in rounds; delays are uniform on `[1, max_delay]`.
+    /// With `max_delay == 0` the `delay` probability is inert.
+    pub max_delay: usize,
+}
+
+impl LinkFaults {
+    /// No faults on this link.
+    pub const NONE: LinkFaults = LinkFaults {
+        drop: 0.0,
+        duplicate: 0.0,
+        delay: 0.0,
+        max_delay: 0,
+    };
+
+    fn is_none(&self) -> bool {
+        self.drop <= 0.0 && self.duplicate <= 0.0 && (self.delay <= 0.0 || self.max_delay == 0)
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::NONE
+    }
+}
+
+/// A window of rounds during which a directed link delivers nothing.
+///
+/// The window is matched against the *nominal* delivery round
+/// (`send round + 1`), before any delay draw, and is inclusive-exclusive:
+/// `start <= round < end`. For a bidirectional outage add one window per
+/// direction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LinkDown {
+    /// Sender side of the dead link.
+    pub from: VertexId,
+    /// Receiver side of the dead link.
+    pub to: VertexId,
+    /// First delivery round the outage covers.
+    pub start: usize,
+    /// First delivery round after the outage.
+    pub end: usize,
+}
+
+/// What a send addressed to an already-crashed neighbor does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrashPolicy {
+    /// The message vanishes (counted in `Metrics::dropped`); the sender
+    /// cannot tell a crashed neighbor from a lossy link. The default, and
+    /// the honest distributed-systems semantics.
+    #[default]
+    DropSilently,
+    /// Abort the run with [`SimError::DestinationCrashed`]
+    /// (`crate::SimError`) — a debugging aid for protocols that are supposed
+    /// to know which neighbors are alive.
+    Error,
+}
+
+/// The resolved fate of one attempted message send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// The message never arrives.
+    Dropped,
+    /// The message arrives as `copies` identical copies, `delay` rounds
+    /// after its nominal delivery round.
+    Deliver {
+        /// 1 normally, 2 when duplicated.
+        copies: u8,
+        /// 0 for on-time delivery.
+        delay: usize,
+    },
+}
+
+/// A complete, replayable fault schedule for one simulation run.
+///
+/// `FaultPlan::default()` is the empty plan: both kernels detect it
+/// ([`FaultPlan::is_empty`]) and stay on the fault-free hot path — no
+/// per-message RNG work, byte-identical outcomes and metrics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every fault decision; `(seed, plan)` fully determines the
+    /// schedule.
+    pub seed: u64,
+    /// Fault probabilities applied to every directed link without an
+    /// override.
+    pub link: LinkFaults,
+    /// Per-directed-link overrides of [`FaultPlan::link`] (last match
+    /// wins).
+    pub link_overrides: Vec<((VertexId, VertexId), LinkFaults)>,
+    /// Crash-stop schedule: `(node, round)` — the node does nothing from
+    /// that round on. Duplicate entries take the earliest round.
+    pub crashes: Vec<(VertexId, usize)>,
+    /// Scheduled link outages.
+    pub link_down: Vec<LinkDown>,
+    /// Behavior of sends addressed to already-crashed nodes.
+    pub on_crashed_send: CrashPolicy,
+}
+
+impl FaultPlan {
+    /// True iff this plan injects nothing, i.e. the kernels may take the
+    /// fault-free hot path.
+    pub fn is_empty(&self) -> bool {
+        self.link.is_none()
+            && self.link_overrides.iter().all(|(_, f)| f.is_none())
+            && self.crashes.is_empty()
+            && self.link_down.is_empty()
+    }
+
+    /// A uniform plan: every link drops/duplicates/delays with the given
+    /// probabilities (delays up to `max_delay` rounds).
+    pub fn uniform(seed: u64, drop: f64, duplicate: f64, delay: f64, max_delay: usize) -> Self {
+        FaultPlan {
+            seed,
+            link: LinkFaults {
+                drop,
+                duplicate,
+                delay,
+                max_delay,
+            },
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The round at which `v` crash-stops, or `usize::MAX` if it never
+    /// does.
+    pub fn crash_round(&self, v: VertexId) -> usize {
+        self.crashes
+            .iter()
+            .filter(|(c, _)| *c == v)
+            .map(|(_, r)| *r)
+            .min()
+            .unwrap_or(usize::MAX)
+    }
+
+    /// The distinct crash-scheduled vertices, sorted.
+    pub fn crash_victims(&self) -> Vec<VertexId> {
+        let mut v: Vec<VertexId> = self.crashes.iter().map(|(c, _)| *c).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// How many distinct nodes have crashed by the end of `round`
+    /// (crash rounds `<= round`).
+    pub fn crashed_by(&self, round: usize) -> usize {
+        let mut v: Vec<VertexId> = self
+            .crashes
+            .iter()
+            .filter(|(_, r)| *r <= round)
+            .map(|(c, _)| *c)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len()
+    }
+
+    /// The fault parameters governing the directed link `(from, to)`.
+    fn link_faults(&self, from: VertexId, to: VertexId) -> &LinkFaults {
+        self.link_overrides
+            .iter()
+            .rev()
+            .find(|((f, t), _)| *f == from && *t == to)
+            .map(|(_, lf)| lf)
+            .unwrap_or(&self.link)
+    }
+
+    /// Resolves the fate of message `k` sent over `(from, to)` in
+    /// `send_round`. Pure in `(self, from, to, send_round, k)` — see the
+    /// module docs for the replayability contract.
+    pub fn fate(&self, from: VertexId, to: VertexId, send_round: usize, k: u32) -> Fate {
+        let due = send_round + 1;
+        if self
+            .link_down
+            .iter()
+            .any(|w| w.from == from && w.to == to && w.start <= due && due < w.end)
+        {
+            return Fate::Dropped;
+        }
+        let lf = self.link_faults(from, to);
+        if lf.is_none() {
+            return Fate::Deliver {
+                copies: 1,
+                delay: 0,
+            };
+        }
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, from, to, send_round, k));
+        // Fixed draw order — drop, duplicate, delay, delay amount — so the
+        // schedule is stable under changes to *which* faults a plan enables.
+        if unit(&mut rng) < lf.drop {
+            return Fate::Dropped;
+        }
+        let copies = if unit(&mut rng) < lf.duplicate { 2 } else { 1 };
+        let delay = if lf.max_delay > 0 && unit(&mut rng) < lf.delay {
+            rng.gen_range(1..=lf.max_delay)
+        } else {
+            0
+        };
+        Fate::Deliver { copies, delay }
+    }
+}
+
+/// Uniform draw in `[0, 1)` with 53 random bits (the shim RNG has no float
+/// support; this is the standard mantissa construction).
+fn unit(rng: &mut StdRng) -> f64 {
+    const BITS: u64 = 1 << 53;
+    rng.gen_range(0..BITS) as f64 / BITS as f64
+}
+
+/// Hashes the fault-decision coordinates into a seed for the per-message
+/// generator (SplitMix64-style finalization per field).
+fn mix(seed: u64, from: VertexId, to: VertexId, send_round: usize, k: u32) -> u64 {
+    let mut h = seed ^ 0x51ED_2701_89AB_CDEF;
+    for x in [from.0 as u64, to.0 as u64, send_round as u64, k as u64] {
+        h ^= x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_is_empty_and_fault_free() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        assert_eq!(
+            plan.fate(VertexId(0), VertexId(1), 3, 0),
+            Fate::Deliver {
+                copies: 1,
+                delay: 0
+            }
+        );
+        assert_eq!(plan.crash_round(VertexId(0)), usize::MAX);
+        assert_eq!(plan.crashed_by(usize::MAX), 0);
+    }
+
+    #[test]
+    fn fate_is_pure_in_its_coordinates() {
+        let plan = FaultPlan::uniform(42, 0.3, 0.2, 0.3, 4);
+        for k in 0..50u32 {
+            let a = plan.fate(VertexId(3), VertexId(7), 11, k);
+            let b = plan.fate(VertexId(3), VertexId(7), 11, k);
+            assert_eq!(a, b);
+        }
+        // Different coordinates decouple: flipping any field may change the
+        // fate, and at these rates some coordinate pair must differ.
+        let fates: Vec<Fate> = (0..100)
+            .map(|k| plan.fate(VertexId(0), VertexId(1), 1, k))
+            .collect();
+        assert!(fates.contains(&Fate::Dropped));
+        assert!(fates
+            .iter()
+            .any(|f| matches!(f, Fate::Deliver { delay, .. } if *delay > 0)));
+        assert!(fates
+            .iter()
+            .any(|f| matches!(f, Fate::Deliver { copies: 2, .. })));
+    }
+
+    #[test]
+    fn drop_one_means_always_dropped() {
+        let plan = FaultPlan::uniform(7, 1.0, 0.0, 0.0, 0);
+        for r in 0..20 {
+            assert_eq!(plan.fate(VertexId(1), VertexId(2), r, 0), Fate::Dropped);
+        }
+    }
+
+    #[test]
+    fn delay_respects_max_delay() {
+        let plan = FaultPlan::uniform(9, 0.0, 0.0, 1.0, 3);
+        for k in 0..200u32 {
+            match plan.fate(VertexId(0), VertexId(1), 5, k) {
+                Fate::Deliver { copies: 1, delay } => assert!((1..=3).contains(&delay)),
+                other => panic!("unexpected fate {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn link_down_window_matches_nominal_delivery_round() {
+        let mut plan = FaultPlan::default();
+        plan.link_down.push(LinkDown {
+            from: VertexId(0),
+            to: VertexId(1),
+            start: 3,
+            end: 5,
+        });
+        assert!(!plan.is_empty());
+        // Sent in round 2 => due round 3: inside the window.
+        assert_eq!(plan.fate(VertexId(0), VertexId(1), 2, 0), Fate::Dropped);
+        assert_eq!(plan.fate(VertexId(0), VertexId(1), 3, 0), Fate::Dropped);
+        // Due round 5 is past the (exclusive) end; due round 2 is before it.
+        assert_eq!(
+            plan.fate(VertexId(0), VertexId(1), 4, 0),
+            Fate::Deliver {
+                copies: 1,
+                delay: 0
+            }
+        );
+        assert_eq!(
+            plan.fate(VertexId(0), VertexId(1), 1, 0),
+            Fate::Deliver {
+                copies: 1,
+                delay: 0
+            }
+        );
+        // The reverse direction is unaffected.
+        assert_eq!(
+            plan.fate(VertexId(1), VertexId(0), 2, 0),
+            Fate::Deliver {
+                copies: 1,
+                delay: 0
+            }
+        );
+    }
+
+    #[test]
+    fn overrides_shadow_the_global_link_faults() {
+        let mut plan = FaultPlan::uniform(1, 1.0, 0.0, 0.0, 0);
+        plan.link_overrides
+            .push(((VertexId(0), VertexId(1)), LinkFaults::NONE));
+        assert_eq!(
+            plan.fate(VertexId(0), VertexId(1), 0, 0),
+            Fate::Deliver {
+                copies: 1,
+                delay: 0
+            }
+        );
+        assert_eq!(plan.fate(VertexId(1), VertexId(0), 0, 0), Fate::Dropped);
+    }
+
+    #[test]
+    fn crash_bookkeeping() {
+        let mut plan = FaultPlan::default();
+        plan.crashes.push((VertexId(4), 7));
+        plan.crashes.push((VertexId(4), 3)); // earliest entry wins
+        plan.crashes.push((VertexId(2), 10));
+        assert!(!plan.is_empty());
+        assert_eq!(plan.crash_round(VertexId(4)), 3);
+        assert_eq!(plan.crash_round(VertexId(2)), 10);
+        assert_eq!(plan.crash_victims(), vec![VertexId(2), VertexId(4)]);
+        assert_eq!(plan.crashed_by(2), 0);
+        assert_eq!(plan.crashed_by(3), 1);
+        assert_eq!(plan.crashed_by(10), 2);
+    }
+
+    #[test]
+    fn drop_rate_is_roughly_respected() {
+        let plan = FaultPlan::uniform(123, 0.25, 0.0, 0.0, 0);
+        let dropped = (0..4000u32)
+            .filter(|&k| plan.fate(VertexId(5), VertexId(6), 1, k) == Fate::Dropped)
+            .count();
+        // 4000 Bernoulli(0.25) trials: expect ~1000, allow a wide margin.
+        assert!((800..1200).contains(&dropped), "dropped = {dropped}");
+    }
+}

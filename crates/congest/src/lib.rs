@@ -19,8 +19,13 @@
 //!   the paper's partitioning step.
 //! * [`routing`] — the charged store-and-forward scheduler used to account
 //!   for the merge phases' summary movements packet by packet.
-//! * [`Metrics`] — rounds / messages / words / per-edge congestion, with
-//!   sequential and parallel composition.
+//! * [`faults`] — deterministic, seeded fault injection ([`FaultPlan`] on
+//!   [`SimConfig`]): per-link drop/duplicate/delay, per-node crash-stop,
+//!   link-down windows; both kernels apply the identical schedule, and
+//!   [`protocols::reliable`](protocols) provides an opt-in ack/retransmit
+//!   wrapper on top.
+//! * [`Metrics`] — rounds / messages / words / per-edge congestion (plus
+//!   fault counters), with sequential and parallel composition.
 //!
 //! # Example
 //!
@@ -44,6 +49,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod message;
 mod metrics;
 pub mod network;
@@ -51,6 +57,7 @@ pub mod protocols;
 pub mod reference;
 pub mod routing;
 
+pub use faults::{CrashPolicy, Fate, FaultPlan, LinkDown, LinkFaults};
 pub use message::{word_bits, Words};
 pub use metrics::Metrics;
 pub use network::{

@@ -22,6 +22,20 @@ pub struct Metrics {
     /// The largest number of words that crossed any single directed edge in
     /// any single round.
     pub max_words_edge_round: usize,
+    /// Messages discarded by fault injection: channel drops, link-down
+    /// windows, and copies addressed to (or arriving at) crashed nodes.
+    pub dropped: usize,
+    /// Extra copies created by duplication faults.
+    pub duplicated: usize,
+    /// Messages delivered later than their nominal round by delay faults.
+    pub delayed: usize,
+    /// Data retransmissions performed by the reliable-delivery wrapper
+    /// (`protocols::reliable`); always 0 for bare kernel runs.
+    pub retransmissions: usize,
+    /// Distinct nodes that crash-stopped during the run. Composes by `max`:
+    /// phases of one run share the same fault plan, so crashes are not
+    /// additive across phases.
+    pub crashed_nodes: usize,
 }
 
 impl Metrics {
@@ -36,6 +50,11 @@ impl Metrics {
         self.messages += other.messages;
         self.words += other.words;
         self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.retransmissions += other.retransmissions;
+        self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
     }
 
     /// Parallel composition: the phases ran concurrently on disjoint parts
@@ -45,6 +64,11 @@ impl Metrics {
         self.messages += other.messages;
         self.words += other.words;
         self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
+        self.dropped += other.dropped;
+        self.duplicated += other.duplicated;
+        self.delayed += other.delayed;
+        self.retransmissions += other.retransmissions;
+        self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
     }
 
     /// Total bits delivered, for an `n`-node network (`words · ceil(log2 n)`).
@@ -59,7 +83,21 @@ impl std::fmt::Display for Metrics {
             f,
             "{} rounds, {} msgs, {} words, max {} words/edge/round",
             self.rounds, self.messages, self.words, self.max_words_edge_round
-        )
+        )?;
+        if self.dropped + self.duplicated + self.delayed + self.retransmissions + self.crashed_nodes
+            > 0
+        {
+            write!(
+                f,
+                " [faults: {} dropped, {} duplicated, {} delayed, {} retransmitted, {} crashed]",
+                self.dropped,
+                self.duplicated,
+                self.delayed,
+                self.retransmissions,
+                self.crashed_nodes
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -74,12 +112,14 @@ mod tests {
             messages: 10,
             words: 20,
             max_words_edge_round: 3,
+            ..Metrics::default()
         };
         let b = Metrics {
             rounds: 7,
             messages: 1,
             words: 2,
             max_words_edge_round: 4,
+            ..Metrics::default()
         };
         a.add(b);
         assert_eq!(a.rounds, 12);
@@ -95,16 +135,64 @@ mod tests {
             messages: 10,
             words: 20,
             max_words_edge_round: 3,
+            ..Metrics::default()
         };
         let b = Metrics {
             rounds: 7,
             messages: 1,
             words: 2,
             max_words_edge_round: 1,
+            ..Metrics::default()
         };
         a.join_parallel(b);
         assert_eq!(a.rounds, 7);
         assert_eq!(a.messages, 11);
+    }
+
+    #[test]
+    fn fault_counter_composition() {
+        let mut a = Metrics {
+            dropped: 3,
+            duplicated: 1,
+            delayed: 2,
+            retransmissions: 4,
+            crashed_nodes: 2,
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            dropped: 5,
+            duplicated: 2,
+            delayed: 1,
+            retransmissions: 1,
+            crashed_nodes: 1,
+            ..Metrics::default()
+        };
+        a.add(b);
+        assert_eq!(
+            (a.dropped, a.duplicated, a.delayed, a.retransmissions),
+            (8, 3, 3, 5)
+        );
+        // Crashes are shared across phases of a run, not additive.
+        assert_eq!(a.crashed_nodes, 2);
+        let mut c = a;
+        c.join_parallel(b);
+        assert_eq!(c.dropped, 13);
+        assert_eq!(c.crashed_nodes, 2);
+    }
+
+    #[test]
+    fn display_hides_fault_counters_when_clean() {
+        let clean = Metrics {
+            rounds: 1,
+            ..Metrics::default()
+        };
+        assert!(!format!("{clean}").contains("faults"));
+        let faulty = Metrics {
+            rounds: 1,
+            dropped: 2,
+            ..Metrics::default()
+        };
+        assert!(format!("{faulty}").contains("faults"));
     }
 
     #[test]
@@ -114,6 +202,7 @@ mod tests {
             messages: 1,
             words: 10,
             max_words_edge_round: 1,
+            ..Metrics::default()
         };
         assert_eq!(m.bits(1024), 100);
     }

@@ -61,6 +61,7 @@ use std::fmt;
 
 use planar_graph::{ArcIndex, Graph, VertexId};
 
+use crate::faults::{CrashPolicy, Fate, FaultPlan};
 use crate::message::Words;
 use crate::metrics::Metrics;
 
@@ -100,10 +101,19 @@ pub trait NodeProgram {
         ctx: &NodeCtx<'_>,
         inbox: &[(VertexId, Self::Msg)],
     ) -> Vec<(VertexId, Self::Msg)>;
+
+    /// Whether the node wants [`NodeProgram::on_round`] called with an
+    /// *empty* inbox while it has internal timers pending (e.g. the
+    /// retransmission timeouts of `protocols::reliable`). Only honored in
+    /// fault mode — with an empty [`FaultPlan`] the kernel stays strictly
+    /// event-driven, preserving the zero-overhead hot path.
+    fn wants_tick(&self) -> bool {
+        false
+    }
 }
 
 /// Simulation parameters.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct SimConfig {
     /// Maximum words (one word = one `O(log n)`-bit field) per directed edge
     /// per round.
@@ -115,6 +125,16 @@ pub struct SimConfig {
     /// `metrics.rounds == max_rounds`; only a run that would need to deliver
     /// in round `max_rounds + 1` fails with [`SimError::MaxRoundsExceeded`].
     pub max_rounds: usize,
+    /// Fault-injection schedule (see [`crate::faults`]). The default (empty)
+    /// plan keeps the kernel on the fault-free hot path: no per-message RNG
+    /// calls, byte-identical outcomes.
+    pub faults: FaultPlan,
+    /// Round-budget watchdog: abort with [`SimError::WatchdogTimeout`] if
+    /// the run passes this many rounds. Unlike `max_rounds` (a safety net
+    /// against protocol bugs, so generous it should never fire), the
+    /// watchdog is the *expected* failure mode of a faulty run — drivers map
+    /// it to graceful degradation rather than treating it as a bug.
+    pub watchdog: Option<usize>,
 }
 
 /// The default per-edge word budget: 8 words, i.e. messages of
@@ -126,6 +146,8 @@ impl Default for SimConfig {
         SimConfig {
             budget_words: DEFAULT_BUDGET_WORDS,
             max_rounds: 1_000_000,
+            faults: FaultPlan::default(),
+            watchdog: None,
         }
     }
 }
@@ -159,6 +181,25 @@ pub enum SimError {
         /// The configured limit.
         limit: usize,
     },
+    /// The round-budget watchdog ([`SimConfig::watchdog`]) fired before
+    /// quiescence — under fault injection, the signal that a protocol can
+    /// no longer make progress and the run should degrade gracefully.
+    WatchdogTimeout {
+        /// The configured watchdog limit.
+        limit: usize,
+    },
+    /// A node addressed a message to a neighbor that had already
+    /// crash-stopped. Only reported under
+    /// [`CrashPolicy::Error`](crate::faults::CrashPolicy::Error); the
+    /// default policy drops such sends silently.
+    DestinationCrashed {
+        /// The sender.
+        from: VertexId,
+        /// The crashed addressee.
+        to: VertexId,
+        /// The round in which the send was attempted.
+        round: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -173,6 +214,12 @@ impl fmt::Display for SimError {
             }
             SimError::MaxRoundsExceeded { limit } => {
                 write!(f, "simulation did not quiesce within {limit} rounds")
+            }
+            SimError::WatchdogTimeout { limit } => {
+                write!(f, "watchdog: no quiescence within the {limit}-round budget")
+            }
+            SimError::DestinationCrashed { from, to, round } => {
+                write!(f, "node {from} sent to crashed node {to} in round {round}")
             }
         }
     }
@@ -306,9 +353,43 @@ pub struct Simulator<M> {
     pending_overflow: Option<SimError>,
     /// Reusable inbox assembled for one recipient at a time.
     inbox: Vec<(VertexId, M)>,
+    /// Whether this run has a non-empty fault plan. Cached so the round
+    /// loop's fault hooks cost one predictable branch when faults are off.
+    fault_mode: bool,
+    /// Per-vertex crash round (`usize::MAX` = never). Fault mode only.
+    crashed_at: Vec<usize>,
+    /// Words the protocol *attempted* to send per arc this round (budget
+    /// enforcement under faults — dropped traffic still counts against the
+    /// sender's bandwidth). Fault mode only.
+    att_words: Vec<u64>,
+    /// Attempted-message index `k` per arc this round — the fault schedule's
+    /// per-link sequence coordinate. Fault mode only.
+    att_seq: Vec<u32>,
+    /// `ran_round[v] == r` iff `v` already executed `on_round` in round `r`
+    /// (distinct from `recipient_round`, which is re-stamped to `r + 1` as
+    /// soon as someone addresses `v` for the next round). Fault mode only,
+    /// for the timer-tick sweep.
+    ran_round: Vec<usize>,
+    /// Arcs with attempted-send accounting to reset this round.
+    att_dirty: Vec<u32>,
+    /// Delay-faulted messages waiting for their arrival round.
+    delayed: Vec<DelayedMsg<M>>,
 }
 
-impl<M: Words> Simulator<M> {
+/// A message held back by a delay fault until `round`.
+struct DelayedMsg<M> {
+    /// Arrival round.
+    round: usize,
+    /// The arc it travels on (fixes sender and slot order).
+    arc: u32,
+    /// The destination (redundant with `arc`, kept to avoid a reverse
+    /// lookup on the hot injection path).
+    dest: VertexId,
+    /// The payload.
+    msg: M,
+}
+
+impl<M: Words + Clone> Simulator<M> {
     /// Creates an empty simulator; buffers are sized lazily by each run.
     pub fn new() -> Self {
         Simulator {
@@ -320,6 +401,13 @@ impl<M: Words> Simulator<M> {
             recipient_round: Vec::new(),
             pending_overflow: None,
             inbox: Vec::new(),
+            fault_mode: false,
+            crashed_at: Vec::new(),
+            att_words: Vec::new(),
+            att_seq: Vec::new(),
+            ran_round: Vec::new(),
+            att_dirty: Vec::new(),
+            delayed: Vec::new(),
         }
     }
 
@@ -327,7 +415,7 @@ impl<M: Words> Simulator<M> {
     /// `arcs` arcs, keeping buffer capacity. Equivalent to a fresh
     /// `Simulator` — no state can leak between runs (including from a run
     /// that aborted mid-round with an error).
-    fn prepare(&mut self, n: usize, arcs: usize) {
+    fn prepare(&mut self, n: usize, arcs: usize, cfg: &SimConfig) {
         self.cur.prepare(arcs);
         self.nxt.prepare(arcs);
         self.slot_epoch.clear();
@@ -339,10 +427,61 @@ impl<M: Words> Simulator<M> {
         self.recipient_round.resize(n, usize::MAX);
         self.pending_overflow = None;
         self.inbox.clear();
+        self.delayed.clear();
+        self.att_dirty.clear();
+        self.fault_mode = !cfg.faults.is_empty();
+        if self.fault_mode {
+            self.crashed_at.clear();
+            self.crashed_at.resize(n, usize::MAX);
+            for &(v, r) in &cfg.faults.crashes {
+                if v.index() < n {
+                    let c = &mut self.crashed_at[v.index()];
+                    *c = (*c).min(r);
+                }
+            }
+            self.att_words.clear();
+            self.att_words.resize(arcs, 0);
+            self.att_seq.clear();
+            self.att_seq.resize(arcs, 0);
+            self.ran_round.clear();
+            self.ran_round.resize(n, usize::MAX);
+        } else {
+            self.crashed_at.clear();
+            self.att_words.clear();
+            self.att_seq.clear();
+            self.ran_round.clear();
+        }
+    }
+
+    /// Queues one surviving message copy onto arc `a` of `plane` for
+    /// delivery in round `deliver_round` (fault mode only; the fault-free
+    /// path queues inline in [`Simulator::record_sends`]).
+    fn queue_copy(
+        plane: &mut MailPlane<M>,
+        recipient_round: &mut [usize],
+        a: usize,
+        dest: VertexId,
+        deliver_round: usize,
+        msg: M,
+    ) {
+        plane.words[a] += msg.words() as u64;
+        if plane.head[a].is_none() {
+            plane.head[a] = Some(msg);
+            plane.touched.push(a as u32);
+        } else {
+            plane.spill[a].push(msg);
+            plane.spilled[a >> 6] |= 1 << (a & 63);
+        }
+        plane.msg_count += 1;
+        if recipient_round[dest.index()] != deliver_round {
+            recipient_round[dest.index()] = deliver_round;
+            plane.recipients.push(dest);
+        }
     }
 
     /// Records `from`'s outgoing messages (sent during `round`, delivered in
-    /// `round + 1`) into the `nxt` plane.
+    /// `round + 1`) into the `nxt` plane; in fault mode, resolves each
+    /// message's fate first (see [`crate::faults`]).
     fn record_sends(
         &mut self,
         idx: &ArcIndex,
@@ -350,6 +489,7 @@ impl<M: Words> Simulator<M> {
         from: VertexId,
         round: usize,
         out: Vec<(VertexId, M)>,
+        metrics: &mut Metrics,
     ) -> Result<(), SimError> {
         if out.is_empty() {
             return Ok(());
@@ -369,28 +509,120 @@ impl<M: Words> Simulator<M> {
             let a = idx
                 .arc_at(from, self.slot_val[dest.index()] as usize)
                 .index();
-            let plane = &mut self.nxt;
-            plane.words[a] += msg.words() as u64;
-            if plane.words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
+            if !self.fault_mode {
+                let plane = &mut self.nxt;
+                plane.words[a] += msg.words() as u64;
+                if plane.words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
+                    self.pending_overflow = Some(SimError::BudgetExceeded {
+                        from,
+                        to: dest,
+                        words: plane.words[a] as usize,
+                        budget: cfg.budget_words,
+                        round: round + 1,
+                    });
+                }
+                if plane.head[a].is_none() {
+                    plane.head[a] = Some(msg);
+                    plane.touched.push(a as u32);
+                } else {
+                    plane.spill[a].push(msg);
+                    plane.spilled[a >> 6] |= 1 << (a & 63);
+                }
+                plane.msg_count += 1;
+                if self.recipient_round[dest.index()] != round + 1 {
+                    self.recipient_round[dest.index()] = round + 1;
+                    plane.recipients.push(dest);
+                }
+                continue;
+            }
+
+            // Fault mode. Budget accounting charges *attempted* words — a
+            // protocol cannot exceed its bandwidth just because the channel
+            // happened to drop the excess.
+            if self.att_seq[a] == 0 && self.att_words[a] == 0 {
+                self.att_dirty.push(a as u32);
+            }
+            let k = self.att_seq[a];
+            self.att_seq[a] += 1;
+            self.att_words[a] += msg.words() as u64;
+            if self.att_words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
                 self.pending_overflow = Some(SimError::BudgetExceeded {
                     from,
                     to: dest,
-                    words: plane.words[a] as usize,
+                    words: self.att_words[a] as usize,
                     budget: cfg.budget_words,
                     round: round + 1,
                 });
             }
-            if plane.head[a].is_none() {
-                plane.head[a] = Some(msg);
-                plane.touched.push(a as u32);
-            } else {
-                plane.spill[a].push(msg);
-                plane.spilled[a >> 6] |= 1 << (a & 63);
+            if self.crashed_at[dest.index()] <= round {
+                match cfg.faults.on_crashed_send {
+                    CrashPolicy::DropSilently => {
+                        metrics.dropped += 1;
+                        continue;
+                    }
+                    CrashPolicy::Error => {
+                        return Err(SimError::DestinationCrashed {
+                            from,
+                            to: dest,
+                            round,
+                        });
+                    }
+                }
             }
-            plane.msg_count += 1;
-            if self.recipient_round[dest.index()] != round + 1 {
-                self.recipient_round[dest.index()] = round + 1;
-                plane.recipients.push(dest);
+            match cfg.faults.fate(from, dest, round, k) {
+                Fate::Dropped => metrics.dropped += 1,
+                Fate::Deliver { copies, delay } => {
+                    if copies > 1 {
+                        metrics.duplicated += usize::from(copies) - 1;
+                    }
+                    if delay > 0 {
+                        metrics.delayed += 1;
+                    }
+                    let deliver = round + 1 + delay;
+                    if deliver >= self.crashed_at[dest.index()] {
+                        // Crash-stop: copies arriving at or after the
+                        // destination's crash round vanish in transit.
+                        metrics.dropped += usize::from(copies);
+                        continue;
+                    }
+                    // Duplicate copies travel together and stay adjacent.
+                    for _ in 1..copies {
+                        if delay == 0 {
+                            Self::queue_copy(
+                                &mut self.nxt,
+                                &mut self.recipient_round,
+                                a,
+                                dest,
+                                deliver,
+                                msg.clone(),
+                            );
+                        } else {
+                            self.delayed.push(DelayedMsg {
+                                round: deliver,
+                                arc: a as u32,
+                                dest,
+                                msg: msg.clone(),
+                            });
+                        }
+                    }
+                    if delay == 0 {
+                        Self::queue_copy(
+                            &mut self.nxt,
+                            &mut self.recipient_round,
+                            a,
+                            dest,
+                            deliver,
+                            msg,
+                        );
+                    } else {
+                        self.delayed.push(DelayedMsg {
+                            round: deliver,
+                            arc: a as u32,
+                            dest,
+                            msg,
+                        });
+                    }
+                }
             }
         }
         Ok(())
@@ -420,29 +652,45 @@ impl<M: Words> Simulator<M> {
         );
         let idx = g.arc_index();
         let mut metrics = Metrics::new();
-        self.prepare(g.vertex_count(), idx.arc_count());
+        self.prepare(g.vertex_count(), idx.arc_count(), cfg);
         let kernel = self;
 
         // Init phase (round 0): sends land in the `nxt` plane for round 1.
         for (i, program) in programs.iter_mut().enumerate() {
             let v = VertexId::from_index(i);
+            if kernel.fault_mode && kernel.crashed_at[i] == 0 {
+                continue; // crashed before the run: never acts at all
+            }
             let ctx = NodeCtx {
                 id: v,
                 neighbors: g.neighbors(v),
                 round: 0,
             };
             let out = program.init(&ctx);
-            kernel.record_sends(&idx, cfg, v, 0, out)?;
+            kernel.record_sends(&idx, cfg, v, 0, out, &mut metrics)?;
         }
+        // Does any live node still want empty-inbox wakeups next round?
+        let mut tick_pending = kernel.fault_mode
+            && programs
+                .iter()
+                .enumerate()
+                .any(|(i, p)| kernel.crashed_at[i] > 1 && p.wants_tick());
 
         let mut round = 0usize;
         loop {
             // Sends accumulated last round become this round's deliveries.
             std::mem::swap(&mut kernel.cur, &mut kernel.nxt);
-            if kernel.cur.msg_count == 0 {
+            if kernel.cur.msg_count == 0
+                && (!kernel.fault_mode || (kernel.delayed.is_empty() && !tick_pending))
+            {
                 break; // quiescence
             }
             round += 1;
+            if let Some(limit) = cfg.watchdog {
+                if round > limit {
+                    return Err(SimError::WatchdogTimeout { limit });
+                }
+            }
             if round > cfg.max_rounds {
                 return Err(SimError::MaxRoundsExceeded {
                     limit: cfg.max_rounds,
@@ -450,6 +698,36 @@ impl<M: Words> Simulator<M> {
             }
             if let Some(overflow) = kernel.pending_overflow.take() {
                 return Err(overflow);
+            }
+
+            if kernel.fault_mode {
+                // Fresh attempted-send accounting for this round's sends.
+                for &a in &kernel.att_dirty {
+                    kernel.att_words[a as usize] = 0;
+                    kernel.att_seq[a as usize] = 0;
+                }
+                kernel.att_dirty.clear();
+                // Inject delay-faulted messages due this round. Per arc they
+                // land behind the on-time traffic already queued, in
+                // `(send_round, k)` order — `delayed` is appended in send
+                // order, so a stable sweep preserves it.
+                if !kernel.delayed.is_empty() {
+                    let pending = std::mem::take(&mut kernel.delayed);
+                    for d in pending {
+                        if d.round == round {
+                            Self::queue_copy(
+                                &mut kernel.cur,
+                                &mut kernel.recipient_round,
+                                d.arc as usize,
+                                d.dest,
+                                round,
+                                d.msg,
+                            );
+                        } else {
+                            kernel.delayed.push(d);
+                        }
+                    }
+                }
             }
 
             // Congestion accounting over the active arcs only.
@@ -488,16 +766,46 @@ impl<M: Words> Simulator<M> {
                     round,
                 };
                 let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
-                kernel.record_sends(&idx, cfg, v, round, out)?;
+                kernel.record_sends(&idx, cfg, v, round, out, &mut metrics)?;
+            }
+            if kernel.fault_mode {
+                // Timer ticks: live non-recipients that asked for empty-inbox
+                // wakeups (ascending vertex id, matching the reference).
+                for &v in &kernel.cur.recipients {
+                    kernel.ran_round[v.index()] = round;
+                }
+                for (i, program) in programs.iter_mut().enumerate() {
+                    if kernel.ran_round[i] == round
+                        || kernel.crashed_at[i] <= round
+                        || !program.wants_tick()
+                    {
+                        continue;
+                    }
+                    let v = VertexId::from_index(i);
+                    let ctx = NodeCtx {
+                        id: v,
+                        neighbors: g.neighbors(v),
+                        round,
+                    };
+                    let out = program.on_round(&ctx, &[]);
+                    kernel.record_sends(&idx, cfg, v, round, out, &mut metrics)?;
+                }
+                tick_pending = programs
+                    .iter()
+                    .enumerate()
+                    .any(|(i, p)| kernel.crashed_at[i] > round + 1 && p.wants_tick());
             }
             kernel.cur.reset();
         }
         metrics.rounds = round;
+        if kernel.fault_mode {
+            metrics.crashed_nodes = cfg.faults.crashed_by(round);
+        }
         Ok(SimOutcome { programs, metrics })
     }
 }
 
-impl<M: Words> Default for Simulator<M> {
+impl<M: Words + Clone> Default for Simulator<M> {
     fn default() -> Self {
         Simulator::new()
     }
@@ -696,6 +1004,7 @@ mod tests {
         let cfg = SimConfig {
             budget_words: 8,
             max_rounds: 50,
+            ..SimConfig::default()
         };
         let err = run(&g, vec![PingPong, PingPong], &cfg).unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: 50 });
@@ -738,6 +1047,7 @@ mod tests {
         let exact = SimConfig {
             budget_words: 8,
             max_rounds: n - 1,
+            ..SimConfig::default()
         };
         let out = run(&g, mk(), &exact).expect("quiescing at max_rounds succeeds");
         assert_eq!(out.metrics.rounds, n - 1);
@@ -745,6 +1055,7 @@ mod tests {
         let tight = SimConfig {
             budget_words: 8,
             max_rounds: n - 2,
+            ..SimConfig::default()
         };
         let err = run(&g, mk(), &tight).unwrap_err();
         assert_eq!(err, SimError::MaxRoundsExceeded { limit: n - 2 });

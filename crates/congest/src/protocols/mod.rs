@@ -15,8 +15,10 @@
 
 mod centroid;
 mod leader;
+pub mod reliable;
 mod tree;
 
 pub use centroid::CentroidWalk;
 pub use leader::LeaderBfs;
+pub use reliable::{run_reliable, RelMsg, Reliable, ReliableConfig};
 pub use tree::{AggOp, ChildNotify, Convergecast, Downcast};

@@ -1,0 +1,436 @@
+//! Opt-in reliable delivery: an acknowledgement/retransmit wrapper any
+//! [`NodeProgram`] can be lifted into.
+//!
+//! [`Reliable<P>`] wraps an inner program and turns each of its logical
+//! messages into a sequenced [`RelMsg::Data`] frame. Receivers acknowledge
+//! every data frame ([`RelMsg::Ack`]), deliver payloads to the inner
+//! program **in per-sender order exactly once** (duplicates are re-acked
+//! and discarded, out-of-order arrivals are buffered), and senders
+//! retransmit unacknowledged frames after a timeout — driven by the fault
+//! kernel's timer ticks ([`NodeProgram::wants_tick`]). After
+//! `max_retries` retransmissions the sender *gives up* on that frame,
+//! which bounds every run: against a crashed or partitioned neighbor the
+//! wrapper stops retrying instead of spinning forever, and the simulation
+//! reaches quiescence so the driver can degrade gracefully.
+//!
+//! Determinism: all wrapper state that can influence *which messages are
+//! emitted in what order* lives in [`BTreeMap`]s and `Vec`s — iteration
+//! order is defined, so wrapped runs replay exactly on both kernels (std
+//! `HashMap` iteration order would not).
+//!
+//! Bandwidth: a data frame costs its payload plus one sequence word; acks
+//! cost one word; retransmissions re-charge the link. Callers should widen
+//! `budget_words` accordingly (the embedding driver uses `3·B + 2` for
+//! wrapped phases).
+
+use std::collections::BTreeMap;
+
+use planar_graph::{Graph, VertexId};
+
+use crate::message::Words;
+use crate::network::{run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
+
+/// Retransmission parameters for [`Reliable`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReliableConfig {
+    /// Rounds to wait for an ack before retransmitting a data frame.
+    pub retransmit_after: usize,
+    /// Retransmissions per frame before the sender gives up on it.
+    pub max_retries: usize,
+}
+
+impl Default for ReliableConfig {
+    fn default() -> Self {
+        ReliableConfig {
+            retransmit_after: 4,
+            max_retries: 8,
+        }
+    }
+}
+
+/// The wire format of the wrapper: sequenced data or an acknowledgement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RelMsg<M> {
+    /// A payload of the inner protocol, sequenced per directed link.
+    Data {
+        /// Per-link sequence number (0-based, per sender→receiver pair).
+        seq: u32,
+        /// The inner message.
+        payload: M,
+    },
+    /// Acknowledges receipt of the data frame with this sequence number.
+    Ack {
+        /// The acknowledged sequence number.
+        seq: u32,
+    },
+}
+
+impl<M: Words> Words for RelMsg<M> {
+    fn words(&self) -> usize {
+        match self {
+            RelMsg::Data { payload, .. } => 1 + payload.words(),
+            RelMsg::Ack { .. } => 1,
+        }
+    }
+}
+
+/// An unacknowledged data frame awaiting its ack.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Pending<M> {
+    to: VertexId,
+    seq: u32,
+    sent_round: usize,
+    retries: usize,
+    payload: M,
+}
+
+/// Lifts a [`NodeProgram`] into reliable (acked, deduplicated, in-order)
+/// delivery. See the module docs.
+pub struct Reliable<P: NodeProgram> {
+    inner: P,
+    cfg: ReliableConfig,
+    /// Next sequence number per outgoing link.
+    next_seq: BTreeMap<VertexId, u32>,
+    /// Next expected sequence number per incoming link.
+    expected: BTreeMap<VertexId, u32>,
+    /// Out-of-order arrivals buffered until their predecessors land.
+    ahead: BTreeMap<(VertexId, u32), P::Msg>,
+    /// Frames sent but not yet acknowledged, in send order.
+    unacked: Vec<Pending<P::Msg>>,
+    /// Data retransmissions this node performed.
+    retransmissions: usize,
+    /// Whether any frame exhausted its retries.
+    gave_up: bool,
+}
+
+impl<P: NodeProgram> Reliable<P> {
+    /// Wraps `inner` with the given retransmission parameters.
+    pub fn new(inner: P, cfg: ReliableConfig) -> Self {
+        Reliable {
+            inner,
+            cfg,
+            next_seq: BTreeMap::new(),
+            expected: BTreeMap::new(),
+            ahead: BTreeMap::new(),
+            unacked: Vec::new(),
+            retransmissions: 0,
+            gave_up: false,
+        }
+    }
+
+    /// The wrapped program.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps into the inner program, discarding wrapper state.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Data retransmissions this node performed.
+    pub fn retransmissions(&self) -> usize {
+        self.retransmissions
+    }
+
+    /// True iff some frame exhausted `max_retries` and was abandoned —
+    /// the inner protocol may have lost a message for good.
+    pub fn gave_up(&self) -> bool {
+        self.gave_up
+    }
+
+    fn send_data(
+        &mut self,
+        to: VertexId,
+        payload: P::Msg,
+        round: usize,
+    ) -> (VertexId, RelMsg<P::Msg>) {
+        let seq_slot = self.next_seq.entry(to).or_insert(0);
+        let seq = *seq_slot;
+        *seq_slot += 1;
+        self.unacked.push(Pending {
+            to,
+            seq,
+            sent_round: round,
+            retries: 0,
+            payload: payload.clone(),
+        });
+        (to, RelMsg::Data { seq, payload })
+    }
+}
+
+impl<P: NodeProgram> NodeProgram for Reliable<P> {
+    type Msg = RelMsg<P::Msg>;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Self::Msg)> {
+        let out = self.inner.init(ctx);
+        out.into_iter()
+            .map(|(to, m)| self.send_data(to, m, ctx.round))
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, Self::Msg)],
+    ) -> Vec<(VertexId, Self::Msg)> {
+        let mut out: Vec<(VertexId, Self::Msg)> = Vec::new();
+        // The inbox the inner program would have seen on a perfect network:
+        // deduplicated, per-sender in-order (the kernel's sender grouping is
+        // preserved because sequence release is contiguous per sender).
+        let mut inner_inbox: Vec<(VertexId, P::Msg)> = Vec::new();
+        for (from, msg) in inbox {
+            match msg {
+                RelMsg::Ack { seq } => {
+                    self.unacked.retain(|p| !(p.to == *from && p.seq == *seq));
+                }
+                RelMsg::Data { seq, payload } => {
+                    // Always ack — a duplicate means our previous ack was
+                    // lost (or the frame was duplicated in flight).
+                    out.push((*from, RelMsg::Ack { seq: *seq }));
+                    let expected = self.expected.entry(*from).or_insert(0);
+                    if *seq == *expected {
+                        inner_inbox.push((*from, payload.clone()));
+                        *expected += 1;
+                        while let Some(buffered) = self.ahead.remove(&(*from, *expected)) {
+                            inner_inbox.push((*from, buffered));
+                            *expected += 1;
+                        }
+                    } else if *seq > *expected {
+                        self.ahead
+                            .entry((*from, *seq))
+                            .or_insert_with(|| payload.clone());
+                    }
+                    // seq < expected: stale duplicate, already delivered.
+                }
+            }
+        }
+        if !inner_inbox.is_empty() {
+            let inner_out = self.inner.on_round(ctx, &inner_inbox);
+            for (to, m) in inner_out {
+                out.push(self.send_data(to, m, ctx.round));
+            }
+        }
+        // Retransmission timers (reached via real deliveries or the fault
+        // kernel's timer ticks).
+        let mut i = 0;
+        while i < self.unacked.len() {
+            if ctx.round >= self.unacked[i].sent_round + self.cfg.retransmit_after {
+                if self.unacked[i].retries >= self.cfg.max_retries {
+                    self.gave_up = true;
+                    self.unacked.remove(i);
+                    continue;
+                }
+                let p = &mut self.unacked[i];
+                p.retries += 1;
+                p.sent_round = ctx.round;
+                self.retransmissions += 1;
+                out.push((
+                    p.to,
+                    RelMsg::Data {
+                        seq: p.seq,
+                        payload: p.payload.clone(),
+                    },
+                ));
+            }
+            i += 1;
+        }
+        out
+    }
+
+    fn wants_tick(&self) -> bool {
+        !self.unacked.is_empty()
+    }
+}
+
+impl<P: NodeProgram + Clone> Clone for Reliable<P> {
+    fn clone(&self) -> Self {
+        Reliable {
+            inner: self.inner.clone(),
+            cfg: self.cfg.clone(),
+            next_seq: self.next_seq.clone(),
+            expected: self.expected.clone(),
+            ahead: self.ahead.clone(),
+            unacked: self.unacked.clone(),
+            retransmissions: self.retransmissions,
+            gave_up: self.gave_up,
+        }
+    }
+}
+
+impl<P: NodeProgram + std::fmt::Debug> std::fmt::Debug for Reliable<P>
+where
+    P::Msg: std::fmt::Debug,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Reliable")
+            .field("inner", &self.inner)
+            .field("next_seq", &self.next_seq)
+            .field("expected", &self.expected)
+            .field("ahead", &self.ahead)
+            .field("unacked", &self.unacked)
+            .field("retransmissions", &self.retransmissions)
+            .field("gave_up", &self.gave_up)
+            .finish()
+    }
+}
+
+impl<P: NodeProgram + PartialEq> PartialEq for Reliable<P>
+where
+    P::Msg: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+            && self.cfg == other.cfg
+            && self.next_seq == other.next_seq
+            && self.expected == other.expected
+            && self.ahead == other.ahead
+            && self.unacked == other.unacked
+            && self.retransmissions == other.retransmissions
+            && self.gave_up == other.gave_up
+    }
+}
+
+/// Runs `programs` wrapped in [`Reliable`] and returns the *inner*
+/// programs, with the wrapper's total retransmission count folded into
+/// `Metrics::retransmissions`.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] exactly as [`crate::run`] does.
+///
+/// # Panics
+///
+/// Panics if `programs.len() != g.vertex_count()`.
+pub fn run_reliable<P: NodeProgram>(
+    g: &Graph,
+    programs: Vec<P>,
+    cfg: &SimConfig,
+    rel: &ReliableConfig,
+) -> Result<SimOutcome<P>, SimError> {
+    let wrapped: Vec<Reliable<P>> = programs
+        .into_iter()
+        .map(|p| Reliable::new(p, rel.clone()))
+        .collect();
+    let out = run(g, wrapped, cfg)?;
+    let mut metrics = out.metrics;
+    let mut inner = Vec::with_capacity(out.programs.len());
+    for w in out.programs {
+        metrics.retransmissions += w.retransmissions();
+        inner.push(w.into_inner());
+    }
+    Ok(SimOutcome {
+        programs: inner,
+        metrics,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use crate::network::NodeCtx;
+
+    /// Forward a token along a path from node 0 to the last node.
+    #[derive(Clone, Debug, PartialEq)]
+    struct Relay {
+        got: bool,
+    }
+
+    impl NodeProgram for Relay {
+        type Msg = u32;
+
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(0) {
+                self.got = true;
+                vec![(VertexId(1), 7)]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeCtx<'_>,
+            inbox: &[(VertexId, u32)],
+        ) -> Vec<(VertexId, u32)> {
+            let mut out = Vec::new();
+            for &(_, v) in inbox {
+                if !self.got {
+                    self.got = true;
+                    let next = VertexId(ctx.id.0 + 1);
+                    if ctx.neighbors.contains(&next) {
+                        out.push((next, v));
+                    }
+                }
+            }
+            out
+        }
+    }
+
+    fn path(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn fault_free_wrapped_run_matches_inner_semantics() {
+        let g = path(5);
+        let programs = vec![Relay { got: false }; 5];
+        let out = run_reliable(
+            &g,
+            programs,
+            &SimConfig::default(),
+            &ReliableConfig::default(),
+        )
+        .unwrap();
+        assert!(out.programs.iter().all(|p| p.got));
+        assert_eq!(out.metrics.retransmissions, 0);
+    }
+
+    #[test]
+    fn survives_heavy_drop_rates() {
+        let g = path(4);
+        let cfg = SimConfig {
+            budget_words: DEFAULT_WRAPPED_BUDGET,
+            faults: FaultPlan::uniform(99, 0.4, 0.1, 0.3, 2),
+            ..SimConfig::default()
+        };
+        let programs = vec![Relay { got: false }; 4];
+        let out = run_reliable(&g, programs, &cfg, &ReliableConfig::default()).unwrap();
+        assert!(
+            out.programs.iter().all(|p| p.got),
+            "token lost under faults"
+        );
+        assert!(out.metrics.dropped > 0 || out.metrics.delayed > 0);
+    }
+
+    #[test]
+    fn gives_up_against_a_dead_link_instead_of_spinning() {
+        let g = path(2);
+        let mut plan = FaultPlan::uniform(1, 0.0, 0.0, 0.0, 0);
+        plan.link_overrides.push((
+            (VertexId(0), VertexId(1)),
+            crate::faults::LinkFaults {
+                drop: 1.0,
+                duplicate: 0.0,
+                delay: 0.0,
+                max_delay: 0,
+            },
+        ));
+        let cfg = SimConfig {
+            budget_words: DEFAULT_WRAPPED_BUDGET,
+            faults: plan,
+            ..SimConfig::default()
+        };
+        let wrapped = vec![
+            Reliable::new(Relay { got: false }, ReliableConfig::default()),
+            Reliable::new(Relay { got: false }, ReliableConfig::default()),
+        ];
+        let out = run(&g, wrapped, &cfg).expect("gives up, quiesces, no hang");
+        assert!(out.programs[0].gave_up());
+        assert!(out.programs[0].retransmissions() >= ReliableConfig::default().max_retries);
+        assert!(!out.programs[1].inner().got);
+    }
+
+    const DEFAULT_WRAPPED_BUDGET: usize = 3 * crate::network::DEFAULT_BUDGET_WORDS + 2;
+}

@@ -15,17 +15,28 @@
 //!
 //! Do not optimize this module; its value is that it stays obviously
 //! correct.
+//!
+//! # Fault injection
+//!
+//! When [`SimConfig::faults`] is non-empty the run dispatches to a
+//! separate, equally simple fault-aware loop that applies the *same*
+//! per-message fate function as the fast kernel (see [`crate::faults`] for
+//! the shared semantics and the replayability contract). The fault-free
+//! seed loop below is untouched, so the executable spec for the hot path
+//! stays byte-for-byte what the workspace shipped with.
 
 use std::collections::HashMap;
 
 use planar_graph::{Graph, VertexId};
 
+use crate::faults::{CrashPolicy, Fate};
 use crate::message::Words;
 use crate::metrics::Metrics;
 use crate::network::{NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
 
 /// Runs `programs` to quiescence with the original quadratic-allocation
-/// kernel (see module docs). Semantics are identical to [`crate::run`].
+/// kernel (see module docs). Semantics are identical to [`crate::run`],
+/// including under a non-empty fault plan.
 ///
 /// # Errors
 ///
@@ -35,6 +46,19 @@ use crate::network::{NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
 ///
 /// Panics if `programs.len() != g.vertex_count()`.
 pub fn run_reference<P: NodeProgram>(
+    g: &Graph,
+    programs: Vec<P>,
+    cfg: &SimConfig,
+) -> Result<SimOutcome<P>, SimError> {
+    if cfg.faults.is_empty() && cfg.watchdog.is_none() {
+        run_fault_free(g, programs, cfg)
+    } else {
+        run_faulty(g, programs, cfg)
+    }
+}
+
+/// The seed kernel, verbatim (fault-free path).
+fn run_fault_free<P: NodeProgram>(
     g: &Graph,
     mut programs: Vec<P>,
     cfg: &SimConfig,
@@ -114,6 +138,223 @@ pub fn run_reference<P: NodeProgram>(
         }
     }
     metrics.rounds = round;
+    Ok(SimOutcome { programs, metrics })
+}
+
+/// Per-sender mutable state threaded through [`record_faulty`].
+struct FaultyState<M> {
+    /// On-time messages due next round, in send order.
+    in_flight: Vec<(VertexId, VertexId, M)>,
+    /// Delay-faulted messages: `(arrival round, from, to, msg)`, appended in
+    /// send order (so a stable sweep preserves `(send_round, k)` order).
+    delayed: Vec<(usize, VertexId, VertexId, M)>,
+    /// Attempted `(k, words)` per directed link this round.
+    att: HashMap<(VertexId, VertexId), (u32, usize)>,
+    /// First budget violation, reported at the start of the delivery round.
+    pending_overflow: Option<SimError>,
+}
+
+/// Mirrors the fast kernel's fault-mode `record_sends`.
+#[allow(clippy::too_many_arguments)]
+fn record_faulty<M: Words + Clone>(
+    g: &Graph,
+    cfg: &SimConfig,
+    crashed_at: &[usize],
+    st: &mut FaultyState<M>,
+    metrics: &mut Metrics,
+    from: VertexId,
+    round: usize,
+    out: Vec<(VertexId, M)>,
+) -> Result<(), SimError> {
+    for (dest, msg) in out {
+        validate_dest(g, from, dest)?;
+        let e = st.att.entry((from, dest)).or_insert((0, 0));
+        let k = e.0;
+        e.0 += 1;
+        e.1 += msg.words();
+        if e.1 > cfg.budget_words && st.pending_overflow.is_none() {
+            st.pending_overflow = Some(SimError::BudgetExceeded {
+                from,
+                to: dest,
+                words: e.1,
+                budget: cfg.budget_words,
+                round: round + 1,
+            });
+        }
+        if crashed_at[dest.index()] <= round {
+            match cfg.faults.on_crashed_send {
+                CrashPolicy::DropSilently => {
+                    metrics.dropped += 1;
+                    continue;
+                }
+                CrashPolicy::Error => {
+                    return Err(SimError::DestinationCrashed {
+                        from,
+                        to: dest,
+                        round,
+                    });
+                }
+            }
+        }
+        match cfg.faults.fate(from, dest, round, k) {
+            Fate::Dropped => metrics.dropped += 1,
+            Fate::Deliver { copies, delay } => {
+                if copies > 1 {
+                    metrics.duplicated += usize::from(copies) - 1;
+                }
+                if delay > 0 {
+                    metrics.delayed += 1;
+                }
+                let deliver = round + 1 + delay;
+                if deliver >= crashed_at[dest.index()] {
+                    metrics.dropped += usize::from(copies);
+                    continue;
+                }
+                for _ in 0..copies {
+                    if delay == 0 {
+                        st.in_flight.push((from, dest, msg.clone()));
+                    } else {
+                        st.delayed.push((deliver, from, dest, msg.clone()));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The fault-aware reference loop: same simple style as the seed kernel,
+/// same observable semantics as the fast kernel's fault mode.
+fn run_faulty<P: NodeProgram>(
+    g: &Graph,
+    mut programs: Vec<P>,
+    cfg: &SimConfig,
+) -> Result<SimOutcome<P>, SimError> {
+    assert_eq!(
+        programs.len(),
+        g.vertex_count(),
+        "need exactly one program per vertex"
+    );
+    let n = g.vertex_count();
+    // Ticks are honored only with a non-empty plan (matching the fast
+    // kernel, where a watchdog-only config stays on the fault-free path).
+    let fault_mode = !cfg.faults.is_empty();
+    let crashed_at: Vec<usize> = (0..n)
+        .map(|i| cfg.faults.crash_round(VertexId::from_index(i)))
+        .collect();
+    let mut metrics = Metrics::new();
+    let mut st = FaultyState {
+        in_flight: Vec::new(),
+        delayed: Vec::new(),
+        att: HashMap::new(),
+        pending_overflow: None,
+    };
+
+    // Init phase (round 0); nodes crashed at round 0 never act.
+    for (i, program) in programs.iter_mut().enumerate() {
+        if crashed_at[i] == 0 {
+            continue;
+        }
+        let v = VertexId::from_index(i);
+        let ctx = NodeCtx {
+            id: v,
+            neighbors: g.neighbors(v),
+            round: 0,
+        };
+        let out = program.init(&ctx);
+        record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, 0, out)?;
+    }
+    let mut tick_pending =
+        fault_mode && (0..n).any(|i| crashed_at[i] > 1 && programs[i].wants_tick());
+
+    let mut round = 0usize;
+    loop {
+        if st.in_flight.is_empty() && st.delayed.is_empty() && !tick_pending {
+            break; // quiescence
+        }
+        round += 1;
+        if let Some(limit) = cfg.watchdog {
+            if round > limit {
+                return Err(SimError::WatchdogTimeout { limit });
+            }
+        }
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: cfg.max_rounds,
+            });
+        }
+        if let Some(overflow) = st.pending_overflow.take() {
+            return Err(overflow);
+        }
+        st.att.clear();
+
+        // This round's arrivals: on-time traffic first, then delayed
+        // messages falling due (stable order — see `FaultyState::delayed`).
+        let mut arrivals: Vec<(VertexId, VertexId, P::Msg)> = std::mem::take(&mut st.in_flight);
+        let mut still_delayed = Vec::new();
+        for (due, from, to, msg) in st.delayed.drain(..) {
+            if due == round {
+                arrivals.push((from, to, msg));
+            } else {
+                still_delayed.push((due, from, to, msg));
+            }
+        }
+        st.delayed = still_delayed;
+
+        // Congestion metrics count *delivered* traffic.
+        let mut edge_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+        for (from, to, msg) in &arrivals {
+            *edge_words.entry((*from, *to)).or_insert(0) += msg.words();
+        }
+        let round_max = edge_words.values().copied().max().unwrap_or(0);
+        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+        metrics.messages += arrivals.len();
+        metrics.words += arrivals.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+
+        // Deliver: group by recipient; within one inbox the stable
+        // sender-sort leaves each sender's messages in arrival order
+        // (on-time in emission order, then delayed by `(send_round, k)`).
+        let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
+        for (from, to, msg) in arrivals.drain(..) {
+            inboxes.entry(to).or_default().push((from, msg));
+        }
+        let mut recipients: Vec<VertexId> = inboxes.keys().copied().collect();
+        recipients.sort();
+        for &v in &recipients {
+            let mut inbox = inboxes.remove(&v).expect("recipient key exists");
+            inbox.sort_by_key(|(from, _)| *from);
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                round,
+            };
+            let out = programs[v.index()].on_round(&ctx, &inbox);
+            record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, round, out)?;
+        }
+        // Timer ticks: live non-recipients that asked for empty-inbox
+        // wakeups, in ascending vertex id.
+        if fault_mode {
+            for i in 0..n {
+                let v = VertexId::from_index(i);
+                if recipients.binary_search(&v).is_ok()
+                    || crashed_at[i] <= round
+                    || !programs[i].wants_tick()
+                {
+                    continue;
+                }
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    round,
+                };
+                let out = programs[i].on_round(&ctx, &[]);
+                record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, round, out)?;
+            }
+            tick_pending = (0..n).any(|i| crashed_at[i] > round + 1 && programs[i].wants_tick());
+        }
+    }
+    metrics.rounds = round;
+    metrics.crashed_nodes = cfg.faults.crashed_by(round);
     Ok(SimOutcome { programs, metrics })
 }
 

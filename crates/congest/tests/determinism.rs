@@ -8,8 +8,11 @@
 //! nondeterminism — the property the round-count measurements in
 //! EXPERIMENTS.md depend on.
 
+use congest_sim::protocols::{Reliable, ReliableConfig};
 use congest_sim::reference::run_reference;
-use congest_sim::{run, Metrics, NodeCtx, NodeProgram, SimConfig, SimError, Simulator};
+use congest_sim::{
+    run, FaultPlan, LinkDown, Metrics, NodeCtx, NodeProgram, SimConfig, SimError, Simulator,
+};
 use planar_graph::{Graph, VertexId};
 
 /// Max-flood: every node announces, floods improvements. Deterministic and
@@ -244,6 +247,7 @@ fn budget_exceeded_matches_reference() {
     let cfg = SimConfig {
         budget_words: 8,
         max_rounds: 100,
+        ..SimConfig::default()
     };
     let mk = || {
         (0..3)
@@ -267,6 +271,143 @@ fn budget_exceeded_matches_reference() {
             budget: 8,
             round: 4,
         }
+    );
+}
+
+/// A bouquet of distinct fault plans exercised by the conformance suite:
+/// channel faults alone, crashes alone, link-down windows, and everything
+/// combined.
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    let drops = FaultPlan::uniform(11, 0.15, 0.0, 0.0, 0);
+    let chaos = FaultPlan::uniform(12, 0.1, 0.1, 0.2, 3);
+    let mut crashes = FaultPlan::default();
+    crashes.crashes.push((VertexId(2), 3));
+    crashes.crashes.push((VertexId(5), 0));
+    let mut outage = FaultPlan::default();
+    outage.link_down.push(LinkDown {
+        from: VertexId(0),
+        to: VertexId(1),
+        start: 2,
+        end: 5,
+    });
+    outage.link_down.push(LinkDown {
+        from: VertexId(1),
+        to: VertexId(0),
+        start: 2,
+        end: 5,
+    });
+    let mut everything = FaultPlan::uniform(13, 0.08, 0.05, 0.15, 2);
+    everything.crashes.push((VertexId(3), 4));
+    everything.link_down.push(LinkDown {
+        from: VertexId(1),
+        to: VertexId(2),
+        start: 1,
+        end: 3,
+    });
+    vec![
+        ("drops", drops),
+        ("chaos", chaos),
+        ("crashes", crashes),
+        ("outage", outage),
+        ("everything", everything),
+    ]
+}
+
+/// Tentpole conformance: under every fault plan, both kernels produce
+/// identical final states and identical Metrics (including the fault
+/// counters), and replaying the same `(seed, plan)` is byte-identical.
+#[test]
+fn kernels_agree_under_faults() {
+    for (plan_name, plan) in fault_plans() {
+        let cfg = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        for (name, g) in workloads() {
+            let label = format!("{name}/{plan_name}");
+            let (s1, m1) = run_pair(&label, &g, flood_programs(&g), &cfg);
+            let (s2, m2) = run_pair(&label, &g, flood_programs(&g), &cfg);
+            assert_eq!(s1, s2, "{label}: faulty replay diverged");
+            assert_eq!(m1, m2, "{label}: faulty replay metrics diverged");
+
+            let (t1, tm1) = run_pair(&label, &g, transcript_programs(&g), &cfg);
+            let (t2, tm2) = run_pair(&label, &g, transcript_programs(&g), &cfg);
+            assert_eq!(t1, t2, "{label}: transcript faulty replay diverged");
+            assert_eq!(tm1, tm2, "{label}: transcript metrics diverged");
+        }
+    }
+}
+
+/// The reliable wrapper is deterministic too: wrapped transcript runs under
+/// a lossy plan agree across kernels and replays (its BTreeMap-backed state
+/// must not leak iteration-order nondeterminism into message emission).
+#[test]
+fn reliable_wrapper_agrees_under_faults() {
+    let cfg = SimConfig {
+        budget_words: 3 * congest_sim::DEFAULT_BUDGET_WORDS + 2,
+        faults: FaultPlan::uniform(21, 0.2, 0.1, 0.2, 2),
+        ..SimConfig::default()
+    };
+    let rel = ReliableConfig::default();
+    for (name, g) in workloads() {
+        let mk = || {
+            transcript_programs(&g)
+                .into_iter()
+                .map(|p| Reliable::new(p, rel.clone()))
+                .collect::<Vec<_>>()
+        };
+        let (s1, m1) = run_pair(name, &g, mk(), &cfg);
+        let (s2, m2) = run_pair(name, &g, mk(), &cfg);
+        assert_eq!(s1, s2, "{name}: wrapped replay diverged");
+        assert_eq!(m1, m2, "{name}: wrapped replay metrics diverged");
+    }
+}
+
+/// Fault-free outcomes are byte-identical with and without the fault fields
+/// present: `FaultPlan::default()` must keep both kernels on their original
+/// code paths (satellite of the zero-overhead acceptance criterion).
+#[test]
+fn default_plan_reproduces_fault_free_outcomes() {
+    for (name, g) in workloads() {
+        let plain = SimConfig::default();
+        let explicit = SimConfig {
+            budget_words: plain.budget_words,
+            max_rounds: plain.max_rounds,
+            faults: FaultPlan::default(),
+            watchdog: None,
+        };
+        let a = run(&g, transcript_programs(&g), &plain).unwrap();
+        let b = run(&g, transcript_programs(&g), &explicit).unwrap();
+        assert_eq!(a.programs, b.programs, "{name}");
+        assert_eq!(a.metrics, b.metrics, "{name}");
+        assert_eq!(a.metrics.dropped, 0, "{name}");
+        assert_eq!(a.metrics.crashed_nodes, 0, "{name}");
+        // And the reference kernel agrees, via the standard pair check.
+        run_pair(name, &g, transcript_programs(&g), &explicit);
+    }
+}
+
+/// Watchdog fires identically on both kernels (with and without faults).
+#[test]
+fn watchdog_matches_reference() {
+    let g = path(32);
+    let cfg = SimConfig {
+        watchdog: Some(5),
+        ..SimConfig::default()
+    };
+    let fast = run(&g, flood_programs(&g), &cfg).unwrap_err();
+    let slow = run_reference(&g, flood_programs(&g), &cfg).unwrap_err();
+    assert_eq!(fast, slow);
+    assert_eq!(fast, SimError::WatchdogTimeout { limit: 5 });
+
+    let faulty = SimConfig {
+        watchdog: Some(4),
+        faults: FaultPlan::uniform(3, 0.3, 0.0, 0.3, 2),
+        ..SimConfig::default()
+    };
+    assert_eq!(
+        run(&g, flood_programs(&g), &faulty).unwrap_err(),
+        run_reference(&g, flood_programs(&g), &faulty).unwrap_err(),
     );
 }
 
@@ -315,6 +456,7 @@ fn error_surfaces_match_reference() {
     let cfg = SimConfig {
         budget_words: 8,
         max_rounds: 25,
+        ..SimConfig::default()
     };
     assert_eq!(
         run(&g, vec![PingPong; 2], &cfg).unwrap_err(),

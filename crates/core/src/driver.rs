@@ -2,25 +2,34 @@
 //! setup, recursive partitioning, and level-by-level merging, with every
 //! phase's CONGEST cost measured or charged.
 
+use congest_sim::protocols::ReliableConfig;
 use congest_sim::{Metrics, SimConfig};
 use planar_graph::{Graph, RotationSystem, VertexId};
 
-use crate::error::EmbedError;
-use crate::merge::merge_parts;
-use crate::partition::partition_subtree;
+use crate::error::{DegradedCause, EmbedError};
+use crate::merge::merge_parts_with;
+use crate::partition::partition_subtree_with;
 use crate::parts::{partition_is_safe, PartState};
-use crate::setup::run_setup;
+use crate::resilience::auto_watchdog;
+use crate::setup::run_setup_with;
 use crate::stats::{LevelStats, RecursionStats};
 use crate::tree::GlobalTree;
+use crate::verify::verify_surviving_embedding;
 
 /// Configuration of the distributed embedder.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EmbedderConfig {
-    /// Kernel simulation parameters (per-edge word budget, round cap).
+    /// Kernel simulation parameters (per-edge word budget, round cap,
+    /// fault plan, watchdog).
     pub sim: SimConfig,
     /// Verify the framework invariants (part safety, co-facial boundaries)
     /// at every merge. Quadratic-ish; disable for large benchmark runs.
     pub check_invariants: bool,
+    /// Lift every kernel phase into the acknowledgement/retransmission
+    /// wrapper ([`congest_sim::protocols::Reliable`]). `None` (the default)
+    /// runs the phases bare; combine `Some(..)` with a fault plan on `sim`
+    /// to survive lossy links.
+    pub reliability: Option<ReliableConfig>,
 }
 
 impl Default for EmbedderConfig {
@@ -28,8 +37,17 @@ impl Default for EmbedderConfig {
         EmbedderConfig {
             sim: SimConfig::default(),
             check_invariants: true,
+            reliability: None,
         }
     }
+}
+
+/// Running tally threaded through the recursion so a degraded run can
+/// report how far it got (`rounds` is a sequential upper bound) and which
+/// phase it was in when it failed.
+struct Tally {
+    rounds: usize,
+    phase: &'static str,
 }
 
 /// The result of a distributed embedding run.
@@ -71,8 +89,75 @@ pub struct EmbeddingOutcome {
 /// # }
 /// ```
 pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOutcome, EmbedError> {
+    let fault_mode = !cfg.sim.faults.is_empty();
+    if !fault_mode {
+        // Perfect network: the original code path, bit for bit (the fault
+        // subsystem must cost nothing when unused).
+        let mut tally = Tally {
+            rounds: 0,
+            phase: "setup",
+        };
+        return embed_inner(g, cfg, &mut tally);
+    }
+
+    // Fault mode: arm the watchdog (unless the caller chose one) so lossy
+    // phases terminate, run, and translate every failure into the typed
+    // degradation report instead of surfacing internal errors.
+    let mut hardened = cfg.clone();
+    if hardened.sim.watchdog.is_none() {
+        hardened.sim.watchdog = Some(auto_watchdog(g.vertex_count()));
+    }
+    let mut tally = Tally {
+        rounds: 0,
+        phase: "setup",
+    };
+    let surviving_nodes = g.vertex_count() - cfg.sim.faults.crash_victims().len();
+    match embed_inner(g, &hardened, &mut tally) {
+        Ok(out) => {
+            // Post-run self-verification: in fault mode a "successful" run
+            // still only counts if the rotation restricted to the surviving
+            // subgraph certifies as planar.
+            let crashed = cfg.sim.faults.crash_victims();
+            match verify_surviving_embedding(g, &out.rotation, &crashed) {
+                Ok(()) => Ok(out),
+                Err(_) => Err(EmbedError::Degraded {
+                    surviving_nodes,
+                    rounds_used: tally.rounds,
+                    cause: DegradedCause::OutputUnverified,
+                }),
+            }
+        }
+        // Input conditions a fault-free run would also report: pass through.
+        Err(e @ (EmbedError::EmptyGraph | EmbedError::Graph(_))) => Err(e),
+        // Kernel aborts (watchdog, crashed-destination sends) keep their
+        // typed error as the cause, losslessly.
+        Err(EmbedError::Sim(e)) => Err(EmbedError::Degraded {
+            surviving_nodes,
+            rounds_used: tally.rounds,
+            cause: DegradedCause::Sim(e),
+        }),
+        // Everything else — a convergecast that missed the root
+        // (`Internal`), leader election that never converged
+        // (`Disconnected`), a merge handed fault-corrupted part state
+        // (`NonPlanar`, `Routing`, invariant violations) — is the phase
+        // coming up short because of injected faults.
+        Err(_) => Err(EmbedError::Degraded {
+            surviving_nodes,
+            rounds_used: tally.rounds,
+            cause: DegradedCause::PhaseIncomplete { phase: tally.phase },
+        }),
+    }
+}
+
+fn embed_inner(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+    tally: &mut Tally,
+) -> Result<EmbeddingOutcome, EmbedError> {
     let n = g.vertex_count();
-    let (setup, setup_metrics) = run_setup(g, &cfg.sim)?;
+    tally.phase = "setup";
+    let (setup, setup_metrics) = run_setup_with(g, &cfg.sim, cfg.reliability.as_ref())?;
+    tally.rounds += setup_metrics.rounds;
     // Cheap planarity guard; density violations abort before recursing.
     if n >= 3 && g.edge_count() > 3 * n - 6 {
         return Err(EmbedError::NonPlanar);
@@ -86,7 +171,7 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
     };
     let mut metrics = setup_metrics;
 
-    let (part, rec_metrics) = solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats)?;
+    let (part, rec_metrics) = solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats, tally)?;
     debug_assert_eq!(part.len(), n);
     metrics.add(rec_metrics);
     stats.depth = stats.levels.len();
@@ -111,6 +196,7 @@ fn solve(
     level: usize,
     cfg: &EmbedderConfig,
     stats: &mut RecursionStats,
+    tally: &mut Tally,
 ) -> Result<(PartState, Metrics), EmbedError> {
     let size = tree.subtree_size[root.index()] as usize;
     if stats.levels.len() <= level {
@@ -125,7 +211,9 @@ fn solve(
         return Ok((PartState::new(vec![root]), Metrics::new()));
     }
 
-    let partition = partition_subtree(g, tree, root, &cfg.sim)?;
+    tally.phase = "partition";
+    let partition = partition_subtree_with(g, tree, root, &cfg.sim, cfg.reliability.as_ref())?;
+    tally.rounds += partition.metrics.rounds;
     {
         let lvl = &mut stats.levels[level];
         lvl.problems += 1;
@@ -160,12 +248,21 @@ fn solve(
     let mut children_metrics = Metrics::new();
     let mut hanging = Vec::with_capacity(partition.parts.len());
     for sub in &partition.parts {
-        let (part, m) = solve(g, tree, sub.root, level + 1, cfg, stats)?;
+        let (part, m) = solve(g, tree, sub.root, level + 1, cfg, stats, tally)?;
         children_metrics.join_parallel(m);
         hanging.push(part);
     }
 
-    let merged = merge_parts(g, partition.p0, hanging, &cfg.sim, cfg.check_invariants)?;
+    tally.phase = "merge";
+    let merged = merge_parts_with(
+        g,
+        partition.p0,
+        hanging,
+        &cfg.sim,
+        cfg.check_invariants,
+        cfg.reliability.as_ref(),
+    )?;
+    tally.rounds += merged.metrics.rounds;
     stats.merges.push(merged.stats);
 
     let mut total = partition.metrics;
@@ -178,6 +275,7 @@ fn solve(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest_sim::{FaultPlan, LinkFaults};
     use planar_lib::gen;
 
     fn run(g: &Graph) -> EmbeddingOutcome {
@@ -278,6 +376,133 @@ mod tests {
         let g = gen::path(2);
         let out = run(&g);
         assert!(out.rotation.is_planar_embedding());
+    }
+
+    /// Property (c) of the fault test plan: drop rate 1.0 on a cut edge
+    /// must end in `Degraded`, not a hang — the watchdog and the reliable
+    /// wrapper's give-up bound every phase.
+    #[test]
+    fn dead_cut_edge_degrades_instead_of_hanging() {
+        let g = gen::path(6); // every edge is a cut edge
+        let mut plan = FaultPlan {
+            seed: 7,
+            ..FaultPlan::default()
+        };
+        for (a, b) in [(2u32, 3u32), (3, 2)] {
+            plan.link_overrides.push((
+                (VertexId(a), VertexId(b)),
+                LinkFaults {
+                    drop: 1.0,
+                    duplicate: 0.0,
+                    delay: 0.0,
+                    max_delay: 0,
+                },
+            ));
+        }
+        for reliability in [None, Some(ReliableConfig::default())] {
+            let cfg = EmbedderConfig {
+                sim: SimConfig {
+                    faults: plan.clone(),
+                    ..SimConfig::default()
+                },
+                reliability,
+                ..EmbedderConfig::default()
+            };
+            match embed_distributed(&g, &cfg) {
+                Err(EmbedError::Degraded {
+                    surviving_nodes,
+                    cause,
+                    ..
+                }) => {
+                    assert_eq!(surviving_nodes, 6, "no crashes in this plan");
+                    assert!(
+                        matches!(
+                            cause,
+                            DegradedCause::PhaseIncomplete { .. } | DegradedCause::Sim(_)
+                        ),
+                        "unexpected cause: {cause:?}"
+                    );
+                }
+                other => panic!("expected Degraded, got {other:?}"),
+            }
+        }
+    }
+
+    /// Crash-stop nodes degrade the run and are reported in
+    /// `surviving_nodes`.
+    #[test]
+    fn crashed_node_degrades_with_survivor_count() {
+        let g = gen::grid(4, 4);
+        let mut plan = FaultPlan {
+            seed: 11,
+            ..FaultPlan::default()
+        };
+        plan.crashes.push((VertexId(5), 0));
+        let cfg = EmbedderConfig {
+            sim: SimConfig {
+                faults: plan,
+                ..SimConfig::default()
+            },
+            ..EmbedderConfig::default()
+        };
+        match embed_distributed(&g, &cfg) {
+            Err(EmbedError::Degraded {
+                surviving_nodes, ..
+            }) => assert_eq!(surviving_nodes, 15),
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    /// A modestly lossy network with reliable delivery still embeds — and
+    /// identically across repeat runs (replayability end to end).
+    #[test]
+    fn reliable_delivery_survives_lossy_links() {
+        let g = gen::grid(4, 4);
+        let cfg = EmbedderConfig {
+            sim: SimConfig {
+                faults: FaultPlan::uniform(23, 0.05, 0.02, 0.05, 2),
+                ..SimConfig::default()
+            },
+            reliability: Some(ReliableConfig::default()),
+            ..EmbedderConfig::default()
+        };
+        let a = embed_distributed(&g, &cfg);
+        let b = embed_distributed(&g, &cfg);
+        match (&a, &b) {
+            (Ok(x), Ok(y)) => {
+                assert!(x.rotation.is_planar_embedding());
+                assert_eq!(x.rotation, y.rotation);
+                assert_eq!(x.metrics, y.metrics);
+                assert!(x.metrics.dropped > 0 || x.metrics.retransmissions > 0);
+            }
+            (Err(EmbedError::Degraded { .. }), Err(EmbedError::Degraded { .. })) => {
+                // Degrading is acceptable; diverging is not.
+            }
+            other => panic!("runs diverged or failed untyped: {other:?}"),
+        }
+    }
+
+    /// `FaultPlan::default()` leaves the embedder's outcome byte-identical
+    /// (acceptance criterion: the fault subsystem costs nothing unused).
+    #[test]
+    fn default_fault_plan_changes_nothing() {
+        let g = gen::triangulated_grid(4, 4);
+        let plain = run(&g);
+        let explicit = embed_distributed(
+            &g,
+            &EmbedderConfig {
+                sim: SimConfig {
+                    faults: FaultPlan::default(),
+                    ..SimConfig::default()
+                },
+                ..EmbedderConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.rotation, explicit.rotation);
+        assert_eq!(plain.metrics, explicit.metrics);
+        assert_eq!(plain.metrics.dropped, 0);
+        assert_eq!(plain.metrics.retransmissions, 0);
     }
 
     #[test]

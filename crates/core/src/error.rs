@@ -27,6 +27,68 @@ pub enum EmbedError {
     Internal(String),
     /// An underlying graph error.
     Graph(GraphError),
+    /// The run was degraded by injected faults (crash-stop nodes, message
+    /// loss) rather than failing outright: the algorithm terminated — it did
+    /// not hang — but could not produce a verified embedding of the full
+    /// network. Only produced in fault mode (a non-empty
+    /// [`FaultPlan`](congest_sim::FaultPlan) on the simulator config).
+    Degraded {
+        /// Nodes not scheduled to crash by the fault plan.
+        surviving_nodes: usize,
+        /// Kernel rounds consumed across phases before the run degraded
+        /// (sequential tally, an upper bound on the parallel cost).
+        rounds_used: usize,
+        /// What specifically went wrong.
+        cause: DegradedCause,
+    },
+}
+
+/// The reason a faulty run ended in [`EmbedError::Degraded`].
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum DegradedCause {
+    /// A kernel simulation aborted — e.g. the round-budget watchdog fired
+    /// ([`SimError::WatchdogTimeout`]) or a send targeted a crashed node
+    /// under [`CrashPolicy::Error`](congest_sim::CrashPolicy). The original
+    /// error is preserved losslessly.
+    Sim(SimError),
+    /// A protocol phase terminated without establishing its postcondition
+    /// (a convergecast missed the root, the centroid walk never finished, a
+    /// merge was handed fault-corrupted part state, ...).
+    PhaseIncomplete {
+        /// The phase that came up short: `"setup"`, `"partition"`,
+        /// `"symmetry"`, or `"merge"`.
+        phase: &'static str,
+    },
+    /// All phases completed but the post-run self-verification could not
+    /// certify the computed rotation on the surviving subgraph.
+    OutputUnverified,
+}
+
+impl fmt::Display for DegradedCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DegradedCause::Sim(e) => write!(f, "simulation aborted: {e}"),
+            DegradedCause::PhaseIncomplete { phase } => {
+                write!(f, "the {phase} phase terminated without its postcondition")
+            }
+            DegradedCause::OutputUnverified => {
+                write!(
+                    f,
+                    "output failed self-verification on the surviving subgraph"
+                )
+            }
+        }
+    }
+}
+
+impl Error for DegradedCause {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DegradedCause::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for EmbedError {
@@ -39,6 +101,15 @@ impl fmt::Display for EmbedError {
             EmbedError::Routing(e) => write!(f, "routing error: {e}"),
             EmbedError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
             EmbedError::Graph(e) => write!(f, "graph error: {e}"),
+            EmbedError::Degraded {
+                surviving_nodes,
+                rounds_used,
+                cause,
+            } => write!(
+                f,
+                "run degraded by injected faults after {rounds_used} rounds \
+                 ({surviving_nodes} surviving nodes): {cause}"
+            ),
         }
     }
 }
@@ -49,6 +120,7 @@ impl Error for EmbedError {
             EmbedError::Sim(e) => Some(e),
             EmbedError::Routing(e) => Some(e),
             EmbedError::Graph(e) => Some(e),
+            EmbedError::Degraded { cause, .. } => Some(cause),
             _ => None,
         }
     }
@@ -102,6 +174,32 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<EmbedError>();
         assert!(EmbedError::NonPlanar.to_string().contains("not planar"));
+    }
+
+    #[test]
+    fn degraded_is_lossless_and_sourced() {
+        // Satellite requirement: fault-path failures are typed, not
+        // stringly — the SimError survives intact behind source().
+        let e = EmbedError::Degraded {
+            surviving_nodes: 7,
+            rounds_used: 42,
+            cause: DegradedCause::Sim(SimError::WatchdogTimeout { limit: 42 }),
+        };
+        let msg = e.to_string();
+        assert!(
+            msg.contains("42 rounds") && msg.contains("7 surviving"),
+            "{msg}"
+        );
+        let cause = e.source().expect("Degraded has a source");
+        let sim = cause.source().expect("Sim cause chains to the SimError");
+        assert!(sim.to_string().contains("watchdog"));
+
+        let p = EmbedError::Degraded {
+            surviving_nodes: 3,
+            rounds_used: 9,
+            cause: DegradedCause::PhaseIncomplete { phase: "setup" },
+        };
+        assert!(p.to_string().contains("setup phase"));
     }
 
     #[test]

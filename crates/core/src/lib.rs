@@ -27,6 +27,9 @@
 //!   degeneracy orientations.
 //! * [`ruling`] — the log* extension: a deterministic ruling edge set
 //!   (independent in `L(G)`, dominating in `L(G)^2`) via Cole-Vishkin.
+//! * [`resilience`] — fault-tolerant phase execution: reliable-delivery
+//!   wrapping, watchdog policy, and the [`EmbedError::Degraded`]
+//!   degradation semantics for runs under injected faults.
 //! * [`embed_distributed`] — the end-to-end algorithm (Theorem 1.1).
 //! * [`embed_baseline`] — the trivial `O(n)` gather-everything baseline
 //!   (footnote 2), the comparison point for all benchmarks.
@@ -67,6 +70,7 @@ pub mod neighborhood;
 pub mod partition;
 pub mod parts;
 pub mod patterns;
+pub mod resilience;
 pub mod ruling;
 pub mod setup;
 pub mod stats;
@@ -75,7 +79,8 @@ pub mod tree;
 mod verify;
 
 pub use baseline::embed_baseline;
+pub use congest_sim::protocols::ReliableConfig;
 pub use driver::{embed_distributed, EmbedderConfig, EmbeddingOutcome};
-pub use error::EmbedError;
+pub use error::{DegradedCause, EmbedError};
 pub use stats::{LevelStats, MergeStats, RecursionStats};
-pub use verify::{is_planar_distributed, verify_embedding};
+pub use verify::{is_planar_distributed, verify_embedding, verify_surviving_embedding};

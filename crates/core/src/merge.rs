@@ -27,6 +27,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
+use congest_sim::protocols::ReliableConfig;
 use congest_sim::routing::{schedule, Transfer};
 use congest_sim::{Metrics, SimConfig};
 use planar_graph::{Graph, VertexId};
@@ -34,7 +35,7 @@ use planar_graph::{Graph, VertexId};
 use crate::error::EmbedError;
 use crate::parts::{summary_words, verify_part, PartState};
 use crate::stats::MergeStats;
-use crate::symmetry::symmetry_break;
+use crate::symmetry::symmetry_break_with;
 
 /// Result of merging one recursion node.
 #[derive(Clone, Debug)]
@@ -63,6 +64,7 @@ struct MergeCtx<'g> {
     status: Vec<Status>,
     part_of: HashMap<VertexId, usize>,
     cfg: SimConfig,
+    rel: Option<ReliableConfig>,
     check: bool,
     metrics: Metrics,
     stats: MergeStats,
@@ -82,6 +84,24 @@ pub fn merge_parts(
     hanging: Vec<PartState>,
     cfg: &SimConfig,
     check: bool,
+) -> Result<MergeOutcome, EmbedError> {
+    merge_parts_with(g, p0, hanging, cfg, check, None)
+}
+
+/// [`merge_parts`] with opt-in reliable delivery for the kernel protocols
+/// it runs (the symmetry-breaking step); the routed summary movements are
+/// charged analytically and need no protection.
+///
+/// # Errors
+///
+/// As [`merge_parts`].
+pub fn merge_parts_with(
+    g: &Graph,
+    p0: Vec<VertexId>,
+    hanging: Vec<PartState>,
+    cfg: &SimConfig,
+    check: bool,
+    rel: Option<&ReliableConfig>,
 ) -> Result<MergeOutcome, EmbedError> {
     let mut h_members: Vec<VertexId> = p0.clone();
     for p in &hanging {
@@ -106,7 +126,8 @@ pub fn merge_parts(
         status: vec![Status::Active; hanging.len()],
         parts: hanging,
         part_of,
-        cfg: *cfg,
+        cfg: cfg.clone(),
+        rel: rel.cloned(),
         check,
         metrics: Metrics::new(),
         stats: MergeStats::default(),
@@ -268,6 +289,7 @@ impl<'g> MergeCtx<'g> {
             messages: 2 * size,
             words: 2 * size,
             max_words_edge_round: 1,
+            ..Metrics::default()
         }
     }
 
@@ -448,7 +470,7 @@ impl<'g> MergeCtx<'g> {
                 }
             }
         }
-        let outcome = symmetry_break(&gv, &colors, &self.cfg)?;
+        let outcome = symmetry_break_with(&gv, &colors, &self.cfg, self.rel.as_ref())?;
         self.stats.symmetry_rounds_virtual += outcome.rounds;
         // Remark 1: each virtual round costs O(part diameter) real rounds.
         let max_depth = actives
@@ -462,6 +484,7 @@ impl<'g> MergeCtx<'g> {
             messages: outcome.rounds * sizes,
             words: 2 * outcome.rounds * sizes,
             max_words_edge_round: 3,
+            ..Metrics::default()
         });
 
         // (g)/(h): star merges (stars from the lemma plus 2-chains).
@@ -613,6 +636,7 @@ impl<'g> MergeCtx<'g> {
             messages: self.p0.len(),
             words: self.p0.len(),
             max_words_edge_round: 1,
+            ..Metrics::default()
         });
         self.metrics.add(step);
         self.metrics

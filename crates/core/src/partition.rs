@@ -4,12 +4,13 @@
 
 use std::collections::HashMap;
 
-use congest_sim::protocols::{CentroidWalk, Downcast};
+use congest_sim::protocols::{CentroidWalk, Downcast, ReliableConfig};
 use congest_sim::routing::{schedule, Transfer};
-use congest_sim::{run, Metrics, SimConfig};
+use congest_sim::{Metrics, SimConfig};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
+use crate::resilience::run_phase;
 use crate::tree::GlobalTree;
 
 /// A subproblem of the recursion: a full BFS subtree.
@@ -49,6 +50,23 @@ pub fn partition_subtree(
     root: VertexId,
     cfg: &SimConfig,
 ) -> Result<Partition, EmbedError> {
+    partition_subtree_with(g, tree, root, cfg, None)
+}
+
+/// [`partition_subtree`] with opt-in reliable delivery for the two kernel
+/// protocols (centroid walk, label downcast); the routed notification is
+/// charged analytically and needs no protection.
+///
+/// # Errors
+///
+/// As [`partition_subtree`].
+pub fn partition_subtree_with(
+    g: &Graph,
+    tree: &GlobalTree,
+    root: VertexId,
+    cfg: &SimConfig,
+    rel: Option<&ReliableConfig>,
+) -> Result<Partition, EmbedError> {
     let members = tree.subtree_members(root);
     let total = tree.subtree_size[root.index()];
     debug_assert_eq!(members.len() as u64, total);
@@ -70,7 +88,7 @@ pub fn partition_subtree(
             }
         })
         .collect();
-    let out = run(g, walkers, cfg)?;
+    let out = run_phase(g, walkers, cfg, rel)?;
     metrics.add(out.metrics);
     let centroid = members
         .iter()
@@ -109,7 +127,7 @@ pub fn partition_subtree(
             }
         })
         .collect();
-    let out = run(g, programs, cfg)?;
+    let out = run_phase(g, programs, cfg, rel)?;
     metrics.add(out.metrics);
 
     let parts: Vec<SubProblem> = part_roots

@@ -136,6 +136,7 @@ fn charge_and_merge(
         messages: 2 * merged.len(),
         words: 2 * merged.len(),
         max_words_edge_round: 1,
+        ..Metrics::default()
     });
     if check {
         verify_part(g, &merged.members)?;

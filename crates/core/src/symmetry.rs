@@ -23,8 +23,11 @@
 
 use std::collections::HashMap;
 
-use congest_sim::{run, NodeCtx, NodeProgram, SimConfig, SimError, Words};
+use congest_sim::protocols::ReliableConfig;
+use congest_sim::{NodeCtx, NodeProgram, SimConfig, SimError, Words};
 use planar_graph::{Graph, VertexId};
+
+use crate::resilience::run_phase;
 
 /// Messages of the symmetry-breaking protocol. Every variant is O(1) words.
 #[derive(Clone, Debug)]
@@ -85,6 +88,7 @@ pub struct SymmetryBreak {
     joiners: Vec<VertexId>,
     consumed: bool,
     nbr_consumed: HashMap<VertexId, bool>,
+    nbr_join: HashMap<VertexId, Option<VertexId>>,
 }
 
 impl SymmetryBreak {
@@ -104,6 +108,7 @@ impl SymmetryBreak {
             joiners: Vec::new(),
             consumed: false,
             nbr_consumed: HashMap::new(),
+            nbr_join: HashMap::new(),
         }
     }
 
@@ -149,88 +154,93 @@ impl NodeProgram for SymmetryBreak {
         ctx: &NodeCtx<'_>,
         inbox: &[(VertexId, SymMsg)],
     ) -> Vec<(VertexId, SymMsg)> {
-        self.phase += 1;
-        match self.phase {
-            1 => {
-                for (from, msg) in inbox {
-                    if let SymMsg::Hello { color } = msg {
-                        self.nbr_color.insert(*from, *color);
+        // Event-driven: record every arrival in its per-type buffer, then
+        // advance through the phases as soon as a phase's messages are
+        // complete (one from every neighbor). On a perfect network this
+        // transitions in lockstep — exactly the original five rounds — but
+        // it also stays correct when retransmissions (the fault-mode
+        // [`Reliable`](congest_sim::protocols::Reliable) wrapper) spread a
+        // phase's arrivals over several rounds. The `is_none()` guards keep
+        // duplicated deliveries (unwrapped faulty runs) idempotent.
+        for (from, msg) in inbox {
+            match msg {
+                SymMsg::Hello { color } => {
+                    self.nbr_color.insert(*from, *color);
+                }
+                SymMsg::Pointer { to } => {
+                    if self.nbr_pointer.insert(*from, *to).is_none() && *to == Some(self.id) {
+                        self.children.push(*from);
                     }
                 }
-                // Point at the smallest-(color, id) strictly smaller-colored
-                // neighbor.
-                self.pointer = self
-                    .nbr_color
-                    .iter()
-                    .filter(|&(_, &c)| c < self.color)
-                    .min_by_key(|&(&w, &c)| (c, w))
-                    .map(|(&w, _)| w);
-                self.broadcast(ctx, SymMsg::Pointer { to: self.pointer })
-            }
-            2 => {
-                for (from, msg) in inbox {
-                    if let SymMsg::Pointer { to } = msg {
-                        self.nbr_pointer.insert(*from, *to);
-                        if *to == Some(self.id) {
-                            self.children.push(*from);
-                        }
+                SymMsg::LeafStatus { leaf } => {
+                    self.nbr_leaf.insert(*from, *leaf);
+                }
+                SymMsg::Join { target } => {
+                    if self.nbr_join.insert(*from, *target).is_none() && *target == Some(self.id) {
+                        self.joiners.push(*from);
                     }
                 }
-                self.children.sort();
-                self.is_leaf = self.children.is_empty() && self.pointer.is_some();
-                self.broadcast(ctx, SymMsg::LeafStatus { leaf: self.is_leaf })
-            }
-            3 => {
-                for (from, msg) in inbox {
-                    if let SymMsg::LeafStatus { leaf } = msg {
-                        self.nbr_leaf.insert(*from, *leaf);
-                    }
+                SymMsg::Consumed { consumed } => {
+                    self.nbr_consumed.insert(*from, *consumed);
                 }
-                if self.is_leaf {
-                    // Accept unless an adjacent sibling leaf with smaller id
-                    // exists (ties among adjacent siblings broken by id so
-                    // the star stays induced).
-                    let blocked = self.nbr_leaf.iter().any(|(&w, &leaf)| {
-                        leaf && w < self.id
-                            && self.nbr_pointer.get(&w).copied().flatten() == self.pointer
-                    });
-                    if !blocked {
-                        self.joined = self.pointer;
-                    }
-                }
-                self.broadcast(
-                    ctx,
-                    SymMsg::Join {
-                        target: self.joined,
-                    },
-                )
-            }
-            4 => {
-                for (from, msg) in inbox {
-                    if let SymMsg::Join { target } = msg {
-                        if *target == Some(self.id) {
-                            self.joiners.push(*from);
-                        }
-                    }
-                }
-                self.joiners.sort();
-                self.consumed = self.joined.is_some() || !self.joiners.is_empty();
-                self.broadcast(
-                    ctx,
-                    SymMsg::Consumed {
-                        consumed: self.consumed,
-                    },
-                )
-            }
-            _ => {
-                for (from, msg) in inbox {
-                    if let SymMsg::Consumed { consumed } = msg {
-                        self.nbr_consumed.insert(*from, *consumed);
-                    }
-                }
-                Vec::new() // quiescence
             }
         }
+        let deg = ctx.neighbors.len();
+        let mut out = Vec::new();
+        if self.phase == 0 && self.nbr_color.len() == deg {
+            self.phase = 1;
+            // Point at the smallest-(color, id) strictly smaller-colored
+            // neighbor.
+            self.pointer = self
+                .nbr_color
+                .iter()
+                .filter(|&(_, &c)| c < self.color)
+                .min_by_key(|&(&w, &c)| (c, w))
+                .map(|(&w, _)| w);
+            out.extend(self.broadcast(ctx, SymMsg::Pointer { to: self.pointer }));
+        }
+        if self.phase == 1 && self.nbr_pointer.len() == deg {
+            self.phase = 2;
+            self.children.sort();
+            self.is_leaf = self.children.is_empty() && self.pointer.is_some();
+            out.extend(self.broadcast(ctx, SymMsg::LeafStatus { leaf: self.is_leaf }));
+        }
+        if self.phase == 2 && self.nbr_leaf.len() == deg {
+            self.phase = 3;
+            if self.is_leaf {
+                // Accept unless an adjacent sibling leaf with smaller id
+                // exists (ties among adjacent siblings broken by id so
+                // the star stays induced).
+                let blocked = self.nbr_leaf.iter().any(|(&w, &leaf)| {
+                    leaf && w < self.id
+                        && self.nbr_pointer.get(&w).copied().flatten() == self.pointer
+                });
+                if !blocked {
+                    self.joined = self.pointer;
+                }
+            }
+            out.extend(self.broadcast(
+                ctx,
+                SymMsg::Join {
+                    target: self.joined,
+                },
+            ));
+        }
+        if self.phase == 3 && self.nbr_join.len() == deg {
+            self.phase = 4;
+            self.joiners.sort();
+            self.consumed = self.joined.is_some() || !self.joiners.is_empty();
+            out.extend(self.broadcast(
+                ctx,
+                SymMsg::Consumed {
+                    consumed: self.consumed,
+                },
+            ));
+        }
+        if self.phase == 4 && self.nbr_consumed.len() == deg {
+            self.phase = 5; // done; quiescence follows
+        }
+        out
     }
 }
 
@@ -261,12 +271,31 @@ pub fn symmetry_break(
     colors: &[u32],
     cfg: &SimConfig,
 ) -> Result<SymmetryOutcome, SimError> {
+    symmetry_break_with(gv, colors, cfg, None)
+}
+
+/// [`symmetry_break`] with opt-in reliable delivery (see
+/// [`run_phase`](crate::resilience::run_phase)).
+///
+/// # Errors
+///
+/// Propagates kernel errors.
+///
+/// # Panics
+///
+/// Panics if `colors.len() != gv.vertex_count()`.
+pub fn symmetry_break_with(
+    gv: &Graph,
+    colors: &[u32],
+    cfg: &SimConfig,
+    rel: Option<&ReliableConfig>,
+) -> Result<SymmetryOutcome, SimError> {
     assert_eq!(colors.len(), gv.vertex_count());
     let programs: Vec<SymmetryBreak> = gv
         .vertices()
         .map(|v| SymmetryBreak::new(v, colors[v.index()]))
         .collect();
-    let out = run(gv, programs, cfg)?;
+    let out = run_phase(gv, programs, cfg, rel)?;
     let ps = &out.programs;
 
     let mut stars = Vec::new();

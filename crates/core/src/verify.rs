@@ -1,7 +1,7 @@
 //! Output verification for downstream users: check that a rotation system
 //! is a valid combinatorial planar embedding of a given network.
 
-use planar_graph::{Graph, RotationSystem};
+use planar_graph::{Graph, RotationSystem, VertexId};
 
 use crate::error::EmbedError;
 
@@ -41,6 +41,78 @@ pub fn verify_embedding(g: &Graph, rotation: &RotationSystem) -> Result<(), Embe
         .collect();
     let revalidated = RotationSystem::new(g, orders).map_err(EmbedError::Graph)?;
     if revalidated.is_planar_embedding() {
+        Ok(())
+    } else {
+        Err(EmbedError::NonPlanar)
+    }
+}
+
+/// Verifies a rotation system against the subgraph of `g` induced by the
+/// vertices *not* in `crashed` — the post-run self-check of fault-mode
+/// embedding runs ([`EmbedError::Degraded`] semantics).
+///
+/// The surviving vertices are compacted to `0..k` (in increasing original
+/// id), each survivor's cyclic order is restricted to surviving neighbors
+/// (restriction of a planar rotation to an induced subgraph preserves
+/// genus 0), and the result is checked exactly as [`verify_embedding`].
+/// With `crashed` empty this *is* [`verify_embedding`].
+///
+/// # Errors
+///
+/// * [`EmbedError::Graph`] if the restricted rotation does not match the
+///   induced subgraph's adjacency;
+/// * [`EmbedError::NonPlanar`] if the restricted rotation has positive
+///   genus.
+pub fn verify_surviving_embedding(
+    g: &Graph,
+    rotation: &RotationSystem,
+    crashed: &[VertexId],
+) -> Result<(), EmbedError> {
+    if crashed.is_empty() {
+        return verify_embedding(g, rotation);
+    }
+    let n = g.vertex_count();
+    let mut alive = vec![true; n];
+    for &v in crashed {
+        if v.index() < n {
+            alive[v.index()] = false;
+        }
+    }
+    // Compact surviving ids.
+    let mut remap = vec![usize::MAX; n];
+    let mut survivors = Vec::new();
+    for v in 0..n {
+        if alive[v] {
+            remap[v] = survivors.len();
+            survivors.push(v);
+        }
+    }
+    // Induced subgraph and the restricted rotation orders.
+    let mut edges = Vec::new();
+    for v in g.vertices() {
+        if !alive[v.index()] {
+            continue;
+        }
+        for &w in g.neighbors(v) {
+            if alive[w.index()] && v.0 < w.0 {
+                edges.push((remap[v.index()] as u32, remap[w.index()] as u32));
+            }
+        }
+    }
+    let sub = Graph::from_edges(survivors.len(), edges).map_err(EmbedError::Graph)?;
+    let orders: Vec<Vec<VertexId>> = survivors
+        .iter()
+        .map(|&v| {
+            rotation
+                .order_at(VertexId::from_index(v))
+                .iter()
+                .filter(|w| alive[w.index()])
+                .map(|w| VertexId::from_index(remap[w.index()]))
+                .collect()
+        })
+        .collect();
+    let restricted = RotationSystem::new(&sub, orders).map_err(EmbedError::Graph)?;
+    if restricted.is_planar_embedding() {
         Ok(())
     } else {
         Err(EmbedError::NonPlanar)
