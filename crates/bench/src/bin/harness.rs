@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|all] [--large]
+//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|all] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
@@ -18,6 +18,11 @@
 //! delay at several rates, reliable delivery on) over grid and tri-grid
 //! substrates and writes `BENCH_chaos.json` (success rate and round
 //! overhead vs the fault-free baseline per cell). Also not part of `all`.
+//!
+//! `cert` sweeps the distributed certification layer (per-node certificate
+//! size, O(1)-round verification cost, per-class mutation soundness
+//! spot-check) over grid / tri-grid / outerplanar / random-planar
+//! substrates and writes `BENCH_cert.json`. Also not part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -50,6 +55,7 @@ fn main() {
         "ablate",
         "bench-kernel",
         "chaos",
+        "cert",
     ];
     if !KNOWN.contains(&which) {
         eprintln!("unknown experiment `{which}`");
@@ -111,6 +117,50 @@ fn main() {
         );
         let path = std::path::Path::new("BENCH_chaos.json");
         planar_bench::chaos::write_json(path, &rows).expect("write BENCH_chaos.json");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    if which == "cert" {
+        // CI-sized by default; --large extends to the 1k substrates.
+        let ns: &[usize] = if large { &[64, 256, 1024] } else { &[64, 256] };
+        println!("== cert: proof labels + O(1)-round distributed verification ==");
+        let rows = planar_bench::certbench::cert_sweep(ns);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.max_degree.to_string(),
+                    r.cert_rounds.to_string(),
+                    r.max_cert_words.to_string(),
+                    format!("{:.1}", r.mean_cert_words),
+                    r.verify_words.to_string(),
+                    r.size_bound_ok.to_string(),
+                    format!("{}/{}", r.mutations_rejected, r.mutations_applied),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[
+                    "family",
+                    "n",
+                    "maxDeg",
+                    "certRounds",
+                    "maxWords",
+                    "meanWords",
+                    "verifyWords",
+                    "sizeBoundOk",
+                    "mutRejected"
+                ],
+                &data
+            )
+        );
+        let path = std::path::Path::new("BENCH_cert.json");
+        planar_bench::certbench::write_json(path, &rows).expect("write BENCH_cert.json");
         println!("wrote {}", path.display());
         return;
     }

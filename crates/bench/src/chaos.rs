@@ -125,6 +125,7 @@ pub fn chaos_cell(family: &'static str, fam_idx: usize, n: usize, rate_idx: usiz
             },
             check_invariants: false,
             reliability: Some(ReliableConfig::default()),
+            ..EmbedderConfig::default()
         };
         match embed_distributed(&g, &cfg) {
             Ok(out) => {

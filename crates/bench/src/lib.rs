@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certbench;
 pub mod chaos;
 pub mod experiments;
 pub mod kernelbench;

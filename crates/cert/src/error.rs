@@ -1,0 +1,74 @@
+//! Error type of the certification subsystem.
+
+use std::error::Error;
+use std::fmt;
+
+use congest_sim::SimError;
+use planar_graph::GraphError;
+
+/// Errors produced while building certificates or running the distributed
+/// verifier.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum CertError {
+    /// The inputs handed to the builder or verifier are inconsistent with
+    /// each other (rotation/graph mismatch, wrong certificate count, a
+    /// supplied tree that is not a spanning forest of the graph, ...).
+    /// Prover-side misuse, not a property of the embedding.
+    BadInput(String),
+    /// The kernel simulation running the verifier aborted (budget or round
+    /// violations); surfaced rather than hidden.
+    Sim(SimError),
+    /// An underlying graph error.
+    Graph(GraphError),
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::BadInput(msg) => write!(f, "invalid certification input: {msg}"),
+            CertError::Sim(e) => write!(f, "verifier simulation error: {e}"),
+            CertError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CertError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CertError::Sim(e) => Some(e),
+            CertError::Graph(e) => Some(e),
+            CertError::BadInput(_) => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<SimError> for CertError {
+    fn from(e: SimError) -> Self {
+        CertError::Sim(e)
+    }
+}
+
+#[doc(hidden)]
+impl From<GraphError> for CertError {
+    fn from(e: GraphError) -> Self {
+        CertError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CertError>();
+        let e = CertError::BadInput("x".into());
+        assert!(e.to_string().contains("invalid certification input"));
+        assert!(e.source().is_none());
+        let s: CertError = SimError::WatchdogTimeout { limit: 3 }.into();
+        assert!(s.source().is_some());
+    }
+}

@@ -1,0 +1,353 @@
+//! Seeded corruption harness for soundness testing.
+//!
+//! Each [`MutationClass`] injects one adversarial change into an honest
+//! `(rotation, certificates)` pair; the soundness claim — checked by
+//! `tests/soundness.rs` on both kernels — is that every applied mutation
+//! makes **at least one node reject**. Selection is driven by a local
+//! splitmix64 stream, so `(inputs, class, seed)` fully determines the
+//! mutation and the verifier outcome is replayable bit-for-bit.
+//!
+//! Mutated rotations are returned as raw per-vertex orders (not a
+//! [`RotationSystem`]) because some corruptions — duplicating a rotation
+//! entry, say — are exactly the malformed inputs `RotationSystem::new`
+//! refuses to represent; feed them to
+//! [`verify_orders_with`](crate::verifier::verify_orders_with).
+
+use planar_graph::{Graph, RotationSystem, VertexId};
+
+use crate::certificate::{build_certificates, Certificate};
+
+/// The corruption classes of the soundness suite. Each targets a distinct
+/// verifier check (see the per-variant docs for the node guaranteed to
+/// reject).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum MutationClass {
+    /// Transpose two adjacent entries of one rotation so the resulting
+    /// rotation system has positive genus, then *rebuild the certificates
+    /// honestly* for the corrupted rotation — the strongest adversary for
+    /// this class. Rejection: the component root's Euler check
+    /// (`f = m − n + 2 − 2·genus` with genus ≥ 1). Unavailable when no
+    /// such swap exists (e.g. trees, where every rotation is planar).
+    RotationSwap,
+    /// Overwrite one rotation entry with its cyclic successor, so the
+    /// rotation is no longer a permutation of the neighbor set.
+    /// Rejection: `RotationNotPermutation` at the mutated node.
+    RotationDuplicate,
+    /// Swap the endpoints of one face label (never a fixed point: the
+    /// graph is simple, so `u ≠ v`). Rejection: the face-closure check at
+    /// the arc's head (and/or `LabelNotCanonical` at the tail).
+    FaceLabelCorrupt,
+    /// Add 1 to one component of one node's subtree counter triple.
+    /// Rejection: the counter-consistency check at the mutated node (its
+    /// local-plus-children sum no longer matches its claim).
+    CounterCorrupt,
+    /// Repoint one non-root node's parent at a different neighbor.
+    /// Rejection: the *old* parent's counter check — it still claims the
+    /// rewired child's subtree but no longer receives its contribution.
+    ParentRewire,
+    /// Add 1 to one node's claimed depth. Rejection: `ParentDepth` at the
+    /// mutated node, or `RootFlags` if it is a root (parent `None` forces
+    /// depth 0).
+    DepthCorrupt,
+    /// Replace one non-isolated node's claimed component root. Rejection:
+    /// `RootMismatch` at the mutated node (every neighbor opens the true
+    /// root).
+    RootCorrupt,
+}
+
+/// All mutation classes, for matrix-style test loops.
+pub fn mutation_classes() -> [MutationClass; 7] {
+    [
+        MutationClass::RotationSwap,
+        MutationClass::RotationDuplicate,
+        MutationClass::FaceLabelCorrupt,
+        MutationClass::CounterCorrupt,
+        MutationClass::ParentRewire,
+        MutationClass::DepthCorrupt,
+        MutationClass::RootCorrupt,
+    ]
+}
+
+/// A description of one applied corruption, for test diagnostics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mutation {
+    /// The class that was applied.
+    pub class: MutationClass,
+    /// The node whose rotation or certificate was corrupted.
+    pub vertex: VertexId,
+    /// Human-readable detail (which slot / field / neighbor).
+    pub detail: String,
+}
+
+/// splitmix64: tiny, seedable, and good enough to pick corruption sites.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn pick<T: Copy>(candidates: &[T], rng: &mut u64) -> Option<T> {
+    if candidates.is_empty() {
+        None
+    } else {
+        Some(candidates[(splitmix64(rng) % candidates.len() as u64) as usize])
+    }
+}
+
+/// Applies one seeded corruption of the given class to an honest
+/// `(rotation, certificates)` pair.
+///
+/// Returns the mutated per-vertex rotation orders, the mutated
+/// certificates, and a [`Mutation`] describing what changed — or `None`
+/// when the class has no valid site on this input (e.g.
+/// [`MutationClass::RotationSwap`] on a tree, or
+/// [`MutationClass::ParentRewire`] when every non-root has degree 1).
+/// The inputs are never modified.
+pub fn apply_mutation(
+    g: &Graph,
+    rot: &RotationSystem,
+    certs: &[Certificate],
+    class: MutationClass,
+    seed: u64,
+) -> Option<(Vec<Vec<VertexId>>, Vec<Certificate>, Mutation)> {
+    // Mix the class into the stream so different classes at the same seed
+    // pick independent sites.
+    let mut rng = seed ^ (class as u64).wrapping_mul(0xA076_1D64_78BD_642F);
+    let orders: Vec<Vec<VertexId>> = g.vertices().map(|v| rot.order_at(v).to_vec()).collect();
+    let mut certs = certs.to_vec();
+
+    match class {
+        MutationClass::RotationSwap => {
+            let mut candidates = Vec::new();
+            for v in g.vertices() {
+                let d = orders[v.index()].len();
+                if d < 3 {
+                    // Transposing a rotation of length ≤ 2 leaves the
+                    // cyclic order (hence the embedding) unchanged.
+                    continue;
+                }
+                for i in 0..d {
+                    let mut m = orders.clone();
+                    m[v.index()].swap(i, (i + 1) % d);
+                    if let Ok(rs) = RotationSystem::new(g, m) {
+                        if !rs.is_planar_embedding() {
+                            candidates.push((v, i));
+                        }
+                    }
+                }
+            }
+            let (v, i) = pick(&candidates, &mut rng)?;
+            let d = orders[v.index()].len();
+            let mut m = orders;
+            m[v.index()].swap(i, (i + 1) % d);
+            let rs = RotationSystem::new(g, m.clone()).expect("swap preserves the permutation");
+            let honest = build_certificates(g, &rs).expect("rebuild on valid rotation");
+            Some((
+                m,
+                honest,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("swapped rotation slots {i} and {}", (i + 1) % d),
+                },
+            ))
+        }
+        MutationClass::RotationDuplicate => {
+            let candidates: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| orders[v.index()].len() >= 2)
+                .collect();
+            let v = pick(&candidates, &mut rng)?;
+            let d = orders[v.index()].len();
+            let i = (splitmix64(&mut rng) % d as u64) as usize;
+            let mut m = orders;
+            m[v.index()][i] = m[v.index()][(i + 1) % d];
+            Some((
+                m,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("duplicated rotation entry into slot {i}"),
+                },
+            ))
+        }
+        MutationClass::FaceLabelCorrupt => {
+            let candidates: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| !certs[v.index()].labels.is_empty())
+                .collect();
+            let v = pick(&candidates, &mut rng)?;
+            let d = certs[v.index()].labels.len();
+            let slot = (splitmix64(&mut rng) % d as u64) as usize;
+            let (a, b) = certs[v.index()].labels[slot];
+            certs[v.index()].labels[slot] = (b, a);
+            Some((
+                orders,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("reversed face label at slot {slot}: ({a:?},{b:?})"),
+                },
+            ))
+        }
+        MutationClass::CounterCorrupt => {
+            let v = VertexId::from_index((splitmix64(&mut rng) % g.vertex_count() as u64) as usize);
+            let field = splitmix64(&mut rng) % 3;
+            let c = &mut certs[v.index()];
+            let name = match field {
+                0 => {
+                    c.sub_vertices = c.sub_vertices.wrapping_add(1);
+                    "sub_vertices"
+                }
+                1 => {
+                    c.sub_arcs = c.sub_arcs.wrapping_add(1);
+                    "sub_arcs"
+                }
+                _ => {
+                    c.sub_faces = c.sub_faces.wrapping_add(1);
+                    "sub_faces"
+                }
+            };
+            Some((
+                orders,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("incremented {name}"),
+                },
+            ))
+        }
+        MutationClass::ParentRewire => {
+            let mut candidates = Vec::new();
+            for v in g.vertices() {
+                if let Some(p) = certs[v.index()].parent {
+                    for &q in &orders[v.index()] {
+                        if q != p {
+                            candidates.push((v, q));
+                        }
+                    }
+                }
+            }
+            let (v, q) = pick(&candidates, &mut rng)?;
+            let old = certs[v.index()].parent;
+            certs[v.index()].parent = Some(q);
+            Some((
+                orders,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("rewired parent {old:?} -> Some({q:?})"),
+                },
+            ))
+        }
+        MutationClass::DepthCorrupt => {
+            let v = VertexId::from_index((splitmix64(&mut rng) % g.vertex_count() as u64) as usize);
+            certs[v.index()].depth = certs[v.index()].depth.wrapping_add(1);
+            Some((
+                orders,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: "incremented depth".to_string(),
+                },
+            ))
+        }
+        MutationClass::RootCorrupt => {
+            // Isolated vertices are excluded: with no neighbors to compare
+            // roots against, a lone root change that also dodges the local
+            // id == root check is impossible anyway (changing root on a
+            // parentless node trips RootFlags), but degree ≥ 1 keeps the
+            // guaranteed rejector simple: RootMismatch at the mutated node.
+            let candidates: Vec<VertexId> = g
+                .vertices()
+                .filter(|v| !orders[v.index()].is_empty())
+                .collect();
+            let v = pick(&candidates, &mut rng)?;
+            let old = certs[v.index()].root;
+            let new = VertexId(old.0.wrapping_add(1));
+            certs[v.index()].root = new;
+            Some((
+                orders,
+                certs,
+                Mutation {
+                    class,
+                    vertex: v,
+                    detail: format!("root {old:?} -> {new:?}"),
+                },
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k4_minus_edge() -> (Graph, RotationSystem) {
+        // Planar, 2-connected, with vertices of degree 3 — rich enough
+        // that every mutation class has a site. Rotation from the drawing
+        // with the triangle 0-1-2 outside and 3 inside adjacent to 1, 2.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let rot = RotationSystem::new(
+            &g,
+            vec![
+                vec![VertexId(1), VertexId(2)],
+                vec![VertexId(0), VertexId(3), VertexId(2)],
+                vec![VertexId(1), VertexId(3), VertexId(0)],
+                vec![VertexId(1), VertexId(2)],
+            ],
+        )
+        .unwrap();
+        assert!(rot.is_planar_embedding());
+        (g, rot)
+    }
+
+    #[test]
+    fn mutations_are_deterministic_per_seed() {
+        let (g, rot) = k4_minus_edge();
+        let certs = build_certificates(&g, &rot).unwrap();
+        for class in mutation_classes() {
+            let a = apply_mutation(&g, &rot, &certs, class, 42);
+            let b = apply_mutation(&g, &rot, &certs, class, 42);
+            assert_eq!(a, b, "{class:?} must be replayable");
+        }
+    }
+
+    #[test]
+    fn every_class_has_a_site_on_a_rich_graph() {
+        let (g, rot) = k4_minus_edge();
+        let certs = build_certificates(&g, &rot).unwrap();
+        for class in mutation_classes() {
+            for seed in 0..8 {
+                let m = apply_mutation(&g, &rot, &certs, class, seed);
+                assert!(m.is_some(), "{class:?} found no site at seed {seed}");
+                let (orders, mcerts, _) = m.unwrap();
+                // Something must actually have changed.
+                let honest: Vec<Vec<VertexId>> =
+                    g.vertices().map(|v| rot.order_at(v).to_vec()).collect();
+                assert!(
+                    orders != honest || mcerts != certs,
+                    "{class:?} at seed {seed} was a no-op"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_swap_is_unavailable_on_trees() {
+        // Every rotation of a tree is planar, so no genus-raising swap
+        // exists and the class must decline rather than emit a no-op.
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (2, 4)]).unwrap();
+        let rot = RotationSystem::sorted_default(&g);
+        let certs = build_certificates(&g, &rot).unwrap();
+        assert!(apply_mutation(&g, &rot, &certs, MutationClass::RotationSwap, 7).is_none());
+    }
+}

@@ -1,0 +1,733 @@
+//! The O(1)-round distributed verifier (the *verifier* side of the
+//! proof-labeling scheme).
+//!
+//! [`CertVerifier`] is an ordinary event-driven
+//! [`NodeProgram`](congest_sim::NodeProgram): it runs unchanged on the
+//! fast kernel, the reference kernel, and inside the reliable-delivery
+//! wrapper. Fault-free it takes exactly **2 rounds** regardless of `n`:
+//!
+//! * **init** — purely local checks (rotation is a permutation of the true
+//!   neighbor set, label count and canonicity, root/parent/depth flag
+//!   consistency), then one `Opening` message (≤ 6 words: root, parent,
+//!   depth, face label of the arc) per incident edge;
+//! * **round 1** — openings arrive; each node answers with its subtree
+//!   `Counters` (6 words) to every neighbor;
+//! * **round 2** — counters arrive; each node runs the neighborhood checks
+//!   (face closure, root uniformity, parent/child depths, counter sums,
+//!   and — at component roots — the Euler bound `f = m − n + 2`) and fixes
+//!   its verdict.
+//!
+//! Both message variants fit the default 8-word CONGEST budget. The
+//! program is event-driven (no round-number arithmetic), so delayed or
+//! retransmitted deliveries under the reliable wrapper change nothing; a
+//! node that never hears from every neighbor simply stays
+//! [`Verdict::Incomplete`], which the report treats as non-acceptance.
+
+use std::collections::BTreeMap;
+
+use congest_sim::protocols::{run_reliable, Reliable, ReliableConfig};
+use congest_sim::{reference, run, Metrics, NodeCtx, NodeProgram, SimConfig, SimOutcome, Words};
+use planar_graph::{Graph, RotationSystem, VertexId};
+
+use crate::certificate::Certificate;
+use crate::error::CertError;
+
+/// Messages exchanged by the verifier; both variants fit the default
+/// 8-word budget.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertMsg {
+    /// Round-0 certificate opening, sent over every incident edge.
+    Opening {
+        /// Sender's claimed component root.
+        root: VertexId,
+        /// Sender's claimed tree parent.
+        parent: Option<VertexId>,
+        /// Sender's claimed tree depth.
+        depth: u32,
+        /// Sender's face label for the arc this message travels on.
+        label: (VertexId, VertexId),
+    },
+    /// Round-1 subtree counters, sent to every neighbor.
+    Counters {
+        /// Claimed subtree vertex count.
+        vertices: u64,
+        /// Claimed subtree degree sum.
+        arcs: u64,
+        /// Claimed subtree face-leader count.
+        faces: u64,
+    },
+}
+
+impl Words for CertMsg {
+    fn words(&self) -> usize {
+        match self {
+            CertMsg::Opening { parent, .. } => 1 + parent.words() + 1 + 2,
+            CertMsg::Counters { .. } => 6,
+        }
+    }
+}
+
+/// A single failed check, attributed to the node that detected it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// The node's rotation is not a permutation of its true neighbor set.
+    RotationNotPermutation,
+    /// The certificate does not carry exactly one label per incident arc.
+    LabelCountMismatch,
+    /// A face label is lexicographically larger than the arc it labels
+    /// (labels must be orbit minima, hence `<=` every orbit member).
+    LabelNotCanonical {
+        /// Rotation position of the offending label.
+        slot: usize,
+    },
+    /// The label received for an incoming arc differs from this node's
+    /// label for that arc's face successor — the face orbit is broken.
+    FaceClosure {
+        /// The neighbor whose arc failed the closure check.
+        from: VertexId,
+    },
+    /// A neighbor claims a different component root.
+    RootMismatch {
+        /// The disagreeing neighbor.
+        neighbor: VertexId,
+    },
+    /// The claimed tree parent is not a neighbor.
+    ParentNotNeighbor,
+    /// The parent's claimed depth is not this node's depth minus one.
+    ParentDepth,
+    /// A neighbor claiming this node as parent has the wrong depth.
+    ChildDepth {
+        /// The offending child.
+        child: VertexId,
+    },
+    /// Root/parent/depth flags are inconsistent (a root with a parent or
+    /// nonzero depth, a non-root without a parent, ...).
+    RootFlags,
+    /// The claimed subtree counters do not equal the node's local
+    /// contribution plus its children's claims.
+    CounterMismatch,
+    /// At a component root: the aggregated counters violate Euler's
+    /// formula `f = m − n + 2` (or the isolated-vertex convention).
+    EulerViolation,
+}
+
+/// Final state of one node after the verifier ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Every check passed.
+    Accept,
+    /// At least one check failed (see [`CertVerifier::violations`]).
+    Reject,
+    /// The node never received both messages from every neighbor (message
+    /// loss without reliable delivery); treated as non-acceptance.
+    Incomplete,
+}
+
+/// The fields of a received [`CertMsg::Opening`]: `(root, parent, depth,
+/// label of the connecting arc)`.
+type OpeningFields = (VertexId, Option<VertexId>, u32, (VertexId, VertexId));
+
+/// Per-node verifier program. Construct one per vertex with that vertex's
+/// rotation order and certificate, then run on any kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CertVerifier {
+    rotation: Vec<VertexId>,
+    cert: Certificate,
+    openings: BTreeMap<VertexId, OpeningFields>,
+    counters: BTreeMap<VertexId, (u64, u64, u64)>,
+    sent_counters: bool,
+    done: bool,
+    violations: Vec<Violation>,
+}
+
+impl CertVerifier {
+    /// Creates the verifier for one node from its local embedding output
+    /// (claimed clockwise rotation order) and its certificate. The
+    /// rotation is taken as claimed — checking it against the true
+    /// neighbor set is the verifier's first job.
+    pub fn new(rotation: Vec<VertexId>, cert: Certificate) -> Self {
+        CertVerifier {
+            rotation,
+            cert,
+            openings: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            sent_counters: false,
+            done: false,
+            violations: Vec::new(),
+        }
+    }
+
+    /// The node's verdict after the run.
+    pub fn verdict(&self) -> Verdict {
+        if !self.done {
+            Verdict::Incomplete
+        } else if self.violations.is_empty() {
+            Verdict::Accept
+        } else {
+            Verdict::Reject
+        }
+    }
+
+    /// Every check this node failed, in detection order.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Whether the rotation is usable for positional lookups (a
+    /// permutation of the true neighbors, with one label per entry).
+    fn rotation_ok(&self, neighbors: &[VertexId]) -> bool {
+        let mut sorted = self.rotation.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.len() == self.rotation.len()
+            && sorted == neighbors
+            && self.cert.labels.len() == self.rotation.len()
+    }
+
+    /// Local (round-0) checks: everything decidable from the node's own
+    /// rotation and certificate.
+    fn local_checks(&mut self, ctx: &NodeCtx<'_>) {
+        let mut sorted = self.rotation.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != self.rotation.len() || sorted != ctx.neighbors {
+            self.violations.push(Violation::RotationNotPermutation);
+        }
+        if self.cert.labels.len() != self.rotation.len() {
+            self.violations.push(Violation::LabelCountMismatch);
+        } else {
+            for (slot, (&w, &label)) in self
+                .rotation
+                .iter()
+                .zip(self.cert.labels.iter())
+                .enumerate()
+            {
+                if label > (ctx.id, w) {
+                    self.violations.push(Violation::LabelNotCanonical { slot });
+                }
+            }
+        }
+        match self.cert.parent {
+            Some(p) => {
+                if ctx.neighbors.binary_search(&p).is_err() {
+                    self.violations.push(Violation::ParentNotNeighbor);
+                }
+                if self.cert.depth == 0 || ctx.id == self.cert.root {
+                    self.violations.push(Violation::RootFlags);
+                }
+            }
+            None => {
+                if self.cert.depth != 0 || ctx.id != self.cert.root {
+                    self.violations.push(Violation::RootFlags);
+                }
+            }
+        }
+    }
+
+    /// Neighborhood checks, run once both messages have arrived from every
+    /// neighbor.
+    fn neighborhood_checks(&mut self, ctx: &NodeCtx<'_>) {
+        let deg = ctx.neighbors.len();
+        let rotation_ok = self.rotation_ok(ctx.neighbors);
+        let mut viols = Vec::new();
+        for (&nb, &(root, nb_parent, nb_depth, label)) in &self.openings {
+            if root != self.cert.root {
+                viols.push(Violation::RootMismatch { neighbor: nb });
+            }
+            // Face closure: the label opened on the incoming arc (nb, v)
+            // must equal this node's label for that arc's face successor
+            // (v, w), where w follows nb in the rotation at v.
+            if rotation_ok {
+                let p = self
+                    .rotation
+                    .iter()
+                    .position(|&x| x == nb)
+                    .expect("rotation_ok guarantees membership");
+                if label != self.cert.labels[(p + 1) % deg] {
+                    viols.push(Violation::FaceClosure { from: nb });
+                }
+            }
+            if nb_parent == Some(ctx.id) && nb_depth != self.cert.depth.wrapping_add(1) {
+                viols.push(Violation::ChildDepth { child: nb });
+            }
+        }
+        if let Some(p) = self.cert.parent {
+            match self.openings.get(&p) {
+                Some(&(_, _, p_depth, _)) if p_depth.checked_add(1) == Some(self.cert.depth) => {}
+                _ => viols.push(Violation::ParentDepth),
+            }
+        }
+        // Counter consistency: the claimed subtree must equal this node's
+        // own contribution plus the claims of every neighbor naming it as
+        // parent. Wrapping arithmetic: corrupt claims may sit near
+        // `u64::MAX` and must produce a mismatch, not a panic.
+        let leaders = if rotation_ok {
+            self.rotation
+                .iter()
+                .zip(self.cert.labels.iter())
+                .filter(|&(&w, &l)| l == (ctx.id, w))
+                .count() as u64
+        } else {
+            0
+        };
+        let mut sum = (1u64, deg as u64, leaders);
+        for (&nb, &(_, nb_parent, _, _)) in &self.openings {
+            if nb_parent == Some(ctx.id) {
+                let (a, b, c) = self.counters[&nb];
+                sum.0 = sum.0.wrapping_add(a);
+                sum.1 = sum.1.wrapping_add(b);
+                sum.2 = sum.2.wrapping_add(c);
+            }
+        }
+        if sum
+            != (
+                self.cert.sub_vertices,
+                self.cert.sub_arcs,
+                self.cert.sub_faces,
+            )
+        {
+            viols.push(Violation::CounterMismatch);
+        }
+        self.violations.append(&mut viols);
+        if self.cert.parent.is_none() && ctx.id == self.cert.root {
+            self.euler_check();
+        }
+    }
+
+    /// The component root's Euler check on the aggregated counters.
+    fn euler_check(&mut self) {
+        let (n, a, f) = (
+            self.cert.sub_vertices as i128,
+            self.cert.sub_arcs as i128,
+            self.cert.sub_faces as i128,
+        );
+        let ok = if n == 1 {
+            // Isolated vertex: no arcs, no faces (genus 0 by convention).
+            a == 0 && f == 0
+        } else {
+            // f = m − n + 2 with m = a / 2; claimed faces never exceed the
+            // true face count, so equality forces genus 0.
+            a % 2 == 0 && f == a / 2 - n + 2
+        };
+        if !ok {
+            self.violations.push(Violation::EulerViolation);
+        }
+    }
+}
+
+impl NodeProgram for CertVerifier {
+    type Msg = CertMsg;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Self::Msg)> {
+        self.local_checks(ctx);
+        if ctx.neighbors.is_empty() {
+            // Degree-0 node: nothing to exchange; the verdict is local.
+            // Counters must be exactly the isolated-vertex contribution.
+            if (
+                self.cert.sub_vertices,
+                self.cert.sub_arcs,
+                self.cert.sub_faces,
+            ) != (1, 0, 0)
+            {
+                self.violations.push(Violation::CounterMismatch);
+            }
+            self.euler_check();
+            self.done = true;
+            return Vec::new();
+        }
+        let fallback = (ctx.id, ctx.id);
+        ctx.neighbors
+            .iter()
+            .map(|&w| {
+                // Open the label of the arc towards w. A corrupt rotation
+                // may not mention w (or mention it twice — first position
+                // wins); send a placeholder so neighbors still terminate.
+                // This node already recorded RotationNotPermutation.
+                let label = self
+                    .rotation
+                    .iter()
+                    .position(|&x| x == w)
+                    .and_then(|p| self.cert.labels.get(p).copied())
+                    .unwrap_or(fallback);
+                (
+                    w,
+                    CertMsg::Opening {
+                        root: self.cert.root,
+                        parent: self.cert.parent,
+                        depth: self.cert.depth,
+                        label,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    fn on_round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        inbox: &[(VertexId, Self::Msg)],
+    ) -> Vec<(VertexId, Self::Msg)> {
+        for (from, msg) in inbox {
+            match *msg {
+                // First delivery wins; duplicates (possible under fault
+                // injection) are ignored, keeping the program idempotent.
+                CertMsg::Opening {
+                    root,
+                    parent,
+                    depth,
+                    label,
+                } => {
+                    self.openings
+                        .entry(*from)
+                        .or_insert((root, parent, depth, label));
+                }
+                CertMsg::Counters {
+                    vertices,
+                    arcs,
+                    faces,
+                } => {
+                    self.counters
+                        .entry(*from)
+                        .or_insert((vertices, arcs, faces));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        if !self.sent_counters {
+            self.sent_counters = true;
+            let msg = CertMsg::Counters {
+                vertices: self.cert.sub_vertices,
+                arcs: self.cert.sub_arcs,
+                faces: self.cert.sub_faces,
+            };
+            out.extend(ctx.neighbors.iter().map(|&w| (w, msg.clone())));
+        }
+        if !self.done
+            && self.openings.len() == ctx.neighbors.len()
+            && self.counters.len() == ctx.neighbors.len()
+        {
+            self.neighborhood_checks(ctx);
+            self.done = true;
+        }
+        out
+    }
+}
+
+/// Which simulation kernel runs the verifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// The allocation-free production kernel ([`congest_sim::run`]).
+    Fast,
+    /// The seed kernel kept as executable specification
+    /// ([`congest_sim::reference::run_reference`]).
+    Reference,
+}
+
+/// Outcome of a distributed verification run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VerifyReport {
+    /// Whether every node accepted. `false` if any node rejected *or*
+    /// stayed incomplete.
+    pub accepted: bool,
+    /// Rejecting nodes with the checks they failed, ascending by id.
+    pub rejections: Vec<(VertexId, Vec<Violation>)>,
+    /// Nodes that never completed the exchange (lost messages), ascending.
+    pub incomplete: Vec<VertexId>,
+    /// Kernel cost of the verification; `phase_rounds.cert` is stamped
+    /// with the round count (O(1): 2 rounds fault-free).
+    pub metrics: Metrics,
+    /// Largest per-node certificate, in words.
+    pub max_cert_words: usize,
+    /// Total certificate volume across all nodes, in words.
+    pub total_cert_words: usize,
+}
+
+/// Runs the distributed verifier on *raw* per-vertex rotation orders —
+/// the general entry point, accepting corrupted rotations that
+/// [`RotationSystem::new`] would refuse to represent (the mutation
+/// soundness suite needs exactly that).
+///
+/// # Errors
+///
+/// [`CertError::BadInput`] if the order or certificate count does not
+/// match `g`; [`CertError::Sim`] if the kernel aborts.
+pub fn verify_orders_with(
+    g: &Graph,
+    orders: &[Vec<VertexId>],
+    certs: &[Certificate],
+    cfg: &SimConfig,
+    reliability: Option<&ReliableConfig>,
+    kernel: Kernel,
+) -> Result<VerifyReport, CertError> {
+    let n = g.vertex_count();
+    if orders.len() != n || certs.len() != n {
+        return Err(CertError::BadInput(format!(
+            "graph has {n} vertices, rotation orders {}, certificates {}",
+            orders.len(),
+            certs.len()
+        )));
+    }
+    let programs: Vec<CertVerifier> = g
+        .vertices()
+        .map(|v| CertVerifier::new(orders[v.index()].clone(), certs[v.index()].clone()))
+        .collect();
+    let out = run_verifier_kernel(g, programs, cfg, reliability, kernel)?;
+
+    let mut rejections = Vec::new();
+    let mut incomplete = Vec::new();
+    for (v, p) in out.programs.iter().enumerate() {
+        match p.verdict() {
+            Verdict::Accept => {}
+            Verdict::Reject => {
+                rejections.push((VertexId::from_index(v), p.violations().to_vec()));
+            }
+            Verdict::Incomplete => incomplete.push(VertexId::from_index(v)),
+        }
+    }
+    let mut metrics = out.metrics;
+    metrics.phase_rounds.cert = metrics.rounds;
+    let max_cert_words = certs.iter().map(Certificate::words).max().unwrap_or(0);
+    let total_cert_words = certs.iter().map(Certificate::words).sum();
+    Ok(VerifyReport {
+        accepted: rejections.is_empty() && incomplete.is_empty(),
+        rejections,
+        incomplete,
+        metrics,
+        max_cert_words,
+        total_cert_words,
+    })
+}
+
+/// Runs the distributed verifier on the kernel of your choice, optionally
+/// inside the reliable-delivery wrapper (with the standard `3B + 2`
+/// widened budget, exactly like the embedding phases under faults).
+///
+/// # Errors
+///
+/// As [`verify_orders_with`].
+pub fn verify_distributed_with(
+    g: &Graph,
+    rot: &RotationSystem,
+    certs: &[Certificate],
+    cfg: &SimConfig,
+    reliability: Option<&ReliableConfig>,
+    kernel: Kernel,
+) -> Result<VerifyReport, CertError> {
+    if rot.vertex_count() != g.vertex_count() {
+        return Err(CertError::BadInput(format!(
+            "graph has {} vertices, rotation system {}",
+            g.vertex_count(),
+            rot.vertex_count()
+        )));
+    }
+    let orders: Vec<Vec<VertexId>> = g.vertices().map(|v| rot.order_at(v).to_vec()).collect();
+    verify_orders_with(g, &orders, certs, cfg, reliability, kernel)
+}
+
+/// Dispatches to the chosen kernel, wrapping in [`Reliable`] when
+/// requested (budget widened to `3B + 2`, retransmissions folded into the
+/// metrics — the same lift [`run_reliable`] performs for the fast kernel).
+fn run_verifier_kernel(
+    g: &Graph,
+    programs: Vec<CertVerifier>,
+    cfg: &SimConfig,
+    reliability: Option<&ReliableConfig>,
+    kernel: Kernel,
+) -> Result<SimOutcome<CertVerifier>, CertError> {
+    match (kernel, reliability) {
+        (Kernel::Fast, None) => Ok(run(g, programs, cfg)?),
+        (Kernel::Reference, None) => Ok(reference::run_reference(g, programs, cfg)?),
+        (Kernel::Fast, Some(rel)) => {
+            let mut wrapped_cfg = cfg.clone();
+            wrapped_cfg.budget_words = 3 * cfg.budget_words + 2;
+            Ok(run_reliable(g, programs, &wrapped_cfg, rel)?)
+        }
+        (Kernel::Reference, Some(rel)) => {
+            let mut wrapped_cfg = cfg.clone();
+            wrapped_cfg.budget_words = 3 * cfg.budget_words + 2;
+            let wrapped: Vec<Reliable<CertVerifier>> = programs
+                .into_iter()
+                .map(|p| Reliable::new(p, rel.clone()))
+                .collect();
+            let out = reference::run_reference(g, wrapped, &wrapped_cfg)?;
+            let mut metrics = out.metrics;
+            let mut inner = Vec::with_capacity(out.programs.len());
+            for w in out.programs {
+                metrics.retransmissions += w.retransmissions();
+                inner.push(w.into_inner());
+            }
+            Ok(SimOutcome {
+                programs: inner,
+                metrics,
+            })
+        }
+    }
+}
+
+/// [`verify_distributed_with`] on the fast kernel without reliability —
+/// the common case.
+///
+/// # Errors
+///
+/// As [`verify_distributed_with`].
+pub fn verify_distributed(
+    g: &Graph,
+    rot: &RotationSystem,
+    certs: &[Certificate],
+    cfg: &SimConfig,
+) -> Result<VerifyReport, CertError> {
+    verify_distributed_with(g, rot, certs, cfg, None, Kernel::Fast)
+}
+
+/// [`verify_distributed_with`] on the reference kernel without
+/// reliability — the conformance oracle.
+///
+/// # Errors
+///
+/// As [`verify_distributed_with`].
+pub fn verify_distributed_reference(
+    g: &Graph,
+    rot: &RotationSystem,
+    certs: &[Certificate],
+    cfg: &SimConfig,
+) -> Result<VerifyReport, CertError> {
+    verify_distributed_with(g, rot, certs, cfg, None, Kernel::Reference)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certificate::build_certificates;
+
+    fn ring(n: u32) -> (Graph, RotationSystem) {
+        let g = Graph::from_edges(n as usize, (0..n).map(|i| (i, (i + 1) % n))).unwrap();
+        let rot = RotationSystem::sorted_default(&g);
+        assert!(rot.is_planar_embedding());
+        (g, rot)
+    }
+
+    #[test]
+    fn honest_certificates_accept_in_two_rounds() {
+        let (g, rot) = ring(12);
+        let certs = build_certificates(&g, &rot).unwrap();
+        let report = verify_distributed(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        assert!(report.accepted, "rejections: {:?}", report.rejections);
+        assert_eq!(report.metrics.rounds, 2, "verification must be O(1)");
+        assert_eq!(report.metrics.phase_rounds.cert, 2);
+        // Ring: degree 2 everywhere → 10 fixed words + 2·2 label words.
+        assert!(report.max_cert_words <= 10 + 4);
+    }
+
+    #[test]
+    fn fast_and_reference_agree() {
+        let (g, rot) = ring(9);
+        let certs = build_certificates(&g, &rot).unwrap();
+        let a = verify_distributed(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        let b = verify_distributed_reference(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nonplanar_rotation_with_honest_certificates_is_rejected() {
+        // K4's sorted-default rotation has genus 1; the honest builder's
+        // counters then fail the root's Euler check.
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let rot = RotationSystem::sorted_default(&g);
+        assert!(!rot.is_planar_embedding());
+        let certs = build_certificates(&g, &rot).unwrap();
+        let report = verify_distributed(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        assert!(!report.accepted);
+        assert!(report
+            .rejections
+            .iter()
+            .any(|(_, vs)| vs.contains(&Violation::EulerViolation)));
+    }
+
+    #[test]
+    fn isolated_vertices_verify_locally() {
+        let g = Graph::new(3);
+        let rot = RotationSystem::sorted_default(&g);
+        let certs = build_certificates(&g, &rot).unwrap();
+        let report = verify_distributed(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        assert!(report.accepted);
+        assert_eq!(report.metrics.rounds, 0);
+    }
+
+    #[test]
+    fn disconnected_graph_verifies_per_component() {
+        let g =
+            Graph::from_edges(8, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6), (6, 7), (7, 4)]).unwrap();
+        let rot = RotationSystem::sorted_default(&g);
+        assert!(rot.is_planar_embedding());
+        let certs = build_certificates(&g, &rot).unwrap();
+        let report = verify_distributed(&g, &rot, &certs, &SimConfig::default()).unwrap();
+        assert!(report.accepted, "rejections: {:?}", report.rejections);
+    }
+
+    #[test]
+    fn message_sizes_fit_the_budget() {
+        let opening = CertMsg::Opening {
+            root: VertexId(0),
+            parent: Some(VertexId(1)),
+            depth: 2,
+            label: (VertexId(0), VertexId(1)),
+        };
+        assert!(opening.words() <= congest_sim::DEFAULT_BUDGET_WORDS);
+        let counters = CertMsg::Counters {
+            vertices: 10,
+            arcs: 18,
+            faces: 1,
+        };
+        assert!(counters.words() <= congest_sim::DEFAULT_BUDGET_WORDS);
+    }
+
+    #[test]
+    fn reliable_wrapper_survives_lossy_verification() {
+        use congest_sim::FaultPlan;
+        let (g, rot) = ring(10);
+        let certs = build_certificates(&g, &rot).unwrap();
+        let cfg = SimConfig {
+            faults: FaultPlan::uniform(3, 0.2, 0.05, 0.1, 2),
+            watchdog: Some(4096),
+            ..SimConfig::default()
+        };
+        let rel = ReliableConfig::default();
+        let report =
+            verify_distributed_with(&g, &rot, &certs, &cfg, Some(&rel), Kernel::Fast).unwrap();
+        assert!(report.accepted, "rejections: {:?}", report.rejections);
+        assert!(report.metrics.dropped > 0 || report.metrics.retransmissions > 0);
+        // The seeded fault schedule replays bit-identically.
+        let again =
+            verify_distributed_with(&g, &rot, &certs, &cfg, Some(&rel), Kernel::Fast).unwrap();
+        assert_eq!(report, again);
+    }
+
+    #[test]
+    fn lost_messages_leave_nodes_incomplete_not_accepting() {
+        use congest_sim::{FaultPlan, LinkFaults};
+        let (g, rot) = ring(6);
+        let certs = build_certificates(&g, &rot).unwrap();
+        let mut plan = FaultPlan {
+            seed: 1,
+            ..FaultPlan::default()
+        };
+        plan.link_overrides.push((
+            (VertexId(0), VertexId(1)),
+            LinkFaults {
+                drop: 1.0,
+                duplicate: 0.0,
+                delay: 0.0,
+                max_delay: 0,
+            },
+        ));
+        let cfg = SimConfig {
+            faults: plan,
+            watchdog: Some(1024),
+            ..SimConfig::default()
+        };
+        let report = verify_distributed_with(&g, &rot, &certs, &cfg, None, Kernel::Fast).unwrap();
+        assert!(!report.accepted);
+        assert!(report.incomplete.contains(&VertexId(1)));
+    }
+}

@@ -59,7 +59,7 @@ pub mod routing;
 
 pub use faults::{CrashPolicy, Fate, FaultPlan, LinkDown, LinkFaults};
 pub use message::{word_bits, Words};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, PhaseRounds};
 pub use network::{
     run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
 };

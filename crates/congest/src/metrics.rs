@@ -4,6 +4,64 @@ use serde::{Deserialize, Serialize};
 
 use crate::message::word_bits;
 
+/// Attribution of [`Metrics::rounds`] to the embedding algorithm's phases.
+///
+/// The kernel itself leaves this zeroed — it has no notion of phases. The
+/// drivers in `planar-embedding` stamp each phase's outcome (`setup`,
+/// `partition`, `symmetry`, `merge`, `cert`) before composing metrics, so a
+/// run's round count can be broken down by where the rounds went.
+///
+/// Composition mirrors [`Metrics`]: [`Metrics::add`] (sequential) adds the
+/// breakdown fieldwise, so `sum() == rounds` is preserved;
+/// [`Metrics::join_parallel`] takes fieldwise maxima, so after a parallel
+/// join `sum()` is an upper bound on `rounds` (the per-phase maxima need
+/// not be achieved by the same branch). The driver's *sequential* tally —
+/// the `rounds_used` reported by degraded runs — composes purely by `add`
+/// and therefore satisfies `sum() == rounds_used` exactly; driver tests pin
+/// that invariant.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseRounds {
+    /// Rounds attributed to the setup phase (leader election, BFS tree,
+    /// subtree sizes, broadcasts).
+    pub setup: usize,
+    /// Rounds attributed to the recursive partitioning phase.
+    pub partition: usize,
+    /// Rounds attributed to symmetry breaking (charged inside merges via
+    /// Remark 1's virtual-round conversion).
+    pub symmetry: usize,
+    /// Rounds attributed to the merge phase, excluding its symmetry-breaking
+    /// sub-step (reported separately above).
+    pub merge: usize,
+    /// Rounds attributed to distributed certification (the `planar-cert`
+    /// local verifier).
+    pub cert: usize,
+}
+
+impl PhaseRounds {
+    /// Total attributed rounds across all phases.
+    pub fn sum(&self) -> usize {
+        self.setup + self.partition + self.symmetry + self.merge + self.cert
+    }
+
+    /// Fieldwise addition (sequential composition).
+    pub fn add(&mut self, other: PhaseRounds) {
+        self.setup += other.setup;
+        self.partition += other.partition;
+        self.symmetry += other.symmetry;
+        self.merge += other.merge;
+        self.cert += other.cert;
+    }
+
+    /// Fieldwise maximum (parallel composition).
+    pub fn join_parallel(&mut self, other: PhaseRounds) {
+        self.setup = self.setup.max(other.setup);
+        self.partition = self.partition.max(other.partition);
+        self.symmetry = self.symmetry.max(other.symmetry);
+        self.merge = self.merge.max(other.merge);
+        self.cert = self.cert.max(other.cert);
+    }
+}
+
 /// Cumulative cost of a distributed execution (one phase or a whole
 /// algorithm).
 ///
@@ -36,6 +94,9 @@ pub struct Metrics {
     /// phases of one run share the same fault plan, so crashes are not
     /// additive across phases.
     pub crashed_nodes: usize,
+    /// Attribution of `rounds` to algorithm phases; zeroed by the kernel,
+    /// stamped by the drivers. See [`PhaseRounds`] for composition rules.
+    pub phase_rounds: PhaseRounds,
 }
 
 impl Metrics {
@@ -55,6 +116,7 @@ impl Metrics {
         self.delayed += other.delayed;
         self.retransmissions += other.retransmissions;
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
+        self.phase_rounds.add(other.phase_rounds);
     }
 
     /// Parallel composition: the phases ran concurrently on disjoint parts
@@ -69,6 +131,7 @@ impl Metrics {
         self.delayed += other.delayed;
         self.retransmissions += other.retransmissions;
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
+        self.phase_rounds.join_parallel(other.phase_rounds);
     }
 
     /// Total bits delivered, for an `n`-node network (`words · ceil(log2 n)`).
@@ -193,6 +256,58 @@ mod tests {
             ..Metrics::default()
         };
         assert!(format!("{faulty}").contains("faults"));
+    }
+
+    #[test]
+    fn phase_rounds_compose_with_metrics() {
+        let mut a = Metrics {
+            rounds: 5,
+            phase_rounds: PhaseRounds {
+                setup: 5,
+                ..PhaseRounds::default()
+            },
+            ..Metrics::default()
+        };
+        let b = Metrics {
+            rounds: 7,
+            phase_rounds: PhaseRounds {
+                partition: 4,
+                merge: 3,
+                ..PhaseRounds::default()
+            },
+            ..Metrics::default()
+        };
+        a.add(b);
+        // Sequential composition preserves sum() == rounds.
+        assert_eq!(a.rounds, 12);
+        assert_eq!(a.phase_rounds.sum(), 12);
+        assert_eq!((a.phase_rounds.setup, a.phase_rounds.partition), (5, 4));
+
+        // Parallel composition takes fieldwise maxima: sum() bounds rounds
+        // from above but need not equal it.
+        let mut c = a;
+        c.join_parallel(b);
+        assert_eq!(c.rounds, 12);
+        assert_eq!(c.phase_rounds.partition, 4);
+        assert_eq!(c.phase_rounds.sum(), 5 + 4 + 3);
+    }
+
+    #[test]
+    fn phase_rounds_sum_covers_all_fields() {
+        let p = PhaseRounds {
+            setup: 1,
+            partition: 2,
+            symmetry: 3,
+            merge: 4,
+            cert: 5,
+        };
+        assert_eq!(p.sum(), 15);
+        let mut q = p;
+        q.add(p);
+        assert_eq!(q.sum(), 30);
+        let mut r = PhaseRounds::default();
+        r.join_parallel(p);
+        assert_eq!(r, p);
     }
 
     #[test]

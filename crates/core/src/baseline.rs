@@ -79,6 +79,7 @@ pub fn embed_baseline(g: &Graph, cfg: &SimConfig) -> Result<EmbeddingOutcome, Em
         rotation,
         metrics,
         stats,
+        certification: None,
     })
 }
 

@@ -38,6 +38,14 @@ pub enum EmbedError {
         /// Kernel rounds consumed across phases before the run degraded
         /// (sequential tally, an upper bound on the parallel cost).
         rounds_used: usize,
+        /// Whether the embedding restricted to the surviving subgraph was
+        /// re-verified *successfully*. `true` only when verification ran
+        /// and passed (the [`DegradedCause::SurvivorsOnly`] outcome);
+        /// `false` both when verification ran and failed
+        /// ([`DegradedCause::OutputUnverified`]) and when the run failed
+        /// before producing anything to verify. Callers must not treat a
+        /// degraded result as a certified embedding unless this is `true`.
+        verified: bool,
         /// What specifically went wrong.
         cause: DegradedCause,
     },
@@ -63,6 +71,11 @@ pub enum DegradedCause {
     /// All phases completed but the post-run self-verification could not
     /// certify the computed rotation on the surviving subgraph.
     OutputUnverified,
+    /// All phases completed and the rotation restricted to the surviving
+    /// subgraph re-verified successfully — but nodes crash-stopped during
+    /// the run, so the result covers only the survivors, not the full
+    /// input network. The only cause paired with `verified: true`.
+    SurvivorsOnly,
 }
 
 impl fmt::Display for DegradedCause {
@@ -78,6 +91,12 @@ impl fmt::Display for DegradedCause {
                     "output failed self-verification on the surviving subgraph"
                 )
             }
+            DegradedCause::SurvivorsOnly => {
+                write!(
+                    f,
+                    "embedding verified on the surviving subgraph only (nodes crashed)"
+                )
+            }
         }
     }
 }
@@ -86,6 +105,20 @@ impl Error for DegradedCause {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             DegradedCause::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl EmbedError {
+    /// For [`EmbedError::Degraded`], whether the surviving embedding was
+    /// re-verified successfully; `None` for every other error.
+    ///
+    /// `Some(true)` is the only value under which a degraded result may be
+    /// treated as a certified embedding of the surviving subgraph.
+    pub fn degraded_verified(&self) -> Option<bool> {
+        match self {
+            EmbedError::Degraded { verified, .. } => Some(*verified),
             _ => None,
         }
     }
@@ -104,11 +137,13 @@ impl fmt::Display for EmbedError {
             EmbedError::Degraded {
                 surviving_nodes,
                 rounds_used,
+                verified,
                 cause,
             } => write!(
                 f,
                 "run degraded by injected faults after {rounds_used} rounds \
-                 ({surviving_nodes} surviving nodes): {cause}"
+                 ({surviving_nodes} surviving nodes, survivors {}verified): {cause}",
+                if *verified { "" } else { "not " }
             ),
         }
     }
@@ -183,6 +218,7 @@ mod tests {
         let e = EmbedError::Degraded {
             surviving_nodes: 7,
             rounds_used: 42,
+            verified: false,
             cause: DegradedCause::Sim(SimError::WatchdogTimeout { limit: 42 }),
         };
         let msg = e.to_string();
@@ -197,9 +233,31 @@ mod tests {
         let p = EmbedError::Degraded {
             surviving_nodes: 3,
             rounds_used: 9,
+            verified: false,
             cause: DegradedCause::PhaseIncomplete { phase: "setup" },
         };
         assert!(p.to_string().contains("setup phase"));
+    }
+
+    #[test]
+    fn degraded_verified_accessor() {
+        let v = EmbedError::Degraded {
+            surviving_nodes: 5,
+            rounds_used: 10,
+            verified: true,
+            cause: DegradedCause::SurvivorsOnly,
+        };
+        assert_eq!(v.degraded_verified(), Some(true));
+        assert!(v.to_string().contains("survivors verified"));
+        let u = EmbedError::Degraded {
+            surviving_nodes: 5,
+            rounds_used: 10,
+            verified: false,
+            cause: DegradedCause::OutputUnverified,
+        };
+        assert_eq!(u.degraded_verified(), Some(false));
+        assert!(u.to_string().contains("survivors not verified"));
+        assert_eq!(EmbedError::NonPlanar.degraded_verified(), None);
     }
 
     #[test]

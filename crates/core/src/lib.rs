@@ -62,6 +62,7 @@
 #![warn(missing_docs)]
 
 mod baseline;
+pub mod certify;
 mod driver;
 mod error;
 pub mod interface;
@@ -79,6 +80,7 @@ pub mod tree;
 mod verify;
 
 pub use baseline::embed_baseline;
+pub use certify::{certify_embedding, certify_surviving_embedding, Certification};
 pub use congest_sim::protocols::ReliableConfig;
 pub use driver::{embed_distributed, EmbedderConfig, EmbeddingOutcome};
 pub use error::{DegradedCause, EmbedError};

@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use congest_sim::protocols::ReliableConfig;
 use congest_sim::routing::{schedule, Transfer};
-use congest_sim::{Metrics, SimConfig};
+use congest_sim::{Metrics, PhaseRounds, SimConfig};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
@@ -145,9 +145,14 @@ pub fn merge_parts_with(
     ctx.steps_3_to_5()?; // two-connection parts
     let part = ctx.step_6(&h_members)?; // restricted path-coordinated merge
 
+    // Attribute every round not already claimed by the symmetry-breaking
+    // sub-step to the merge phase, so the breakdown sums to `rounds`.
+    let mut metrics = ctx.metrics;
+    metrics.phase_rounds.merge = metrics.rounds - metrics.phase_rounds.symmetry;
+
     Ok(MergeOutcome {
         part,
-        metrics: ctx.metrics,
+        metrics,
         stats: ctx.stats,
     })
 }
@@ -479,11 +484,16 @@ impl<'g> MergeCtx<'g> {
             .max()
             .unwrap_or(0);
         let sizes: usize = actives.iter().map(|&i| self.parts[i].len()).sum();
+        let symmetry_rounds = outcome.rounds * (2 * max_depth + 2);
         self.metrics.add(Metrics {
-            rounds: outcome.rounds * (2 * max_depth + 2),
+            rounds: symmetry_rounds,
             messages: outcome.rounds * sizes,
             words: 2 * outcome.rounds * sizes,
             max_words_edge_round: 3,
+            phase_rounds: PhaseRounds {
+                symmetry: symmetry_rounds,
+                ..PhaseRounds::default()
+            },
             ..Metrics::default()
         });
 

@@ -137,6 +137,8 @@ pub fn partition_subtree_with(
             members: tree.subtree_members(r),
         })
         .collect();
+    // All rounds above belong to the partition phase.
+    metrics.phase_rounds.partition = metrics.rounds;
     Ok(Partition { p0, parts, metrics })
 }
 

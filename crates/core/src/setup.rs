@@ -120,6 +120,9 @@ pub fn run_setup_with(
         metrics.add(out.metrics);
     }
 
+    // The kernel leaves `phase_rounds` zeroed; everything above is setup.
+    metrics.phase_rounds.setup = metrics.rounds;
+
     let tree = GlobalTree {
         root,
         parent,

@@ -6,6 +6,7 @@
 //! depth (`<= min{log_{3/2} n, D}`), and the number of parts surviving to
 //! the restricted path-coordinated merge (`O(D)`).
 
+use congest_sim::PhaseRounds;
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one merge (one recursion node's Section 5.3 execution).
@@ -68,6 +69,13 @@ pub struct RecursionStats {
     /// Whether every intermediate partition passed the safety check
     /// (Definition 3.1); only evaluated when invariant checking is enabled.
     pub safety_checked: bool,
+    /// Kernel rounds consumed across phases, tallied *sequentially* (the
+    /// same quantity `EmbedError::Degraded` reports as `rounds_used`). An
+    /// upper bound on the parallel round count in `Metrics::rounds`.
+    pub sequential_rounds: usize,
+    /// Per-phase attribution of `sequential_rounds`; the driver maintains
+    /// `phase_rounds.sum() == sequential_rounds` as an invariant.
+    pub phase_rounds: PhaseRounds,
 }
 
 impl RecursionStats {
@@ -117,6 +125,7 @@ mod tests {
                 },
             ],
             safety_checked: true,
+            ..Default::default()
         };
         assert_eq!(stats.max_final_parts(), 7);
         assert!((stats.max_child_ratio() - 0.66).abs() < 1e-9);

@@ -1,0 +1,164 @@
+//! Property test for `graph::rotation` face traversal: the face walks of
+//! any rotation system **partition the directed-arc set** — every arc
+//! `(u, v)` appears in exactly one face, exactly once. This is the
+//! combinatorial fact the certification layer's face-leader counters are
+//! built on, so it is pinned here on the full generator suite, including
+//! disconnected and multi-block (articulated) inputs.
+
+use std::collections::HashMap;
+
+use planar_graph::{Graph, RotationSystem, VertexId};
+use planar_lib::{embed, gen};
+
+/// Every generated instance the property is checked on: connected,
+/// disconnected, biconnected, and articulated (multi-block) shapes.
+fn instances() -> Vec<(String, Graph)> {
+    let mut out: Vec<(String, Graph)> = vec![
+        ("path_9".into(), gen::path(9)),
+        ("cycle_12".into(), gen::cycle(12)),
+        ("star_10".into(), gen::star(10)),
+        ("grid_4x5".into(), gen::grid(4, 5)),
+        ("tri_grid_4x4".into(), gen::triangulated_grid(4, 4)),
+        ("wheel_11".into(), gen::wheel(11)),
+        ("fan_12".into(), gen::fan(12)),
+        ("theta_3x4".into(), gen::theta(3, 4)),
+        // Multi-block: wheels chained through articulation vertices.
+        ("wheel_chain_4x5".into(), gen::wheel_chain(4, 5)),
+        ("k4_subdivided_3".into(), gen::k4_subdivided(3)),
+    ];
+    for seed in 0..4u64 {
+        out.push((format!("random_tree_s{seed}"), gen::random_tree(20, seed)));
+        out.push((
+            format!("random_outerplanar_s{seed}"),
+            gen::random_outerplanar(18, seed),
+        ));
+        out.push((
+            format!("random_planar_s{seed}"),
+            gen::random_planar(22, 40, seed),
+        ));
+        out.push((
+            format!("random_maximal_planar_s{seed}"),
+            gen::random_maximal_planar(16, seed),
+        ));
+    }
+    // Disconnected: unions of generated components, plus isolated
+    // vertices (which contribute no arcs and no faces).
+    let grid = gen::grid(3, 3);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    for u in grid.vertices() {
+        for &w in grid.neighbors(u) {
+            if u < w {
+                edges.push((u.0, w.0));
+            }
+        }
+    }
+    edges.extend([(10, 11), (11, 12), (12, 10)]); // triangle; 9 isolated
+    out.push((
+        "disconnected_grid_triangle_isolated".into(),
+        Graph::from_edges(14, edges).unwrap(),
+    ));
+    out
+}
+
+/// The property: the multiset of arcs covered by `faces()` equals the
+/// directed-arc set of the graph, each arc exactly once.
+fn assert_faces_partition_arcs(name: &str, g: &Graph, rot: &RotationSystem) {
+    let mut seen: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+    let mut covered = 0usize;
+    for face in rot.faces() {
+        assert!(!face.is_empty(), "{name}: empty face walk");
+        for &(u, v) in &face {
+            assert!(
+                g.neighbors(u).contains(&v),
+                "{name}: face walk uses non-arc ({u:?},{v:?})"
+            );
+            *seen.entry((u, v)).or_insert(0) += 1;
+            covered += 1;
+        }
+    }
+    let total_arcs: usize = g.vertices().map(|v| g.neighbors(v).len()).sum();
+    assert_eq!(
+        covered, total_arcs,
+        "{name}: face walks covered {covered} arc slots, graph has {total_arcs}"
+    );
+    for ((u, v), count) in &seen {
+        assert_eq!(
+            *count, 1,
+            "{name}: arc ({u:?},{v:?}) appears in face walks {count} times"
+        );
+    }
+    // Exactly-once coverage of the right total means every arc occurred.
+    assert_eq!(seen.len(), total_arcs, "{name}: some arc never covered");
+}
+
+#[test]
+fn face_walks_partition_arcs_for_computed_embeddings() {
+    for (name, g) in instances() {
+        let rot = embed(&g).expect("suite graphs are planar");
+        assert!(rot.is_planar_embedding(), "{name}");
+        assert_faces_partition_arcs(&name, &g, &rot);
+    }
+}
+
+#[test]
+fn face_walks_partition_arcs_for_arbitrary_rotations() {
+    // The partition property is about rotation systems, not planarity:
+    // it must hold for *any* permutation data, planar or not (e.g. the
+    // sorted-default rotation of K4 and K5, which have positive genus).
+    for (name, g) in [
+        ("k4".to_string(), gen::complete(4)),
+        ("k5".to_string(), gen::complete(5)),
+        ("grid_3x4_sorted".to_string(), gen::grid(3, 4)),
+        (
+            "disconnected_sorted".to_string(),
+            Graph::from_edges(7, [(0, 1), (1, 2), (2, 0), (4, 5), (5, 6)]).unwrap(),
+        ),
+    ] {
+        let rot = RotationSystem::sorted_default(&g);
+        assert_faces_partition_arcs(&name, &g, &rot);
+    }
+    // Mirrored embeddings keep the property too.
+    let g = gen::wheel(8);
+    let rot = embed(&g).unwrap().mirrored();
+    assert_faces_partition_arcs("wheel_8_mirrored", &g, &rot);
+}
+
+#[test]
+fn euler_holds_per_component_on_the_suite() {
+    // Companion check tying the partition to the certification layer's
+    // Euler counters: for planar embeddings of connected graphs,
+    // f = m - n + 2; for c components (isolated vertices have no faces),
+    // total faces = m - n + c + (number of non-trivial components).
+    for (name, g) in instances() {
+        let rot = embed(&g).expect("suite graphs are planar");
+        let faces = rot.faces().len();
+        let n_nontrivial = g.vertices().filter(|&v| !g.neighbors(v).is_empty()).count();
+        let isolated = g.vertex_count() - n_nontrivial;
+        let m: usize = g.vertices().map(|v| g.neighbors(v).len()).sum::<usize>() / 2;
+        // Count components among non-trivial vertices via union-find-ish
+        // BFS on the fly.
+        let mut comp = vec![usize::MAX; g.vertex_count()];
+        let mut ncomp = 0usize;
+        for v in g.vertices() {
+            if comp[v.index()] != usize::MAX || g.neighbors(v).is_empty() {
+                continue;
+            }
+            let mut stack = vec![v];
+            comp[v.index()] = ncomp;
+            while let Some(u) = stack.pop() {
+                for &w in g.neighbors(u) {
+                    if comp[w.index()] == usize::MAX {
+                        comp[w.index()] = ncomp;
+                        stack.push(w);
+                    }
+                }
+            }
+            ncomp += 1;
+        }
+        assert_eq!(
+            faces as i64,
+            m as i64 - n_nontrivial as i64 + 2 * ncomp as i64,
+            "{name}: Euler per component failed (m={m}, n={n_nontrivial}, c={ncomp}, isolated={isolated})"
+        );
+    }
+}
