@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|all] [--large]
+//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|all] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
@@ -23,6 +23,13 @@
 //! size, O(1)-round verification cost, per-class mutation soundness
 //! spot-check) over grid / tri-grid / outerplanar / random-planar
 //! substrates and writes `BENCH_cert.json`. Also not part of `all`.
+//!
+//! `trace` runs the full embedding pipeline (certification on) under the
+//! trace auditor, fault-free and under seeded faults with reliable
+//! delivery: every kernel segment's reported metrics are checked against
+//! an independent recomputation from its event stream (any drift panics),
+//! and the per-round profile is written to `BENCH_trace.json`. Also not
+//! part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -56,6 +63,7 @@ fn main() {
         "bench-kernel",
         "chaos",
         "cert",
+        "trace",
     ];
     if !KNOWN.contains(&which) {
         eprintln!("unknown experiment `{which}`");
@@ -161,6 +169,43 @@ fn main() {
         );
         let path = std::path::Path::new("BENCH_cert.json");
         planar_bench::certbench::write_json(path, &rows).expect("write BENCH_cert.json");
+        println!("wrote {}", path.display());
+        return;
+    }
+
+    if which == "trace" {
+        // CI-sized by default; --large extends to the 1k substrates.
+        let ns: &[usize] = if large { &[64, 256, 1024] } else { &[64, 256] };
+        println!("== trace: audited per-round profile of the embedding pipeline ==");
+        let rows = planar_bench::tracebench::trace_sweep(ns);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    r.faulty.to_string(),
+                    r.outcome.to_string(),
+                    r.segments.to_string(),
+                    r.rounds.to_string(),
+                    r.words.to_string(),
+                    r.dropped.to_string(),
+                    r.retransmissions.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[
+                    "family", "n", "faulty", "outcome", "segments", "rounds", "words", "dropped",
+                    "retx"
+                ],
+                &data
+            )
+        );
+        let path = std::path::Path::new("BENCH_trace.json");
+        planar_bench::tracebench::write_json(path, &rows).expect("write BENCH_trace.json");
         println!("wrote {}", path.display());
         return;
     }

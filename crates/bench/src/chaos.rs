@@ -17,7 +17,7 @@
 //! coordinates, so the sweep is replayable and its rows are directly
 //! comparable across machines (timings are deliberately not recorded).
 
-use congest_sim::{FaultPlan, SimConfig};
+use congest_sim::{AuditSink, FaultPlan, SimConfig, TraceHandle};
 use planar_embedding::{embed_distributed, EmbedError, EmbedderConfig, ReliableConfig};
 use planar_graph::Graph;
 use planar_lib::gen;
@@ -77,12 +77,25 @@ fn substrate(family: &'static str, n: usize) -> Graph {
 }
 
 /// Deterministic per-trial plan seed from the row coordinates.
+///
+/// Each coordinate goes through a full splitmix64 finalization before being
+/// mixed in, so distinct coordinate tuples map to distinct seeds. The old
+/// shift-and-add packing was collision-prone: coordinates could carry into
+/// each other's bit ranges (e.g. `(rate_idx, trial) = (0, 256)` packed to
+/// the same value as `(1, 0)`), silently running two supposedly independent
+/// trials on the same fault plan.
 fn trial_seed(fam_idx: usize, n: usize, rate_idx: usize, trial: usize) -> u64 {
-    0x9E37_79B9_7F4A_7C15u64
-        .wrapping_mul(fam_idx as u64 + 1)
-        .wrapping_add((n as u64) << 24)
-        .wrapping_add((rate_idx as u64) << 8)
-        .wrapping_add(trial as u64)
+    fn splitmix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut seed = 0u64;
+    for coord in [fam_idx as u64, n as u64, rate_idx as u64, trial as u64] {
+        seed = splitmix(seed ^ splitmix(coord));
+    }
+    seed
 }
 
 /// Runs one chaos cell: `TRIALS` seeded faulty runs against the fault-free
@@ -112,6 +125,10 @@ pub fn chaos_cell(family: &'static str, fam_idx: usize, n: usize, rate_idx: usiz
     let mut dropped = 0;
     let mut retransmissions = 0;
     for trial in 0..TRIALS {
+        // Every trial runs under the trace auditor: the kernel's reported
+        // metrics must survive independent recomputation from the event
+        // stream across the whole fault matrix.
+        let audit = AuditSink::new();
         let cfg = EmbedderConfig {
             sim: SimConfig {
                 faults: FaultPlan::uniform(
@@ -121,13 +138,21 @@ pub fn chaos_cell(family: &'static str, fam_idx: usize, n: usize, rate_idx: usiz
                     rate,
                     3,
                 ),
+                trace: TraceHandle::to(audit.clone()),
                 ..SimConfig::default()
             },
             check_invariants: false,
             reliability: Some(ReliableConfig::default()),
             ..EmbedderConfig::default()
         };
-        match embed_distributed(&g, &cfg) {
+        let outcome = embed_distributed(&g, &cfg);
+        assert!(
+            audit.ok(),
+            "chaos trial {family}/n={n}/rate={rate}/#{trial}: trace audit \
+             found accounting drift: {:?}",
+            audit.report().mismatches
+        );
+        match outcome {
             Ok(out) => {
                 successes += 1;
                 overhead_sum += out.metrics.rounds as f64 / baseline_rounds as f64;
@@ -258,6 +283,29 @@ mod tests {
         assert_eq!(r.successes, r.trials);
         assert_eq!(r.dropped, 0);
         assert_eq!(r.retransmissions, 0);
+    }
+
+    /// Satellite regression: the per-trial seeds must be collision-free
+    /// over (far more than) the whole sweep grid. The pre-fix
+    /// shift-and-add packing collided whenever one coordinate carried into
+    /// another's bit range — `trial_seed(f, n, 0, 256) ==
+    /// trial_seed(f, n, 1, 0)`.
+    #[test]
+    fn trial_seeds_are_collision_free_over_the_sweep_grid() {
+        let mut seen = std::collections::HashSet::new();
+        for fam_idx in 0..2 {
+            for n in [64usize, 256, 1024, 4096, 16384] {
+                for rate_idx in 0..8 {
+                    for trial in 0..300 {
+                        let s = trial_seed(fam_idx, n, rate_idx, trial);
+                        assert!(
+                            seen.insert(s),
+                            "seed collision at ({fam_idx}, {n}, {rate_idx}, {trial})"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

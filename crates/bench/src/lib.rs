@@ -27,7 +27,9 @@
 //! (deterministic, input-order results). [`kernelbench`] measures the
 //! simulation kernel's message throughput against the preserved seed kernel
 //! and emits `BENCH_kernel.json`; [`chaos`] sweeps the embedder under
-//! seeded fault injection and emits `BENCH_chaos.json`.
+//! seeded fault injection and emits `BENCH_chaos.json`; [`tracebench`]
+//! runs the pipeline under the trace auditor and emits the per-round
+//! profile as `BENCH_trace.json`.
 //!
 //! Run everything with `cargo run --release -p planar-bench --bin harness`.
 
@@ -41,5 +43,6 @@ pub mod kernelbench;
 pub mod parallel;
 pub mod table;
 pub mod timing;
+pub mod tracebench;
 
 pub use experiments::*;

@@ -8,7 +8,7 @@
 //!   and reference kernels.
 
 use congest_sim::protocols::ReliableConfig;
-use congest_sim::{FaultPlan, SimConfig};
+use congest_sim::{AuditSink, FaultPlan, SimConfig, TraceHandle};
 use planar_cert::{
     apply_mutation, build_certificates, mutation_classes, verify_distributed_with,
     verify_orders_with, Kernel, MutationClass,
@@ -58,9 +58,20 @@ fn honest_embeddings_accept_everywhere_on_both_kernels() {
         let rot = embedded(&g);
         let certs = build_certificates(&g, &rot).unwrap();
         for kernel in [Kernel::Fast, Kernel::Reference] {
-            let report =
-                verify_distributed_with(&g, &rot, &certs, &SimConfig::default(), None, kernel)
-                    .unwrap();
+            // The verification rounds run under the trace auditor, so this
+            // suite also checks the reported metrics against an
+            // independent recomputation from the event stream.
+            let audit = AuditSink::new();
+            let cfg = SimConfig {
+                trace: TraceHandle::to(audit.clone()),
+                ..SimConfig::default()
+            };
+            let report = verify_distributed_with(&g, &rot, &certs, &cfg, None, kernel).unwrap();
+            assert!(
+                audit.ok(),
+                "{name} on {kernel:?}: trace audit found drift: {:?}",
+                audit.report().mismatches
+            );
             assert!(
                 report.accepted,
                 "{name} on {kernel:?}: rejections {:?}, incomplete {:?}",
@@ -85,13 +96,20 @@ fn honest_embeddings_accept_under_chaos_with_reliable_delivery() {
         let rot = embedded(&g);
         let certs = build_certificates(&g, &rot).unwrap();
         for seed in 0..3u64 {
+            let audit = AuditSink::new();
             let cfg = SimConfig {
                 faults: FaultPlan::uniform(seed, 0.15, 0.05, 0.1, 2),
                 watchdog: Some(8192),
+                trace: TraceHandle::to(audit.clone()),
                 ..SimConfig::default()
             };
             let report =
                 verify_distributed_with(&g, &rot, &certs, &cfg, Some(&rel), Kernel::Fast).unwrap();
+            assert!(
+                audit.ok(),
+                "{name} seed {seed}: trace audit found drift: {:?}",
+                audit.report().mismatches
+            );
             assert!(
                 report.accepted,
                 "{name} seed {seed}: rejections {:?}, incomplete {:?}",

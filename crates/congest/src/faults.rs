@@ -204,8 +204,15 @@ impl FaultPlan {
         v
     }
 
-    /// How many distinct nodes have crashed by the end of `round`
-    /// (crash rounds `<= round`).
+    /// How many distinct crash-scheduled vertices have crash rounds
+    /// `<= round`.
+    ///
+    /// Plan-level only: a plan is graph-agnostic and may name vertices a
+    /// given graph does not have, so this can exceed the number of nodes
+    /// that actually crash in a run. The kernels report
+    /// [`Metrics::crashed_nodes`](crate::Metrics) from their own per-vertex
+    /// crash tables (in-range victims only) — use that for run-level
+    /// accounting.
     pub fn crashed_by(&self, round: usize) -> usize {
         let mut v: Vec<VertexId> = self
             .crashes

@@ -26,6 +26,11 @@
 //!   wrapper on top.
 //! * [`Metrics`] — rounds / messages / words / per-edge congestion (plus
 //!   fault counters), with sequential and parallel composition.
+//! * [`trace`] — opt-in round-level tracing ([`TraceSink`] on
+//!   [`SimConfig`], zero-cost when off) with typed per-message events, a
+//!   JSONL writer, and a [`TraceAuditor`] that independently recomputes a
+//!   run's [`Metrics`] from its event stream and diffs them against what
+//!   the kernel reported.
 //!
 //! # Example
 //!
@@ -56,10 +61,15 @@ pub mod network;
 pub mod protocols;
 pub mod reference;
 pub mod routing;
+pub mod trace;
 
 pub use faults::{CrashPolicy, Fate, FaultPlan, LinkDown, LinkFaults};
 pub use message::{word_bits, Words};
 pub use metrics::{Metrics, PhaseRounds};
 pub use network::{
     run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
+};
+pub use trace::{
+    AuditReport, AuditSink, JsonlSink, MemorySink, RoundProfile, TraceAuditor, TraceEvent,
+    TraceHandle, TraceSink,
 };

@@ -38,18 +38,23 @@ pub struct PhaseRounds {
 }
 
 impl PhaseRounds {
-    /// Total attributed rounds across all phases.
+    /// Total attributed rounds across all phases. Saturating, like all
+    /// metrics arithmetic: counters pin at `usize::MAX` rather than wrap.
     pub fn sum(&self) -> usize {
-        self.setup + self.partition + self.symmetry + self.merge + self.cert
+        self.setup
+            .saturating_add(self.partition)
+            .saturating_add(self.symmetry)
+            .saturating_add(self.merge)
+            .saturating_add(self.cert)
     }
 
     /// Fieldwise addition (sequential composition).
     pub fn add(&mut self, other: PhaseRounds) {
-        self.setup += other.setup;
-        self.partition += other.partition;
-        self.symmetry += other.symmetry;
-        self.merge += other.merge;
-        self.cert += other.cert;
+        self.setup = self.setup.saturating_add(other.setup);
+        self.partition = self.partition.saturating_add(other.partition);
+        self.symmetry = self.symmetry.saturating_add(other.symmetry);
+        self.merge = self.merge.saturating_add(other.merge);
+        self.cert = self.cert.saturating_add(other.cert);
     }
 
     /// Fieldwise maximum (parallel composition).
@@ -106,37 +111,43 @@ impl Metrics {
     }
 
     /// Sequential composition: the phases ran one after the other.
+    ///
+    /// All counter sums saturate at `usize::MAX` — a giant sweep that
+    /// accumulates metrics across millions of runs must pin at the ceiling,
+    /// never silently wrap to a small number.
     pub fn add(&mut self, other: Metrics) {
-        self.rounds += other.rounds;
-        self.messages += other.messages;
-        self.words += other.words;
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.messages = self.messages.saturating_add(other.messages);
+        self.words = self.words.saturating_add(other.words);
         self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
-        self.dropped += other.dropped;
-        self.duplicated += other.duplicated;
-        self.delayed += other.delayed;
-        self.retransmissions += other.retransmissions;
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.duplicated = self.duplicated.saturating_add(other.duplicated);
+        self.delayed = self.delayed.saturating_add(other.delayed);
+        self.retransmissions = self.retransmissions.saturating_add(other.retransmissions);
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
         self.phase_rounds.add(other.phase_rounds);
     }
 
     /// Parallel composition: the phases ran concurrently on disjoint parts
     /// of the network; the slower one determines the elapsed rounds.
+    /// Saturating, like [`Metrics::add`].
     pub fn join_parallel(&mut self, other: Metrics) {
         self.rounds = self.rounds.max(other.rounds);
-        self.messages += other.messages;
-        self.words += other.words;
+        self.messages = self.messages.saturating_add(other.messages);
+        self.words = self.words.saturating_add(other.words);
         self.max_words_edge_round = self.max_words_edge_round.max(other.max_words_edge_round);
-        self.dropped += other.dropped;
-        self.duplicated += other.duplicated;
-        self.delayed += other.delayed;
-        self.retransmissions += other.retransmissions;
+        self.dropped = self.dropped.saturating_add(other.dropped);
+        self.duplicated = self.duplicated.saturating_add(other.duplicated);
+        self.delayed = self.delayed.saturating_add(other.delayed);
+        self.retransmissions = self.retransmissions.saturating_add(other.retransmissions);
         self.crashed_nodes = self.crashed_nodes.max(other.crashed_nodes);
         self.phase_rounds.join_parallel(other.phase_rounds);
     }
 
-    /// Total bits delivered, for an `n`-node network (`words · ceil(log2 n)`).
+    /// Total bits delivered, for an `n`-node network (`words · ceil(log2 n)`),
+    /// saturating like the counter sums.
     pub fn bits(&self, n: usize) -> usize {
-        self.words * word_bits(n)
+        self.words.saturating_mul(word_bits(n))
     }
 }
 
@@ -308,6 +319,56 @@ mod tests {
         let mut r = PhaseRounds::default();
         r.join_parallel(p);
         assert_eq!(r, p);
+    }
+
+    #[test]
+    fn counter_arithmetic_saturates_at_the_boundary() {
+        // A sweep that has already pinned a counter must stay pinned, not
+        // wrap: usize::MAX + anything == usize::MAX.
+        let big = Metrics {
+            rounds: usize::MAX,
+            messages: usize::MAX - 1,
+            words: usize::MAX,
+            dropped: usize::MAX,
+            retransmissions: 7,
+            ..Metrics::default()
+        };
+        let mut a = big;
+        a.add(Metrics {
+            rounds: 2,
+            messages: 5,
+            words: 1,
+            dropped: 1,
+            retransmissions: usize::MAX,
+            ..Metrics::default()
+        });
+        assert_eq!(a.rounds, usize::MAX);
+        assert_eq!(a.messages, usize::MAX);
+        assert_eq!(a.words, usize::MAX);
+        assert_eq!(a.dropped, usize::MAX);
+        assert_eq!(a.retransmissions, usize::MAX);
+
+        let mut b = big;
+        b.join_parallel(big);
+        assert_eq!(b.messages, usize::MAX);
+        assert_eq!(b.words, usize::MAX);
+
+        let p = PhaseRounds {
+            setup: usize::MAX,
+            partition: 3,
+            ..PhaseRounds::default()
+        };
+        let mut q = p;
+        q.add(p);
+        assert_eq!(q.setup, usize::MAX);
+        assert_eq!(q.sum(), usize::MAX);
+
+        // bits() multiplies by ceil(log2 n); must pin too.
+        let m = Metrics {
+            words: usize::MAX / 2,
+            ..Metrics::default()
+        };
+        assert_eq!(m.bits(1024), usize::MAX);
     }
 
     #[test]

@@ -64,6 +64,7 @@ use planar_graph::{ArcIndex, Graph, VertexId};
 use crate::faults::{CrashPolicy, Fate, FaultPlan};
 use crate::message::Words;
 use crate::metrics::Metrics;
+use crate::trace::{TraceEvent, TraceHandle};
 
 /// Per-node view of the network handed to [`NodeProgram`] callbacks.
 ///
@@ -135,6 +136,10 @@ pub struct SimConfig {
     /// watchdog is the *expected* failure mode of a faulty run — drivers map
     /// it to graceful degradation rather than treating it as a bug.
     pub watchdog: Option<usize>,
+    /// Optional observability hook (see [`crate::trace`]). Off by default;
+    /// when off, both kernels run their exact pre-tracing instruction
+    /// sequence — every emission site is behind a cached `is_on()` branch.
+    pub trace: TraceHandle,
 }
 
 /// The default per-edge word budget: 8 words, i.e. messages of
@@ -148,6 +153,7 @@ impl Default for SimConfig {
             max_rounds: 1_000_000,
             faults: FaultPlan::default(),
             watchdog: None,
+            trace: TraceHandle::off(),
         }
     }
 }
@@ -494,6 +500,7 @@ impl<M: Words + Clone> Simulator<M> {
         if out.is_empty() {
             return Ok(());
         }
+        let tracing = cfg.trace.is_on();
         // Stamp this sender's neighbor slots: every later lookup is O(1).
         self.sender_epoch += 1;
         for (slot, _, w) in idx.out_arcs(from) {
@@ -509,6 +516,14 @@ impl<M: Words + Clone> Simulator<M> {
             let a = idx
                 .arc_at(from, self.slot_val[dest.index()] as usize)
                 .index();
+            if tracing {
+                cfg.trace.emit(TraceEvent::Send {
+                    round,
+                    from,
+                    to: dest,
+                    words: msg.words(),
+                });
+            }
             if !self.fault_mode {
                 let plane = &mut self.nxt;
                 plane.words[a] += msg.words() as u64;
@@ -558,6 +573,14 @@ impl<M: Words + Clone> Simulator<M> {
                 match cfg.faults.on_crashed_send {
                     CrashPolicy::DropSilently => {
                         metrics.dropped += 1;
+                        if tracing {
+                            cfg.trace.emit(TraceEvent::Drop {
+                                round,
+                                from,
+                                to: dest,
+                                words: msg.words(),
+                            });
+                        }
                         continue;
                     }
                     CrashPolicy::Error => {
@@ -570,19 +593,58 @@ impl<M: Words + Clone> Simulator<M> {
                 }
             }
             match cfg.faults.fate(from, dest, round, k) {
-                Fate::Dropped => metrics.dropped += 1,
+                Fate::Dropped => {
+                    metrics.dropped += 1;
+                    if tracing {
+                        cfg.trace.emit(TraceEvent::Drop {
+                            round,
+                            from,
+                            to: dest,
+                            words: msg.words(),
+                        });
+                    }
+                }
                 Fate::Deliver { copies, delay } => {
                     if copies > 1 {
                         metrics.duplicated += usize::from(copies) - 1;
+                        if tracing {
+                            for _ in 1..copies {
+                                cfg.trace.emit(TraceEvent::Duplicate {
+                                    round,
+                                    from,
+                                    to: dest,
+                                    words: msg.words(),
+                                });
+                            }
+                        }
                     }
                     if delay > 0 {
                         metrics.delayed += 1;
+                        if tracing {
+                            cfg.trace.emit(TraceEvent::Delay {
+                                round,
+                                from,
+                                to: dest,
+                                words: msg.words(),
+                                deliver_round: round + 1 + delay,
+                            });
+                        }
                     }
                     let deliver = round + 1 + delay;
                     if deliver >= self.crashed_at[dest.index()] {
                         // Crash-stop: copies arriving at or after the
                         // destination's crash round vanish in transit.
                         metrics.dropped += usize::from(copies);
+                        if tracing {
+                            for _ in 0..copies {
+                                cfg.trace.emit(TraceEvent::Drop {
+                                    round,
+                                    from,
+                                    to: dest,
+                                    words: msg.words(),
+                                });
+                            }
+                        }
                         continue;
                     }
                     // Duplicate copies travel together and stay adjacent.
@@ -654,6 +716,22 @@ impl<M: Words + Clone> Simulator<M> {
         let mut metrics = Metrics::new();
         self.prepare(g.vertex_count(), idx.arc_count(), cfg);
         let kernel = self;
+        let tracing = cfg.trace.is_on();
+        if tracing {
+            cfg.trace.emit(TraceEvent::RunStart {
+                nodes: g.vertex_count(),
+                budget_words: cfg.budget_words,
+            });
+            // Round-0 crash victims never act; announce them up front.
+            for (i, &r) in kernel.crashed_at.iter().enumerate() {
+                if r == 0 {
+                    cfg.trace.emit(TraceEvent::Crash {
+                        round: 0,
+                        node: VertexId::from_index(i),
+                    });
+                }
+            }
+        }
 
         // Init phase (round 0): sends land in the `nxt` plane for round 1.
         for (i, program) in programs.iter_mut().enumerate() {
@@ -688,6 +766,9 @@ impl<M: Words + Clone> Simulator<M> {
             round += 1;
             if let Some(limit) = cfg.watchdog {
                 if round > limit {
+                    if tracing {
+                        cfg.trace.emit(TraceEvent::Watchdog { limit });
+                    }
                     return Err(SimError::WatchdogTimeout { limit });
                 }
             }
@@ -698,6 +779,19 @@ impl<M: Words + Clone> Simulator<M> {
             }
             if let Some(overflow) = kernel.pending_overflow.take() {
                 return Err(overflow);
+            }
+            if tracing {
+                // Only rounds that actually deliver get a RoundStart: the
+                // abort checks above come first, like the error ordering.
+                cfg.trace.emit(TraceEvent::RoundStart { round });
+                for (i, &r) in kernel.crashed_at.iter().enumerate() {
+                    if r == round {
+                        cfg.trace.emit(TraceEvent::Crash {
+                            round,
+                            node: VertexId::from_index(i),
+                        });
+                    }
+                }
             }
 
             if kernel.fault_mode {
@@ -765,6 +859,16 @@ impl<M: Words + Clone> Simulator<M> {
                     neighbors: g.neighbors(v),
                     round,
                 };
+                if tracing {
+                    for (from, msg) in &kernel.inbox {
+                        cfg.trace.emit(TraceEvent::Deliver {
+                            round,
+                            from: *from,
+                            to: v,
+                            words: msg.words(),
+                        });
+                    }
+                }
                 let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
                 kernel.record_sends(&idx, cfg, v, round, out, &mut metrics)?;
             }
@@ -795,11 +899,26 @@ impl<M: Words + Clone> Simulator<M> {
                     .enumerate()
                     .any(|(i, p)| kernel.crashed_at[i] > round + 1 && p.wants_tick());
             }
+            if tracing {
+                cfg.trace.emit(TraceEvent::RoundEnd {
+                    round,
+                    messages: kernel.cur.msg_count,
+                    words: round_words,
+                    max_words_edge: round_max,
+                });
+            }
             kernel.cur.reset();
         }
         metrics.rounds = round;
         if kernel.fault_mode {
-            metrics.crashed_nodes = cfg.faults.crashed_by(round);
+            // Count from the kernel's own crash table rather than
+            // `FaultPlan::crashed_by`: the plan may name vertices outside
+            // this graph (it is graph-agnostic), and a node that does not
+            // exist cannot crash.
+            metrics.crashed_nodes = kernel.crashed_at.iter().filter(|&&r| r <= round).count();
+        }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RunEnd { metrics });
         }
         Ok(SimOutcome { programs, metrics })
     }

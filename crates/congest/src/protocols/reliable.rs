@@ -3,11 +3,12 @@
 //!
 //! [`Reliable<P>`] wraps an inner program and turns each of its logical
 //! messages into a sequenced [`RelMsg::Data`] frame. Receivers acknowledge
-//! every data frame ([`RelMsg::Ack`]), deliver payloads to the inner
-//! program **in per-sender order exactly once** (duplicates are re-acked
-//! and discarded, out-of-order arrivals are buffered), and senders
-//! retransmit unacknowledged frames after a timeout — driven by the fault
-//! kernel's timer ticks ([`NodeProgram::wants_tick`]). After
+//! *cumulatively* — at most one [`RelMsg::Ack`] per sender per round,
+//! confirming the whole in-order prefix received so far — deliver payloads
+//! to the inner program **in per-sender order exactly once** (duplicates
+//! are re-acked and discarded, out-of-order arrivals are buffered), and
+//! senders retransmit unacknowledged frames after a timeout — driven by
+//! the fault kernel's timer ticks ([`NodeProgram::wants_tick`]). After
 //! `max_retries` retransmissions the sender *gives up* on that frame,
 //! which bounds every run: against a crashed or partitioned neighbor the
 //! wrapper stops retrying instead of spinning forever, and the simulation
@@ -19,9 +20,15 @@
 //! `HashMap` iteration order would not).
 //!
 //! Bandwidth: a data frame costs its payload plus one sequence word; acks
-//! cost one word; retransmissions re-charge the link. Callers should widen
-//! `budget_words` accordingly (the embedding driver uses `3·B + 2` for
-//! wrapped phases).
+//! cost one word; retransmissions re-charge the link. An inner protocol
+//! honest to a base budget `B` therefore puts at most `2·B + 1` wrapped
+//! words on a link per round when no retransmission fires (≤ `B` payload
+//! words + ≤ `B` sequence words + one cumulative ack); the embedding
+//! driver widens wrapped phases to `3·B + 2`, leaving `B + 1` words of
+//! slack for retransmissions colliding with fresh traffic. Cumulative acks
+//! are what make this a *fixed* bound — per-frame acking would scale with
+//! the number of delayed/duplicated frames that happen to land in one
+//! round (see the ack-pile-up regression test).
 
 use std::collections::BTreeMap;
 
@@ -58,9 +65,11 @@ pub enum RelMsg<M> {
         /// The inner message.
         payload: M,
     },
-    /// Acknowledges receipt of the data frame with this sequence number.
+    /// Cumulative acknowledgement: confirms in-order receipt of every data
+    /// frame with sequence number *below* `seq` on this link.
     Ack {
-        /// The acknowledged sequence number.
+        /// The receiver's next expected sequence number (all frames `< seq`
+        /// are delivered).
         seq: u32,
     },
 }
@@ -135,6 +144,12 @@ impl<P: NodeProgram> Reliable<P> {
 
     /// True iff some frame exhausted `max_retries` and was abandoned —
     /// the inner protocol may have lost a message for good.
+    ///
+    /// Conservative: acks are cumulative, so a frame the receiver buffered
+    /// *ahead* of a missing predecessor is not individually confirmed; if
+    /// the hole never fills, the sender abandons the (actually received)
+    /// frame and reports `gave_up` anyway. The flag is advisory — delivery
+    /// state of record is the receiver's.
     pub fn gave_up(&self) -> bool {
         self.gave_up
     }
@@ -179,15 +194,20 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
         // deduplicated, per-sender in-order (the kernel's sender grouping is
         // preserved because sequence release is contiguous per sender).
         let mut inner_inbox: Vec<(VertexId, P::Msg)> = Vec::new();
+        // Senders owed an acknowledgement this round. Acks are cumulative
+        // (`Ack { seq }` confirms every frame below `seq`), so one ack per
+        // sender per round suffices no matter how many data frames piled up
+        // — duplicates, delay bunching and retransmissions included. A
+        // per-frame ack here can exceed the advertised `3·B + 2` wrapped
+        // budget on the reverse link when several delayed frames land
+        // together.
+        let mut ack_now: BTreeMap<VertexId, u32> = BTreeMap::new();
         for (from, msg) in inbox {
             match msg {
                 RelMsg::Ack { seq } => {
-                    self.unacked.retain(|p| !(p.to == *from && p.seq == *seq));
+                    self.unacked.retain(|p| !(p.to == *from && p.seq < *seq));
                 }
                 RelMsg::Data { seq, payload } => {
-                    // Always ack — a duplicate means our previous ack was
-                    // lost (or the frame was duplicated in flight).
-                    out.push((*from, RelMsg::Ack { seq: *seq }));
                     let expected = self.expected.entry(*from).or_insert(0);
                     if *seq == *expected {
                         inner_inbox.push((*from, payload.clone()));
@@ -201,9 +221,14 @@ impl<P: NodeProgram> NodeProgram for Reliable<P> {
                             .entry((*from, *seq))
                             .or_insert_with(|| payload.clone());
                     }
-                    // seq < expected: stale duplicate, already delivered.
+                    // seq < expected: stale duplicate, already delivered —
+                    // still re-acked below (our previous ack may be lost).
+                    ack_now.insert(*from, *expected);
                 }
             }
+        }
+        for (&from, &upto) in &ack_now {
+            out.push((from, RelMsg::Ack { seq: upto }));
         }
         if !inner_inbox.is_empty() {
             let inner_out = self.inner.on_round(ctx, &inner_inbox);
@@ -314,10 +339,19 @@ pub fn run_reliable<P: NodeProgram>(
         .collect();
     let out = run(g, wrapped, cfg)?;
     let mut metrics = out.metrics;
+    let mut folded = 0usize;
     let mut inner = Vec::with_capacity(out.programs.len());
     for w in out.programs {
-        metrics.retransmissions += w.retransmissions();
+        folded = folded.saturating_add(w.retransmissions());
         inner.push(w.into_inner());
+    }
+    metrics.retransmissions = metrics.retransmissions.saturating_add(folded);
+    // The kernel cannot see retransmissions (they are wrapper state), so
+    // the trace carries them as an explicit post-run event the auditor
+    // folds into its recomputed totals.
+    if cfg.trace.is_on() {
+        cfg.trace
+            .emit(crate::trace::TraceEvent::Retransmissions { count: folded });
     }
     Ok(SimOutcome {
         programs: inner,
@@ -433,4 +467,167 @@ mod tests {
     }
 
     const DEFAULT_WRAPPED_BUDGET: usize = 3 * crate::network::DEFAULT_BUDGET_WORDS + 2;
+
+    /// Star with center 0: leaf 1 is a pure sink, leaf 2 is a clock that
+    /// echoes with the center so node 0 can emit one 1-word ping to node 1
+    /// every other round, `pings` times.
+    #[derive(Clone, Debug, PartialEq)]
+    struct DripPinger {
+        pings_left: usize,
+    }
+
+    impl NodeProgram for DripPinger {
+        type Msg = u32;
+
+        fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+            if ctx.id == VertexId(2) {
+                vec![(VertexId(0), 0)]
+            } else {
+                Vec::new()
+            }
+        }
+
+        fn on_round(
+            &mut self,
+            ctx: &NodeCtx<'_>,
+            inbox: &[(VertexId, u32)],
+        ) -> Vec<(VertexId, u32)> {
+            match ctx.id {
+                VertexId(0) => {
+                    let mut out = Vec::new();
+                    if inbox.iter().any(|&(f, _)| f == VertexId(2)) && self.pings_left > 0 {
+                        self.pings_left -= 1;
+                        out.push((VertexId(1), 0));
+                        if self.pings_left > 0 {
+                            out.push((VertexId(2), 0));
+                        }
+                    }
+                    out
+                }
+                VertexId(2) => {
+                    if inbox.iter().any(|&(f, _)| f == VertexId(0)) {
+                        vec![(VertexId(0), 0)]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    fn drip_cfg(seed: u64) -> SimConfig {
+        let mut plan = FaultPlan::uniform(seed, 0.0, 0.0, 0.0, 0);
+        // The ping link jitters hard: every frame duplicated and delayed by
+        // 1..=5 rounds, so frames sent in different rounds can pile up into
+        // one delivery round at the sink.
+        plan.link_overrides.push((
+            (VertexId(0), VertexId(1)),
+            crate::faults::LinkFaults {
+                drop: 0.0,
+                duplicate: 1.0,
+                delay: 1.0,
+                max_delay: 5,
+            },
+        ));
+        SimConfig {
+            // Inner protocol uses 1-word messages: the advertised wrapped
+            // budget for base budget 1 is 3·1 + 2 = 5.
+            budget_words: 5,
+            faults: plan,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Regression (ack pile-up): with per-frame acks, three delayed data
+    /// frames landing at the sink in one round — each duplicated, so six
+    /// arrivals — provoked six 1-word acks on the reverse link, blowing the
+    /// advertised `3·B + 2 = 5` wrapped budget for a 1-word inner protocol
+    /// (seed 33 reproduces the pile-up deterministically; pre-fix this run
+    /// failed with `BudgetExceeded { from: 1, to: 0, words: 6, budget: 5 }`).
+    /// Cumulative acks cap the reverse link at one word per sender per
+    /// round, so the run must now fit the advertised budget.
+    #[test]
+    fn ack_traffic_fits_the_advertised_wrapped_budget() {
+        let g = Graph::from_edges(3, [(0, 1), (0, 2)]).unwrap();
+        let rel = ReliableConfig {
+            retransmit_after: 50, // never fires in this short run
+            max_retries: 8,
+        };
+        let programs = vec![
+            DripPinger { pings_left: 12 },
+            DripPinger { pings_left: 0 },
+            DripPinger { pings_left: 0 },
+        ];
+        let out = run_reliable(&g, programs, &drip_cfg(33), &rel)
+            .expect("advertised wrapped budget must hold under delay bunching");
+        // All twelve pings made it through the jittery link exactly once.
+        assert!(out.metrics.duplicated > 0);
+        assert!(out.metrics.delayed > 0);
+        assert_eq!(out.metrics.retransmissions, 0);
+    }
+
+    /// A maximum-width inner message (exactly the base budget `B` when
+    /// wrapped: `1 + payload.words() = 1 + 8 = 9` data words) survives the
+    /// wrapper under drop faults that force retransmission, inside the
+    /// advertised `3·B + 2` budget.
+    #[test]
+    fn max_width_message_fits_the_wrapped_budget() {
+        #[derive(Clone, Debug, PartialEq)]
+        struct WidePing {
+            got: Option<Vec<u32>>,
+        }
+        impl NodeProgram for WidePing {
+            type Msg = Vec<u32>;
+            fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, Vec<u32>)> {
+                if ctx.id == VertexId(0) {
+                    // words() = 1 + len = 8 = DEFAULT_BUDGET_WORDS.
+                    vec![(VertexId(1), vec![7; 7])]
+                } else {
+                    Vec::new()
+                }
+            }
+            fn on_round(
+                &mut self,
+                _: &NodeCtx<'_>,
+                inbox: &[(VertexId, Vec<u32>)],
+            ) -> Vec<(VertexId, Vec<u32>)> {
+                for (_, payload) in inbox {
+                    self.got = Some(payload.clone());
+                }
+                Vec::new()
+            }
+        }
+        let payload = vec![7u32; 7];
+        assert_eq!(payload.words(), crate::network::DEFAULT_BUDGET_WORDS);
+        assert_eq!(
+            RelMsg::Data {
+                seq: 0,
+                payload: payload.clone()
+            }
+            .words(),
+            crate::network::DEFAULT_BUDGET_WORDS + 1,
+            "a max-width data frame is payload plus one sequence word"
+        );
+        let g = path(2);
+        let cfg = SimConfig {
+            budget_words: DEFAULT_WRAPPED_BUDGET,
+            // Drop roughly half of everything: the frame needs retries.
+            faults: FaultPlan::uniform(5, 0.5, 0.0, 0.0, 0),
+            ..SimConfig::default()
+        };
+        let rel = ReliableConfig {
+            retransmit_after: 2,
+            max_retries: 16,
+        };
+        let out = run_reliable(
+            &g,
+            vec![WidePing { got: None }, WidePing { got: None }],
+            &cfg,
+            &rel,
+        )
+        .expect("max-width frame plus acks fit 3B+2");
+        assert_eq!(out.programs[1].got.as_deref(), Some(&payload[..]));
+        assert!(out.metrics.dropped > 0, "seed 5 must actually drop frames");
+    }
 }

@@ -33,6 +33,7 @@ use crate::faults::{CrashPolicy, Fate};
 use crate::message::Words;
 use crate::metrics::Metrics;
 use crate::network::{NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
+use crate::trace::TraceEvent;
 
 /// Runs `programs` to quiescence with the original quadratic-allocation
 /// kernel (see module docs). Semantics are identical to [`crate::run`],
@@ -69,6 +70,13 @@ fn run_fault_free<P: NodeProgram>(
         "need exactly one program per vertex"
     );
     let mut metrics = Metrics::new();
+    let tracing = cfg.trace.is_on();
+    if tracing {
+        cfg.trace.emit(TraceEvent::RunStart {
+            nodes: g.vertex_count(),
+            budget_words: cfg.budget_words,
+        });
+    }
 
     // Messages in flight: sender -> (dest, msg), to be delivered next round.
     let mut in_flight: Vec<(VertexId, VertexId, P::Msg)> = Vec::new();
@@ -83,6 +91,14 @@ fn run_fault_free<P: NodeProgram>(
         };
         for (dest, msg) in program.init(&ctx) {
             validate_dest(g, v, dest)?;
+            if tracing {
+                cfg.trace.emit(TraceEvent::Send {
+                    round: 0,
+                    from: v,
+                    to: dest,
+                    words: msg.words(),
+                });
+            }
             in_flight.push((v, dest, msg));
         }
     }
@@ -110,10 +126,18 @@ fn run_fault_free<P: NodeProgram>(
                 });
             }
         }
+        // RoundStart comes *after* the budget check: a round that aborts
+        // delivers nothing, so it gets no RoundStart — matching the fast
+        // kernel, which reports pending overflows before its RoundStart.
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundStart { round });
+        }
         let round_max = edge_words.values().copied().max().unwrap_or(0);
         metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
-        metrics.messages += in_flight.len();
-        metrics.words += in_flight.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+        let round_msgs = in_flight.len();
+        let round_words = in_flight.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+        metrics.messages += round_msgs;
+        metrics.words += round_words;
 
         // Deliver.
         let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
@@ -126,6 +150,16 @@ fn run_fault_free<P: NodeProgram>(
         for v in recipients {
             let mut inbox = inboxes.remove(&v).expect("recipient key exists");
             inbox.sort_by_key(|(from, _)| *from);
+            if tracing {
+                for (from, msg) in &inbox {
+                    cfg.trace.emit(TraceEvent::Deliver {
+                        round,
+                        from: *from,
+                        to: v,
+                        words: msg.words(),
+                    });
+                }
+            }
             let ctx = NodeCtx {
                 id: v,
                 neighbors: g.neighbors(v),
@@ -133,11 +167,30 @@ fn run_fault_free<P: NodeProgram>(
             };
             for (dest, msg) in programs[v.index()].on_round(&ctx, &inbox) {
                 validate_dest(g, v, dest)?;
+                if tracing {
+                    cfg.trace.emit(TraceEvent::Send {
+                        round,
+                        from: v,
+                        to: dest,
+                        words: msg.words(),
+                    });
+                }
                 in_flight.push((v, dest, msg));
             }
         }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundEnd {
+                round,
+                messages: round_msgs,
+                words: round_words,
+                max_words_edge: round_max,
+            });
+        }
     }
     metrics.rounds = round;
+    if tracing {
+        cfg.trace.emit(TraceEvent::RunEnd { metrics });
+    }
     Ok(SimOutcome { programs, metrics })
 }
 
@@ -166,8 +219,17 @@ fn record_faulty<M: Words + Clone>(
     round: usize,
     out: Vec<(VertexId, M)>,
 ) -> Result<(), SimError> {
+    let tracing = cfg.trace.is_on();
     for (dest, msg) in out {
         validate_dest(g, from, dest)?;
+        if tracing {
+            cfg.trace.emit(TraceEvent::Send {
+                round,
+                from,
+                to: dest,
+                words: msg.words(),
+            });
+        }
         let e = st.att.entry((from, dest)).or_insert((0, 0));
         let k = e.0;
         e.0 += 1;
@@ -185,6 +247,14 @@ fn record_faulty<M: Words + Clone>(
             match cfg.faults.on_crashed_send {
                 CrashPolicy::DropSilently => {
                     metrics.dropped += 1;
+                    if tracing {
+                        cfg.trace.emit(TraceEvent::Drop {
+                            round,
+                            from,
+                            to: dest,
+                            words: msg.words(),
+                        });
+                    }
                     continue;
                 }
                 CrashPolicy::Error => {
@@ -197,17 +267,56 @@ fn record_faulty<M: Words + Clone>(
             }
         }
         match cfg.faults.fate(from, dest, round, k) {
-            Fate::Dropped => metrics.dropped += 1,
+            Fate::Dropped => {
+                metrics.dropped += 1;
+                if tracing {
+                    cfg.trace.emit(TraceEvent::Drop {
+                        round,
+                        from,
+                        to: dest,
+                        words: msg.words(),
+                    });
+                }
+            }
             Fate::Deliver { copies, delay } => {
                 if copies > 1 {
                     metrics.duplicated += usize::from(copies) - 1;
+                    if tracing {
+                        for _ in 1..copies {
+                            cfg.trace.emit(TraceEvent::Duplicate {
+                                round,
+                                from,
+                                to: dest,
+                                words: msg.words(),
+                            });
+                        }
+                    }
                 }
                 if delay > 0 {
                     metrics.delayed += 1;
+                    if tracing {
+                        cfg.trace.emit(TraceEvent::Delay {
+                            round,
+                            from,
+                            to: dest,
+                            words: msg.words(),
+                            deliver_round: round + 1 + delay,
+                        });
+                    }
                 }
                 let deliver = round + 1 + delay;
                 if deliver >= crashed_at[dest.index()] {
                     metrics.dropped += usize::from(copies);
+                    if tracing {
+                        for _ in 0..copies {
+                            cfg.trace.emit(TraceEvent::Drop {
+                                round,
+                                from,
+                                to: dest,
+                                words: msg.words(),
+                            });
+                        }
+                    }
                     continue;
                 }
                 for _ in 0..copies {
@@ -243,6 +352,22 @@ fn run_faulty<P: NodeProgram>(
         .map(|i| cfg.faults.crash_round(VertexId::from_index(i)))
         .collect();
     let mut metrics = Metrics::new();
+    let tracing = cfg.trace.is_on();
+    if tracing {
+        cfg.trace.emit(TraceEvent::RunStart {
+            nodes: n,
+            budget_words: cfg.budget_words,
+        });
+        // Round-0 crash victims never act; announce them up front.
+        for (i, &r) in crashed_at.iter().enumerate() {
+            if r == 0 {
+                cfg.trace.emit(TraceEvent::Crash {
+                    round: 0,
+                    node: VertexId::from_index(i),
+                });
+            }
+        }
+    }
     let mut st = FaultyState {
         in_flight: Vec::new(),
         delayed: Vec::new(),
@@ -275,6 +400,9 @@ fn run_faulty<P: NodeProgram>(
         round += 1;
         if let Some(limit) = cfg.watchdog {
             if round > limit {
+                if tracing {
+                    cfg.trace.emit(TraceEvent::Watchdog { limit });
+                }
                 return Err(SimError::WatchdogTimeout { limit });
             }
         }
@@ -285,6 +413,17 @@ fn run_faulty<P: NodeProgram>(
         }
         if let Some(overflow) = st.pending_overflow.take() {
             return Err(overflow);
+        }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundStart { round });
+            for (i, &r) in crashed_at.iter().enumerate() {
+                if r == round {
+                    cfg.trace.emit(TraceEvent::Crash {
+                        round,
+                        node: VertexId::from_index(i),
+                    });
+                }
+            }
         }
         st.att.clear();
 
@@ -308,8 +447,10 @@ fn run_faulty<P: NodeProgram>(
         }
         let round_max = edge_words.values().copied().max().unwrap_or(0);
         metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
-        metrics.messages += arrivals.len();
-        metrics.words += arrivals.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+        let round_msgs = arrivals.len();
+        let round_words = arrivals.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+        metrics.messages += round_msgs;
+        metrics.words += round_words;
 
         // Deliver: group by recipient; within one inbox the stable
         // sender-sort leaves each sender's messages in arrival order
@@ -323,6 +464,16 @@ fn run_faulty<P: NodeProgram>(
         for &v in &recipients {
             let mut inbox = inboxes.remove(&v).expect("recipient key exists");
             inbox.sort_by_key(|(from, _)| *from);
+            if tracing {
+                for (from, msg) in &inbox {
+                    cfg.trace.emit(TraceEvent::Deliver {
+                        round,
+                        from: *from,
+                        to: v,
+                        words: msg.words(),
+                    });
+                }
+            }
             let ctx = NodeCtx {
                 id: v,
                 neighbors: g.neighbors(v),
@@ -352,9 +503,23 @@ fn run_faulty<P: NodeProgram>(
             }
             tick_pending = (0..n).any(|i| crashed_at[i] > round + 1 && programs[i].wants_tick());
         }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundEnd {
+                round,
+                messages: round_msgs,
+                words: round_words,
+                max_words_edge: round_max,
+            });
+        }
     }
     metrics.rounds = round;
-    metrics.crashed_nodes = cfg.faults.crashed_by(round);
+    // Count from the per-vertex crash table, not `FaultPlan::crashed_by`:
+    // the plan may name vertices this graph does not have, and a node that
+    // does not exist cannot crash (matches the fast kernel).
+    metrics.crashed_nodes = crashed_at.iter().filter(|&&r| r <= round).count();
+    if tracing {
+        cfg.trace.emit(TraceEvent::RunEnd { metrics });
+    }
     Ok(SimOutcome { programs, metrics })
 }
 

@@ -11,7 +11,8 @@
 use congest_sim::protocols::{Reliable, ReliableConfig};
 use congest_sim::reference::run_reference;
 use congest_sim::{
-    run, FaultPlan, LinkDown, Metrics, NodeCtx, NodeProgram, SimConfig, SimError, Simulator,
+    run, AuditSink, FaultPlan, LinkDown, Metrics, NodeCtx, NodeProgram, SimConfig, SimError,
+    Simulator, TraceHandle,
 };
 use planar_graph::{Graph, VertexId};
 
@@ -131,12 +132,31 @@ fn run_pair<P: NodeProgram + Clone + PartialEq + std::fmt::Debug>(
     programs: Vec<P>,
     cfg: &SimConfig,
 ) -> (Vec<P>, Metrics) {
-    let fast =
-        run(g, programs.clone(), cfg).unwrap_or_else(|e| panic!("{name}: fast kernel failed: {e}"));
-    let slow = run_reference(g, programs, cfg)
+    // Both kernels run under the trace auditor: every conformance workload
+    // doubles as a check that the reported Metrics survive independent
+    // recomputation from the event stream.
+    let fast_audit = AuditSink::new();
+    let mut fast_cfg = cfg.clone();
+    fast_cfg.trace = TraceHandle::to(fast_audit.clone());
+    let fast = run(g, programs.clone(), &fast_cfg)
+        .unwrap_or_else(|e| panic!("{name}: fast kernel failed: {e}"));
+    let slow_audit = AuditSink::new();
+    let mut slow_cfg = cfg.clone();
+    slow_cfg.trace = TraceHandle::to(slow_audit.clone());
+    let slow = run_reference(g, programs, &slow_cfg)
         .unwrap_or_else(|e| panic!("{name}: reference kernel failed: {e}"));
     assert_eq!(fast.programs, slow.programs, "{name}: final states diverge");
     assert_eq!(fast.metrics, slow.metrics, "{name}: metrics diverge");
+    assert!(
+        fast_audit.ok(),
+        "{name}: fast kernel trace audit failed: {:?}",
+        fast_audit.report().mismatches
+    );
+    assert!(
+        slow_audit.ok(),
+        "{name}: reference kernel trace audit failed: {:?}",
+        slow_audit.report().mismatches
+    );
     (fast.programs, fast.metrics)
 }
 
@@ -375,6 +395,7 @@ fn default_plan_reproduces_fault_free_outcomes() {
             max_rounds: plain.max_rounds,
             faults: FaultPlan::default(),
             watchdog: None,
+            ..SimConfig::default()
         };
         let a = run(&g, transcript_programs(&g), &plain).unwrap();
         let b = run(&g, transcript_programs(&g), &explicit).unwrap();

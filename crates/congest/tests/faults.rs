@@ -262,3 +262,36 @@ fn duplication_is_deterministic_and_conformant() {
     assert!(a.metrics.duplicated > 0);
     assert_eq!(a.metrics.dropped, 0);
 }
+
+/// Regression: `Metrics::crashed_nodes` counts nodes of *this graph* that
+/// crashed, not plan entries. A plan is graph-agnostic and may name
+/// vertices beyond the vertex range (e.g. one plan shared across substrate
+/// sizes); those phantom victims must not inflate the counter. Pre-fix,
+/// both kernels reported the plan-level count (1 here) instead of 0.
+#[test]
+fn out_of_range_crash_victims_are_not_counted() {
+    let g = path(4);
+    let mut plan = FaultPlan::uniform(9, 0.0, 0.0, 0.0, 0);
+    plan.crashes.push((VertexId(999), 0)); // no such node on 4 vertices
+    let cfg = SimConfig {
+        faults: plan,
+        ..SimConfig::default()
+    };
+    let fast = run(&g, programs(&g), &cfg).unwrap();
+    let slow = run_reference(&g, programs(&g), &cfg).unwrap();
+    assert_eq!(fast.metrics, slow.metrics);
+    assert_eq!(fast.metrics.crashed_nodes, 0);
+
+    // A mixed plan: one real victim, one phantom — exactly one counted.
+    let mut plan = FaultPlan::uniform(9, 0.0, 0.0, 0.0, 0);
+    plan.crashes.push((VertexId(2), 1));
+    plan.crashes.push((VertexId(4), 0)); // first out-of-range id
+    let cfg = SimConfig {
+        faults: plan,
+        ..SimConfig::default()
+    };
+    let fast = run(&g, programs(&g), &cfg).unwrap();
+    let slow = run_reference(&g, programs(&g), &cfg).unwrap();
+    assert_eq!(fast.metrics, slow.metrics);
+    assert_eq!(fast.metrics.crashed_nodes, 1);
+}

@@ -3,7 +3,7 @@
 //! phase's CONGEST cost measured or charged.
 
 use congest_sim::protocols::ReliableConfig;
-use congest_sim::{Metrics, PhaseRounds, SimConfig};
+use congest_sim::{Metrics, PhaseRounds, SimConfig, SimError, TraceEvent};
 use planar_graph::{Graph, RotationSystem, VertexId};
 
 use crate::error::{DegradedCause, EmbedError};
@@ -52,6 +52,15 @@ impl Default for EmbedderConfig {
     }
 }
 
+/// Announces the phase about to run on the configured trace sink (a no-op
+/// with tracing off), so trace consumers can attribute the following kernel
+/// segments — mirroring what `Tally::phase` does for the round accounting.
+fn trace_phase(cfg: &EmbedderConfig, name: &'static str) {
+    if cfg.sim.trace.is_on() {
+        cfg.sim.trace.emit(TraceEvent::Phase { name });
+    }
+}
+
 /// Running tally threaded through the recursion so a degraded run can
 /// report how far it got (`rounds` is a sequential upper bound) and which
 /// phase it was in when it failed.
@@ -80,6 +89,29 @@ impl Tally {
             self.rounds,
             self.phases.sum(),
             "a phase left rounds unattributed in phase_rounds"
+        );
+    }
+
+    /// Charges rounds a phase consumed before *aborting* (watchdog fire or
+    /// round-cap hit). An aborted phase returns an error instead of
+    /// `Metrics`, so without this a run killed in its first phase would
+    /// report `rounds_used: 0` after burning the full watchdog budget. The
+    /// charge lands in the bucket of the phase that was running, preserving
+    /// `rounds == phases.sum()`.
+    fn charge_partial(&mut self, rounds: usize) {
+        self.rounds = self.rounds.saturating_add(rounds);
+        let bucket = match self.phase {
+            "setup" => &mut self.phases.setup,
+            "partition" => &mut self.phases.partition,
+            "merge" => &mut self.phases.merge,
+            "certify" => &mut self.phases.cert,
+            other => unreachable!("unknown phase label {other:?}"),
+        };
+        *bucket = bucket.saturating_add(rounds);
+        debug_assert_eq!(
+            self.rounds,
+            self.phases.sum(),
+            "a partial charge left rounds unattributed in phase_rounds"
         );
     }
 }
@@ -192,13 +224,20 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
         // Input conditions a fault-free run would also report: pass through.
         Err(e @ (EmbedError::EmptyGraph | EmbedError::Graph(_))) => Err(e),
         // Kernel aborts (watchdog, crashed-destination sends) keep their
-        // typed error as the cause, losslessly.
-        Err(EmbedError::Sim(e)) => Err(EmbedError::Degraded {
-            surviving_nodes,
-            rounds_used: tally.rounds,
-            verified: false,
-            cause: DegradedCause::Sim(e),
-        }),
+        // typed error as the cause, losslessly. Round-limit aborts report
+        // how many rounds the dying phase actually ran; charge them so
+        // `rounds_used` reflects the work done, not zero.
+        Err(EmbedError::Sim(e)) => {
+            if let SimError::WatchdogTimeout { limit } | SimError::MaxRoundsExceeded { limit } = e {
+                tally.charge_partial(limit);
+            }
+            Err(EmbedError::Degraded {
+                surviving_nodes,
+                rounds_used: tally.rounds,
+                verified: false,
+                cause: DegradedCause::Sim(e),
+            })
+        }
         // Everything else — a convergecast that missed the root
         // (`Internal`), leader election that never converged
         // (`Disconnected`), a merge handed fault-corrupted part state
@@ -221,6 +260,7 @@ fn embed_inner(
 ) -> Result<EmbeddingOutcome, EmbedError> {
     let n = g.vertex_count();
     tally.phase = "setup";
+    trace_phase(cfg, "setup");
     let (setup, setup_metrics) = run_setup_with(g, &cfg.sim, cfg.reliability.as_ref())?;
     tally.charge(&setup_metrics);
     // Cheap planarity guard; density violations abort before recursing.
@@ -252,6 +292,7 @@ fn embed_inner(
     // other phase.
     let certification = if cfg.certify {
         tally.phase = "certify";
+        trace_phase(cfg, "cert");
         let cert = crate::certify::certify_embedding(g, &rotation, cfg)?;
         tally.charge(&cert.report.metrics);
         metrics.add(cert.report.metrics);
@@ -301,6 +342,7 @@ fn solve(
     }
 
     tally.phase = "partition";
+    trace_phase(cfg, "partition");
     let partition = partition_subtree_with(g, tree, root, &cfg.sim, cfg.reliability.as_ref())?;
     tally.charge(&partition.metrics);
     {
@@ -343,6 +385,7 @@ fn solve(
     }
 
     tally.phase = "merge";
+    trace_phase(cfg, "merge");
     let merged = merge_parts_with(
         g,
         partition.p0,
@@ -618,6 +661,43 @@ mod tests {
                 surviving_nodes, ..
             }) => assert_eq!(surviving_nodes, 15),
             other => panic!("expected Degraded, got {other:?}"),
+        }
+    }
+
+    /// Satellite regression: a watchdog firing mid-phase must still charge
+    /// the rounds that phase burned. Pre-fix, the aborted phase returned no
+    /// `Metrics`, so a run killed in its *first* phase reported
+    /// `rounds_used: 0` after consuming the full watchdog budget.
+    #[test]
+    fn degraded_run_charges_watchdogged_phase_rounds() {
+        let g = gen::grid(4, 4);
+        let cfg = EmbedderConfig {
+            sim: SimConfig {
+                faults: FaultPlan::uniform(1, 0.01, 0.0, 0.01, 2),
+                watchdog: Some(4), // far below what setup needs on a 4x4 grid
+                ..SimConfig::default()
+            },
+            reliability: Some(ReliableConfig::default()),
+            ..EmbedderConfig::default()
+        };
+        match embed_distributed(&g, &cfg) {
+            Err(EmbedError::Degraded {
+                rounds_used, cause, ..
+            }) => {
+                assert!(
+                    matches!(
+                        cause,
+                        DegradedCause::Sim(congest_sim::SimError::WatchdogTimeout { limit: 4 })
+                    ),
+                    "unexpected cause: {cause:?}"
+                );
+                assert_eq!(
+                    rounds_used, 4,
+                    "the watchdogged phase ran 4 rounds before aborting; \
+                     they must appear in rounds_used"
+                );
+            }
+            other => panic!("expected a watchdogged Degraded run, got {other:?}"),
         }
     }
 

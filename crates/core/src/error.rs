@@ -37,6 +37,11 @@ pub enum EmbedError {
         surviving_nodes: usize,
         /// Kernel rounds consumed across phases before the run degraded
         /// (sequential tally, an upper bound on the parallel cost).
+        /// Completed phases are charged exactly; a phase killed by the
+        /// watchdog or round cap is charged its configured limit. A phase
+        /// that failed *without* a round-limit error (e.g. a postcondition
+        /// it never established) returns no metrics and contributes
+        /// nothing, so the total is a lower bound on rounds executed.
         rounds_used: usize,
         /// Whether the embedding restricted to the surviving subgraph was
         /// re-verified *successfully*. `true` only when verification ran

@@ -29,7 +29,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
 use congest_sim::protocols::ReliableConfig;
 use congest_sim::routing::{schedule, Transfer};
-use congest_sim::{Metrics, PhaseRounds, SimConfig};
+use congest_sim::{Metrics, PhaseRounds, SimConfig, TraceEvent};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
@@ -475,7 +475,17 @@ impl<'g> MergeCtx<'g> {
                 }
             }
         }
+        // The symmetry-breaking segments run on the *virtual* inter-part
+        // graph; bracket them in the trace so the auditor attributes them
+        // to their own phase (their real-network cost is charged
+        // analytically below, not by these kernel runs).
+        if self.cfg.trace.is_on() {
+            self.cfg.trace.emit(TraceEvent::Phase { name: "symmetry" });
+        }
         let outcome = symmetry_break_with(&gv, &colors, &self.cfg, self.rel.as_ref())?;
+        if self.cfg.trace.is_on() {
+            self.cfg.trace.emit(TraceEvent::Phase { name: "merge" });
+        }
         self.stats.symmetry_rounds_virtual += outcome.rounds;
         // Remark 1: each virtual round costs O(part diameter) real rounds.
         let max_depth = actives

@@ -8,9 +8,12 @@
 //! lifted into the ack/retransmit wrapper
 //! ([`Reliable`](congest_sim::protocols::Reliable)) and the per-edge budget
 //! is widened to [`wrapped_budget`]: a data frame costs payload + 1
-//! sequence word, every frame is acked (1 word), and a retransmission
-//! re-charges the link, so a phase that fit in `B` words fault-free fits in
-//! `3·B + 2` words wrapped.
+//! sequence word, received frames are acknowledged *cumulatively* (at most
+//! one 1-word ack per sender per round), and a retransmission re-charges
+//! the link. A phase that fit in `B` words fault-free therefore puts at
+//! most `2·B + 1` wrapped words on a link per fault-free round; the budget
+//! is widened to `3·B + 2`, leaving `B + 1` words of slack for
+//! retransmissions colliding with fresh traffic.
 //!
 //! The driver additionally arms the kernel's round-budget watchdog
 //! ([`auto_watchdog`]) whenever a fault plan is active, so that a protocol
@@ -24,7 +27,9 @@ use planar_graph::Graph;
 
 /// The per-edge word budget a [`Reliable`](congest_sim::protocols::Reliable)
 /// wrapped phase needs to carry the traffic a budget of `base` words carries
-/// fault-free (sequence word + ack + one retransmission round of slack).
+/// fault-free: `2·base + 1` covers sequence words plus the single
+/// cumulative ack, and the remaining `base + 1` words absorb
+/// retransmissions that collide with fresh traffic.
 #[must_use]
 pub fn wrapped_budget(base: usize) -> usize {
     3 * base + 2
