@@ -30,6 +30,14 @@
 //! an independent recomputation from its event stream (any drift panics),
 //! and the per-round profile is written to `BENCH_trace.json`. Also not
 //! part of `all`.
+//!
+//! `sched` times the distributed pipeline (`embed_recursion`: setup +
+//! partition/merge recursion — the unit the scheduler controls) under the
+//! level-synchronous scheduler against the sequential oracle (bit-identical
+//! metrics and statistics asserted per cell) over grid and tri-grid
+//! substrates and writes host wall time, speedup, and the simulated round
+//! counts to `BENCH_sched.json`. Also not part of `all`; run it under
+//! `--release` (`--large` extends to n = 10,000).
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -64,6 +72,7 @@ fn main() {
         "chaos",
         "cert",
         "trace",
+        "sched",
     ];
     if !KNOWN.contains(&which) {
         eprintln!("unknown experiment `{which}`");
@@ -207,6 +216,64 @@ fn main() {
         let path = std::path::Path::new("BENCH_trace.json");
         planar_bench::tracebench::write_json(path, &rows).expect("write BENCH_trace.json");
         println!("wrote {}", path.display());
+        return;
+    }
+
+    if which == "sched" {
+        // CI-sized by default; --large extends to the n = 10k headline cell.
+        let ns: &[usize] = if large {
+            &[64, 256, 1024, 4096, 10_000]
+        } else {
+            &[64, 256]
+        };
+        println!("== sched: level-synchronous scheduler vs sequential oracle ==");
+        let rows = planar_bench::schedbench::sched_sweep(ns);
+        let data: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.family.to_string(),
+                    r.n.to_string(),
+                    format!("{:.4}", r.sequential_secs),
+                    format!("{:.4}", r.level_sync_secs),
+                    format!("{:.2}x", r.speedup),
+                    r.rounds.to_string(),
+                    r.sequential_rounds.to_string(),
+                    r.outputs_identical.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render(
+                &[
+                    "family",
+                    "n",
+                    "seq(s)",
+                    "lvl(s)",
+                    "speedup",
+                    "rounds",
+                    "seqRounds",
+                    "identical"
+                ],
+                &data
+            )
+        );
+        let path = std::path::Path::new("BENCH_sched.json");
+        planar_bench::schedbench::write_json(path, &rows).expect("write BENCH_sched.json");
+        println!("wrote {}", path.display());
+        // Regression gate (CI): at the largest cell of each family, the
+        // level-synchronous scheduler must not be slower than the oracle.
+        let largest = rows.iter().map(|r| r.n).max().unwrap_or(0);
+        for r in rows.iter().filter(|r| r.n == largest) {
+            assert!(
+                r.speedup >= 1.0,
+                "level-sync regressed past sequential at {}/n={}: {:.2}x",
+                r.family,
+                r.n,
+                r.speedup
+            );
+        }
         return;
     }
 

@@ -29,7 +29,9 @@
 //! and emits `BENCH_kernel.json`; [`chaos`] sweeps the embedder under
 //! seeded fault injection and emits `BENCH_chaos.json`; [`tracebench`]
 //! runs the pipeline under the trace auditor and emits the per-round
-//! profile as `BENCH_trace.json`.
+//! profile as `BENCH_trace.json`; [`schedbench`] times the
+//! level-synchronous scheduler against the sequential oracle and emits
+//! `BENCH_sched.json`.
 //!
 //! Run everything with `cargo run --release -p planar-bench --bin harness`.
 
@@ -41,6 +43,7 @@ pub mod chaos;
 pub mod experiments;
 pub mod kernelbench;
 pub mod parallel;
+pub mod schedbench;
 pub mod table;
 pub mod timing;
 pub mod tracebench;

@@ -87,6 +87,7 @@ pub fn trace_cell(family: &'static str, n: usize, faulty: bool) -> TraceRow {
         check_invariants: false,
         reliability: faulty.then(ReliableConfig::default),
         certify: true,
+        ..EmbedderConfig::default()
     };
     let outcome = match embed_distributed(&g, &cfg) {
         Ok(out) => {

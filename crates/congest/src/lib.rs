@@ -14,6 +14,13 @@
 //!   graph's CSR arc index (see [`network`] for the architecture);
 //!   [`reference::run_reference`] keeps the original kernel as the
 //!   executable spec the fast kernel is conformance-tested against.
+//! * [`run_many`] / [`Instance`] — the batched entry point: several
+//!   vertex-disjoint subproblem instances run in *one* shared round
+//!   lattice (one mailbox arena, one round loop), with per-instance
+//!   metrics bit-identical to individual runs and kernel-enforced
+//!   instance isolation ([`SimError::CrossInstanceSend`]). [`SimSession`]
+//!   reuses the arc index and kernel buffers across the many phases an
+//!   embedding pipeline runs over one graph.
 //! * [`protocols`] — the standard protocol library: leader election + BFS
 //!   tree, child discovery, convergecast, downcast, and the centroid walk of
 //!   the paper's partitioning step.
@@ -61,14 +68,17 @@ pub mod network;
 pub mod protocols;
 pub mod reference;
 pub mod routing;
+pub mod session;
 pub mod trace;
 
 pub use faults::{CrashPolicy, Fate, FaultPlan, LinkDown, LinkFaults};
 pub use message::{word_bits, Words};
-pub use metrics::{Metrics, PhaseRounds};
+pub use metrics::{Metrics, Phase, PhaseRounds};
 pub use network::{
-    run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
+    run, run_many, Instance, InstanceOutcome, MultiOutcome, NodeCtx, NodeProgram, SimConfig,
+    SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
 };
+pub use session::SimSession;
 pub use trace::{
     AuditReport, AuditSink, JsonlSink, MemorySink, RoundProfile, TraceAuditor, TraceEvent,
     TraceHandle, TraceSink,

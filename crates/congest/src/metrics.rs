@@ -4,6 +4,59 @@ use serde::{Deserialize, Serialize};
 
 use crate::message::word_bits;
 
+/// The algorithm phases of the embedding pipeline, shared by the driver's
+/// round tally, the trace stream's [`Phase`](crate::TraceEvent::Phase)
+/// markers, and the [`PhaseRounds`] bucket selection.
+///
+/// A single typed enum (instead of the stringly `&'static str` labels the
+/// drivers used to pass around) makes "charge these rounds to an unknown
+/// phase" unrepresentable: every variant has a [`PhaseRounds`] bucket by
+/// construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Leader election, BFS tree, subtree sizes, broadcasts.
+    Setup,
+    /// The recursive centroid-path partitioning.
+    Partition,
+    /// Symmetry breaking on virtual inter-part graphs (charged inside
+    /// merges via Remark 1's virtual-round conversion).
+    Symmetry,
+    /// The path-coordinated merge phase (excluding its symmetry sub-step).
+    Merge,
+    /// Distributed certification (the `planar-cert` local verifier).
+    Cert,
+}
+
+impl Phase {
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; 5] = [
+        Phase::Setup,
+        Phase::Partition,
+        Phase::Symmetry,
+        Phase::Merge,
+        Phase::Cert,
+    ];
+
+    /// The stable lower-case label used in traces, JSON records and error
+    /// messages.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Setup => "setup",
+            Phase::Partition => "partition",
+            Phase::Symmetry => "symmetry",
+            Phase::Merge => "merge",
+            Phase::Cert => "cert",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Attribution of [`Metrics::rounds`] to the embedding algorithm's phases.
 ///
 /// The kernel itself leaves this zeroed — it has no notion of phases. The
@@ -64,6 +117,31 @@ impl PhaseRounds {
         self.symmetry = self.symmetry.max(other.symmetry);
         self.merge = self.merge.max(other.merge);
         self.cert = self.cert.max(other.cert);
+    }
+
+    /// The bucket a [`Phase`]'s rounds are charged to.
+    #[must_use]
+    pub fn bucket(&self, phase: Phase) -> usize {
+        match phase {
+            Phase::Setup => self.setup,
+            Phase::Partition => self.partition,
+            Phase::Symmetry => self.symmetry,
+            Phase::Merge => self.merge,
+            Phase::Cert => self.cert,
+        }
+    }
+
+    /// Mutable access to a [`Phase`]'s bucket. Every phase has a bucket by
+    /// construction — the drivers' old stringly-typed label matches needed
+    /// an `unreachable!` arm here; the enum does not.
+    pub fn bucket_mut(&mut self, phase: Phase) -> &mut usize {
+        match phase {
+            Phase::Setup => &mut self.setup,
+            Phase::Partition => &mut self.partition,
+            Phase::Symmetry => &mut self.symmetry,
+            Phase::Merge => &mut self.merge,
+            Phase::Cert => &mut self.cert,
+        }
     }
 }
 
@@ -301,6 +379,24 @@ mod tests {
         assert_eq!(c.rounds, 12);
         assert_eq!(c.phase_rounds.partition, 4);
         assert_eq!(c.phase_rounds.sum(), 5 + 4 + 3);
+    }
+
+    #[test]
+    fn phase_buckets_cover_every_variant() {
+        let mut p = PhaseRounds::default();
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            *p.bucket_mut(phase) += i + 1;
+        }
+        assert_eq!(
+            (p.setup, p.partition, p.symmetry, p.merge, p.cert),
+            (1, 2, 3, 4, 5)
+        );
+        for (i, phase) in Phase::ALL.into_iter().enumerate() {
+            assert_eq!(p.bucket(phase), i + 1);
+        }
+        assert_eq!(p.sum(), 15);
+        let names: Vec<&str> = Phase::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, ["setup", "partition", "symmetry", "merge", "cert"]);
     }
 
     #[test]

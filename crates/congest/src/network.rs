@@ -59,7 +59,7 @@
 use std::error::Error;
 use std::fmt;
 
-use planar_graph::{ArcIndex, Graph, VertexId};
+use planar_graph::{ArcId, ArcIndex, Graph, VertexId};
 
 use crate::faults::{CrashPolicy, Fate, FaultPlan};
 use crate::message::Words;
@@ -206,6 +206,19 @@ pub enum SimError {
         /// The round in which the send was attempted.
         round: usize,
     },
+    /// In a batched run ([`Simulator::run_many`]), a node addressed a
+    /// message to a node of a *different* instance (or to a node assigned
+    /// to no instance). Instances are vertex-disjoint subproblems that must
+    /// run as if alone on the network; any cross-instance traffic is a
+    /// protocol bug, not a fault to tolerate.
+    CrossInstanceSend {
+        /// The sender.
+        from: VertexId,
+        /// The addressee outside the sender's instance.
+        to: VertexId,
+        /// The round in which the send was attempted.
+        round: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -227,6 +240,12 @@ impl fmt::Display for SimError {
             SimError::DestinationCrashed { from, to, round } => {
                 write!(f, "node {from} sent to crashed node {to} in round {round}")
             }
+            SimError::CrossInstanceSend { from, to, round } => {
+                write!(
+                    f,
+                    "node {from} sent to {to} outside its instance in round {round}"
+                )
+            }
         }
     }
 }
@@ -240,6 +259,107 @@ pub struct SimOutcome<P> {
     /// Final per-node program states (indexed by vertex id).
     pub programs: Vec<P>,
     /// Rounds/messages/congestion consumed by this run.
+    pub metrics: Metrics,
+}
+
+/// One subproblem of a batched run ([`Simulator::run_many`]): a set of
+/// active nodes and their programs. Nodes outside every instance are inert
+/// bystanders — they run no program and may not be addressed.
+///
+/// Instances in one batch must be **vertex-disjoint**; the kernel enforces
+/// both the disjointness (at batch setup) and the resulting isolation
+/// invariant (any cross-instance send aborts the run with
+/// [`SimError::CrossInstanceSend`]). Disjointness is what makes the batch
+/// faithful: each instance observes exactly the deliveries, fault fates and
+/// round numbering it would observe running alone, so per-instance outcomes
+/// are bit-identical to individual [`Simulator::run`] calls.
+#[derive(Debug)]
+pub struct Instance<P> {
+    /// Active nodes, ascending by vertex id.
+    pub(crate) members: Vec<VertexId>,
+    /// Programs aligned with `members`.
+    pub(crate) programs: Vec<P>,
+}
+
+impl<P> Instance<P> {
+    /// Builds an instance from `(node, program)` pairs (any order; sorted
+    /// internally).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the same node appears twice.
+    pub fn new(nodes: Vec<(VertexId, P)>) -> Self {
+        let mut nodes = nodes;
+        nodes.sort_by_key(|&(v, _)| v);
+        for pair in nodes.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate instance member");
+        }
+        let mut members = Vec::with_capacity(nodes.len());
+        let mut programs = Vec::with_capacity(nodes.len());
+        for (v, p) in nodes {
+            members.push(v);
+            programs.push(p);
+        }
+        Instance { members, programs }
+    }
+
+    /// The instance's nodes, ascending.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Number of active nodes.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the instance has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Maps every program through `f`, preserving the member set (used by
+    /// the reliable-delivery wrapper to wrap/unwrap whole batches).
+    pub fn map<Q>(self, f: impl FnMut(P) -> Q) -> Instance<Q> {
+        Instance {
+            members: self.members,
+            programs: self.programs.into_iter().map(f).collect(),
+        }
+    }
+}
+
+/// Final state of one instance of a batched run.
+#[derive(Debug)]
+pub struct InstanceOutcome<P> {
+    /// The instance's nodes, ascending (as passed to [`Instance::new`]).
+    pub members: Vec<VertexId>,
+    /// Final program states, aligned with `members`.
+    pub programs: Vec<P>,
+    /// What this instance would have cost running alone: `rounds` is the
+    /// last round in which the instance was live, the remaining counters
+    /// cover only the instance's own traffic. Bit-identical to the metrics
+    /// of an individual [`Simulator::run`] over the same subproblem.
+    pub metrics: Metrics,
+}
+
+impl<P> InstanceOutcome<P> {
+    /// The final program of member `v`, if `v` belongs to this instance.
+    pub fn program(&self, v: VertexId) -> Option<&P> {
+        self.members
+            .binary_search(&v)
+            .ok()
+            .map(|i| &self.programs[i])
+    }
+}
+
+/// Result of a batched run ([`Simulator::run_many`]).
+#[derive(Debug)]
+pub struct MultiOutcome<P> {
+    /// Per-instance outcomes, in the order the instances were passed.
+    pub instances: Vec<InstanceOutcome<P>>,
+    /// Cost of the whole batch on the shared round lattice. `rounds` is the
+    /// measured parallel round count — the maximum over the per-instance
+    /// `rounds`, since the batch quiesces when its last instance does.
     pub metrics: Metrics,
 }
 
@@ -380,6 +500,21 @@ pub struct Simulator<M> {
     att_dirty: Vec<u32>,
     /// Delay-faulted messages waiting for their arrival round.
     delayed: Vec<DelayedMsg<M>>,
+    /// Batched runs only ([`Simulator::run_many`]): owning instance per
+    /// vertex (`u32::MAX` = inert bystander). Empty in plain runs — the
+    /// flag that keeps every batching branch off the `run` hot path.
+    inst_of: Vec<u32>,
+    /// Slot of each vertex within its instance's `members` (batched only).
+    inst_slot: Vec<u32>,
+    /// Per-instance metrics accumulated during a batched run.
+    inst_metrics: Vec<Metrics>,
+    /// Pending delay-faulted copies per instance (batched fault mode).
+    inst_delayed: Vec<usize>,
+    /// Whether an instance has live tick-wanting members (batched fault
+    /// mode); recomputed each round like `tick_pending`.
+    inst_tick: Vec<bool>,
+    /// Scratch: which instances are live this round.
+    inst_live: Vec<bool>,
 }
 
 /// A message held back by a delay fault until `round`.
@@ -414,6 +549,12 @@ impl<M: Words + Clone> Simulator<M> {
             ran_round: Vec::new(),
             att_dirty: Vec::new(),
             delayed: Vec::new(),
+            inst_of: Vec::new(),
+            inst_slot: Vec::new(),
+            inst_metrics: Vec::new(),
+            inst_delayed: Vec::new(),
+            inst_tick: Vec::new(),
+            inst_live: Vec::new(),
         }
     }
 
@@ -435,6 +576,15 @@ impl<M: Words + Clone> Simulator<M> {
         self.inbox.clear();
         self.delayed.clear();
         self.att_dirty.clear();
+        // Leaving a previous batch's instance table in place would drag a
+        // plain run onto the batched path; `run_many` repopulates it after
+        // this reset.
+        self.inst_of.clear();
+        self.inst_slot.clear();
+        self.inst_metrics.clear();
+        self.inst_delayed.clear();
+        self.inst_tick.clear();
+        self.inst_live.clear();
         self.fault_mode = !cfg.faults.is_empty();
         if self.fault_mode {
             self.crashed_at.clear();
@@ -501,6 +651,13 @@ impl<M: Words + Clone> Simulator<M> {
             return Ok(());
         }
         let tracing = cfg.trace.is_on();
+        // Batched runs enforce instance isolation per send; `u32::MAX`
+        // doubles as "not batched" (plain runs have an empty table).
+        let from_inst = if self.inst_of.is_empty() {
+            u32::MAX
+        } else {
+            self.inst_of[from.index()]
+        };
         // Stamp this sender's neighbor slots: every later lookup is O(1).
         self.sender_epoch += 1;
         for (slot, _, w) in idx.out_arcs(from) {
@@ -512,6 +669,13 @@ impl<M: Words + Clone> Simulator<M> {
                 || self.slot_epoch[dest.index()] != self.sender_epoch
             {
                 return Err(SimError::InvalidDestination { from, to: dest });
+            }
+            if from_inst != u32::MAX && self.inst_of[dest.index()] != from_inst {
+                return Err(SimError::CrossInstanceSend {
+                    from,
+                    to: dest,
+                    round,
+                });
             }
             let a = idx
                 .arc_at(from, self.slot_val[dest.index()] as usize)
@@ -573,6 +737,9 @@ impl<M: Words + Clone> Simulator<M> {
                 match cfg.faults.on_crashed_send {
                     CrashPolicy::DropSilently => {
                         metrics.dropped += 1;
+                        if from_inst != u32::MAX {
+                            self.inst_metrics[from_inst as usize].dropped += 1;
+                        }
                         if tracing {
                             cfg.trace.emit(TraceEvent::Drop {
                                 round,
@@ -595,6 +762,9 @@ impl<M: Words + Clone> Simulator<M> {
             match cfg.faults.fate(from, dest, round, k) {
                 Fate::Dropped => {
                     metrics.dropped += 1;
+                    if from_inst != u32::MAX {
+                        self.inst_metrics[from_inst as usize].dropped += 1;
+                    }
                     if tracing {
                         cfg.trace.emit(TraceEvent::Drop {
                             round,
@@ -607,6 +777,10 @@ impl<M: Words + Clone> Simulator<M> {
                 Fate::Deliver { copies, delay } => {
                     if copies > 1 {
                         metrics.duplicated += usize::from(copies) - 1;
+                        if from_inst != u32::MAX {
+                            self.inst_metrics[from_inst as usize].duplicated +=
+                                usize::from(copies) - 1;
+                        }
                         if tracing {
                             for _ in 1..copies {
                                 cfg.trace.emit(TraceEvent::Duplicate {
@@ -620,6 +794,9 @@ impl<M: Words + Clone> Simulator<M> {
                     }
                     if delay > 0 {
                         metrics.delayed += 1;
+                        if from_inst != u32::MAX {
+                            self.inst_metrics[from_inst as usize].delayed += 1;
+                        }
                         if tracing {
                             cfg.trace.emit(TraceEvent::Delay {
                                 round,
@@ -635,6 +812,9 @@ impl<M: Words + Clone> Simulator<M> {
                         // Crash-stop: copies arriving at or after the
                         // destination's crash round vanish in transit.
                         metrics.dropped += usize::from(copies);
+                        if from_inst != u32::MAX {
+                            self.inst_metrics[from_inst as usize].dropped += usize::from(copies);
+                        }
                         if tracing {
                             for _ in 0..copies {
                                 cfg.trace.emit(TraceEvent::Drop {
@@ -665,6 +845,9 @@ impl<M: Words + Clone> Simulator<M> {
                                 dest,
                                 msg: msg.clone(),
                             });
+                            if from_inst != u32::MAX {
+                                self.inst_delayed[from_inst as usize] += 1;
+                            }
                         }
                     }
                     if delay == 0 {
@@ -683,6 +866,9 @@ impl<M: Words + Clone> Simulator<M> {
                             dest,
                             msg,
                         });
+                        if from_inst != u32::MAX {
+                            self.inst_delayed[from_inst as usize] += 1;
+                        }
                     }
                 }
             }
@@ -704,6 +890,29 @@ impl<M: Words + Clone> Simulator<M> {
     pub fn run<P: NodeProgram<Msg = M>>(
         &mut self,
         g: &Graph,
+        programs: Vec<P>,
+        cfg: &SimConfig,
+    ) -> Result<SimOutcome<P>, SimError> {
+        let idx = g.arc_index();
+        self.run_with_index(g, &idx, programs, cfg)
+    }
+
+    /// Like [`Simulator::run`] but with a caller-provided [`ArcIndex`] for
+    /// `g`, so sessions that run many phases over one graph (see
+    /// [`crate::session::SimSession`]) build the CSR arc tables once.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] like [`Simulator::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `programs.len() != g.vertex_count()` or if `idx` was not
+    /// built from `g`.
+    pub fn run_with_index<P: NodeProgram<Msg = M>>(
+        &mut self,
+        g: &Graph,
+        idx: &ArcIndex,
         mut programs: Vec<P>,
         cfg: &SimConfig,
     ) -> Result<SimOutcome<P>, SimError> {
@@ -712,7 +921,11 @@ impl<M: Words + Clone> Simulator<M> {
             g.vertex_count(),
             "need exactly one program per vertex"
         );
-        let idx = g.arc_index();
+        assert_eq!(
+            idx.arc_count(),
+            2 * g.edge_count(),
+            "arc index does not match the graph"
+        );
         let mut metrics = Metrics::new();
         self.prepare(g.vertex_count(), idx.arc_count(), cfg);
         let kernel = self;
@@ -745,7 +958,7 @@ impl<M: Words + Clone> Simulator<M> {
                 round: 0,
             };
             let out = program.init(&ctx);
-            kernel.record_sends(&idx, cfg, v, 0, out, &mut metrics)?;
+            kernel.record_sends(idx, cfg, v, 0, out, &mut metrics)?;
         }
         // Does any live node still want empty-inbox wakeups next round?
         let mut tick_pending = kernel.fault_mode
@@ -870,7 +1083,7 @@ impl<M: Words + Clone> Simulator<M> {
                     }
                 }
                 let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
-                kernel.record_sends(&idx, cfg, v, round, out, &mut metrics)?;
+                kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
             }
             if kernel.fault_mode {
                 // Timer ticks: live non-recipients that asked for empty-inbox
@@ -892,7 +1105,7 @@ impl<M: Words + Clone> Simulator<M> {
                         round,
                     };
                     let out = program.on_round(&ctx, &[]);
-                    kernel.record_sends(&idx, cfg, v, round, out, &mut metrics)?;
+                    kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
                 }
                 tick_pending = programs
                     .iter()
@@ -921,6 +1134,351 @@ impl<M: Words + Clone> Simulator<M> {
             cfg.trace.emit(TraceEvent::RunEnd { metrics });
         }
         Ok(SimOutcome { programs, metrics })
+    }
+
+    /// Runs several vertex-disjoint [`Instance`]s to quiescence **in one
+    /// shared round lattice** over `g`: one `prepare`, one mailbox arena,
+    /// one round loop for the whole level of subproblems, instead of one
+    /// kernel invocation each.
+    ///
+    /// Because the instances are vertex-disjoint (asserted) and may not
+    /// exchange messages (enforced per send), each instance's execution is
+    /// bit-identical to what an individual [`Simulator::run`] over the same
+    /// subproblem would produce — deliveries, fault fates (keyed on
+    /// `(from, to, round, k)` with per-arc `k`) and round numbering all
+    /// coincide. The per-instance [`InstanceOutcome::metrics`] are
+    /// therefore the *measured* parallel costs: the batch's
+    /// [`MultiOutcome::metrics`]`.rounds` is their maximum, which is
+    /// exactly the value [`Metrics::join_parallel`] composes analytically.
+    ///
+    /// Nodes of `g` not claimed by any instance are inert bystanders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] like [`Simulator::run`], plus
+    /// [`SimError::CrossInstanceSend`] if any program violates instance
+    /// isolation. Abort checks (watchdog, max rounds, pending overflow) act
+    /// on the shared lattice: the batch aborts iff some instance running
+    /// alone would have aborted at that round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instances overlap or name vertices outside `g`.
+    pub fn run_many<P: NodeProgram<Msg = M>>(
+        &mut self,
+        g: &Graph,
+        instances: Vec<Instance<P>>,
+        cfg: &SimConfig,
+    ) -> Result<MultiOutcome<P>, SimError> {
+        let idx = g.arc_index();
+        self.run_many_with_index(g, &idx, instances, cfg)
+    }
+
+    /// [`Simulator::run_many`] with a caller-provided [`ArcIndex`] (see
+    /// [`Simulator::run_with_index`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] like [`Simulator::run_many`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`Simulator::run_many`], or if `idx` was not built from
+    /// `g`.
+    pub fn run_many_with_index<P: NodeProgram<Msg = M>>(
+        &mut self,
+        g: &Graph,
+        idx: &ArcIndex,
+        mut instances: Vec<Instance<P>>,
+        cfg: &SimConfig,
+    ) -> Result<MultiOutcome<P>, SimError> {
+        let n = g.vertex_count();
+        assert_eq!(
+            idx.arc_count(),
+            2 * g.edge_count(),
+            "arc index does not match the graph"
+        );
+        let k = instances.len();
+        let mut metrics = Metrics::new();
+        self.prepare(n, idx.arc_count(), cfg);
+        let kernel = self;
+        kernel.inst_of.resize(n, u32::MAX);
+        kernel.inst_slot.resize(n, u32::MAX);
+        for (i, inst) in instances.iter().enumerate() {
+            for (slot, &v) in inst.members.iter().enumerate() {
+                assert!(v.index() < n, "instance member {v} outside the graph");
+                assert_eq!(
+                    kernel.inst_of[v.index()],
+                    u32::MAX,
+                    "instances must be vertex-disjoint; {v} claimed twice"
+                );
+                kernel.inst_of[v.index()] = i as u32;
+                kernel.inst_slot[v.index()] = slot as u32;
+            }
+        }
+        kernel.inst_metrics.resize(k, Metrics::new());
+        kernel.inst_delayed.resize(k, 0);
+        kernel.inst_tick.resize(k, false);
+        kernel.inst_live.resize(k, false);
+        let tracing = cfg.trace.is_on();
+        if tracing {
+            cfg.trace.emit(TraceEvent::RunStart {
+                nodes: n,
+                budget_words: cfg.budget_words,
+            });
+            for (i, inst) in instances.iter().enumerate() {
+                for &v in &inst.members {
+                    cfg.trace.emit(TraceEvent::Assign {
+                        instance: i,
+                        node: v,
+                    });
+                }
+            }
+            for (i, &r) in kernel.crashed_at.iter().enumerate() {
+                if r == 0 {
+                    cfg.trace.emit(TraceEvent::Crash {
+                        round: 0,
+                        node: VertexId::from_index(i),
+                    });
+                }
+            }
+        }
+
+        // Init phase (round 0): only instance members run programs.
+        for inst in instances.iter_mut() {
+            for (slot, &v) in inst.members.iter().enumerate() {
+                if kernel.fault_mode && kernel.crashed_at[v.index()] == 0 {
+                    continue;
+                }
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    round: 0,
+                };
+                let out = inst.programs[slot].init(&ctx);
+                kernel.record_sends(idx, cfg, v, 0, out, &mut metrics)?;
+            }
+        }
+        let mut tick_pending = false;
+        if kernel.fault_mode {
+            for (i, inst) in instances.iter().enumerate() {
+                kernel.inst_tick[i] = inst
+                    .members
+                    .iter()
+                    .zip(&inst.programs)
+                    .any(|(&v, p)| kernel.crashed_at[v.index()] > 1 && p.wants_tick());
+                tick_pending |= kernel.inst_tick[i];
+            }
+        }
+
+        let mut round = 0usize;
+        loop {
+            std::mem::swap(&mut kernel.cur, &mut kernel.nxt);
+            if kernel.cur.msg_count == 0
+                && (!kernel.fault_mode || (kernel.delayed.is_empty() && !tick_pending))
+            {
+                break; // quiescence of the whole batch
+            }
+            round += 1;
+            if let Some(limit) = cfg.watchdog {
+                if round > limit {
+                    if tracing {
+                        cfg.trace.emit(TraceEvent::Watchdog { limit });
+                    }
+                    return Err(SimError::WatchdogTimeout { limit });
+                }
+            }
+            if round > cfg.max_rounds {
+                return Err(SimError::MaxRoundsExceeded {
+                    limit: cfg.max_rounds,
+                });
+            }
+            if let Some(overflow) = kernel.pending_overflow.take() {
+                return Err(overflow);
+            }
+            // Per-instance round attribution, *before* delayed injection —
+            // the same predicate the individual run's quiescence check
+            // evaluates: an instance is live in this round iff it has
+            // deliveries queued, delayed traffic pending, or (fault mode) a
+            // live program asking for timer ticks.
+            for i in 0..k {
+                kernel.inst_live[i] = kernel.inst_delayed[i] > 0 || kernel.inst_tick[i];
+            }
+            for &a in &kernel.cur.touched {
+                let owner = kernel.inst_of[idx.head(ArcId(a)).index()];
+                kernel.inst_live[owner as usize] = true;
+            }
+            for i in 0..k {
+                if kernel.inst_live[i] {
+                    kernel.inst_metrics[i].rounds = round;
+                }
+            }
+            if tracing {
+                cfg.trace.emit(TraceEvent::RoundStart { round });
+                for (i, &r) in kernel.crashed_at.iter().enumerate() {
+                    if r == round {
+                        cfg.trace.emit(TraceEvent::Crash {
+                            round,
+                            node: VertexId::from_index(i),
+                        });
+                    }
+                }
+            }
+
+            if kernel.fault_mode {
+                for &a in &kernel.att_dirty {
+                    kernel.att_words[a as usize] = 0;
+                    kernel.att_seq[a as usize] = 0;
+                }
+                kernel.att_dirty.clear();
+                if !kernel.delayed.is_empty() {
+                    let pending = std::mem::take(&mut kernel.delayed);
+                    for d in pending {
+                        if d.round == round {
+                            kernel.inst_delayed[kernel.inst_of[d.dest.index()] as usize] -= 1;
+                            Self::queue_copy(
+                                &mut kernel.cur,
+                                &mut kernel.recipient_round,
+                                d.arc as usize,
+                                d.dest,
+                                round,
+                                d.msg,
+                            );
+                        } else {
+                            kernel.delayed.push(d);
+                        }
+                    }
+                }
+            }
+
+            // Congestion accounting: global totals plus per-instance
+            // attribution (the delivery arc's head vertex owns the arc —
+            // isolation guarantees sender and receiver share an instance).
+            let mut round_words = 0usize;
+            let mut round_max = 0usize;
+            for &a in &kernel.cur.touched {
+                let w = kernel.cur.words[a as usize] as usize;
+                round_words += w;
+                round_max = round_max.max(w);
+                let im =
+                    &mut kernel.inst_metrics[kernel.inst_of[idx.head(ArcId(a)).index()] as usize];
+                im.messages += 1 + kernel.cur.spill[a as usize].len();
+                im.words += w;
+                im.max_words_edge_round = im.max_words_edge_round.max(w);
+            }
+            metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+            metrics.messages += kernel.cur.msg_count;
+            metrics.words += round_words;
+
+            for r in 0..kernel.cur.recipients.len() {
+                let v = kernel.cur.recipients[r];
+                kernel.inbox.clear();
+                for (_, a, w) in idx.out_arcs(v) {
+                    let b = idx.rev(a).index();
+                    if let Some(msg) = kernel.cur.head[b].take() {
+                        kernel.inbox.push((w, msg));
+                        if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                            kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
+                            for msg in kernel.cur.spill[b].drain(..) {
+                                kernel.inbox.push((w, msg));
+                            }
+                        }
+                    }
+                }
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    round,
+                };
+                if tracing {
+                    for (from, msg) in &kernel.inbox {
+                        cfg.trace.emit(TraceEvent::Deliver {
+                            round,
+                            from: *from,
+                            to: v,
+                            words: msg.words(),
+                        });
+                    }
+                }
+                let inst = kernel.inst_of[v.index()] as usize;
+                let slot = kernel.inst_slot[v.index()] as usize;
+                let out = instances[inst].programs[slot].on_round(&ctx, &kernel.inbox);
+                kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
+            }
+            if kernel.fault_mode {
+                for &v in &kernel.cur.recipients {
+                    kernel.ran_round[v.index()] = round;
+                }
+                // Timer ticks, ascending vertex id within each instance
+                // (instances are independent, so inter-instance order
+                // cannot influence outcomes).
+                for inst in instances.iter_mut() {
+                    for (slot, &v) in inst.members.iter().enumerate() {
+                        if kernel.ran_round[v.index()] == round
+                            || kernel.crashed_at[v.index()] <= round
+                            || !inst.programs[slot].wants_tick()
+                        {
+                            continue;
+                        }
+                        let ctx = NodeCtx {
+                            id: v,
+                            neighbors: g.neighbors(v),
+                            round,
+                        };
+                        let out = inst.programs[slot].on_round(&ctx, &[]);
+                        kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
+                    }
+                }
+                tick_pending = false;
+                for (i, inst) in instances.iter().enumerate() {
+                    kernel.inst_tick[i] =
+                        inst.members.iter().zip(&inst.programs).any(|(&v, p)| {
+                            kernel.crashed_at[v.index()] > round + 1 && p.wants_tick()
+                        });
+                    tick_pending |= kernel.inst_tick[i];
+                }
+            }
+            if tracing {
+                cfg.trace.emit(TraceEvent::RoundEnd {
+                    round,
+                    messages: kernel.cur.msg_count,
+                    words: round_words,
+                    max_words_edge: round_max,
+                });
+            }
+            kernel.cur.reset();
+        }
+        metrics.rounds = round;
+        if kernel.fault_mode {
+            metrics.crashed_nodes = kernel.crashed_at.iter().filter(|&&r| r <= round).count();
+            // Mirror the individual run: it simulates the whole graph, so
+            // its crash count covers every vertex crashed by *its* final
+            // round — which for instance `i` is `inst_metrics[i].rounds`.
+            for i in 0..k {
+                let horizon = kernel.inst_metrics[i].rounds;
+                kernel.inst_metrics[i].crashed_nodes =
+                    kernel.crashed_at.iter().filter(|&&r| r <= horizon).count();
+            }
+        }
+        if tracing {
+            for (i, &m) in kernel.inst_metrics.iter().enumerate() {
+                cfg.trace.emit(TraceEvent::InstanceEnd {
+                    instance: i,
+                    metrics: m,
+                });
+            }
+            cfg.trace.emit(TraceEvent::RunEnd { metrics });
+        }
+        let instances = instances
+            .into_iter()
+            .enumerate()
+            .map(|(i, inst)| InstanceOutcome {
+                members: inst.members,
+                programs: inst.programs,
+                metrics: kernel.inst_metrics[i],
+            })
+            .collect();
+        Ok(MultiOutcome { instances, metrics })
     }
 }
 
@@ -951,6 +1509,24 @@ pub fn run<P: NodeProgram>(
     cfg: &SimConfig,
 ) -> Result<SimOutcome<P>, SimError> {
     Simulator::new().run(g, programs, cfg)
+}
+
+/// Runs vertex-disjoint instances in one shared round lattice with a
+/// freshly allocated [`Simulator`] (see [`Simulator::run_many`]).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`Simulator::run_many`].
+///
+/// # Panics
+///
+/// Panics if instances overlap or name vertices outside `g`.
+pub fn run_many<P: NodeProgram>(
+    g: &Graph,
+    instances: Vec<Instance<P>>,
+    cfg: &SimConfig,
+) -> Result<MultiOutcome<P>, SimError> {
+    Simulator::new().run_many(g, instances, cfg)
 }
 
 #[cfg(test)]

@@ -20,5 +20,8 @@ mod tree;
 
 pub use centroid::CentroidWalk;
 pub use leader::LeaderBfs;
-pub use reliable::{run_reliable, RelMsg, Reliable, ReliableConfig};
+pub use reliable::{
+    run_reliable, run_reliable_many, unwrap_reliable, unwrap_reliable_many, wrap_instances,
+    wrap_programs, RelMsg, Reliable, ReliableConfig,
+};
 pub use tree::{AggOp, ChildNotify, Convergecast, Downcast};

@@ -35,7 +35,9 @@ use std::collections::BTreeMap;
 use planar_graph::{Graph, VertexId};
 
 use crate::message::Words;
-use crate::network::{run, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
+use crate::network::{
+    run, run_many, Instance, MultiOutcome, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome,
+};
 
 /// Retransmission parameters for [`Reliable`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -333,11 +335,43 @@ pub fn run_reliable<P: NodeProgram>(
     cfg: &SimConfig,
     rel: &ReliableConfig,
 ) -> Result<SimOutcome<P>, SimError> {
-    let wrapped: Vec<Reliable<P>> = programs
+    let out = run(g, wrap_programs(programs, rel), cfg)?;
+    Ok(unwrap_reliable(out, cfg))
+}
+
+/// Wraps every program in [`Reliable`] with the same retransmission
+/// parameters — the lift half of [`run_reliable`], exposed so callers can
+/// compose reliability with any kernel entry point (fast, reference, or
+/// batched).
+pub fn wrap_programs<P: NodeProgram>(programs: Vec<P>, rel: &ReliableConfig) -> Vec<Reliable<P>> {
+    programs
         .into_iter()
         .map(|p| Reliable::new(p, rel.clone()))
-        .collect();
-    let out = run(g, wrapped, cfg)?;
+        .collect()
+}
+
+/// Wraps every instance's programs in [`Reliable`] — the batched
+/// counterpart of [`wrap_programs`].
+pub fn wrap_instances<P: NodeProgram>(
+    instances: Vec<Instance<P>>,
+    rel: &ReliableConfig,
+) -> Vec<Instance<Reliable<P>>> {
+    instances
+        .into_iter()
+        .map(|inst| inst.map(|p| Reliable::new(p, rel.clone())))
+        .collect()
+}
+
+/// Unwraps a wrapped run back to the inner programs, folding the wrapper's
+/// total retransmission count into `Metrics::retransmissions`.
+///
+/// The kernel cannot see retransmissions (they are wrapper state), so the
+/// trace carries them as an explicit post-run event the auditor folds into
+/// its recomputed totals.
+pub fn unwrap_reliable<P: NodeProgram>(
+    out: SimOutcome<Reliable<P>>,
+    cfg: &SimConfig,
+) -> SimOutcome<P> {
     let mut metrics = out.metrics;
     let mut folded = 0usize;
     let mut inner = Vec::with_capacity(out.programs.len());
@@ -346,17 +380,74 @@ pub fn run_reliable<P: NodeProgram>(
         inner.push(w.into_inner());
     }
     metrics.retransmissions = metrics.retransmissions.saturating_add(folded);
-    // The kernel cannot see retransmissions (they are wrapper state), so
-    // the trace carries them as an explicit post-run event the auditor
-    // folds into its recomputed totals.
     if cfg.trace.is_on() {
         cfg.trace
             .emit(crate::trace::TraceEvent::Retransmissions { count: folded });
     }
-    Ok(SimOutcome {
+    SimOutcome {
         programs: inner,
         metrics,
-    })
+    }
+}
+
+/// Unwraps a wrapped batched run: per-instance retransmissions fold into
+/// that instance's metrics, the batch total into the shared metrics (one
+/// trace event for the whole batch).
+///
+/// The kernel's `InstanceEnd` trace events were emitted *before* this fold
+/// and deliberately carry the kernel-observable values — the auditor
+/// recomputes and checks those, then folds the explicit
+/// [`Retransmissions`](crate::trace::TraceEvent) event into its totals.
+pub fn unwrap_reliable_many<P: NodeProgram>(
+    out: MultiOutcome<Reliable<P>>,
+    cfg: &SimConfig,
+) -> MultiOutcome<P> {
+    let mut metrics = out.metrics;
+    let mut folded = 0usize;
+    let mut instances = Vec::with_capacity(out.instances.len());
+    for inst in out.instances {
+        let mut inst_metrics = inst.metrics;
+        let mut inst_folded = 0usize;
+        let mut inner = Vec::with_capacity(inst.programs.len());
+        for w in inst.programs {
+            inst_folded = inst_folded.saturating_add(w.retransmissions());
+            inner.push(w.into_inner());
+        }
+        inst_metrics.retransmissions = inst_metrics.retransmissions.saturating_add(inst_folded);
+        folded = folded.saturating_add(inst_folded);
+        instances.push(crate::network::InstanceOutcome {
+            members: inst.members,
+            programs: inner,
+            metrics: inst_metrics,
+        });
+    }
+    metrics.retransmissions = metrics.retransmissions.saturating_add(folded);
+    if cfg.trace.is_on() {
+        cfg.trace
+            .emit(crate::trace::TraceEvent::Retransmissions { count: folded });
+    }
+    MultiOutcome { instances, metrics }
+}
+
+/// Runs vertex-disjoint `instances` wrapped in [`Reliable`] in one shared
+/// round lattice and returns the *inner* programs — the batched
+/// counterpart of [`run_reliable`].
+///
+/// # Errors
+///
+/// Propagates [`SimError`] exactly as [`crate::run_many`] does.
+///
+/// # Panics
+///
+/// Panics if instances overlap or name vertices outside `g`.
+pub fn run_reliable_many<P: NodeProgram>(
+    g: &Graph,
+    instances: Vec<Instance<P>>,
+    cfg: &SimConfig,
+    rel: &ReliableConfig,
+) -> Result<MultiOutcome<P>, SimError> {
+    let out = run_many(g, wrap_instances(instances, rel), cfg)?;
+    Ok(unwrap_reliable_many(out, cfg))
 }
 
 #[cfg(test)]

@@ -32,7 +32,9 @@ use planar_graph::{Graph, VertexId};
 use crate::faults::{CrashPolicy, Fate};
 use crate::message::Words;
 use crate::metrics::Metrics;
-use crate::network::{NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome};
+use crate::network::{
+    Instance, InstanceOutcome, MultiOutcome, NodeCtx, NodeProgram, SimConfig, SimError, SimOutcome,
+};
 use crate::trace::TraceEvent;
 
 /// Runs `programs` to quiescence with the original quadratic-allocation
@@ -205,6 +207,29 @@ struct FaultyState<M> {
     att: HashMap<(VertexId, VertexId), (u32, usize)>,
     /// First budget violation, reported at the start of the delivery round.
     pending_overflow: Option<SimError>,
+    /// Batched runs only ([`run_reference_many`]): owning instance per
+    /// vertex, `u32::MAX` = bystander. Empty = not batched; every
+    /// instance branch below is then skipped, keeping [`run_faulty`]
+    /// byte-for-byte the seed semantics.
+    inst_of: Vec<u32>,
+    /// Per-instance fault counters (batched runs only).
+    inst_metrics: Vec<Metrics>,
+    /// Pending delay-faulted copies per instance (batched runs only).
+    inst_delayed: Vec<usize>,
+}
+
+impl<M> FaultyState<M> {
+    fn new() -> Self {
+        FaultyState {
+            in_flight: Vec::new(),
+            delayed: Vec::new(),
+            att: HashMap::new(),
+            pending_overflow: None,
+            inst_of: Vec::new(),
+            inst_metrics: Vec::new(),
+            inst_delayed: Vec::new(),
+        }
+    }
 }
 
 /// Mirrors the fast kernel's fault-mode `record_sends`.
@@ -220,8 +245,20 @@ fn record_faulty<M: Words + Clone>(
     out: Vec<(VertexId, M)>,
 ) -> Result<(), SimError> {
     let tracing = cfg.trace.is_on();
+    let from_inst = if st.inst_of.is_empty() {
+        u32::MAX
+    } else {
+        st.inst_of[from.index()]
+    };
     for (dest, msg) in out {
         validate_dest(g, from, dest)?;
+        if from_inst != u32::MAX && st.inst_of[dest.index()] != from_inst {
+            return Err(SimError::CrossInstanceSend {
+                from,
+                to: dest,
+                round,
+            });
+        }
         if tracing {
             cfg.trace.emit(TraceEvent::Send {
                 round,
@@ -247,6 +284,9 @@ fn record_faulty<M: Words + Clone>(
             match cfg.faults.on_crashed_send {
                 CrashPolicy::DropSilently => {
                     metrics.dropped += 1;
+                    if from_inst != u32::MAX {
+                        st.inst_metrics[from_inst as usize].dropped += 1;
+                    }
                     if tracing {
                         cfg.trace.emit(TraceEvent::Drop {
                             round,
@@ -269,6 +309,9 @@ fn record_faulty<M: Words + Clone>(
         match cfg.faults.fate(from, dest, round, k) {
             Fate::Dropped => {
                 metrics.dropped += 1;
+                if from_inst != u32::MAX {
+                    st.inst_metrics[from_inst as usize].dropped += 1;
+                }
                 if tracing {
                     cfg.trace.emit(TraceEvent::Drop {
                         round,
@@ -281,6 +324,9 @@ fn record_faulty<M: Words + Clone>(
             Fate::Deliver { copies, delay } => {
                 if copies > 1 {
                     metrics.duplicated += usize::from(copies) - 1;
+                    if from_inst != u32::MAX {
+                        st.inst_metrics[from_inst as usize].duplicated += usize::from(copies) - 1;
+                    }
                     if tracing {
                         for _ in 1..copies {
                             cfg.trace.emit(TraceEvent::Duplicate {
@@ -294,6 +340,9 @@ fn record_faulty<M: Words + Clone>(
                 }
                 if delay > 0 {
                     metrics.delayed += 1;
+                    if from_inst != u32::MAX {
+                        st.inst_metrics[from_inst as usize].delayed += 1;
+                    }
                     if tracing {
                         cfg.trace.emit(TraceEvent::Delay {
                             round,
@@ -307,6 +356,9 @@ fn record_faulty<M: Words + Clone>(
                 let deliver = round + 1 + delay;
                 if deliver >= crashed_at[dest.index()] {
                     metrics.dropped += usize::from(copies);
+                    if from_inst != u32::MAX {
+                        st.inst_metrics[from_inst as usize].dropped += usize::from(copies);
+                    }
                     if tracing {
                         for _ in 0..copies {
                             cfg.trace.emit(TraceEvent::Drop {
@@ -324,6 +376,9 @@ fn record_faulty<M: Words + Clone>(
                         st.in_flight.push((from, dest, msg.clone()));
                     } else {
                         st.delayed.push((deliver, from, dest, msg.clone()));
+                        if from_inst != u32::MAX {
+                            st.inst_delayed[from_inst as usize] += 1;
+                        }
                     }
                 }
             }
@@ -368,12 +423,7 @@ fn run_faulty<P: NodeProgram>(
             }
         }
     }
-    let mut st = FaultyState {
-        in_flight: Vec::new(),
-        delayed: Vec::new(),
-        att: HashMap::new(),
-        pending_overflow: None,
-    };
+    let mut st = FaultyState::new();
 
     // Init phase (round 0); nodes crashed at round 0 never act.
     for (i, program) in programs.iter_mut().enumerate() {
@@ -521,6 +571,298 @@ fn run_faulty<P: NodeProgram>(
         cfg.trace.emit(TraceEvent::RunEnd { metrics });
     }
     Ok(SimOutcome { programs, metrics })
+}
+
+/// Reference counterpart of [`Simulator::run_many`](crate::Simulator):
+/// runs vertex-disjoint instances in one shared round lattice with the
+/// same simple style as the seed kernel.
+///
+/// One fault-aware loop serves every configuration: with an empty fault
+/// plan [`FaultPlan::fate`](crate::FaultPlan) is the identity
+/// (`Deliver { copies: 1, delay: 0 }`), so the loop degenerates to the
+/// fault-free semantics, including the budget-overflow observables
+/// (the error names the delivery round and that round emits no
+/// `RoundStart`).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] like [`crate::run_many`], including
+/// [`SimError::CrossInstanceSend`] on any isolation violation.
+///
+/// # Panics
+///
+/// Panics if instances overlap or name vertices outside `g`.
+pub fn run_reference_many<P: NodeProgram>(
+    g: &Graph,
+    mut instances: Vec<Instance<P>>,
+    cfg: &SimConfig,
+) -> Result<MultiOutcome<P>, SimError> {
+    let n = g.vertex_count();
+    let k = instances.len();
+    // Ticks are honored only with a non-empty plan, as in `run_faulty`.
+    let fault_mode = !cfg.faults.is_empty();
+    let crashed_at: Vec<usize> = (0..n)
+        .map(|i| cfg.faults.crash_round(VertexId::from_index(i)))
+        .collect();
+    let mut st: FaultyState<P::Msg> = FaultyState::new();
+    st.inst_of = vec![u32::MAX; n];
+    for (i, inst) in instances.iter().enumerate() {
+        for &v in &inst.members {
+            assert!(v.index() < n, "instance member {v} outside the graph");
+            assert_eq!(
+                st.inst_of[v.index()],
+                u32::MAX,
+                "instances must be vertex-disjoint; {v} claimed twice"
+            );
+            st.inst_of[v.index()] = i as u32;
+        }
+    }
+    st.inst_metrics = vec![Metrics::new(); k];
+    st.inst_delayed = vec![0; k];
+    let mut metrics = Metrics::new();
+    let tracing = cfg.trace.is_on();
+    if tracing {
+        cfg.trace.emit(TraceEvent::RunStart {
+            nodes: n,
+            budget_words: cfg.budget_words,
+        });
+        for (i, inst) in instances.iter().enumerate() {
+            for &v in &inst.members {
+                cfg.trace.emit(TraceEvent::Assign {
+                    instance: i,
+                    node: v,
+                });
+            }
+        }
+        for (i, &r) in crashed_at.iter().enumerate() {
+            if r == 0 {
+                cfg.trace.emit(TraceEvent::Crash {
+                    round: 0,
+                    node: VertexId::from_index(i),
+                });
+            }
+        }
+    }
+
+    // Init phase (round 0): only instance members run programs; nodes
+    // crashed at round 0 never act.
+    for inst in instances.iter_mut() {
+        for (slot, &v) in inst.members.iter().enumerate() {
+            if crashed_at[v.index()] == 0 {
+                continue;
+            }
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                round: 0,
+            };
+            let out = inst.programs[slot].init(&ctx);
+            record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, 0, out)?;
+        }
+    }
+    let mut inst_tick = vec![false; k];
+    let mut tick_pending = false;
+    if fault_mode {
+        for (i, inst) in instances.iter().enumerate() {
+            inst_tick[i] = inst
+                .members
+                .iter()
+                .zip(&inst.programs)
+                .any(|(&v, p)| crashed_at[v.index()] > 1 && p.wants_tick());
+            tick_pending |= inst_tick[i];
+        }
+    }
+
+    let mut round = 0usize;
+    loop {
+        if st.in_flight.is_empty() && st.delayed.is_empty() && !tick_pending {
+            break; // quiescence of the whole batch
+        }
+        round += 1;
+        if let Some(limit) = cfg.watchdog {
+            if round > limit {
+                if tracing {
+                    cfg.trace.emit(TraceEvent::Watchdog { limit });
+                }
+                return Err(SimError::WatchdogTimeout { limit });
+            }
+        }
+        if round > cfg.max_rounds {
+            return Err(SimError::MaxRoundsExceeded {
+                limit: cfg.max_rounds,
+            });
+        }
+        if let Some(overflow) = st.pending_overflow.take() {
+            return Err(overflow);
+        }
+        // Per-instance round attribution, *before* delayed injection — the
+        // same predicate the individual run's quiescence check evaluates.
+        let mut inst_live = vec![false; k];
+        for i in 0..k {
+            inst_live[i] = st.inst_delayed[i] > 0 || inst_tick[i];
+        }
+        for (_, to, _) in &st.in_flight {
+            inst_live[st.inst_of[to.index()] as usize] = true;
+        }
+        for (i, &live) in inst_live.iter().enumerate() {
+            if live {
+                st.inst_metrics[i].rounds = round;
+            }
+        }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundStart { round });
+            for (i, &r) in crashed_at.iter().enumerate() {
+                if r == round {
+                    cfg.trace.emit(TraceEvent::Crash {
+                        round,
+                        node: VertexId::from_index(i),
+                    });
+                }
+            }
+        }
+        st.att.clear();
+
+        // This round's arrivals: on-time traffic first, then delayed
+        // messages falling due (stable order — see `FaultyState::delayed`).
+        let mut arrivals: Vec<(VertexId, VertexId, P::Msg)> = std::mem::take(&mut st.in_flight);
+        let pending = std::mem::take(&mut st.delayed);
+        let mut still_delayed = Vec::new();
+        for (due, from, to, msg) in pending {
+            if due == round {
+                st.inst_delayed[st.inst_of[to.index()] as usize] -= 1;
+                arrivals.push((from, to, msg));
+            } else {
+                still_delayed.push((due, from, to, msg));
+            }
+        }
+        st.delayed = still_delayed;
+
+        // Congestion metrics count *delivered* traffic; the recipient's
+        // instance owns each delivery (isolation guarantees sender and
+        // receiver share an instance).
+        let mut edge_words: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+        for (from, to, msg) in &arrivals {
+            *edge_words.entry((*from, *to)).or_insert(0) += msg.words();
+            let im = &mut st.inst_metrics[st.inst_of[to.index()] as usize];
+            im.messages += 1;
+            im.words += msg.words();
+        }
+        for (&(_, to), &w) in &edge_words {
+            let im = &mut st.inst_metrics[st.inst_of[to.index()] as usize];
+            im.max_words_edge_round = im.max_words_edge_round.max(w);
+        }
+        let round_max = edge_words.values().copied().max().unwrap_or(0);
+        metrics.max_words_edge_round = metrics.max_words_edge_round.max(round_max);
+        let round_msgs = arrivals.len();
+        let round_words = arrivals.iter().map(|(_, _, m)| m.words()).sum::<usize>();
+        metrics.messages += round_msgs;
+        metrics.words += round_words;
+
+        // Deliver: group by recipient; within one inbox the stable
+        // sender-sort leaves each sender's messages in arrival order.
+        let mut inboxes: HashMap<VertexId, Vec<(VertexId, P::Msg)>> = HashMap::new();
+        for (from, to, msg) in arrivals.drain(..) {
+            inboxes.entry(to).or_default().push((from, msg));
+        }
+        let mut recipients: Vec<VertexId> = inboxes.keys().copied().collect();
+        recipients.sort();
+        for &v in &recipients {
+            let mut inbox = inboxes.remove(&v).expect("recipient key exists");
+            inbox.sort_by_key(|(from, _)| *from);
+            if tracing {
+                for (from, msg) in &inbox {
+                    cfg.trace.emit(TraceEvent::Deliver {
+                        round,
+                        from: *from,
+                        to: v,
+                        words: msg.words(),
+                    });
+                }
+            }
+            let ctx = NodeCtx {
+                id: v,
+                neighbors: g.neighbors(v),
+                round,
+            };
+            let inst = st.inst_of[v.index()] as usize;
+            let slot = instances[inst]
+                .members
+                .binary_search(&v)
+                .expect("recipient is an instance member");
+            let out = instances[inst].programs[slot].on_round(&ctx, &inbox);
+            record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, round, out)?;
+        }
+        // Timer ticks: live non-recipient members that asked for
+        // empty-inbox wakeups, ascending vertex id within each instance
+        // (instances are independent, so inter-instance order cannot
+        // influence outcomes).
+        if fault_mode {
+            for inst in instances.iter_mut() {
+                for (slot, &v) in inst.members.iter().enumerate() {
+                    if recipients.binary_search(&v).is_ok()
+                        || crashed_at[v.index()] <= round
+                        || !inst.programs[slot].wants_tick()
+                    {
+                        continue;
+                    }
+                    let ctx = NodeCtx {
+                        id: v,
+                        neighbors: g.neighbors(v),
+                        round,
+                    };
+                    let out = inst.programs[slot].on_round(&ctx, &[]);
+                    record_faulty(g, cfg, &crashed_at, &mut st, &mut metrics, v, round, out)?;
+                }
+            }
+            tick_pending = false;
+            for (i, inst) in instances.iter().enumerate() {
+                inst_tick[i] = inst
+                    .members
+                    .iter()
+                    .zip(&inst.programs)
+                    .any(|(&v, p)| crashed_at[v.index()] > round + 1 && p.wants_tick());
+                tick_pending |= inst_tick[i];
+            }
+        }
+        if tracing {
+            cfg.trace.emit(TraceEvent::RoundEnd {
+                round,
+                messages: round_msgs,
+                words: round_words,
+                max_words_edge: round_max,
+            });
+        }
+    }
+    metrics.rounds = round;
+    if fault_mode {
+        metrics.crashed_nodes = crashed_at.iter().filter(|&&r| r <= round).count();
+        // Mirror the individual run: it simulates the whole graph, so its
+        // crash count covers every vertex crashed by *its* final round —
+        // which for instance `i` is `inst_metrics[i].rounds`.
+        for im in &mut st.inst_metrics {
+            let horizon = im.rounds;
+            im.crashed_nodes = crashed_at.iter().filter(|&&r| r <= horizon).count();
+        }
+    }
+    if tracing {
+        for (i, &m) in st.inst_metrics.iter().enumerate() {
+            cfg.trace.emit(TraceEvent::InstanceEnd {
+                instance: i,
+                metrics: m,
+            });
+        }
+        cfg.trace.emit(TraceEvent::RunEnd { metrics });
+    }
+    let instances = instances
+        .into_iter()
+        .enumerate()
+        .map(|(i, inst)| InstanceOutcome {
+            members: inst.members,
+            programs: inst.programs,
+            metrics: st.inst_metrics[i],
+        })
+        .collect();
+    Ok(MultiOutcome { instances, metrics })
 }
 
 fn validate_dest(g: &Graph, from: VertexId, to: VertexId) -> Result<(), SimError> {

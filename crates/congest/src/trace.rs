@@ -60,14 +60,14 @@
 //! sends) have no `RunEnd` and are skipped by the diff but still counted in
 //! the per-round profile, so a degraded run's partial rounds stay visible.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::io::Write;
 use std::sync::{Arc, Mutex};
 
 use planar_graph::VertexId;
 
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, Phase};
 
 /// One observable simulator event. See the module docs for the stream
 /// grammar.
@@ -180,9 +180,28 @@ pub enum TraceEvent {
     /// The driver entered an algorithm phase; applies to all following
     /// segments until the next `Phase`.
     Phase {
-        /// Phase name (`"setup"`, `"partition"`, `"symmetry"`, `"merge"`,
-        /// `"cert"`).
-        name: &'static str,
+        /// The pipeline phase (see [`Phase`]).
+        phase: Phase,
+    },
+    /// A node belongs to a batched instance of a `run_many` segment.
+    /// Emitted immediately after `RunStart`, one event per active node;
+    /// plain `run` segments emit none. Nodes never assigned are inert
+    /// bystanders — any traffic touching them is a mismatch.
+    Assign {
+        /// 0-based instance index within this segment.
+        instance: usize,
+        /// The assigned node.
+        node: VertexId,
+    },
+    /// Per-instance metrics of a batched segment, emitted once per instance
+    /// between the last `RoundEnd` and the `RunEnd`. `rounds` is the last
+    /// round in which the instance was live — what the instance would have
+    /// consumed running alone.
+    InstanceEnd {
+        /// 0-based instance index within this segment.
+        instance: usize,
+        /// The kernel-reported per-instance metrics.
+        metrics: Metrics,
     },
     /// The reliable-delivery wrapper folded its per-node retransmission
     /// totals into the metrics of the segment that just ended.
@@ -391,7 +410,26 @@ pub fn event_json(ev: &TraceEvent) -> String {
         TraceEvent::Watchdog { limit } => {
             format!("{{\"ev\":\"watchdog\",\"limit\":{limit}}}")
         }
-        TraceEvent::Phase { name } => format!("{{\"ev\":\"phase\",\"name\":\"{name}\"}}"),
+        TraceEvent::Phase { phase } => {
+            format!("{{\"ev\":\"phase\",\"name\":\"{}\"}}", phase.name())
+        }
+        TraceEvent::Assign { instance, node } => format!(
+            "{{\"ev\":\"assign\",\"instance\":{instance},\"node\":{}}}",
+            node.0
+        ),
+        TraceEvent::InstanceEnd { instance, metrics } => format!(
+            "{{\"ev\":\"instance_end\",\"instance\":{instance},\"rounds\":{},\"messages\":{},\
+             \"words\":{},\"max_words_edge_round\":{},\"dropped\":{},\"duplicated\":{},\
+             \"delayed\":{},\"crashed_nodes\":{}}}",
+            metrics.rounds,
+            metrics.messages,
+            metrics.words,
+            metrics.max_words_edge_round,
+            metrics.dropped,
+            metrics.duplicated,
+            metrics.delayed,
+            metrics.crashed_nodes
+        ),
         TraceEvent::Retransmissions { count } => {
             format!("{{\"ev\":\"retransmissions\",\"count\":{count}}}")
         }
@@ -491,11 +529,23 @@ impl AuditReport {
     }
 }
 
+/// Per-instance recomputation state of a batched (`run_many`) segment.
+#[derive(Clone, Default)]
+struct InstanceAudit {
+    /// Metrics recomputed from instance-attributed events. `rounds` is a
+    /// lower bound (the last round with observable instance activity —
+    /// timer ticks leave no trace), all other fields are exact.
+    computed: Metrics,
+    /// Whether an `InstanceEnd` was seen for this instance.
+    checked: bool,
+}
+
 /// In-flight state of the segment currently being audited.
 struct Segment {
     budget_words: usize,
     computed: Metrics,
-    crashed: BTreeSet<VertexId>,
+    /// Crashed nodes and the round their crash-stop activated.
+    crashed: BTreeMap<VertexId, usize>,
     /// The currently open round (0 = the init "round" before `RoundStart 1`).
     round: usize,
     /// Delivered words per directed link, this round.
@@ -506,6 +556,10 @@ struct Segment {
     round_words: usize,
     /// Worst attempted-words-per-link-per-round seen so far.
     max_attempted: usize,
+    /// Instance owning each node (batched segments only).
+    inst_of: BTreeMap<VertexId, usize>,
+    /// Per-instance recomputation (empty for plain `run` segments).
+    instances: Vec<InstanceAudit>,
 }
 
 impl Segment {
@@ -513,13 +567,15 @@ impl Segment {
         Segment {
             budget_words,
             computed: Metrics::new(),
-            crashed: BTreeSet::new(),
+            crashed: BTreeMap::new(),
             round: 0,
             delivered: BTreeMap::new(),
             attempted: BTreeMap::new(),
             round_messages: 0,
             round_words: 0,
             max_attempted: 0,
+            inst_of: BTreeMap::new(),
+            instances: Vec::new(),
         }
     }
 
@@ -527,6 +583,26 @@ impl Segment {
         let worst = self.attempted.values().copied().max().unwrap_or(0);
         self.max_attempted = self.max_attempted.max(worst);
         self.attempted.clear();
+    }
+
+    /// Checks a `from -> to` transmission against the instance partition:
+    /// in a batched segment both endpoints must belong to the same
+    /// instance. Returns the owning instance (None when not batched or on
+    /// violation, which is reported separately).
+    fn attribute(&self, from: VertexId, to: VertexId) -> Result<Option<usize>, String> {
+        if self.instances.is_empty() {
+            return Ok(None);
+        }
+        match (self.inst_of.get(&from), self.inst_of.get(&to)) {
+            (Some(&a), Some(&b)) if a == b => Ok(Some(a)),
+            (a, b) => Err(format!(
+                "cross-instance traffic {} -> {} (instances {:?} -> {:?})",
+                from.0,
+                to.0,
+                a.copied(),
+                b.copied()
+            )),
+        }
     }
 }
 
@@ -587,7 +663,7 @@ impl TraceAuditor {
     /// Feeds one event, in stream order.
     pub fn observe(&mut self, ev: &TraceEvent) {
         match *ev {
-            TraceEvent::Phase { name } => self.phase = Some(name),
+            TraceEvent::Phase { phase } => self.phase = Some(phase.name()),
             TraceEvent::RunStart {
                 nodes: _,
                 budget_words,
@@ -596,6 +672,23 @@ impl TraceAuditor {
                     self.report.aborted_segments += 1;
                 }
                 self.current = Some(Segment::new(budget_words));
+            }
+            TraceEvent::Assign { instance, node } => {
+                let mut problem = None;
+                if let Some(seg) = self.current.as_mut() {
+                    if seg.round != 0 {
+                        problem = Some(format!("Assign after round {} started", seg.round));
+                    } else if seg.inst_of.insert(node, instance).is_some() {
+                        problem = Some(format!("node {} assigned to two instances", node.0));
+                    } else if seg.instances.len() <= instance {
+                        seg.instances
+                            .resize_with(instance + 1, InstanceAudit::default);
+                    }
+                }
+                if let Some(p) = problem {
+                    let index = self.segment_index();
+                    self.mismatch(format!("segment {index}: {p}"));
+                }
             }
             TraceEvent::RoundStart { round } => {
                 if let Some(seg) = self.current.as_mut() {
@@ -614,42 +707,102 @@ impl TraceAuditor {
                     seg.round_words = 0;
                 }
             }
-            TraceEvent::Crash { node, .. } => {
+            TraceEvent::Crash { node, round } => {
                 if let Some(seg) = self.current.as_mut() {
-                    seg.crashed.insert(node);
+                    seg.crashed.entry(node).or_insert(round);
                 }
             }
             TraceEvent::Send {
-                from, to, words, ..
+                round,
+                from,
+                to,
+                words,
             } => {
+                let mut problem = None;
                 if let Some(seg) = self.current.as_mut() {
                     *seg.attempted.entry((from, to)).or_insert(0) += words;
+                    match seg.attribute(from, to) {
+                        Ok(Some(i)) => {
+                            let im = &mut seg.instances[i].computed;
+                            im.rounds = im.rounds.max(round);
+                        }
+                        Ok(None) => {}
+                        Err(p) => problem = Some(p),
+                    }
+                }
+                if let Some(p) = problem {
+                    let index = self.segment_index();
+                    self.mismatch(format!("segment {index}: Send round {round}: {p}"));
                 }
             }
             TraceEvent::Deliver {
-                from, to, words, ..
+                round,
+                from,
+                to,
+                words,
             } => {
+                let mut problem = None;
                 if let Some(seg) = self.current.as_mut() {
                     *seg.delivered.entry((from, to)).or_insert(0) += words;
                     seg.round_messages += 1;
                     seg.round_words += words;
                     seg.computed.messages += 1;
                     seg.computed.words += words;
+                    match seg.attribute(from, to) {
+                        Ok(Some(i)) => {
+                            let im = &mut seg.instances[i].computed;
+                            im.messages += 1;
+                            im.words += words;
+                            im.rounds = im.rounds.max(round);
+                        }
+                        Ok(None) => {}
+                        Err(p) => problem = Some(p),
+                    }
+                }
+                if let Some(p) = problem {
+                    let index = self.segment_index();
+                    self.mismatch(format!("segment {index}: Deliver round {round}: {p}"));
                 }
             }
-            TraceEvent::Drop { .. } => {
+            TraceEvent::Drop {
+                round, from, to, ..
+            } => {
                 if let Some(seg) = self.current.as_mut() {
                     seg.computed.dropped += 1;
+                    if let Ok(Some(i)) = seg.attribute(from, to) {
+                        let im = &mut seg.instances[i].computed;
+                        im.dropped += 1;
+                        im.rounds = im.rounds.max(round);
+                    }
                 }
             }
-            TraceEvent::Duplicate { .. } => {
+            TraceEvent::Duplicate {
+                round, from, to, ..
+            } => {
                 if let Some(seg) = self.current.as_mut() {
                     seg.computed.duplicated += 1;
+                    if let Ok(Some(i)) = seg.attribute(from, to) {
+                        let im = &mut seg.instances[i].computed;
+                        im.duplicated += 1;
+                        im.rounds = im.rounds.max(round);
+                    }
                 }
             }
-            TraceEvent::Delay { .. } => {
+            TraceEvent::Delay {
+                from,
+                to,
+                deliver_round,
+                ..
+            } => {
                 if let Some(seg) = self.current.as_mut() {
                     seg.computed.delayed += 1;
+                    if let Ok(Some(i)) = seg.attribute(from, to) {
+                        let im = &mut seg.instances[i].computed;
+                        im.delayed += 1;
+                        // The owning instance stays live until the held
+                        // copies arrive.
+                        im.rounds = im.rounds.max(deliver_round);
+                    }
                 }
             }
             TraceEvent::RoundEnd {
@@ -687,6 +840,17 @@ impl TraceAuditor {
                     seg.computed.rounds = round;
                     seg.computed.max_words_edge_round =
                         seg.computed.max_words_edge_round.max(round_max);
+                    if !seg.instances.is_empty() {
+                        // Per-instance congestion: `delivered` already
+                        // accumulates per directed link for this round, and
+                        // each link belongs to exactly one instance.
+                        for (&(from, _), &w) in &seg.delivered {
+                            if let Some(&i) = seg.inst_of.get(&from) {
+                                let im = &mut seg.instances[i].computed;
+                                im.max_words_edge_round = im.max_words_edge_round.max(w);
+                            }
+                        }
+                    }
                     self.report.profile.push(RoundProfile {
                         phase,
                         segment: index,
@@ -708,11 +872,72 @@ impl TraceAuditor {
             TraceEvent::Retransmissions { count } => {
                 self.report.totals.retransmissions += count;
             }
+            TraceEvent::InstanceEnd { instance, metrics } => {
+                let index = self.segment_index();
+                let mut problems = Vec::new();
+                if let Some(seg) = self.current.as_mut() {
+                    if instance >= seg.instances.len() {
+                        problems.push(format!("InstanceEnd for unassigned instance {instance}"));
+                    } else {
+                        let seg_round = seg.round;
+                        let crashed_by_then = seg
+                            .crashed
+                            .values()
+                            .filter(|&&r| r <= metrics.rounds)
+                            .count();
+                        let ia = &mut seg.instances[instance];
+                        if ia.checked {
+                            problems.push(format!("duplicate InstanceEnd for instance {instance}"));
+                        }
+                        ia.checked = true;
+                        let c = ia.computed;
+                        for (field, got, want) in [
+                            ("messages", metrics.messages, c.messages),
+                            ("words", metrics.words, c.words),
+                            (
+                                "max_words_edge_round",
+                                metrics.max_words_edge_round,
+                                c.max_words_edge_round,
+                            ),
+                            ("dropped", metrics.dropped, c.dropped),
+                            ("duplicated", metrics.duplicated, c.duplicated),
+                            ("delayed", metrics.delayed, c.delayed),
+                            ("crashed_nodes", metrics.crashed_nodes, crashed_by_then),
+                        ] {
+                            if got != want {
+                                problems.push(format!(
+                                    "instance {instance}: {field}: kernel reported {got}, trace \
+                                     recomputes {want}"
+                                ));
+                            }
+                        }
+                        // Timer ticks are invisible in the trace, so the
+                        // recomputed activity horizon only bounds `rounds`:
+                        // last observable activity <= rounds <= segment end.
+                        if metrics.rounds < c.rounds || metrics.rounds > seg_round {
+                            problems.push(format!(
+                                "instance {instance}: rounds {} outside [{}, {seg_round}]",
+                                metrics.rounds, c.rounds
+                            ));
+                        }
+                    }
+                }
+                for p in problems {
+                    self.mismatch(format!("segment {index}: {p}"));
+                }
+            }
             TraceEvent::RunEnd { metrics } => {
                 let index = self.segment_index();
                 if let Some(mut seg) = self.current.take() {
                     seg.fold_attempted();
                     seg.computed.crashed_nodes = seg.crashed.len();
+                    for (i, ia) in seg.instances.iter().enumerate() {
+                        if !ia.checked {
+                            self.mismatch(format!(
+                                "segment {index}: instance {i} has no InstanceEnd"
+                            ));
+                        }
+                    }
                     if seg.max_attempted > seg.budget_words {
                         self.mismatch(format!(
                             "segment {index}: attempted {} words on a link in one round, budget {}",
@@ -814,7 +1039,9 @@ mod tests {
             ..Metrics::default()
         };
         vec![
-            TraceEvent::Phase { name: "setup" },
+            TraceEvent::Phase {
+                phase: Phase::Setup,
+            },
             TraceEvent::RunStart {
                 nodes: 2,
                 budget_words: 8,
@@ -972,6 +1199,190 @@ mod tests {
         assert_eq!(report.segments, 0);
         assert_eq!(report.aborted_segments, 1);
         assert_eq!(report.profile.len(), 1);
+    }
+
+    /// A hand-built batched (two-instance) segment the auditor must accept.
+    fn batched_stream() -> Vec<TraceEvent> {
+        let inst0 = Metrics {
+            rounds: 1,
+            messages: 1,
+            words: 2,
+            max_words_edge_round: 2,
+            ..Metrics::default()
+        };
+        let inst1 = Metrics {
+            rounds: 2,
+            messages: 2,
+            words: 2,
+            max_words_edge_round: 1,
+            ..Metrics::default()
+        };
+        let total = Metrics {
+            rounds: 2,
+            messages: 3,
+            words: 4,
+            max_words_edge_round: 2,
+            ..Metrics::default()
+        };
+        vec![
+            TraceEvent::RunStart {
+                nodes: 4,
+                budget_words: 8,
+            },
+            TraceEvent::Assign {
+                instance: 0,
+                node: v(0),
+            },
+            TraceEvent::Assign {
+                instance: 0,
+                node: v(1),
+            },
+            TraceEvent::Assign {
+                instance: 1,
+                node: v(2),
+            },
+            TraceEvent::Assign {
+                instance: 1,
+                node: v(3),
+            },
+            TraceEvent::Send {
+                round: 0,
+                from: v(0),
+                to: v(1),
+                words: 2,
+            },
+            TraceEvent::Send {
+                round: 0,
+                from: v(2),
+                to: v(3),
+                words: 1,
+            },
+            TraceEvent::RoundStart { round: 1 },
+            TraceEvent::Deliver {
+                round: 1,
+                from: v(0),
+                to: v(1),
+                words: 2,
+            },
+            TraceEvent::Deliver {
+                round: 1,
+                from: v(2),
+                to: v(3),
+                words: 1,
+            },
+            TraceEvent::Send {
+                round: 1,
+                from: v(3),
+                to: v(2),
+                words: 1,
+            },
+            TraceEvent::RoundEnd {
+                round: 1,
+                messages: 2,
+                words: 3,
+                max_words_edge: 2,
+            },
+            TraceEvent::RoundStart { round: 2 },
+            TraceEvent::Deliver {
+                round: 2,
+                from: v(3),
+                to: v(2),
+                words: 1,
+            },
+            TraceEvent::RoundEnd {
+                round: 2,
+                messages: 1,
+                words: 1,
+                max_words_edge: 1,
+            },
+            TraceEvent::InstanceEnd {
+                instance: 0,
+                metrics: inst0,
+            },
+            TraceEvent::InstanceEnd {
+                instance: 1,
+                metrics: inst1,
+            },
+            TraceEvent::RunEnd { metrics: total },
+        ]
+    }
+
+    #[test]
+    fn auditor_accepts_a_consistent_batched_stream() {
+        let auditor = TraceAuditor::replay(&batched_stream());
+        assert!(
+            auditor.ok(),
+            "mismatches: {:?}",
+            auditor.report().mismatches
+        );
+        assert_eq!(auditor.report().segments, 1);
+    }
+
+    #[test]
+    fn auditor_flags_cross_instance_traffic() {
+        let mut events = batched_stream();
+        // Reroute instance 1's round-1 delivery across the partition.
+        for ev in &mut events {
+            if let TraceEvent::Deliver { from, to, .. } = ev {
+                if *from == v(2) {
+                    *from = v(1);
+                    *to = v(2);
+                }
+            }
+        }
+        let auditor = TraceAuditor::replay(&events);
+        assert!(!auditor.ok());
+        assert!(
+            auditor
+                .report()
+                .mismatches
+                .iter()
+                .any(|m| m.contains("cross-instance")),
+            "{:?}",
+            auditor.report().mismatches
+        );
+    }
+
+    #[test]
+    fn auditor_flags_drifted_instance_metrics() {
+        let mut events = batched_stream();
+        for ev in &mut events {
+            if let TraceEvent::InstanceEnd {
+                instance: 0,
+                metrics,
+            } = ev
+            {
+                metrics.words = 99;
+            }
+        }
+        let auditor = TraceAuditor::replay(&events);
+        assert!(!auditor.ok());
+        assert!(
+            auditor
+                .report()
+                .mismatches
+                .iter()
+                .any(|m| m.contains("instance 0") && m.contains("words")),
+            "{:?}",
+            auditor.report().mismatches
+        );
+    }
+
+    #[test]
+    fn auditor_flags_missing_instance_end() {
+        let mut events = batched_stream();
+        events.retain(|ev| !matches!(ev, TraceEvent::InstanceEnd { instance: 1, .. }));
+        let auditor = TraceAuditor::replay(&events);
+        assert!(!auditor.ok());
+        assert!(
+            auditor
+                .report()
+                .mismatches
+                .iter()
+                .any(|m| m.contains("no InstanceEnd")),
+            "{:?}",
+            auditor.report().mismatches
+        );
     }
 
     #[test]

@@ -12,12 +12,12 @@
 
 use congest_sim::SimConfig;
 use planar_cert::{
-    build_certificates, verify_distributed_with, CertError, Certificate, Kernel, VerifyReport,
+    build_certificates, verify_distributed_with, CertError, Certificate, VerifyReport,
 };
 use planar_graph::{Graph, RotationSystem, VertexId};
 
 use crate::error::EmbedError;
-use crate::EmbedderConfig;
+use crate::{EmbedderConfig, Kernel};
 
 /// The prover/verifier artifacts of one certification run.
 #[derive(Clone, Debug, PartialEq)]
@@ -62,13 +62,17 @@ pub fn certify_embedding(
     cfg: &EmbedderConfig,
 ) -> Result<Certification, EmbedError> {
     let certificates = build_certificates(g, rotation).map_err(lift)?;
+    let verifier_kernel = match cfg.kernel {
+        Kernel::Fast => planar_cert::Kernel::Fast,
+        Kernel::Reference => planar_cert::Kernel::Reference,
+    };
     let report = verify_distributed_with(
         g,
         rotation,
         &certificates,
         &cfg.sim,
         cfg.reliability.as_ref(),
-        Kernel::Fast,
+        verifier_kernel,
     )
     .map_err(lift)?;
     Ok(Certification {

@@ -1,20 +1,46 @@
 //! The end-to-end distributed planar embedding algorithm (Theorem 1.1):
 //! setup, recursive partitioning, and level-by-level merging, with every
 //! phase's CONGEST cost measured or charged.
+//!
+//! Two schedulers drive the Section 4 recursion (selected by
+//! [`EmbedderConfig::scheduler`]):
+//!
+//! * [`Scheduler::LevelSync`] (the default) is *level-synchronous*: it
+//!   collects every same-level subproblem and partitions all of them in
+//!   one batched kernel invocation ([`partition_level`]) over
+//!   vertex-disjoint instances, then runs all merges bottom-up. Host-side
+//!   cost per level is proportional to the level's total subproblem size.
+//! * [`Scheduler::Sequential`] is the original depth-first recursion, one
+//!   full-graph kernel run per subproblem phase — the conformance oracle.
+//!
+//! Both produce bit-identical rotations, metrics, statistics and
+//! certification verdicts (`tests/scheduler.rs`); the round tally composes
+//! identically because charging is order-independent and batched
+//! per-instance metrics equal the one-at-a-time runs.
+//!
+//! **Fidelity note** (see DESIGN.md): the distributed recursion computes,
+//! charges, and validates the full partition/merge structure, but the
+//! *final* rotation handed to the caller is produced by the centralized
+//! solver [`planar_lib::embed`] on the whole graph — the stand-in for
+//! reading the rotation out of the top-level merged part, whose content
+//! the coordinator-side skeleton solver computed piecewise. The
+//! `merged_part_covers_graph_and_matches_centralized_blocks` regression
+//! pins the agreement between the two.
 
-use congest_sim::protocols::ReliableConfig;
-use congest_sim::{Metrics, PhaseRounds, SimConfig, SimError, TraceEvent};
+use congest_sim::{Metrics, Phase, SimConfig, SimError};
 use planar_graph::{Graph, RotationSystem, VertexId};
 
 use crate::error::{DegradedCause, EmbedError};
-use crate::merge::merge_parts_with;
-use crate::partition::partition_subtree_with;
+use crate::exec::ExecutionContext;
+use crate::merge::merge_parts_ctx;
+use crate::partition::{partition_level, partition_subtree_ctx, Partition};
 use crate::parts::{partition_is_safe, PartState};
 use crate::resilience::auto_watchdog;
-use crate::setup::run_setup_with;
-use crate::stats::{LevelStats, RecursionStats};
+use crate::setup::run_setup_ctx;
+use crate::stats::{LevelStats, MergeStats, RecursionStats};
 use crate::tree::GlobalTree;
 use crate::verify::verify_surviving_embedding;
+use crate::{Kernel, Scheduler};
 
 /// Configuration of the distributed embedder.
 #[derive(Clone, Debug)]
@@ -29,7 +55,7 @@ pub struct EmbedderConfig {
     /// wrapper ([`congest_sim::protocols::Reliable`]). `None` (the default)
     /// runs the phases bare; combine `Some(..)` with a fault plan on `sim`
     /// to survive lossy links.
-    pub reliability: Option<ReliableConfig>,
+    pub reliability: Option<congest_sim::protocols::ReliableConfig>,
     /// Append a distributed certification phase: build `O(Δ log n)`-bit
     /// per-node certificates for the computed rotation and run the
     /// O(1)-round local verifier ([`crate::certify_embedding`]) on the
@@ -39,6 +65,13 @@ pub struct EmbedderConfig {
     /// results additionally audit the surviving subgraph distributedly
     /// before reporting `verified: true`.
     pub certify: bool,
+    /// Which simulation kernel executes the phases: the allocation-free
+    /// CSR kernel (default) or the executable-spec reference kernel.
+    pub kernel: Kernel,
+    /// How the driver walks the recursion: level-synchronous batching
+    /// (default) or the original one-run-per-subproblem depth-first
+    /// recursion. Outputs are bit-identical either way.
+    pub scheduler: Scheduler,
 }
 
 impl Default for EmbedderConfig {
@@ -48,71 +81,9 @@ impl Default for EmbedderConfig {
             check_invariants: true,
             reliability: None,
             certify: false,
+            kernel: Kernel::default(),
+            scheduler: Scheduler::default(),
         }
-    }
-}
-
-/// Announces the phase about to run on the configured trace sink (a no-op
-/// with tracing off), so trace consumers can attribute the following kernel
-/// segments — mirroring what `Tally::phase` does for the round accounting.
-fn trace_phase(cfg: &EmbedderConfig, name: &'static str) {
-    if cfg.sim.trace.is_on() {
-        cfg.sim.trace.emit(TraceEvent::Phase { name });
-    }
-}
-
-/// Running tally threaded through the recursion so a degraded run can
-/// report how far it got (`rounds` is a sequential upper bound) and which
-/// phase it was in when it failed.
-struct Tally {
-    rounds: usize,
-    phases: PhaseRounds,
-    phase: &'static str,
-}
-
-impl Tally {
-    fn new() -> Self {
-        Tally {
-            rounds: 0,
-            phases: PhaseRounds::default(),
-            phase: "setup",
-        }
-    }
-
-    /// Charges one phase's metrics to the sequential tally. Every phase
-    /// stamps its own `phase_rounds` with `sum() == rounds`, so the tally
-    /// invariant `rounds == phases.sum()` is preserved by construction.
-    fn charge(&mut self, m: &Metrics) {
-        self.rounds += m.rounds;
-        self.phases.add(m.phase_rounds);
-        debug_assert_eq!(
-            self.rounds,
-            self.phases.sum(),
-            "a phase left rounds unattributed in phase_rounds"
-        );
-    }
-
-    /// Charges rounds a phase consumed before *aborting* (watchdog fire or
-    /// round-cap hit). An aborted phase returns an error instead of
-    /// `Metrics`, so without this a run killed in its first phase would
-    /// report `rounds_used: 0` after burning the full watchdog budget. The
-    /// charge lands in the bucket of the phase that was running, preserving
-    /// `rounds == phases.sum()`.
-    fn charge_partial(&mut self, rounds: usize) {
-        self.rounds = self.rounds.saturating_add(rounds);
-        let bucket = match self.phase {
-            "setup" => &mut self.phases.setup,
-            "partition" => &mut self.phases.partition,
-            "merge" => &mut self.phases.merge,
-            "certify" => &mut self.phases.cert,
-            other => unreachable!("unknown phase label {other:?}"),
-        };
-        *bucket = bucket.saturating_add(rounds);
-        debug_assert_eq!(
-            self.rounds,
-            self.phases.sum(),
-            "a partial charge left rounds unattributed in phase_rounds"
-        );
     }
 }
 
@@ -163,8 +134,8 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
     if !fault_mode {
         // Perfect network: the original code path, bit for bit (the fault
         // subsystem must cost nothing when unused).
-        let mut tally = Tally::new();
-        return embed_inner(g, cfg, &mut tally);
+        let mut ctx = ExecutionContext::new(g, cfg);
+        return embed_inner(g, cfg, &mut ctx);
     }
 
     // Fault mode: arm the watchdog (unless the caller chose one) so lossy
@@ -174,9 +145,9 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
     if hardened.sim.watchdog.is_none() {
         hardened.sim.watchdog = Some(auto_watchdog(g.vertex_count()));
     }
-    let mut tally = Tally::new();
+    let mut ctx = ExecutionContext::new(g, &hardened);
     let surviving_nodes = g.vertex_count() - cfg.sim.faults.crash_victims().len();
-    match embed_inner(g, &hardened, &mut tally) {
+    match embed_inner(g, &hardened, &mut ctx) {
         Ok(out) => {
             // Post-run self-verification: in fault mode a "successful" run
             // still only counts if the rotation restricted to the surviving
@@ -203,7 +174,7 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
                         .unwrap_or(false);
                     Err(EmbedError::Degraded {
                         surviving_nodes,
-                        rounds_used: tally.rounds,
+                        rounds_used: ctx.rounds_used(),
                         verified: distributed_ok,
                         cause: if distributed_ok {
                             DegradedCause::SurvivorsOnly
@@ -215,7 +186,7 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
                 Ok(()) => Ok(out),
                 Err(_) => Err(EmbedError::Degraded {
                     surviving_nodes,
-                    rounds_used: tally.rounds,
+                    rounds_used: ctx.rounds_used(),
                     verified: false,
                     cause: DegradedCause::OutputUnverified,
                 }),
@@ -229,11 +200,11 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
         // `rounds_used` reflects the work done, not zero.
         Err(EmbedError::Sim(e)) => {
             if let SimError::WatchdogTimeout { limit } | SimError::MaxRoundsExceeded { limit } = e {
-                tally.charge_partial(limit);
+                ctx.charge_partial(limit);
             }
             Err(EmbedError::Degraded {
                 surviving_nodes,
-                rounds_used: tally.rounds,
+                rounds_used: ctx.rounds_used(),
                 verified: false,
                 cause: DegradedCause::Sim(e),
             })
@@ -246,23 +217,30 @@ pub fn embed_distributed(g: &Graph, cfg: &EmbedderConfig) -> Result<EmbeddingOut
         // produced, so nothing could be re-verified.
         Err(_) => Err(EmbedError::Degraded {
             surviving_nodes,
-            rounds_used: tally.rounds,
+            rounds_used: ctx.rounds_used(),
             verified: false,
-            cause: DegradedCause::PhaseIncomplete { phase: tally.phase },
+            cause: DegradedCause::PhaseIncomplete {
+                phase: ctx.phase().name(),
+            },
         }),
     }
 }
 
-fn embed_inner(
+/// The distributed pipeline shared by [`embed_distributed`] and
+/// [`embed_recursion`]: setup, the density guard, and the scheduled
+/// partition/merge recursion. Returns the merged top-level part, the
+/// parallel-composed metrics (setup included), and the recursion
+/// statistics with `depth` stamped; the sequential-tally stamps are left
+/// to the caller, whose epilogue may still charge rounds.
+fn run_recursion(
     g: &Graph,
     cfg: &EmbedderConfig,
-    tally: &mut Tally,
-) -> Result<EmbeddingOutcome, EmbedError> {
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<(PartState, Metrics, RecursionStats), EmbedError> {
     let n = g.vertex_count();
-    tally.phase = "setup";
-    trace_phase(cfg, "setup");
-    let (setup, setup_metrics) = run_setup_with(g, &cfg.sim, cfg.reliability.as_ref())?;
-    tally.charge(&setup_metrics);
+    ctx.enter(Phase::Setup);
+    let (setup, setup_metrics) = run_setup_ctx(ctx)?;
+    ctx.charge(&setup_metrics);
     // Cheap planarity guard; density violations abort before recursing.
     if n >= 3 && g.edge_count() > 3 * n - 6 {
         return Err(EmbedError::NonPlanar);
@@ -276,25 +254,63 @@ fn embed_inner(
     };
     let mut metrics = setup_metrics;
 
-    let (part, rec_metrics) = solve(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats, tally)?;
+    let (part, rec_metrics) = match cfg.scheduler {
+        Scheduler::Sequential => {
+            solve_sequential(g, &setup.tree, setup.tree.root, 0, cfg, &mut stats, ctx)?
+        }
+        Scheduler::LevelSync => solve_level_sync(g, &setup.tree, cfg, &mut stats, ctx)?,
+    };
     debug_assert_eq!(part.len(), n);
     metrics.add(rec_metrics);
     stats.depth = stats.levels.len();
+    Ok((part, metrics, stats))
+}
+
+/// Runs only the distributed pipeline — setup plus the scheduled
+/// partition/merge recursion — skipping the centralized fidelity epilogue
+/// (see the module-level note) and certification. This is the unit the
+/// scheduler benchmark times: host wall time here is what
+/// [`EmbedderConfig::scheduler`] actually controls; timing
+/// [`embed_distributed`] instead would let the scheduler-independent
+/// centralized epilogue dominate at large `n`.
+///
+/// # Errors
+///
+/// As [`embed_distributed`], minus certification failures (there is no
+/// certification phase). Fault plans are honored but failures surface as
+/// their raw typed errors, not as [`EmbedError::Degraded`] reports.
+pub fn embed_recursion(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+) -> Result<(Metrics, RecursionStats), EmbedError> {
+    let mut ctx = ExecutionContext::new(g, cfg);
+    let (_part, metrics, mut stats) = run_recursion(g, cfg, &mut ctx)?;
+    stats.sequential_rounds = ctx.rounds_used();
+    stats.phase_rounds = ctx.phase_rounds();
+    Ok((metrics, stats))
+}
+
+fn embed_inner(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<EmbeddingOutcome, EmbedError> {
+    let (_part, mut metrics, mut stats) = run_recursion(g, cfg, ctx)?;
 
     // The output embedding: the content of the top-level merge (all edges
-    // embedded, no half-embedded edges left).
+    // embedded, no half-embedded edges left). See the module-level fidelity
+    // note: the rotation itself comes from the centralized solver.
     let rotation = planar_lib::embed(g)?;
     debug_assert!(rotation.is_planar_embedding());
 
     // Optional distributed certification epilogue: the O(1)-round proof-
     // labeling verifier runs on the same simulated network (same fault
-    // plan and reliability), so its cost lands in the tally like any
-    // other phase.
+    // plan, reliability, and kernel), so its cost lands in the tally like
+    // any other phase.
     let certification = if cfg.certify {
-        tally.phase = "certify";
-        trace_phase(cfg, "cert");
+        ctx.enter(Phase::Cert);
         let cert = crate::certify::certify_embedding(g, &rotation, cfg)?;
-        tally.charge(&cert.report.metrics);
+        ctx.charge(&cert.report.metrics);
         metrics.add(cert.report.metrics);
         if !cert.accepted() {
             return Err(EmbedError::Internal(format!(
@@ -307,8 +323,8 @@ fn embed_inner(
         None
     };
 
-    stats.sequential_rounds = tally.rounds;
-    stats.phase_rounds = tally.phases;
+    stats.sequential_rounds = ctx.rounds_used();
+    stats.phase_rounds = ctx.phase_rounds();
     Ok(EmbeddingOutcome {
         rotation,
         metrics,
@@ -317,34 +333,18 @@ fn embed_inner(
     })
 }
 
-/// Recursively solves the subproblem rooted at `root`; returns the merged
-/// part and the (parallel-composed) cost.
-fn solve(
+/// Records one subproblem's partition in the per-level statistics and
+/// validates Lemmas 4.1/4.2 — shared verbatim by both schedulers so their
+/// statistics agree field for field.
+fn note_partition(
     g: &Graph,
     tree: &GlobalTree,
-    root: VertexId,
+    size: usize,
     level: usize,
+    partition: &Partition,
     cfg: &EmbedderConfig,
     stats: &mut RecursionStats,
-    tally: &mut Tally,
-) -> Result<(PartState, Metrics), EmbedError> {
-    let size = tree.subtree_size[root.index()] as usize;
-    if stats.levels.len() <= level {
-        stats.levels.push(LevelStats {
-            level,
-            ..Default::default()
-        });
-    }
-    if size == 1 {
-        stats.levels[level].problems += 1;
-        stats.levels[level].max_size = stats.levels[level].max_size.max(1);
-        return Ok((PartState::new(vec![root]), Metrics::new()));
-    }
-
-    tally.phase = "partition";
-    trace_phase(cfg, "partition");
-    let partition = partition_subtree_with(g, tree, root, &cfg.sim, cfg.reliability.as_ref())?;
-    tally.charge(&partition.metrics);
+) -> Result<(), EmbedError> {
     {
         let lvl = &mut stats.levels[level];
         lvl.problems += 1;
@@ -373,28 +373,64 @@ fn solve(
             ));
         }
     }
+    Ok(())
+}
+
+/// Records a size-1 subproblem (a recursion leaf) in the level statistics
+/// and returns its trivial solution.
+fn solve_leaf(root: VertexId, level: usize, stats: &mut RecursionStats) -> (PartState, Metrics) {
+    stats.levels[level].problems += 1;
+    stats.levels[level].max_size = stats.levels[level].max_size.max(1);
+    (PartState::new(vec![root]), Metrics::new())
+}
+
+/// Makes sure `stats.levels` reaches `level`.
+fn ensure_level(stats: &mut RecursionStats, level: usize) {
+    if stats.levels.len() <= level {
+        stats.levels.push(LevelStats {
+            level,
+            ..Default::default()
+        });
+    }
+}
+
+/// [`Scheduler::Sequential`]: recursively solves the subproblem rooted at
+/// `root`, one kernel invocation per phase; returns the merged part and
+/// the (parallel-composed) cost. The conformance oracle for
+/// [`solve_level_sync`].
+fn solve_sequential(
+    g: &Graph,
+    tree: &GlobalTree,
+    root: VertexId,
+    level: usize,
+    cfg: &EmbedderConfig,
+    stats: &mut RecursionStats,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<(PartState, Metrics), EmbedError> {
+    let size = tree.subtree_size[root.index()] as usize;
+    ensure_level(stats, level);
+    if size == 1 {
+        return Ok(solve_leaf(root, level, stats));
+    }
+
+    ctx.enter(Phase::Partition);
+    let partition = partition_subtree_ctx(ctx, tree, root)?;
+    ctx.charge(&partition.metrics);
+    note_partition(g, tree, size, level, &partition, cfg, stats)?;
 
     // Recurse on all hanging parts; they are vertex-disjoint, so their costs
     // compose in parallel.
     let mut children_metrics = Metrics::new();
     let mut hanging = Vec::with_capacity(partition.parts.len());
     for sub in &partition.parts {
-        let (part, m) = solve(g, tree, sub.root, level + 1, cfg, stats, tally)?;
+        let (part, m) = solve_sequential(g, tree, sub.root, level + 1, cfg, stats, ctx)?;
         children_metrics.join_parallel(m);
         hanging.push(part);
     }
 
-    tally.phase = "merge";
-    trace_phase(cfg, "merge");
-    let merged = merge_parts_with(
-        g,
-        partition.p0,
-        hanging,
-        &cfg.sim,
-        cfg.check_invariants,
-        cfg.reliability.as_ref(),
-    )?;
-    tally.charge(&merged.metrics);
+    ctx.enter(Phase::Merge);
+    let merged = merge_parts_ctx(ctx, partition.p0, hanging, cfg.check_invariants)?;
+    ctx.charge(&merged.metrics);
     stats.merges.push(merged.stats);
 
     let mut total = partition.metrics;
@@ -404,10 +440,147 @@ fn solve(
     Ok((merged.part, total))
 }
 
+/// One subproblem of the level-synchronous recursion arena.
+struct RecNode {
+    root: VertexId,
+    level: usize,
+    children: Vec<usize>,
+    /// `Some` for internal nodes after their level's batched partition.
+    partition: Option<Partition>,
+    /// The solved part; set for leaves immediately, for internal nodes by
+    /// the bottom-up merge pass.
+    part: Option<PartState>,
+    /// Parallel-composed cost of this subtree (partition + children in
+    /// parallel + merge) — identical to what [`solve_sequential`] returns.
+    metrics: Metrics,
+    /// The node's merge statistics, collected into `stats.merges` in DFS
+    /// post-order afterwards so the two schedulers' reports coincide.
+    merge_stats: Option<MergeStats>,
+}
+
+/// [`Scheduler::LevelSync`]: the level-synchronous recursion. Top-down,
+/// each level's subproblems are partitioned in *one* batched kernel
+/// invocation over vertex-disjoint instances; bottom-up, the merges run
+/// level by level. Same rotation, metrics, and statistics as
+/// [`solve_sequential`]: per-instance metrics are bit-identical to
+/// one-at-a-time runs, and all charges compose order-independently.
+fn solve_level_sync(
+    g: &Graph,
+    tree: &GlobalTree,
+    cfg: &EmbedderConfig,
+    stats: &mut RecursionStats,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<(PartState, Metrics), EmbedError> {
+    let mut nodes: Vec<RecNode> = vec![RecNode {
+        root: tree.root,
+        level: 0,
+        children: Vec::new(),
+        partition: None,
+        part: None,
+        metrics: Metrics::new(),
+        merge_stats: None,
+    }];
+
+    // Top-down: partition every level in one batched kernel invocation.
+    let mut frontier: Vec<usize> = vec![0];
+    let mut level = 0usize;
+    while !frontier.is_empty() {
+        ensure_level(stats, level);
+        let mut internal: Vec<usize> = Vec::new();
+        for &ni in &frontier {
+            let root = nodes[ni].root;
+            if tree.subtree_size[root.index()] as usize == 1 {
+                let (part, m) = solve_leaf(root, level, stats);
+                nodes[ni].part = Some(part);
+                nodes[ni].metrics = m;
+            } else {
+                internal.push(ni);
+            }
+        }
+        let mut next_frontier: Vec<usize> = Vec::new();
+        if !internal.is_empty() {
+            ctx.enter(Phase::Partition);
+            let roots: Vec<VertexId> = internal.iter().map(|&ni| nodes[ni].root).collect();
+            let partitions = partition_level(ctx, tree, &roots)?;
+            for (&ni, partition) in internal.iter().zip(partitions) {
+                ctx.charge(&partition.metrics);
+                let size = tree.subtree_size[nodes[ni].root.index()] as usize;
+                note_partition(g, tree, size, level, &partition, cfg, stats)?;
+                for sub in &partition.parts {
+                    let ci = nodes.len();
+                    nodes.push(RecNode {
+                        root: sub.root,
+                        level: level + 1,
+                        children: Vec::new(),
+                        partition: None,
+                        part: None,
+                        metrics: Metrics::new(),
+                        merge_stats: None,
+                    });
+                    nodes[ni].children.push(ci);
+                    next_frontier.push(ci);
+                }
+                nodes[ni].partition = Some(partition);
+            }
+        }
+        frontier = next_frontier;
+        level += 1;
+    }
+
+    // Bottom-up: merge every internal node once its children are solved.
+    // Merges stay per-subproblem (their cost is charged analytically and
+    // their symmetry breaking runs on per-merge virtual graphs).
+    for ni in (0..nodes.len()).rev() {
+        let Some(partition) = nodes[ni].partition.take() else {
+            continue; // leaf: already solved
+        };
+        let mut children_metrics = Metrics::new();
+        let mut hanging = Vec::with_capacity(nodes[ni].children.len());
+        for ci in nodes[ni].children.clone() {
+            children_metrics.join_parallel(nodes[ci].metrics);
+            hanging.push(nodes[ci].part.take().expect("child solved before parent"));
+        }
+        ctx.enter(Phase::Merge);
+        let merged = merge_parts_ctx(ctx, partition.p0, hanging, cfg.check_invariants)?;
+        ctx.charge(&merged.metrics);
+        nodes[ni].merge_stats = Some(merged.stats);
+
+        let mut total = partition.metrics;
+        total.add(children_metrics);
+        total.add(merged.metrics);
+        let level = nodes[ni].level;
+        stats.levels[level].rounds = stats.levels[level].rounds.max(total.rounds);
+        nodes[ni].part = Some(merged.part);
+        nodes[ni].metrics = total;
+    }
+
+    // Collect merge statistics in DFS post-order — the order the
+    // sequential scheduler pushes them in.
+    let mut stack: Vec<(usize, bool)> = vec![(0, false)];
+    while let Some((ni, visited)) = stack.pop() {
+        if visited {
+            if let Some(ms) = nodes[ni].merge_stats.take() {
+                stats.merges.push(ms);
+            }
+        } else {
+            stack.push((ni, true));
+            for &ci in nodes[ni].children.iter().rev() {
+                stack.push((ci, false));
+            }
+        }
+    }
+
+    let root_metrics = nodes[0].metrics;
+    let part = nodes[0].part.take().expect("root solved");
+    Ok((part, root_metrics))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use congest_sim::protocols::ReliableConfig;
     use congest_sim::{FaultPlan, LinkFaults};
+    use planar_graph::biconnected::BiconnectedDecomposition;
     use planar_lib::gen;
 
     fn run(g: &Graph) -> EmbeddingOutcome {
@@ -465,6 +638,44 @@ mod tests {
             assert!(pr.partition > 0, "partition must cost rounds: {pr:?}");
             // The sequential tally bounds the parallel-composed count.
             assert!(out.stats.sequential_rounds >= out.metrics.rounds);
+        }
+    }
+
+    /// Satellite (fidelity regression): the distributed recursion's merged
+    /// part must cover every vertex, leave no edge half-embedded, and the
+    /// graph it covers must carry the same block structure (biconnected
+    /// components, cut vertices) as the centralized rotation the driver
+    /// hands out — pinning the documented stand-in at the `planar_lib::
+    /// embed` call against silent drift.
+    #[test]
+    fn merged_part_covers_graph_and_matches_centralized_blocks() {
+        for g in [
+            gen::grid(5, 5),
+            gen::wheel_chain(3, 5),
+            gen::random_outerplanar(18, 2),
+        ] {
+            let cfg = EmbedderConfig::default();
+            let mut ctx = ExecutionContext::new(&g, &cfg);
+            let (setup, _) = run_setup_ctx(&mut ctx).unwrap();
+            let mut stats = RecursionStats::default();
+            let (part, _) = solve_level_sync(&g, &setup.tree, &cfg, &mut stats, &mut ctx).unwrap();
+            // Full coverage, no half-embedded edges left at the top.
+            assert_eq!(part.len(), g.vertex_count());
+            for v in g.vertices() {
+                assert!(part.contains(v));
+            }
+            assert!(crate::parts::half_embedded_edges(&g, &part.members).is_empty());
+            // Block-structure agreement with the centralized embedding.
+            let rotation = planar_lib::embed(&g).unwrap();
+            let rg = rotation.to_graph();
+            assert_eq!(rg, g);
+            let a = BiconnectedDecomposition::compute(&g);
+            let b = BiconnectedDecomposition::compute(&rg);
+            assert_eq!(a.block_count(), b.block_count());
+            let cuts = |bc: &BiconnectedDecomposition| -> Vec<VertexId> {
+                g.vertices().filter(|&v| bc.is_cut_vertex(v)).collect()
+            };
+            assert_eq!(cuts(&a), cuts(&b));
         }
     }
 

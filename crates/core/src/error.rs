@@ -70,7 +70,7 @@ pub enum DegradedCause {
     /// merge was handed fault-corrupted part state, ...).
     PhaseIncomplete {
         /// The phase that came up short: `"setup"`, `"partition"`,
-        /// `"symmetry"`, or `"merge"`.
+        /// `"symmetry"`, `"merge"`, or `"cert"`.
         phase: &'static str,
     },
     /// All phases completed but the post-run self-verification could not

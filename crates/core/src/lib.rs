@@ -27,9 +27,15 @@
 //!   degeneracy orientations.
 //! * [`ruling`] — the log* extension: a deterministic ruling edge set
 //!   (independent in `L(G)`, dominating in `L(G)^2`) via Cole-Vishkin.
-//! * [`resilience`] — fault-tolerant phase execution: reliable-delivery
-//!   wrapping, watchdog policy, and the [`EmbedError::Degraded`]
+//! * [`resilience`] — fault-tolerance policy: reliable-delivery budget
+//!   widening, watchdog policy, and the [`EmbedError::Degraded`]
 //!   degradation semantics for runs under injected faults.
+//! * [`ExecutionContext`] — the typed execution context every phase runs
+//!   through: one kernel session per graph, kernel selection
+//!   ([`Kernel`]), reliable delivery, the phase-attributed round tally,
+//!   and batched execution of vertex-disjoint subproblem instances.
+//!   [`Scheduler`] picks level-synchronous (default) or sequential
+//!   recursion — bit-identical outputs, very different host cost.
 //! * [`embed_distributed`] — the end-to-end algorithm (Theorem 1.1).
 //! * [`embed_baseline`] — the trivial `O(n)` gather-everything baseline
 //!   (footnote 2), the comparison point for all benchmarks.
@@ -65,6 +71,7 @@ mod baseline;
 pub mod certify;
 mod driver;
 mod error;
+mod exec;
 pub mod interface;
 pub mod merge;
 pub mod neighborhood;
@@ -82,7 +89,8 @@ mod verify;
 pub use baseline::embed_baseline;
 pub use certify::{certify_embedding, certify_surviving_embedding, Certification};
 pub use congest_sim::protocols::ReliableConfig;
-pub use driver::{embed_distributed, EmbedderConfig, EmbeddingOutcome};
+pub use driver::{embed_distributed, embed_recursion, EmbedderConfig, EmbeddingOutcome};
 pub use error::{DegradedCause, EmbedError};
+pub use exec::{ExecutionContext, Kernel, Scheduler};
 pub use stats::{LevelStats, MergeStats, RecursionStats};
 pub use verify::{is_planar_distributed, verify_embedding, verify_surviving_embedding};

@@ -27,15 +27,15 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 
-use congest_sim::protocols::ReliableConfig;
 use congest_sim::routing::{schedule, Transfer};
-use congest_sim::{Metrics, PhaseRounds, SimConfig, TraceEvent};
+use congest_sim::{Metrics, Phase, PhaseRounds, SimConfig};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
+use crate::exec::ExecutionContext;
 use crate::parts::{summary_words, verify_part, PartState};
 use crate::stats::MergeStats;
-use crate::symmetry::symmetry_break_with;
+use crate::symmetry::symmetry_break_ctx;
 
 /// Result of merging one recursion node.
 #[derive(Clone, Debug)]
@@ -55,7 +55,8 @@ enum Status {
     Retired,
 }
 
-struct MergeCtx<'g> {
+struct MergeCtx<'a, 'g> {
+    exec: &'a mut ExecutionContext<'g>,
     g: &'g Graph,
     p0: Vec<VertexId>,
     p0_pos: HashMap<VertexId, usize>,
@@ -63,8 +64,6 @@ struct MergeCtx<'g> {
     parts: Vec<PartState>,
     status: Vec<Status>,
     part_of: HashMap<VertexId, usize>,
-    cfg: SimConfig,
-    rel: Option<ReliableConfig>,
     check: bool,
     metrics: Metrics,
     stats: MergeStats,
@@ -85,24 +84,24 @@ pub fn merge_parts(
     cfg: &SimConfig,
     check: bool,
 ) -> Result<MergeOutcome, EmbedError> {
-    merge_parts_with(g, p0, hanging, cfg, check, None)
+    merge_parts_ctx(&mut ExecutionContext::with_sim(g, cfg), p0, hanging, check)
 }
 
-/// [`merge_parts`] with opt-in reliable delivery for the kernel protocols
-/// it runs (the symmetry-breaking step); the routed summary movements are
+/// [`merge_parts`] against a full [`ExecutionContext`]: the one kernel
+/// protocol it runs (the symmetry-breaking step) executes on the context's
+/// kernel with its reliability policy; the routed summary movements are
 /// charged analytically and need no protection.
 ///
 /// # Errors
 ///
 /// As [`merge_parts`].
-pub fn merge_parts_with(
-    g: &Graph,
+pub fn merge_parts_ctx(
+    exec: &mut ExecutionContext<'_>,
     p0: Vec<VertexId>,
     hanging: Vec<PartState>,
-    cfg: &SimConfig,
     check: bool,
-    rel: Option<&ReliableConfig>,
 ) -> Result<MergeOutcome, EmbedError> {
+    let g = exec.graph();
     let mut h_members: Vec<VertexId> = p0.clone();
     for p in &hanging {
         h_members.extend_from_slice(&p.members);
@@ -119,6 +118,7 @@ pub fn merge_parts_with(
         }
     }
     let mut ctx = MergeCtx {
+        exec,
         g,
         p0,
         p0_pos,
@@ -126,8 +126,6 @@ pub fn merge_parts_with(
         status: vec![Status::Active; hanging.len()],
         parts: hanging,
         part_of,
-        cfg: cfg.clone(),
-        rel: rel.cloned(),
         check,
         metrics: Metrics::new(),
         stats: MergeStats::default(),
@@ -157,7 +155,7 @@ pub fn merge_parts_with(
     })
 }
 
-impl<'g> MergeCtx<'g> {
+impl MergeCtx<'_, '_> {
     /// Indices of the `P_0` vertices a part connects to.
     fn connections(&self, idx: usize) -> BTreeSet<usize> {
         let mut out = BTreeSet::new();
@@ -406,7 +404,7 @@ impl<'g> MergeCtx<'g> {
             }
         }
         self.metrics
-            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+            .add(schedule(self.g, &transfers, self.exec.sim().budget_words)?);
         let mut step = Metrics::new();
         for comp in merges {
             let kept = self.union_parts(&comp)?;
@@ -447,7 +445,7 @@ impl<'g> MergeCtx<'g> {
         }
         self.metrics.add(step);
         self.metrics
-            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+            .add(schedule(self.g, &transfers, self.exec.sim().budget_words)?);
         Ok(())
     }
 
@@ -476,16 +474,13 @@ impl<'g> MergeCtx<'g> {
             }
         }
         // The symmetry-breaking segments run on the *virtual* inter-part
-        // graph; bracket them in the trace so the auditor attributes them
-        // to their own phase (their real-network cost is charged
-        // analytically below, not by these kernel runs).
-        if self.cfg.trace.is_on() {
-            self.cfg.trace.emit(TraceEvent::Phase { name: "symmetry" });
-        }
-        let outcome = symmetry_break_with(&gv, &colors, &self.cfg, self.rel.as_ref())?;
-        if self.cfg.trace.is_on() {
-            self.cfg.trace.emit(TraceEvent::Phase { name: "merge" });
-        }
+        // graph; enter the symmetry phase around them so the trace auditor
+        // attributes the kernel segments to their own phase and a run
+        // killed here degrades as symmetry-incomplete (their real-network
+        // cost is charged analytically below, not by these kernel runs).
+        self.exec.enter(Phase::Symmetry);
+        let outcome = symmetry_break_ctx(self.exec, &gv, &colors)?;
+        self.exec.enter(Phase::Merge);
         self.stats.symmetry_rounds_virtual += outcome.rounds;
         // Remark 1: each virtual round costs O(part diameter) real rounds.
         let max_depth = actives
@@ -555,7 +550,7 @@ impl<'g> MergeCtx<'g> {
             step.join_parallel(self.housekeeping(&[kept]));
         }
         self.metrics
-            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+            .add(schedule(self.g, &transfers, self.exec.sim().budget_words)?);
         self.metrics.add(step);
         Ok(())
     }
@@ -593,7 +588,7 @@ impl<'g> MergeCtx<'g> {
         }
         self.metrics.add(step);
         self.metrics
-            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+            .add(schedule(self.g, &transfers, self.exec.sim().budget_words)?);
         // Step 5: keep only the highest-leader part per (i, j) pair.
         for (_, group) in doubles {
             let keep = group
@@ -660,7 +655,7 @@ impl<'g> MergeCtx<'g> {
         });
         self.metrics.add(step);
         self.metrics
-            .add(schedule(self.g, &transfers, self.cfg.budget_words)?);
+            .add(schedule(self.g, &transfers, self.exec.sim().budget_words)?);
         let _ = s;
 
         let merged = PartState::new(h_members.to_vec());

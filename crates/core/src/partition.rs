@@ -1,16 +1,24 @@
 //! The partitioning step of Section 4: split a BFS subtree `T_s` into the
 //! coordinator path `P_0 = s..v` (where `v` is the 2/3-splitter found by a
 //! distributed centroid walk) and the hanging subtree parts `P_1..P_k`.
+//!
+//! Two entry points compute the *same* partition at the same per-subtree
+//! cost: [`partition_subtree_ctx`] runs one subtree per kernel invocation
+//! (the sequential scheduler's path), while [`partition_level`] batches
+//! every same-level subtree of the recursion into one kernel invocation
+//! over vertex-disjoint [`Instance`]s — per-instance metrics are
+//! bit-identical to the one-at-a-time runs, and the kernel enforces that
+//! sibling subtrees never exchange a message.
 
 use std::collections::HashMap;
 
-use congest_sim::protocols::{CentroidWalk, Downcast, ReliableConfig};
+use congest_sim::protocols::{CentroidWalk, Downcast};
 use congest_sim::routing::{schedule, Transfer};
-use congest_sim::{Metrics, SimConfig};
+use congest_sim::{Instance, Metrics, SimConfig};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
-use crate::resilience::run_phase;
+use crate::exec::ExecutionContext;
 use crate::tree::GlobalTree;
 
 /// A subproblem of the recursion: a full BFS subtree.
@@ -50,45 +58,44 @@ pub fn partition_subtree(
     root: VertexId,
     cfg: &SimConfig,
 ) -> Result<Partition, EmbedError> {
-    partition_subtree_with(g, tree, root, cfg, None)
+    partition_subtree_ctx(&mut ExecutionContext::with_sim(g, cfg), tree, root)
 }
 
-/// [`partition_subtree`] with opt-in reliable delivery for the two kernel
-/// protocols (centroid walk, label downcast); the routed notification is
-/// charged analytically and needs no protection.
+/// [`partition_subtree`] against a full [`ExecutionContext`]: the two
+/// kernel protocols (centroid walk, label downcast) run on the context's
+/// kernel with its reliability policy; the routed notification is charged
+/// analytically and needs no protection.
 ///
 /// # Errors
 ///
 /// As [`partition_subtree`].
-pub fn partition_subtree_with(
-    g: &Graph,
+pub fn partition_subtree_ctx(
+    ctx: &mut ExecutionContext<'_>,
     tree: &GlobalTree,
     root: VertexId,
-    cfg: &SimConfig,
-    rel: Option<&ReliableConfig>,
 ) -> Result<Partition, EmbedError> {
+    let g = ctx.graph();
     let members = tree.subtree_members(root);
     let total = tree.subtree_size[root.index()];
     debug_assert_eq!(members.len() as u64, total);
     let mut metrics = Metrics::new();
 
-    // 1. Centroid walk (Lemma 4.2's splitter), message-level.
+    // 1. Centroid walk (Lemma 4.2's splitter), message-level. Nodes outside
+    //    the subtree participate as completely inert fillers, so this
+    //    full-graph run costs exactly what an instance-scoped run over the
+    //    members costs.
     let in_subtree: HashMap<VertexId, ()> = members.iter().map(|&v| (v, ())).collect();
     let walkers: Vec<CentroidWalk> = g
         .vertices()
         .map(|v| {
             if in_subtree.contains_key(&v) {
-                let child_sizes: HashMap<VertexId, u64> = tree.children[v.index()]
-                    .iter()
-                    .map(|&c| (c, tree.subtree_size[c.index()]))
-                    .collect();
-                CentroidWalk::new(child_sizes, total, v == root)
+                centroid_walker(tree, v, total, root)
             } else {
                 CentroidWalk::inactive()
             }
         })
         .collect();
-    let out = run_phase(g, walkers, cfg, rel)?;
+    let out = ctx.run_phase(walkers)?;
     metrics.add(out.metrics);
     let centroid = members
         .iter()
@@ -96,50 +103,208 @@ pub fn partition_subtree_with(
         .find(|v| out.programs[v.index()].is_centroid())
         .ok_or_else(|| EmbedError::Internal("centroid walk did not terminate".into()))?;
 
-    // P_0 = path from s down to the splitter.
-    let mut p0 = tree.path_to_ancestor(centroid, root);
-    p0.reverse();
-    let on_p0: HashMap<VertexId, ()> = p0.iter().map(|&v| (v, ())).collect();
-
-    // 2. Part roots: children of P_0 vertices that are not on P_0 themselves.
-    //    One charged round: each P_0 vertex tells those children.
-    let mut part_roots: Vec<VertexId> = Vec::new();
-    let mut notify: Vec<Transfer> = Vec::new();
-    for &p in &p0 {
-        for &c in &tree.children[p.index()] {
-            if !on_p0.contains_key(&c) {
-                part_roots.push(c);
-                notify.push(Transfer::new(vec![p, c], 1));
-            }
-        }
-    }
-    metrics.add(schedule(g, &notify, cfg.budget_words)?);
+    let spine = PartitionSpine::from_centroid(g, tree, root, centroid, ctx.sim(), &mut metrics)?;
 
     // 3. Part-label downcast inside every hanging subtree (all in parallel).
-    let root_label: HashMap<VertexId, u32> = part_roots.iter().map(|&r| (r, r.0)).collect();
     let programs: Vec<Downcast> = g
         .vertices()
         .map(|v| {
-            if in_subtree.contains_key(&v) && !on_p0.contains_key(&v) {
-                Downcast::new(&tree.children[v.index()], root_label.get(&v).copied())
+            if in_subtree.contains_key(&v) {
+                spine.downcaster(tree, v)
             } else {
                 Downcast::new(&[], None)
             }
         })
         .collect();
-    let out = run_phase(g, programs, cfg, rel)?;
+    let out = ctx.run_phase(programs)?;
     metrics.add(out.metrics);
 
-    let parts: Vec<SubProblem> = part_roots
-        .into_iter()
-        .map(|r| SubProblem {
-            root: r,
-            members: tree.subtree_members(r),
+    Ok(spine.finish(tree, metrics))
+}
+
+/// Partitions every subtree in `roots` — the same-level subproblems of the
+/// level-synchronous scheduler — in **two batched kernel invocations**
+/// (one for all centroid walks, one for all label downcasts) instead of
+/// two per subtree.
+///
+/// The subtrees must be vertex-disjoint (same-level subproblems of the
+/// recursion always are); each becomes one [`Instance`] whose members run
+/// exactly the programs the one-at-a-time path gives them, so the returned
+/// partitions — splitter, `P_0`, parts, *and metrics* — are bit-identical
+/// to calling [`partition_subtree_ctx`] once per root, and the kernel
+/// rejects any message between sibling subtrees
+/// ([`congest_sim::SimError::CrossInstanceSend`]).
+///
+/// # Errors
+///
+/// As [`partition_subtree`].
+pub fn partition_level(
+    ctx: &mut ExecutionContext<'_>,
+    tree: &GlobalTree,
+    roots: &[VertexId],
+) -> Result<Vec<Partition>, EmbedError> {
+    if roots.is_empty() {
+        return Ok(Vec::new());
+    }
+    let g = ctx.graph();
+    let memberships: Vec<Vec<VertexId>> = roots.iter().map(|&r| tree.subtree_members(r)).collect();
+
+    // 1. All centroid walks, one shared round lattice.
+    let walk_instances: Vec<Instance<CentroidWalk>> = roots
+        .iter()
+        .zip(&memberships)
+        .map(|(&root, members)| {
+            let total = tree.subtree_size[root.index()];
+            debug_assert_eq!(members.len() as u64, total);
+            Instance::new(
+                members
+                    .iter()
+                    .map(|&v| (v, centroid_walker(tree, v, total, root)))
+                    .collect(),
+            )
         })
         .collect();
-    // All rounds above belong to the partition phase.
-    metrics.phase_rounds.partition = metrics.rounds;
-    Ok(Partition { p0, parts, metrics })
+    let walk_out = ctx.run_phase_many(walk_instances)?;
+
+    // 2. Per subtree: splitter, P_0, part roots, charged notification.
+    let mut spines = Vec::with_capacity(roots.len());
+    let mut metrics: Vec<Metrics> = Vec::with_capacity(roots.len());
+    for (i, (&root, members)) in roots.iter().zip(&memberships).enumerate() {
+        let inst = &walk_out.instances[i];
+        let mut m = Metrics::new();
+        m.add(inst.metrics);
+        let centroid = members
+            .iter()
+            .copied()
+            .find(|&v| inst.program(v).is_some_and(CentroidWalk::is_centroid))
+            .ok_or_else(|| EmbedError::Internal("centroid walk did not terminate".into()))?;
+        spines.push(PartitionSpine::from_centroid(
+            g,
+            tree,
+            root,
+            centroid,
+            ctx.sim(),
+            &mut m,
+        )?);
+        metrics.push(m);
+    }
+
+    // 3. All part-label downcasts, one shared round lattice.
+    let down_instances: Vec<Instance<Downcast>> = spines
+        .iter()
+        .zip(&memberships)
+        .map(|(spine, members)| {
+            Instance::new(
+                members
+                    .iter()
+                    .map(|&v| (v, spine.downcaster(tree, v)))
+                    .collect(),
+            )
+        })
+        .collect();
+    let down_out = ctx.run_phase_many(down_instances)?;
+
+    Ok(spines
+        .into_iter()
+        .zip(metrics)
+        .zip(&down_out.instances)
+        .map(|((spine, mut m), inst)| {
+            m.add(inst.metrics);
+            spine.finish(tree, m)
+        })
+        .collect())
+}
+
+/// The subtree's centroid-walk program: every member knows its tree
+/// children's subtree sizes and the subtree total.
+fn centroid_walker(tree: &GlobalTree, v: VertexId, total: u64, root: VertexId) -> CentroidWalk {
+    let child_sizes: HashMap<VertexId, u64> = tree.children[v.index()]
+        .iter()
+        .map(|&c| (c, tree.subtree_size[c.index()]))
+        .collect();
+    CentroidWalk::new(child_sizes, total, v == root)
+}
+
+/// The host-side skeleton of one partition between the centroid walk and
+/// the label downcast: `P_0`, the part roots, and the downcast labels.
+/// Shared verbatim by the sequential and the batched path so both derive
+/// the identical partition from the identical walk outcome.
+struct PartitionSpine {
+    p0: Vec<VertexId>,
+    on_p0: HashMap<VertexId, ()>,
+    part_roots: Vec<VertexId>,
+    root_label: HashMap<VertexId, u32>,
+}
+
+impl PartitionSpine {
+    /// Derives `P_0` and the part roots from the walk's splitter and
+    /// charges the one-round part-root notification to `metrics`.
+    fn from_centroid(
+        g: &Graph,
+        tree: &GlobalTree,
+        root: VertexId,
+        centroid: VertexId,
+        cfg: &SimConfig,
+        metrics: &mut Metrics,
+    ) -> Result<Self, EmbedError> {
+        // P_0 = path from s down to the splitter.
+        let mut p0 = tree.path_to_ancestor(centroid, root);
+        p0.reverse();
+        let on_p0: HashMap<VertexId, ()> = p0.iter().map(|&v| (v, ())).collect();
+
+        // Part roots: children of P_0 vertices that are not on P_0
+        // themselves. One charged round: each P_0 vertex tells those
+        // children.
+        let mut part_roots: Vec<VertexId> = Vec::new();
+        let mut notify: Vec<Transfer> = Vec::new();
+        for &p in &p0 {
+            for &c in &tree.children[p.index()] {
+                if !on_p0.contains_key(&c) {
+                    part_roots.push(c);
+                    notify.push(Transfer::new(vec![p, c], 1));
+                }
+            }
+        }
+        metrics.add(schedule(g, &notify, cfg.budget_words)?);
+
+        let root_label: HashMap<VertexId, u32> = part_roots.iter().map(|&r| (r, r.0)).collect();
+        Ok(PartitionSpine {
+            p0,
+            on_p0,
+            part_roots,
+            root_label,
+        })
+    }
+
+    /// The label-downcast program a subtree member runs: `P_0` vertices are
+    /// inert, part roots inject their own id, everyone else relays to its
+    /// tree children.
+    fn downcaster(&self, tree: &GlobalTree, v: VertexId) -> Downcast {
+        if self.on_p0.contains_key(&v) {
+            Downcast::new(&[], None)
+        } else {
+            Downcast::new(&tree.children[v.index()], self.root_label.get(&v).copied())
+        }
+    }
+
+    /// Materializes the hanging parts and stamps the phase attribution.
+    fn finish(self, tree: &GlobalTree, mut metrics: Metrics) -> Partition {
+        let parts: Vec<SubProblem> = self
+            .part_roots
+            .into_iter()
+            .map(|r| SubProblem {
+                root: r,
+                members: tree.subtree_members(r),
+            })
+            .collect();
+        // All rounds above belong to the partition phase.
+        metrics.phase_rounds.partition = metrics.rounds;
+        Partition {
+            p0: self.p0,
+            parts,
+            metrics,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -217,5 +382,31 @@ mod tests {
         let p = partition_subtree(&g, &tree, VertexId(0), &SimConfig::default()).unwrap();
         assert_eq!(p.p0, vec![VertexId(0)]);
         assert!(p.parts.is_empty());
+    }
+
+    #[test]
+    fn batched_level_matches_one_at_a_time() {
+        let g = gen::grid(6, 6);
+        let tree = setup_tree(&g);
+        let cfg = SimConfig::default();
+        // Partition the root, then its hanging parts both ways.
+        let top = partition_subtree(&g, &tree, tree.root, &cfg).unwrap();
+        let roots: Vec<VertexId> = top
+            .parts
+            .iter()
+            .filter(|p| p.members.len() > 1)
+            .map(|p| p.root)
+            .collect();
+        assert!(roots.len() > 1, "grid should split into several parts");
+        let mut ctx = ExecutionContext::with_sim(&g, &cfg);
+        let batched = partition_level(&mut ctx, &tree, &roots).unwrap();
+        for (i, &root) in roots.iter().enumerate() {
+            let solo = partition_subtree(&g, &tree, root, &cfg).unwrap();
+            assert_eq!(batched[i].p0, solo.p0);
+            assert_eq!(batched[i].metrics, solo.metrics);
+            let b_parts: Vec<_> = batched[i].parts.iter().map(|p| p.root).collect();
+            let s_parts: Vec<_> = solo.parts.iter().map(|p| p.root).collect();
+            assert_eq!(b_parts, s_parts);
+        }
     }
 }

@@ -1,10 +1,12 @@
-//! Fault-tolerant phase execution: the glue between the kernel's fault
-//! injection ([`congest_sim::FaultPlan`]) and the embedding driver.
+//! Fault-tolerance policy: the budget and watchdog arithmetic connecting
+//! the kernel's fault injection ([`congest_sim::FaultPlan`]) to the
+//! embedding driver.
 //!
 //! Every protocol phase of the algorithm funnels its kernel invocation
-//! through [`run_phase`]. On a perfect network (`reliability == None`) this
-//! is byte-for-byte [`congest_sim::run`] — the fault-free hot path pays
-//! nothing. When the driver opts into reliable delivery, each phase is
+//! through [`ExecutionContext::run_phase`](crate::ExecutionContext). On a
+//! perfect network (`reliability == None`) that is byte-for-byte
+//! [`congest_sim::run`] — the fault-free hot path pays nothing. When the
+//! driver opts into reliable delivery, each phase is
 //! lifted into the ack/retransmit wrapper
 //! ([`Reliable`](congest_sim::protocols::Reliable)) and the per-edge budget
 //! is widened to [`wrapped_budget`]: a data frame costs payload + 1
@@ -20,10 +22,6 @@
 //! stalled by message loss degrades (`SimError::WatchdogTimeout` →
 //! [`EmbedError::Degraded`](crate::EmbedError)) instead of spinning to the
 //! generic `max_rounds` cap.
-
-use congest_sim::protocols::{run_reliable, ReliableConfig};
-use congest_sim::{run, NodeProgram, SimConfig, SimError, SimOutcome};
-use planar_graph::Graph;
 
 /// The per-edge word budget a [`Reliable`](congest_sim::protocols::Reliable)
 /// wrapped phase needs to carry the traffic a budget of `base` words carries
@@ -42,74 +40,4 @@ pub fn wrapped_budget(base: usize) -> usize {
 #[must_use]
 pub fn auto_watchdog(n: usize) -> usize {
     8 * n + 256
-}
-
-/// Runs one protocol phase, reliably if requested.
-///
-/// With `reliability == None` this is exactly [`congest_sim::run`]. With
-/// `Some(rel)` the programs run inside the ack/retransmit wrapper against a
-/// config whose budget is widened by [`wrapped_budget`]; the wrapper's
-/// retransmission count is folded into the returned metrics.
-///
-/// # Errors
-///
-/// Propagates [`SimError`] exactly as [`congest_sim::run`] does.
-pub fn run_phase<P: NodeProgram>(
-    g: &Graph,
-    programs: Vec<P>,
-    cfg: &SimConfig,
-    reliability: Option<&ReliableConfig>,
-) -> Result<SimOutcome<P>, SimError> {
-    match reliability {
-        None => run(g, programs, cfg),
-        Some(rel) => {
-            let mut wrapped = cfg.clone();
-            wrapped.budget_words = wrapped_budget(cfg.budget_words);
-            run_reliable(g, programs, &wrapped, rel)
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use congest_sim::protocols::LeaderBfs;
-    use congest_sim::FaultPlan;
-    use planar_graph::VertexId;
-    use planar_lib::gen;
-
-    fn leader_programs(g: &Graph) -> Vec<LeaderBfs> {
-        g.vertices()
-            .map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec()))
-            .collect()
-    }
-
-    #[test]
-    fn unreliable_phase_is_plain_run() {
-        let g = gen::grid(3, 3);
-        let cfg = SimConfig::default();
-        let a = run_phase(&g, leader_programs(&g), &cfg, None).unwrap();
-        let b = run(&g, leader_programs(&g), &cfg).unwrap();
-        let view = |o: &SimOutcome<LeaderBfs>| {
-            o.programs
-                .iter()
-                .map(|p| (p.leader(), p.parent(), p.dist()))
-                .collect::<Vec<_>>()
-        };
-        assert_eq!(view(&a), view(&b));
-        assert_eq!(a.metrics, b.metrics);
-    }
-
-    #[test]
-    fn reliable_phase_survives_loss() {
-        let g = gen::grid(3, 3);
-        let cfg = SimConfig {
-            faults: FaultPlan::uniform(5, 0.3, 0.05, 0.2, 2),
-            ..SimConfig::default()
-        };
-        let rel = ReliableConfig::default();
-        let out = run_phase(&g, leader_programs(&g), &cfg, Some(&rel)).unwrap();
-        assert!(out.programs.iter().all(|p| p.leader() == VertexId(8)));
-        assert!(out.metrics.dropped > 0);
-    }
 }

@@ -2,14 +2,12 @@
 //! election (max id), global BFS tree, subtree sizes, `n` and a diameter
 //! estimate, all computed by genuine message-level kernel protocols.
 
-use congest_sim::protocols::{
-    AggOp, ChildNotify, Convergecast, Downcast, LeaderBfs, ReliableConfig,
-};
+use congest_sim::protocols::{AggOp, ChildNotify, Convergecast, Downcast, LeaderBfs};
 use congest_sim::{Metrics, SimConfig};
 use planar_graph::{Graph, VertexId};
 
 use crate::error::EmbedError;
-use crate::resilience::run_phase;
+use crate::exec::ExecutionContext;
 use crate::tree::GlobalTree;
 
 /// Output of the setup phase.
@@ -30,22 +28,19 @@ pub struct Setup {
 /// Returns [`EmbedError::Disconnected`] / [`EmbedError::EmptyGraph`] for
 /// invalid networks and propagates kernel errors.
 pub fn run_setup(g: &Graph, cfg: &SimConfig) -> Result<(Setup, Metrics), EmbedError> {
-    run_setup_with(g, cfg, None)
+    run_setup_ctx(&mut ExecutionContext::with_sim(g, cfg))
 }
 
-/// [`run_setup`] with opt-in reliable delivery: each of the six kernel
-/// protocols runs through [`run_phase`](crate::resilience::run_phase), so a
-/// lossy network ([`congest_sim::FaultPlan`]) is survived by
+/// [`run_setup`] against a full [`ExecutionContext`]: each of the six
+/// kernel protocols runs on the context's kernel with its reliability
+/// policy, so a lossy network ([`congest_sim::FaultPlan`]) is survived by
 /// acknowledgement/retransmission instead of silently corrupting the tree.
 ///
 /// # Errors
 ///
 /// As [`run_setup`].
-pub fn run_setup_with(
-    g: &Graph,
-    cfg: &SimConfig,
-    rel: Option<&ReliableConfig>,
-) -> Result<(Setup, Metrics), EmbedError> {
+pub fn run_setup_ctx(ctx: &mut ExecutionContext<'_>) -> Result<(Setup, Metrics), EmbedError> {
+    let g = ctx.graph();
     let n = g.vertex_count();
     if n == 0 {
         return Err(EmbedError::EmptyGraph);
@@ -57,7 +52,7 @@ pub fn run_setup_with(
         .vertices()
         .map(|v| LeaderBfs::new(v, g.neighbors(v).to_vec()))
         .collect();
-    let out = run_phase(g, programs, cfg, rel)?;
+    let out = ctx.run_phase(programs)?;
     metrics.add(out.metrics);
     let leaders: Vec<VertexId> = out.programs.iter().map(|p| p.leader()).collect();
     let expected_leader = VertexId::from_index(n - 1);
@@ -71,7 +66,7 @@ pub fn run_setup_with(
 
     // 2. Child discovery (one round).
     let programs: Vec<ChildNotify> = parent.iter().map(|&p| ChildNotify::new(p)).collect();
-    let out = run_phase(g, programs, cfg, rel)?;
+    let out = ctx.run_phase(programs)?;
     metrics.add(out.metrics);
     let children: Vec<Vec<VertexId>> = out.programs.iter().map(|p| p.children().to_vec()).collect();
 
@@ -80,7 +75,7 @@ pub fn run_setup_with(
         .vertices()
         .map(|v| Convergecast::new(parent[v.index()], &children[v.index()], 1, AggOp::Sum))
         .collect();
-    let out = run_phase(g, programs, cfg, rel)?;
+    let out = ctx.run_phase(programs)?;
     metrics.add(out.metrics);
     let subtree_size: Vec<u64> = out.programs.iter().map(|p| p.subtree_value()).collect();
     let total = out.programs[root.index()]
@@ -99,7 +94,7 @@ pub fn run_setup_with(
             )
         })
         .collect();
-    let out = run_phase(g, programs, cfg, rel)?;
+    let out = ctx.run_phase(programs)?;
     metrics.add(out.metrics);
     let ecc = out.programs[root.index()]
         .result()
@@ -116,7 +111,7 @@ pub fn run_setup_with(
                 )
             })
             .collect();
-        let out = run_phase(g, programs, cfg, rel)?;
+        let out = ctx.run_phase(programs)?;
         metrics.add(out.metrics);
     }
 

@@ -10,7 +10,7 @@ use congest_sim::PhaseRounds;
 use serde::{Deserialize, Serialize};
 
 /// Statistics of one merge (one recursion node's Section 5.3 execution).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct MergeStats {
     /// `|T_s|` — size of the subproblem.
     pub subtree_size: usize,
@@ -33,7 +33,7 @@ pub struct MergeStats {
 
 /// Statistics of one recursion level (all subproblems at that level run in
 /// parallel).
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct LevelStats {
     /// Recursion depth of this level (0 = root problem).
     pub level: usize,
@@ -53,7 +53,7 @@ pub struct LevelStats {
 }
 
 /// Aggregate statistics of a whole distributed-embedding run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct RecursionStats {
     /// Number of vertices.
     pub n: usize,

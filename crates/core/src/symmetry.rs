@@ -23,11 +23,10 @@
 
 use std::collections::HashMap;
 
-use congest_sim::protocols::ReliableConfig;
-use congest_sim::{NodeCtx, NodeProgram, SimConfig, SimError, Words};
+use congest_sim::{run, NodeCtx, NodeProgram, SimConfig, SimError, Words};
 use planar_graph::{Graph, VertexId};
 
-use crate::resilience::run_phase;
+use crate::exec::ExecutionContext;
 
 /// Messages of the symmetry-breaking protocol. Every variant is O(1) words.
 #[derive(Clone, Debug)]
@@ -271,11 +270,16 @@ pub fn symmetry_break(
     colors: &[u32],
     cfg: &SimConfig,
 ) -> Result<SymmetryOutcome, SimError> {
-    symmetry_break_with(gv, colors, cfg, None)
+    assert_eq!(colors.len(), gv.vertex_count());
+    let out = run(gv, symmetry_programs(gv, colors), cfg)?;
+    extract_outcome(gv, out.programs, out.metrics.rounds)
 }
 
-/// [`symmetry_break`] with opt-in reliable delivery (see
-/// [`run_phase`](crate::resilience::run_phase)).
+/// [`symmetry_break`] against a full [`ExecutionContext`]: the one kernel
+/// run executes on the context's kernel with its reliability policy. The
+/// virtual graph `gv` is *not* the context's session graph — it is built
+/// per merge over the active parts — so the run goes through
+/// [`ExecutionContext::run_phase_on`].
 ///
 /// # Errors
 ///
@@ -284,19 +288,30 @@ pub fn symmetry_break(
 /// # Panics
 ///
 /// Panics if `colors.len() != gv.vertex_count()`.
-pub fn symmetry_break_with(
+pub fn symmetry_break_ctx(
+    ctx: &mut ExecutionContext<'_>,
     gv: &Graph,
     colors: &[u32],
-    cfg: &SimConfig,
-    rel: Option<&ReliableConfig>,
 ) -> Result<SymmetryOutcome, SimError> {
     assert_eq!(colors.len(), gv.vertex_count());
-    let programs: Vec<SymmetryBreak> = gv
-        .vertices()
+    let out = ctx.run_phase_on(gv, symmetry_programs(gv, colors))?;
+    extract_outcome(gv, out.programs, out.metrics.rounds)
+}
+
+/// The per-vertex Lemma 5.3 programs for a properly colored `gv`.
+fn symmetry_programs(gv: &Graph, colors: &[u32]) -> Vec<SymmetryBreak> {
+    gv.vertices()
         .map(|v| SymmetryBreak::new(v, colors[v.index()]))
-        .collect();
-    let out = run_phase(gv, programs, cfg, rel)?;
-    let ps = &out.programs;
+        .collect()
+}
+
+/// Reads stars and chains out of the quiesced programs.
+fn extract_outcome(
+    gv: &Graph,
+    programs: Vec<SymmetryBreak>,
+    rounds: usize,
+) -> Result<SymmetryOutcome, SimError> {
+    let ps = &programs;
 
     let mut stars = Vec::new();
     for v in gv.vertices() {
@@ -346,7 +361,7 @@ pub fn symmetry_break_with(
     Ok(SymmetryOutcome {
         stars,
         chains,
-        rounds: out.metrics.rounds,
+        rounds,
     })
 }
 
