@@ -17,6 +17,13 @@
 //! report identical [`Metrics`] on every case — the measurement doubles as
 //! a conformance check.
 //!
+//! Each row records the `threads` pinned for the fast kernel
+//! (`SimConfig::threads`): `1` times the sequential round loop, and large
+//! substrates (n >= 50k) get an additional `threads = 4` row timing the
+//! parallel round execution path against the same sequential reference
+//! baseline. The conformance assert holds regardless of the thread count
+//! (parallel delivery is bit-deterministic by construction).
+//!
 //! Entry points: [`kernel_bench`] produces rows, [`write_json`] emits the
 //! `BENCH_kernel.json` record (hand-rolled JSON; `serde_json` is not
 //! available offline, see `shims/README.md`). Reachable via
@@ -79,6 +86,10 @@ pub struct KernelBenchRow {
     pub messages: usize,
     /// Measured iterations per kernel (best-of is reported).
     pub iters: usize,
+    /// Worker threads pinned for the fast kernel (`SimConfig::threads`).
+    /// The reference kernel is always sequential; rows with `threads > 1`
+    /// measure the parallel round execution path against the same baseline.
+    pub threads: usize,
     /// Fastest wall-clock run of the arc-indexed kernel, seconds.
     pub fast_secs: f64,
     /// Fastest wall-clock run of the seed reference kernel, seconds.
@@ -115,8 +126,11 @@ fn timed(mut f: impl FnMut() -> Metrics) -> (f64, Metrics) {
 /// reference, …) and best-of-`iters` is reported for each, so machine
 /// drift and allocator/cache state affect both measurements symmetrically
 /// instead of biasing whichever kernel runs last.
-pub fn measure(family: &'static str, g: &Graph, iters: usize) -> KernelBenchRow {
-    let cfg = SimConfig::default();
+pub fn measure(family: &'static str, g: &Graph, iters: usize, threads: usize) -> KernelBenchRow {
+    let cfg = SimConfig {
+        threads: Some(threads),
+        ..SimConfig::default()
+    };
     // A repeat caller holds one Simulator; buffer capacity carries over.
     let mut sim: Simulator<u32> = Simulator::new();
     let mut run_fast = || {
@@ -158,6 +172,7 @@ pub fn measure(family: &'static str, g: &Graph, iters: usize) -> KernelBenchRow 
         rounds: fast_m.rounds,
         messages: fast_m.messages,
         iters,
+        threads,
         fast_secs,
         reference_secs,
     }
@@ -175,8 +190,19 @@ fn iters_for(n: usize) -> usize {
     }
 }
 
+/// Vertex count at which the sweep adds a parallel fast-kernel row on top
+/// of the sequential one (small floods cannot amortize the fan-out).
+const PAR_ROW_MIN_N: usize = 50_000;
+
 /// Runs the flood benchmark over grid and triangulated-grid substrates at
 /// (approximately) each requested vertex count, printing one line per case.
+///
+/// Every substrate gets a sequential (`threads = 1`) row; substrates with
+/// n >= 50k additionally get a `threads = 4` row timing the parallel round
+/// execution path against the same sequential reference baseline (the
+/// conformance assert inside [`measure`] doubles as the outputs-identical
+/// check). `iters` is decided once per substrate, so the sequential and
+/// parallel rows of a cell are directly comparable.
 pub fn kernel_bench(sizes: &[usize]) -> Vec<KernelBenchRow> {
     let mut rows = Vec::new();
     for &n in sizes {
@@ -185,20 +211,29 @@ pub fn kernel_bench(sizes: &[usize]) -> Vec<KernelBenchRow> {
             ("grid", gen::grid(side, side)),
             ("tri-grid", gen::triangulated_grid(side, side)),
         ] {
-            let row = measure(family, &g, iters_for(g.vertex_count()));
-            println!(
-                "flood/{:<9} n={:<7} rounds={:<4} msgs={:<8} fast={:>10.6}s ref={:>10.6}s  {:>8.0} vs {:>8.0} msg/s  speedup {:.2}x",
-                row.family,
-                row.n,
-                row.rounds,
-                row.messages,
-                row.fast_secs,
-                row.reference_secs,
-                row.fast_mps(),
-                row.reference_mps(),
-                row.speedup(),
-            );
-            rows.push(row);
+            let iters = iters_for(g.vertex_count());
+            let threads: &[usize] = if g.vertex_count() >= PAR_ROW_MIN_N {
+                &[1, 4]
+            } else {
+                &[1]
+            };
+            for &t in threads {
+                let row = measure(family, &g, iters, t);
+                println!(
+                    "flood/{:<9} n={:<7} t={:<2} rounds={:<4} msgs={:<8} fast={:>10.6}s ref={:>10.6}s  {:>8.0} vs {:>8.0} msg/s  speedup {:.2}x",
+                    row.family,
+                    row.n,
+                    row.threads,
+                    row.rounds,
+                    row.messages,
+                    row.fast_secs,
+                    row.reference_secs,
+                    row.fast_mps(),
+                    row.reference_mps(),
+                    row.speedup(),
+                );
+                rows.push(row);
+            }
         }
     }
     rows
@@ -218,7 +253,7 @@ pub fn to_json(rows: &[KernelBenchRow]) -> String {
         s.push_str(&format!(
             concat!(
                 "    {{\"family\": \"{}\", \"n\": {}, \"edges\": {}, ",
-                "\"rounds\": {}, \"messages\": {}, \"iters\": {}, ",
+                "\"rounds\": {}, \"messages\": {}, \"iters\": {}, \"threads\": {}, ",
                 "\"fast_secs\": {:.9}, \"reference_secs\": {:.9}, ",
                 "\"fast_msgs_per_sec\": {:.1}, \"reference_msgs_per_sec\": {:.1}, ",
                 "\"speedup\": {:.3}}}{}\n"
@@ -229,6 +264,7 @@ pub fn to_json(rows: &[KernelBenchRow]) -> String {
             r.rounds,
             r.messages,
             r.iters,
+            r.threads,
             r.fast_secs,
             r.reference_secs,
             r.fast_mps(),
@@ -257,7 +293,7 @@ mod tests {
     #[test]
     fn flood_covers_graph_and_kernels_agree() {
         let g = gen::grid(8, 8);
-        let row = measure("grid", &g, 1);
+        let row = measure("grid", &g, 1, 1);
         assert_eq!(row.n, 64);
         // Every node fires its out-star exactly once.
         assert_eq!(row.messages, 2 * g.edge_count());
@@ -266,13 +302,27 @@ mod tests {
         assert_eq!(row.rounds, 15);
     }
 
+    /// A parallel row reproduces the sequential row's conformance-checked
+    /// metrics exactly (the assert inside `measure` compares against the
+    /// always-sequential reference kernel, so this is the outputs-identical
+    /// guarantee for the `threads > 1` rows of `BENCH_kernel.json`).
+    #[test]
+    fn parallel_row_matches_sequential_metrics() {
+        let g = gen::grid(8, 8);
+        let seq = measure("grid", &g, 1, 1);
+        let par = measure("grid", &g, 1, 4);
+        assert_eq!(par.threads, 4);
+        assert_eq!((par.rounds, par.messages), (seq.rounds, seq.messages));
+    }
+
     #[test]
     fn json_record_is_well_formed_enough() {
         let g = gen::grid(4, 4);
-        let rows = vec![measure("grid", &g, 1)];
+        let rows = vec![measure("grid", &g, 1, 1)];
         let j = to_json(&rows);
         assert!(j.contains("\"fast_msgs_per_sec\""));
         assert!(j.contains("\"reference_msgs_per_sec\""));
+        assert!(j.contains("\"threads\": 1"));
         assert!(j.contains("\"speedup\""));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
     }

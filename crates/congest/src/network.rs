@@ -55,6 +55,43 @@
 //! produce identical final states and [`Metrics`] on every workload, and
 //! the kernel benchmark records the resulting speedup in
 //! `BENCH_kernel.json`.
+//!
+//! # Parallel round execution
+//!
+//! With [`SimConfig::threads`] > 1 (or `PLANAR_THREADS` set, see
+//! [`crate::pool`]), the inside of a round fans out over scoped worker
+//! threads in two phases whose composition is bit-identical to the
+//! sequential loop at every thread count:
+//!
+//! * **Phase A (parallel, pure compute).** The program table is cut into
+//!   contiguous per-worker shards — static sharding, no work stealing, so
+//!   shard ownership is a pure function of the layout. Each worker scans
+//!   the round's recipient list for nodes in its shard, assembles their
+//!   inboxes by *cloning* from the shared `cur` plane (left intact; the
+//!   sequential path drains it in place), steps `on_round` on its exclusive
+//!   `&mut` shard, and resolves every outgoing message to its arc id
+//!   (binary search over the CSR block — the same
+//!   `InvalidDestination`/`CrossInstanceSend` semantics as the sequential
+//!   slot stamp, which batched runs keep enforcing per send). Resolved
+//!   sends and per-recipient validation errors are buffered in per-worker
+//!   scratch; nothing is queued, counted, or traced yet.
+//! * **Phase B (sequential replay).** The main thread walks the recipient
+//!   list in its original order, emits each node's `Deliver` events from
+//!   the still-intact plane, and pushes every buffered send through the
+//!   *same* `queue_resolved` helper the sequential path uses — so budget
+//!   accounting, overflow choice, fault fates (keyed on the per-arc
+//!   attempt sequence, which only depends on send order within a single
+//!   sender), per-instance attribution, trace emission and error ordering
+//!   cannot drift between the paths. The plane is drained wholesale at
+//!   round end (`MailPlane::reset`).
+//!
+//! Recipients are unique per round and an arc has a single sender, so
+//! phase A's shards touch disjoint programs and read disjoint in-arcs; the
+//! replay then serializes all shared-state effects in canonical order.
+//! Determinism therefore survives any interleaving of phase A. The
+//! thread-count conformance suite (`crates/congest/tests/threads.rs`) pins
+//! states, metrics and full trace streams across thread counts 1/2/4/8 on
+//! both entry points, fault-free and under chaos.
 
 use std::error::Error;
 use std::fmt;
@@ -140,6 +177,16 @@ pub struct SimConfig {
     /// when off, both kernels run their exact pre-tracing instruction
     /// sequence — every emission site is behind a cached `is_on()` branch.
     pub trace: TraceHandle,
+    /// Worker threads for the fast kernel's parallel round execution (see
+    /// the module docs). `None` (default) resolves automatically: the
+    /// `PLANAR_THREADS` environment knob or the host's available
+    /// parallelism, falling back to 1 inside an already-parallel sweep
+    /// worker (the no-oversubscription rule, see [`crate::pool`]).
+    /// `Some(t)` pins the count unconditionally; `Some(1)` is the plain
+    /// sequential kernel. Outcomes, [`Metrics`], fault fates and
+    /// [`TraceEvent`] streams are bit-identical at every setting — only
+    /// wall time changes. The reference kernel ignores this field.
+    pub threads: Option<usize>,
 }
 
 /// The default per-edge word budget: 8 words, i.e. messages of
@@ -154,6 +201,7 @@ impl Default for SimConfig {
             faults: FaultPlan::default(),
             watchdog: None,
             trace: TraceHandle::off(),
+            threads: None,
         }
     }
 }
@@ -432,15 +480,21 @@ impl<M> MailPlane<M> {
         self.msg_count = 0;
     }
 
-    /// Clears bookkeeping after all queues were drained by delivery.
-    /// `O(touched)`, never `O(arcs)`; retains every buffer's capacity.
+    /// Ends a round: drains every touched arc's queue and clears the
+    /// bookkeeping. `O(touched)`, never `O(arcs)`; retains every buffer's
+    /// capacity. After a sequential round the queues are already empty
+    /// (delivery `take`s them into inboxes) and only `words` needs
+    /// zeroing; after a parallel round the messages are still in place
+    /// (workers clone from the shared plane) and are dropped here.
     fn reset(&mut self) {
         for &a in &self.touched {
             let a = a as usize;
             self.words[a] = 0;
-            debug_assert!(self.head[a].is_none(), "undelivered arc");
-            debug_assert!(self.spill[a].is_empty(), "undelivered spill");
-            debug_assert_eq!(self.spilled[a >> 6] & (1 << (a & 63)), 0);
+            self.head[a] = None;
+            if self.spilled[a >> 6] & (1 << (a & 63)) != 0 {
+                self.spilled[a >> 6] &= !(1 << (a & 63));
+                self.spill[a].clear();
+            }
         }
         self.touched.clear();
         self.recipients.clear();
@@ -515,6 +569,73 @@ pub struct Simulator<M> {
     inst_tick: Vec<bool>,
     /// Scratch: which instances are live this round.
     inst_live: Vec<bool>,
+    /// Batched runs only: flat program-table index per vertex (`u32::MAX`
+    /// = bystander with no program). Member programs of all instances live
+    /// in one flat table, in merged-vertex order, so the parallel delivery
+    /// path can chunk them contiguously across workers.
+    flat_slot: Vec<u32>,
+    /// Per-worker scratch for the parallel delivery path (one entry per
+    /// worker, capacity retained across rounds and runs).
+    par_scratch: Vec<ParScratch<M>>,
+}
+
+/// Minimum recipients in a round before an *automatic* thread count
+/// engages the parallel delivery path; below this, fan-out overhead beats
+/// the win. An explicit [`SimConfig::threads`] override lowers the floor
+/// to 2 so the conformance suites exercise the machinery on tiny graphs.
+const PAR_AUTO_MIN_RECIPIENTS: usize = 256;
+
+/// Per-worker scratch for one parallel delivery phase: everything a worker
+/// computes in phase A, replayed sequentially in phase B (see the module
+/// docs). Buffers are retained across rounds.
+struct ParScratch<M> {
+    /// One record per recipient this worker handled, in the order the
+    /// worker encountered them while scanning the shared recipient list —
+    /// i.e. recipient-list order restricted to this worker's shard.
+    recs: Vec<ParRec>,
+    /// Resolved sends of all this worker's recipients, concatenated in
+    /// step order. `Option` so the replay can move each message out
+    /// without shifting the buffer.
+    resolved: Vec<Option<(u32, VertexId, M)>>,
+    /// Per-worker inbox assembled for one recipient at a time (the
+    /// parallel counterpart of `Simulator::inbox`).
+    inbox: Vec<(VertexId, M)>,
+    /// Replay cursor into `recs`.
+    rec_cursor: usize,
+}
+
+/// One recipient's phase-A outcome: where its resolved sends end in the
+/// worker's `resolved` buffer, and the validation error (if any) that
+/// sequential execution would have hit while recording its sends.
+struct ParRec {
+    /// Recipient's index in the round's shared recipient list.
+    r: u32,
+    /// End of this recipient's sends in `resolved` (starts where the
+    /// previous record ended).
+    resolved_end: u32,
+    /// Validation error to surface after this recipient's surviving sends
+    /// are queued — matching the sequential path, which queues a sender's
+    /// earlier messages before erroring on a later one.
+    err: Option<SimError>,
+}
+
+impl<M> ParScratch<M> {
+    fn new() -> Self {
+        ParScratch {
+            recs: Vec::new(),
+            resolved: Vec::new(),
+            inbox: Vec::new(),
+            rec_cursor: 0,
+        }
+    }
+
+    /// Clears logical state for a fresh delivery phase, keeping capacity.
+    fn begin(&mut self) {
+        self.recs.clear();
+        self.resolved.clear();
+        self.inbox.clear();
+        self.rec_cursor = 0;
+    }
 }
 
 /// A message held back by a delay fault until `round`.
@@ -555,6 +676,8 @@ impl<M: Words + Clone> Simulator<M> {
             inst_delayed: Vec::new(),
             inst_tick: Vec::new(),
             inst_live: Vec::new(),
+            flat_slot: Vec::new(),
+            par_scratch: Vec::new(),
         }
     }
 
@@ -585,6 +708,10 @@ impl<M: Words + Clone> Simulator<M> {
         self.inst_delayed.clear();
         self.inst_tick.clear();
         self.inst_live.clear();
+        self.flat_slot.clear();
+        for s in &mut self.par_scratch {
+            s.begin();
+        }
         self.fault_mode = !cfg.faults.is_empty();
         if self.fault_mode {
             self.crashed_at.clear();
@@ -650,7 +777,6 @@ impl<M: Words + Clone> Simulator<M> {
         if out.is_empty() {
             return Ok(());
         }
-        let tracing = cfg.trace.is_on();
         // Batched runs enforce instance isolation per send; `u32::MAX`
         // doubles as "not batched" (plain runs have an empty table).
         let from_inst = if self.inst_of.is_empty() {
@@ -680,6 +806,35 @@ impl<M: Words + Clone> Simulator<M> {
             let a = idx
                 .arc_at(from, self.slot_val[dest.index()] as usize)
                 .index();
+            self.queue_resolved(cfg, from, a, dest, round, msg, metrics)?;
+        }
+        Ok(())
+    }
+
+    /// Queues one validated message from `from` on arc `a` to `dest`: trace
+    /// emission, budget accounting, overflow detection and (in fault mode)
+    /// fate resolution. The single queueing authority shared by the
+    /// sequential path ([`Simulator::record_sends`]) and the parallel
+    /// replay ([`Simulator::replay_shards`]) — bit-identical effects by
+    /// construction.
+    #[allow(clippy::too_many_arguments)]
+    fn queue_resolved(
+        &mut self,
+        cfg: &SimConfig,
+        from: VertexId,
+        a: usize,
+        dest: VertexId,
+        round: usize,
+        msg: M,
+        metrics: &mut Metrics,
+    ) -> Result<(), SimError> {
+        let tracing = cfg.trace.is_on();
+        let from_inst = if self.inst_of.is_empty() {
+            u32::MAX
+        } else {
+            self.inst_of[from.index()]
+        };
+        {
             if tracing {
                 cfg.trace.emit(TraceEvent::Send {
                     round,
@@ -689,6 +844,7 @@ impl<M: Words + Clone> Simulator<M> {
                 });
             }
             if !self.fault_mode {
+                // Fault-free fast path: queue inline on the `nxt` plane.
                 let plane = &mut self.nxt;
                 plane.words[a] += msg.words() as u64;
                 if plane.words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
@@ -712,7 +868,7 @@ impl<M: Words + Clone> Simulator<M> {
                     self.recipient_round[dest.index()] = round + 1;
                     plane.recipients.push(dest);
                 }
-                continue;
+                return Ok(());
             }
 
             // Fault mode. Budget accounting charges *attempted* words — a
@@ -748,7 +904,7 @@ impl<M: Words + Clone> Simulator<M> {
                                 words: msg.words(),
                             });
                         }
-                        continue;
+                        return Ok(());
                     }
                     CrashPolicy::Error => {
                         return Err(SimError::DestinationCrashed {
@@ -825,7 +981,7 @@ impl<M: Words + Clone> Simulator<M> {
                                 });
                             }
                         }
-                        continue;
+                        return Ok(());
                     }
                     // Duplicate copies travel together and stay adjacent.
                     for _ in 1..copies {
@@ -876,6 +1032,211 @@ impl<M: Words + Clone> Simulator<M> {
         Ok(())
     }
 
+    /// One round of parallel delivery (see the module docs): phase A fans
+    /// recipient stepping out over `threads` workers on contiguous chunks
+    /// of `progs` (chunk size `ceil(len / threads)`, so a vertex's owner
+    /// is a pure function of the layout), phase B replays the buffered
+    /// sends sequentially in recipient order. `progs` is the flat program
+    /// table — `Vec<P>` indexed by vertex for solo runs, `Vec<Option<P>>`
+    /// indexed by `flat_slot` for batched runs — with `step` abstracting
+    /// the `on_round` dispatch between the two.
+    ///
+    /// Bit-identical to the sequential delivery loop at every thread
+    /// count; leaves `cur`'s queues intact for [`MailPlane::reset`].
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_parallel<T, F>(
+        &mut self,
+        g: &Graph,
+        idx: &ArcIndex,
+        cfg: &SimConfig,
+        round: usize,
+        threads: usize,
+        progs: &mut [T],
+        step: &F,
+        metrics: &mut Metrics,
+    ) -> Result<(), SimError>
+    where
+        M: Send + Sync,
+        T: Send,
+        F: Fn(&mut T, &NodeCtx<'_>, &[(VertexId, M)]) -> Vec<(VertexId, M)> + Sync,
+    {
+        let chunk = progs.len().div_ceil(threads).max(1);
+        let shard_count = progs.len().div_ceil(chunk);
+        if self.par_scratch.len() < shard_count {
+            self.par_scratch.resize_with(shard_count, ParScratch::new);
+        }
+
+        // Phase A: parallel, pure compute. Workers read the `cur` plane and
+        // the instance tables through shared references and mutate only
+        // their own program chunk and scratch.
+        {
+            let Simulator {
+                cur,
+                par_scratch,
+                inst_of,
+                flat_slot,
+                ..
+            } = &mut *self;
+            let cur = &*cur;
+            let inst_of = &*inst_of;
+            let flat_slot = &*flat_slot;
+            let mut shards: Vec<(&mut ParScratch<M>, &mut [T])> = par_scratch
+                .iter_mut()
+                .zip(progs.chunks_mut(chunk))
+                .collect();
+            crate::pool::fan_out_mut(&mut shards, |w, shard| {
+                let (scratch, slice) = shard;
+                let scratch: &mut ParScratch<M> = scratch;
+                let slice: &mut [T] = slice;
+                let lo = w * chunk;
+                let hi = lo + slice.len();
+                scratch.begin();
+                for (r, &v) in cur.recipients.iter().enumerate() {
+                    let fi = if flat_slot.is_empty() {
+                        v.index()
+                    } else {
+                        flat_slot[v.index()] as usize
+                    };
+                    if fi < lo || fi >= hi {
+                        continue; // another worker's recipient
+                    }
+                    // Clone the inbox from the shared plane — same content
+                    // and order as the sequential path's draining `take`s
+                    // (in-arcs in slot order, head before spill).
+                    scratch.inbox.clear();
+                    for (_, a, from) in idx.out_arcs(v) {
+                        let b = idx.rev(a).index();
+                        if let Some(msg) = &cur.head[b] {
+                            scratch.inbox.push((from, msg.clone()));
+                            if cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                                for msg in &cur.spill[b] {
+                                    scratch.inbox.push((from, msg.clone()));
+                                }
+                            }
+                        }
+                    }
+                    let ctx = NodeCtx {
+                        id: v,
+                        neighbors: g.neighbors(v),
+                        round,
+                    };
+                    let out = step(&mut slice[fi - lo], &ctx, &scratch.inbox);
+                    // Resolve each send to its arc id; same validation and
+                    // precedence as the sequential slot stamp. Sends before
+                    // a validation error are kept (the sequential path
+                    // queues them before erroring); anything after it is
+                    // discarded unobserved.
+                    let mut err = None;
+                    for (dest, msg) in out {
+                        match idx.arc(v, dest) {
+                            Some(a) => {
+                                if !inst_of.is_empty()
+                                    && inst_of[dest.index()] != inst_of[v.index()]
+                                {
+                                    err = Some(SimError::CrossInstanceSend {
+                                        from: v,
+                                        to: dest,
+                                        round,
+                                    });
+                                    break;
+                                }
+                                scratch.resolved.push(Some((a.index() as u32, dest, msg)));
+                            }
+                            None => {
+                                err = Some(SimError::InvalidDestination { from: v, to: dest });
+                                break;
+                            }
+                        }
+                    }
+                    scratch.recs.push(ParRec {
+                        r: r as u32,
+                        resolved_end: scratch.resolved.len() as u32,
+                        err,
+                    });
+                }
+            });
+        }
+
+        // Phase B: sequential replay in canonical recipient order.
+        let mut scratches = std::mem::take(&mut self.par_scratch);
+        let result = self.replay_shards(idx, cfg, round, chunk, &mut scratches, metrics);
+        self.par_scratch = scratches;
+        result
+    }
+
+    /// Phase B of [`Simulator::deliver_parallel`]: walks the recipient
+    /// list in its original order, emits each recipient's `Deliver` events
+    /// from the still-intact `cur` plane, then pushes its buffered sends
+    /// through [`Simulator::queue_resolved`] — the exact sequence of
+    /// shared-state effects (trace, budgets, fates, metrics, errors) the
+    /// sequential loop produces.
+    fn replay_shards(
+        &mut self,
+        idx: &ArcIndex,
+        cfg: &SimConfig,
+        round: usize,
+        chunk: usize,
+        scratches: &mut [ParScratch<M>],
+        metrics: &mut Metrics,
+    ) -> Result<(), SimError> {
+        let tracing = cfg.trace.is_on();
+        for r in 0..self.cur.recipients.len() {
+            let v = self.cur.recipients[r];
+            let fi = if self.flat_slot.is_empty() {
+                v.index()
+            } else {
+                self.flat_slot[v.index()] as usize
+            };
+            let w = fi / chunk;
+            let (start, end, err) = {
+                let scratch = &mut scratches[w];
+                let at = scratch.rec_cursor;
+                scratch.rec_cursor += 1;
+                let start = if at == 0 {
+                    0
+                } else {
+                    scratch.recs[at - 1].resolved_end as usize
+                };
+                let rec = &mut scratch.recs[at];
+                debug_assert_eq!(rec.r as usize, r, "shard replay out of sync");
+                (start, rec.resolved_end as usize, rec.err.take())
+            };
+            if tracing {
+                for (_, a, from) in idx.out_arcs(v) {
+                    let b = idx.rev(a).index();
+                    if let Some(msg) = &self.cur.head[b] {
+                        cfg.trace.emit(TraceEvent::Deliver {
+                            round,
+                            from,
+                            to: v,
+                            words: msg.words(),
+                        });
+                        if self.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                            for msg in &self.cur.spill[b] {
+                                cfg.trace.emit(TraceEvent::Deliver {
+                                    round,
+                                    from,
+                                    to: v,
+                                    words: msg.words(),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+            for i in start..end {
+                let (a, dest, msg) = scratches[w].resolved[i]
+                    .take()
+                    .expect("each resolved send is replayed exactly once");
+                self.queue_resolved(cfg, v, a as usize, dest, round, msg, metrics)?;
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+        Ok(())
+    }
+
     /// Runs `programs` (one per vertex of `g`, indexed by vertex id) to
     /// quiescence, reusing this simulator's buffers.
     ///
@@ -887,12 +1248,15 @@ impl<M: Words + Clone> Simulator<M> {
     /// # Panics
     ///
     /// Panics if `programs.len() != g.vertex_count()`.
-    pub fn run<P: NodeProgram<Msg = M>>(
+    pub fn run<P: NodeProgram<Msg = M> + Send>(
         &mut self,
         g: &Graph,
         programs: Vec<P>,
         cfg: &SimConfig,
-    ) -> Result<SimOutcome<P>, SimError> {
+    ) -> Result<SimOutcome<P>, SimError>
+    where
+        M: Send + Sync,
+    {
         let idx = g.arc_index();
         self.run_with_index(g, &idx, programs, cfg)
     }
@@ -909,13 +1273,16 @@ impl<M: Words + Clone> Simulator<M> {
     ///
     /// Panics if `programs.len() != g.vertex_count()` or if `idx` was not
     /// built from `g`.
-    pub fn run_with_index<P: NodeProgram<Msg = M>>(
+    pub fn run_with_index<P: NodeProgram<Msg = M> + Send>(
         &mut self,
         g: &Graph,
         idx: &ArcIndex,
         mut programs: Vec<P>,
         cfg: &SimConfig,
-    ) -> Result<SimOutcome<P>, SimError> {
+    ) -> Result<SimOutcome<P>, SimError>
+    where
+        M: Send + Sync,
+    {
         assert_eq!(
             programs.len(),
             g.vertex_count(),
@@ -966,6 +1333,16 @@ impl<M: Words + Clone> Simulator<M> {
                 .iter()
                 .enumerate()
                 .any(|(i, p)| kernel.crashed_at[i] > 1 && p.wants_tick());
+
+        // Parallel round execution (see module docs): resolved once per
+        // run. An explicit `cfg.threads` lowers the engagement floor so
+        // conformance suites exercise the parallel path on tiny graphs.
+        let threads = crate::pool::kernel_threads(cfg.threads);
+        let par_min = if cfg.threads.is_some() {
+            2
+        } else {
+            PAR_AUTO_MIN_RECIPIENTS
+        };
 
         let mut round = 0usize;
         loop {
@@ -1051,39 +1428,53 @@ impl<M: Words + Clone> Simulator<M> {
 
             // Deliver and run recipients in first-delivery order (outcome
             // independent of this order; see module docs).
-            for r in 0..kernel.cur.recipients.len() {
-                let v = kernel.cur.recipients[r];
-                kernel.inbox.clear();
-                // In-arcs in slot order == sender-id order (sorted adjacency).
-                for (_, a, w) in idx.out_arcs(v) {
-                    let b = idx.rev(a).index();
-                    if let Some(msg) = kernel.cur.head[b].take() {
-                        kernel.inbox.push((w, msg));
-                        if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                            kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
-                            for msg in kernel.cur.spill[b].drain(..) {
-                                kernel.inbox.push((w, msg));
+            if threads > 1 && kernel.cur.recipients.len() >= par_min {
+                kernel.deliver_parallel(
+                    g,
+                    idx,
+                    cfg,
+                    round,
+                    threads,
+                    &mut programs,
+                    &|p: &mut P, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| p.on_round(ctx, inbox),
+                    &mut metrics,
+                )?;
+            } else {
+                for r in 0..kernel.cur.recipients.len() {
+                    let v = kernel.cur.recipients[r];
+                    kernel.inbox.clear();
+                    // In-arcs in slot order == sender-id order (sorted
+                    // adjacency).
+                    for (_, a, w) in idx.out_arcs(v) {
+                        let b = idx.rev(a).index();
+                        if let Some(msg) = kernel.cur.head[b].take() {
+                            kernel.inbox.push((w, msg));
+                            if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                                kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
+                                for msg in kernel.cur.spill[b].drain(..) {
+                                    kernel.inbox.push((w, msg));
+                                }
                             }
                         }
                     }
-                }
-                let ctx = NodeCtx {
-                    id: v,
-                    neighbors: g.neighbors(v),
-                    round,
-                };
-                if tracing {
-                    for (from, msg) in &kernel.inbox {
-                        cfg.trace.emit(TraceEvent::Deliver {
-                            round,
-                            from: *from,
-                            to: v,
-                            words: msg.words(),
-                        });
+                    let ctx = NodeCtx {
+                        id: v,
+                        neighbors: g.neighbors(v),
+                        round,
+                    };
+                    if tracing {
+                        for (from, msg) in &kernel.inbox {
+                            cfg.trace.emit(TraceEvent::Deliver {
+                                round,
+                                from: *from,
+                                to: v,
+                                words: msg.words(),
+                            });
+                        }
                     }
+                    let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
+                    kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
                 }
-                let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
-                kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
             }
             if kernel.fault_mode {
                 // Timer ticks: live non-recipients that asked for empty-inbox
@@ -1164,12 +1555,15 @@ impl<M: Words + Clone> Simulator<M> {
     /// # Panics
     ///
     /// Panics if instances overlap or name vertices outside `g`.
-    pub fn run_many<P: NodeProgram<Msg = M>>(
+    pub fn run_many<P: NodeProgram<Msg = M> + Send>(
         &mut self,
         g: &Graph,
         instances: Vec<Instance<P>>,
         cfg: &SimConfig,
-    ) -> Result<MultiOutcome<P>, SimError> {
+    ) -> Result<MultiOutcome<P>, SimError>
+    where
+        M: Send + Sync,
+    {
         let idx = g.arc_index();
         self.run_many_with_index(g, &idx, instances, cfg)
     }
@@ -1185,13 +1579,16 @@ impl<M: Words + Clone> Simulator<M> {
     ///
     /// Panics like [`Simulator::run_many`], or if `idx` was not built from
     /// `g`.
-    pub fn run_many_with_index<P: NodeProgram<Msg = M>>(
+    pub fn run_many_with_index<P: NodeProgram<Msg = M> + Send>(
         &mut self,
         g: &Graph,
         idx: &ArcIndex,
         mut instances: Vec<Instance<P>>,
         cfg: &SimConfig,
-    ) -> Result<MultiOutcome<P>, SimError> {
+    ) -> Result<MultiOutcome<P>, SimError>
+    where
+        M: Send + Sync,
+    {
         let n = g.vertex_count();
         assert_eq!(
             idx.arc_count(),
@@ -1220,6 +1617,27 @@ impl<M: Words + Clone> Simulator<M> {
         kernel.inst_delayed.resize(k, 0);
         kernel.inst_tick.resize(k, false);
         kernel.inst_live.resize(k, false);
+        // Flatten every instance's programs into one table in ascending
+        // vertex order, addressed through `flat_slot` (`u32::MAX` =
+        // bystander): the parallel delivery path chunks this table
+        // contiguously across workers, and a batched level's members are
+        // scattered across instances, so per-instance `Vec`s could not be
+        // sharded evenly. Programs are reclaimed per instance at the end.
+        let total: usize = instances.iter().map(|inst| inst.members.len()).sum();
+        kernel.flat_slot.resize(n, u32::MAX);
+        let mut flat: Vec<Option<P>> = Vec::with_capacity(total);
+        for v in 0..n {
+            if kernel.inst_of[v] != u32::MAX {
+                kernel.flat_slot[v] = flat.len() as u32;
+                flat.push(None);
+            }
+        }
+        for inst in instances.iter_mut() {
+            for (slot, p) in inst.programs.drain(..).enumerate() {
+                let v = inst.members[slot];
+                flat[kernel.flat_slot[v.index()] as usize] = Some(p);
+            }
+        }
         let tracing = cfg.trace.is_on();
         if tracing {
             cfg.trace.emit(TraceEvent::RunStart {
@@ -1244,9 +1662,10 @@ impl<M: Words + Clone> Simulator<M> {
             }
         }
 
-        // Init phase (round 0): only instance members run programs.
-        for inst in instances.iter_mut() {
-            for (slot, &v) in inst.members.iter().enumerate() {
+        // Init phase (round 0): only instance members run programs, in
+        // instance-major member order (same as before flattening).
+        for inst in instances.iter() {
+            for &v in &inst.members {
                 if kernel.fault_mode && kernel.crashed_at[v.index()] == 0 {
                     continue;
                 }
@@ -1255,21 +1674,34 @@ impl<M: Words + Clone> Simulator<M> {
                     neighbors: g.neighbors(v),
                     round: 0,
                 };
-                let out = inst.programs[slot].init(&ctx);
+                let out = flat[kernel.flat_slot[v.index()] as usize]
+                    .as_mut()
+                    .expect("member program")
+                    .init(&ctx);
                 kernel.record_sends(idx, cfg, v, 0, out, &mut metrics)?;
             }
         }
         let mut tick_pending = false;
         if kernel.fault_mode {
             for (i, inst) in instances.iter().enumerate() {
-                kernel.inst_tick[i] = inst
-                    .members
-                    .iter()
-                    .zip(&inst.programs)
-                    .any(|(&v, p)| kernel.crashed_at[v.index()] > 1 && p.wants_tick());
+                kernel.inst_tick[i] = inst.members.iter().any(|&v| {
+                    kernel.crashed_at[v.index()] > 1
+                        && flat[kernel.flat_slot[v.index()] as usize]
+                            .as_ref()
+                            .expect("member program")
+                            .wants_tick()
+                });
                 tick_pending |= kernel.inst_tick[i];
             }
         }
+
+        // Parallel round execution, as in [`Simulator::run_with_index`].
+        let threads = crate::pool::kernel_threads(cfg.threads);
+        let par_min = if cfg.threads.is_some() {
+            2
+        } else {
+            PAR_AUTO_MIN_RECIPIENTS
+        };
 
         let mut round = 0usize;
         loop {
@@ -1370,40 +1802,56 @@ impl<M: Words + Clone> Simulator<M> {
             metrics.messages += kernel.cur.msg_count;
             metrics.words += round_words;
 
-            for r in 0..kernel.cur.recipients.len() {
-                let v = kernel.cur.recipients[r];
-                kernel.inbox.clear();
-                for (_, a, w) in idx.out_arcs(v) {
-                    let b = idx.rev(a).index();
-                    if let Some(msg) = kernel.cur.head[b].take() {
-                        kernel.inbox.push((w, msg));
-                        if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                            kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
-                            for msg in kernel.cur.spill[b].drain(..) {
-                                kernel.inbox.push((w, msg));
+            if threads > 1 && kernel.cur.recipients.len() >= par_min {
+                kernel.deliver_parallel(
+                    g,
+                    idx,
+                    cfg,
+                    round,
+                    threads,
+                    &mut flat,
+                    &|p: &mut Option<P>, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| {
+                        p.as_mut().expect("member program").on_round(ctx, inbox)
+                    },
+                    &mut metrics,
+                )?;
+            } else {
+                for r in 0..kernel.cur.recipients.len() {
+                    let v = kernel.cur.recipients[r];
+                    kernel.inbox.clear();
+                    for (_, a, w) in idx.out_arcs(v) {
+                        let b = idx.rev(a).index();
+                        if let Some(msg) = kernel.cur.head[b].take() {
+                            kernel.inbox.push((w, msg));
+                            if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
+                                kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
+                                for msg in kernel.cur.spill[b].drain(..) {
+                                    kernel.inbox.push((w, msg));
+                                }
                             }
                         }
                     }
-                }
-                let ctx = NodeCtx {
-                    id: v,
-                    neighbors: g.neighbors(v),
-                    round,
-                };
-                if tracing {
-                    for (from, msg) in &kernel.inbox {
-                        cfg.trace.emit(TraceEvent::Deliver {
-                            round,
-                            from: *from,
-                            to: v,
-                            words: msg.words(),
-                        });
+                    let ctx = NodeCtx {
+                        id: v,
+                        neighbors: g.neighbors(v),
+                        round,
+                    };
+                    if tracing {
+                        for (from, msg) in &kernel.inbox {
+                            cfg.trace.emit(TraceEvent::Deliver {
+                                round,
+                                from: *from,
+                                to: v,
+                                words: msg.words(),
+                            });
+                        }
                     }
+                    let out = flat[kernel.flat_slot[v.index()] as usize]
+                        .as_mut()
+                        .expect("member program")
+                        .on_round(&ctx, &kernel.inbox);
+                    kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
                 }
-                let inst = kernel.inst_of[v.index()] as usize;
-                let slot = kernel.inst_slot[v.index()] as usize;
-                let out = instances[inst].programs[slot].on_round(&ctx, &kernel.inbox);
-                kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
             }
             if kernel.fault_mode {
                 for &v in &kernel.cur.recipients {
@@ -1412,11 +1860,12 @@ impl<M: Words + Clone> Simulator<M> {
                 // Timer ticks, ascending vertex id within each instance
                 // (instances are independent, so inter-instance order
                 // cannot influence outcomes).
-                for inst in instances.iter_mut() {
-                    for (slot, &v) in inst.members.iter().enumerate() {
+                for inst in instances.iter() {
+                    for &v in &inst.members {
+                        let fi = kernel.flat_slot[v.index()] as usize;
                         if kernel.ran_round[v.index()] == round
                             || kernel.crashed_at[v.index()] <= round
-                            || !inst.programs[slot].wants_tick()
+                            || !flat[fi].as_ref().expect("member program").wants_tick()
                         {
                             continue;
                         }
@@ -1425,16 +1874,22 @@ impl<M: Words + Clone> Simulator<M> {
                             neighbors: g.neighbors(v),
                             round,
                         };
-                        let out = inst.programs[slot].on_round(&ctx, &[]);
+                        let out = flat[fi]
+                            .as_mut()
+                            .expect("member program")
+                            .on_round(&ctx, &[]);
                         kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
                     }
                 }
                 tick_pending = false;
                 for (i, inst) in instances.iter().enumerate() {
-                    kernel.inst_tick[i] =
-                        inst.members.iter().zip(&inst.programs).any(|(&v, p)| {
-                            kernel.crashed_at[v.index()] > round + 1 && p.wants_tick()
-                        });
+                    kernel.inst_tick[i] = inst.members.iter().any(|&v| {
+                        kernel.crashed_at[v.index()] > round + 1
+                            && flat[kernel.flat_slot[v.index()] as usize]
+                                .as_ref()
+                                .expect("member program")
+                                .wants_tick()
+                    });
                     tick_pending |= kernel.inst_tick[i];
                 }
             }
@@ -1473,8 +1928,16 @@ impl<M: Words + Clone> Simulator<M> {
             .into_iter()
             .enumerate()
             .map(|(i, inst)| InstanceOutcome {
+                programs: inst
+                    .members
+                    .iter()
+                    .map(|&v| {
+                        flat[kernel.flat_slot[v.index()] as usize]
+                            .take()
+                            .expect("each member program is reclaimed exactly once")
+                    })
+                    .collect(),
                 members: inst.members,
-                programs: inst.programs,
                 metrics: kernel.inst_metrics[i],
             })
             .collect();
@@ -1503,11 +1966,14 @@ impl<M: Words + Clone> Default for Simulator<M> {
 /// # Panics
 ///
 /// Panics if `programs.len() != g.vertex_count()`.
-pub fn run<P: NodeProgram>(
+pub fn run<P: NodeProgram + Send>(
     g: &Graph,
     programs: Vec<P>,
     cfg: &SimConfig,
-) -> Result<SimOutcome<P>, SimError> {
+) -> Result<SimOutcome<P>, SimError>
+where
+    P::Msg: Send + Sync,
+{
     Simulator::new().run(g, programs, cfg)
 }
 
@@ -1521,11 +1987,14 @@ pub fn run<P: NodeProgram>(
 /// # Panics
 ///
 /// Panics if instances overlap or name vertices outside `g`.
-pub fn run_many<P: NodeProgram>(
+pub fn run_many<P: NodeProgram + Send>(
     g: &Graph,
     instances: Vec<Instance<P>>,
     cfg: &SimConfig,
-) -> Result<MultiOutcome<P>, SimError> {
+) -> Result<MultiOutcome<P>, SimError>
+where
+    P::Msg: Send + Sync,
+{
     Simulator::new().run_many(g, instances, cfg)
 }
 

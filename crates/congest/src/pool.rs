@@ -1,0 +1,276 @@
+//! Shared scoped-thread worker pool: one thread-count knob and one fan-out
+//! implementation for every parallel consumer in the workspace — the
+//! kernel's intra-round sharding (see [`crate::network`]) and the bench
+//! harness's trial sweeps (`planar_bench::parallel`, a thin wrapper over
+//! this module).
+//!
+//! rayon would be the natural backend, but it cannot be vendored in this
+//! offline build environment (see `shims/README.md`); everything here is
+//! scoped `std::thread` plus flat slot arrays, with results placed by input
+//! index so outputs are byte-identical to the sequential path no matter how
+//! the OS schedules workers.
+//!
+//! # The one knob
+//!
+//! [`worker_threads`] reads `PLANAR_THREADS` (else the host's available
+//! parallelism, else 1) and is the default for every consumer. Disabling
+//! the crate's `parallel` feature pins every resolution to one thread — a
+//! compile-time kill switch under which the kernel's parallel branch never
+//! engages.
+//!
+//! # Composition rule (no oversubscription)
+//!
+//! Threads spawned by this module — and the calling thread while it works a
+//! shard — are marked with a thread-local flag ([`in_worker`]).
+//! [`kernel_threads`] resolves an *automatic* thread count to 1 inside such
+//! a worker: when an outer sweep ([`par_map`] over bench trials) is already
+//! fanned out, each trial's inner kernel runs sequentially instead of
+//! oversubscribing the host with `threads × threads` workers. The outer
+//! level gets priority because it parallelizes whole independent trials —
+//! the coarser, more efficient grain. An *explicit*
+//! [`SimConfig::threads`](crate::SimConfig::threads) override is honored
+//! even inside a worker: a caller pinning both levels is assumed to have
+//! budgeted for it (the thread-scaling bench does exactly this, with the
+//! outer sweep kept sequential).
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable capping worker threads for every consumer.
+pub const THREADS_ENV: &str = "PLANAR_THREADS";
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is working a pool shard (including the
+/// calling thread for the duration of its own shard). Automatic thread
+/// counts resolve to 1 here — see the module docs' composition rule.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// RAII mark scoping [`in_worker`] to one shard closure; restores the
+/// previous state on drop, panics included.
+struct WorkerMark {
+    prev: bool,
+}
+
+impl WorkerMark {
+    fn set() -> Self {
+        WorkerMark {
+            prev: IN_WORKER.with(|f| f.replace(true)),
+        }
+    }
+}
+
+impl Drop for WorkerMark {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        IN_WORKER.with(|f| f.set(prev));
+    }
+}
+
+/// Number of worker threads the pool uses by default: `PLANAR_THREADS` if
+/// set and parseable (clamped to >= 1), else the host's available
+/// parallelism, else 1. Always 1 with the `parallel` feature disabled.
+pub fn worker_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    if let Ok(v) = std::env::var(THREADS_ENV) {
+        if let Ok(t) = v.trim().parse::<usize>() {
+            return t.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Resolves the kernel's per-run thread count. `Some(t)` pins `max(t, 1)`
+/// unconditionally; `None` resolves to [`worker_threads`] — except inside a
+/// pool worker, where it resolves to 1 (the composition rule: an outer
+/// sweep already owns the cores). Always 1 with the `parallel` feature
+/// disabled.
+pub fn kernel_threads(explicit: Option<usize>) -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    if let Some(t) = explicit {
+        return t.max(1);
+    }
+    if in_worker() {
+        return 1;
+    }
+    worker_threads()
+}
+
+/// Runs `f(w, &mut shards[w])` for every shard and returns when all are
+/// done: shard 0 on the calling thread, every other shard on its own scoped
+/// worker. Static sharding — no work stealing — so which worker computes
+/// what is a pure function of the shard layout, never of OS scheduling.
+/// Worker threads (and the calling thread while it works shard 0) are
+/// marked for [`in_worker`].
+///
+/// # Panics
+///
+/// Propagates a panic from `f`.
+pub fn fan_out_mut<C, F>(shards: &mut [C], f: F)
+where
+    C: Send,
+    F: Fn(usize, &mut C) + Sync,
+{
+    match shards {
+        [] => {}
+        [only] => {
+            let _mark = WorkerMark::set();
+            f(0, only);
+        }
+        [first, rest @ ..] => {
+            std::thread::scope(|scope| {
+                for (i, shard) in rest.iter_mut().enumerate() {
+                    let f = &f;
+                    scope.spawn(move || {
+                        let _mark = WorkerMark::set();
+                        f(i + 1, shard);
+                    });
+                }
+                let _mark = WorkerMark::set();
+                f(0, first);
+            });
+        }
+    }
+}
+
+/// Applies `f` to every item on up to `threads` scoped workers pulling from
+/// an atomic queue, collecting results **by input index** — byte-identical
+/// to the sequential map regardless of scheduling. `threads <= 1` (or at
+/// most one item) degrades to a plain sequential map on the calling thread.
+/// Workers are marked for [`in_worker`], so kernels running inside the
+/// mapped closure resolve automatic thread counts to 1 (the composition
+/// rule).
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the first worker panic observed).
+pub fn par_map<T, U, F>(threads: usize, items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let n = items.len();
+    // Hand each item an index so results land in their input slot.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<U>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| {
+                let _mark = WorkerMark::set();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = work[i]
+                        .lock()
+                        .expect("work slot poisoned")
+                        .take()
+                        .expect("each slot is claimed exactly once");
+                    let out = f(item);
+                    *results[i].lock().expect("result slot poisoned") = Some(out);
+                }
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_results_are_in_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = par_map(4, items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_matches_sequential_map() {
+        let items: Vec<u64> = (0..37).collect();
+        let seq: Vec<u64> = items.iter().map(|&i| i.wrapping_mul(0x9E3779B9)).collect();
+        let par = par_map(3, items, |i| i.wrapping_mul(0x9E3779B9));
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        assert_eq!(par_map(4, Vec::<u32>::new(), |i| i), Vec::<u32>::new());
+        assert_eq!(par_map(4, vec![7u32], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn fan_out_covers_every_shard_with_its_index() {
+        let mut shards: Vec<(usize, bool)> = (0..5).map(|_| (usize::MAX, false)).collect();
+        fan_out_mut(&mut shards, |w, slot| {
+            slot.0 = w;
+            slot.1 = in_worker();
+        });
+        for (w, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.0, w, "shard {w} ran with the wrong index");
+            assert!(shard.1, "shard {w} was not marked as a worker");
+        }
+        assert!(!in_worker(), "worker mark leaked past the fan-out");
+    }
+
+    #[test]
+    fn fan_out_handles_empty_and_single() {
+        fan_out_mut::<u32, _>(&mut [], |_, _| unreachable!("no shards"));
+        let mut one = [0u32];
+        fan_out_mut(&mut one, |w, x| *x = w as u32 + 41);
+        assert_eq!(one[0], 41);
+    }
+
+    /// The composition rule: inside a pool worker, an automatic kernel
+    /// thread count resolves to 1 (the outer sweep owns the cores), while
+    /// an explicit override stays in force.
+    #[test]
+    fn nested_kernel_threads_fall_back_to_one() {
+        assert!(kernel_threads(None) >= 1);
+        // A zero pin clamps to 1 with or without the `parallel` feature.
+        assert_eq!(kernel_threads(Some(0)), 1);
+        let inner: Vec<(usize, usize)> = par_map(4, vec![(); 8], |()| {
+            (kernel_threads(None), kernel_threads(Some(4)))
+        });
+        for &(auto, pinned) in &inner {
+            assert_eq!(auto, 1, "automatic count must not oversubscribe");
+            let expect = if cfg!(feature = "parallel") { 4 } else { 1 };
+            assert_eq!(pinned, expect, "explicit count is absolute");
+        }
+        let mut shards = vec![(0usize, 0usize); 4];
+        fan_out_mut(&mut shards, |_, slot| {
+            *slot = (kernel_threads(None), kernel_threads(Some(2)));
+        });
+        for &(auto, pinned) in &shards {
+            assert_eq!(auto, 1);
+            assert_eq!(pinned, if cfg!(feature = "parallel") { 2 } else { 1 });
+        }
+    }
+}

@@ -68,8 +68,8 @@ impl<'g> SimSession<'g> {
     /// Panics if `programs.len()` differs from the graph's vertex count.
     pub fn run<P>(&mut self, programs: Vec<P>, cfg: &SimConfig) -> Result<SimOutcome<P>, SimError>
     where
-        P: NodeProgram,
-        P::Msg: 'static,
+        P: NodeProgram + Send,
+        P::Msg: Send + Sync + 'static,
     {
         let SimSession { g, idx, sims } = self;
         sim_for::<P::Msg>(sims).run_with_index(g, idx, programs, cfg)
@@ -92,8 +92,8 @@ impl<'g> SimSession<'g> {
         cfg: &SimConfig,
     ) -> Result<MultiOutcome<P>, SimError>
     where
-        P: NodeProgram,
-        P::Msg: 'static,
+        P: NodeProgram + Send,
+        P::Msg: Send + Sync + 'static,
     {
         let SimSession { g, idx, sims } = self;
         sim_for::<P::Msg>(sims).run_many_with_index(g, idx, instances, cfg)

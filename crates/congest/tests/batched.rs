@@ -187,7 +187,8 @@ fn run_many_pair<P>(
     cfg: &SimConfig,
 ) -> MultiOutcome<P>
 where
-    P: NodeProgram + Clone + PartialEq + std::fmt::Debug,
+    P: NodeProgram + Clone + PartialEq + std::fmt::Debug + Send,
+    P::Msg: Send + Sync,
 {
     let fast_audit = AuditSink::new();
     let mut fast_cfg = cfg.clone();
@@ -233,7 +234,8 @@ fn run_alone<P>(
     cfg: &SimConfig,
 ) -> (Vec<P>, congest_sim::Metrics)
 where
-    P: NodeProgram + Clone + PartialEq + std::fmt::Debug,
+    P: NodeProgram + Clone + PartialEq + std::fmt::Debug + Send,
+    P::Msg: Send + Sync,
 {
     let mut gated: Vec<Gated<P>> = (0..g.vertex_count()).map(|_| Gated(None)).collect();
     for (v, p) in programs {

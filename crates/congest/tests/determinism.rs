@@ -126,12 +126,15 @@ fn transcript_programs(g: &Graph) -> Vec<Transcript> {
         .collect()
 }
 
-fn run_pair<P: NodeProgram + Clone + PartialEq + std::fmt::Debug>(
+fn run_pair<P: NodeProgram + Clone + PartialEq + std::fmt::Debug + Send>(
     name: &str,
     g: &Graph,
     programs: Vec<P>,
     cfg: &SimConfig,
-) -> (Vec<P>, Metrics) {
+) -> (Vec<P>, Metrics)
+where
+    P::Msg: Send + Sync,
+{
     // Both kernels run under the trace auditor: every conformance workload
     // doubles as a check that the reported Metrics survive independent
     // recomputation from the event stream.

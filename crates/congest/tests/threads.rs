@@ -1,0 +1,472 @@
+//! Thread-count determinism suite for the parallel round execution path.
+//!
+//! The contract (DESIGN.md §12): with [`SimConfig::threads`] set, the fast
+//! kernel fans node stepping out across scoped workers, and **everything
+//! observable is bit-identical at every thread count** — final program
+//! states, [`Metrics`], fault fates, error values, and the full ordered
+//! [`TraceEvent`] stream (stronger than the per-round multiset the
+//! acceptance criterion asks for). An explicit `threads` override lowers
+//! the parallel path's engagement floor to 2 recipients, so these small
+//! conformance graphs genuinely exercise the sharded path rather than
+//! falling back to the sequential loop.
+//!
+//! Every cell also pins the parallel kernel against the *reference* kernel
+//! (which ignores `threads`), so the parallel path inherits the seed
+//! kernel's semantics, not merely the sequential fast path's.
+
+use congest_sim::protocols::{Reliable, ReliableConfig};
+use congest_sim::reference::{run_reference, run_reference_many};
+use congest_sim::{
+    run, run_many, AuditSink, FaultPlan, Instance, LinkDown, MemorySink, NodeCtx, NodeProgram,
+    SimConfig, SimError, TraceEvent, TraceHandle,
+};
+use planar_graph::{Graph, VertexId};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Max-flood: every node announces, floods improvements (same workload as
+/// the kernel determinism suite).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct MaxFlood {
+    best: u32,
+}
+
+impl NodeProgram for MaxFlood {
+    type Msg = u32;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+        ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+        let incoming = inbox.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        if incoming > self.best {
+            self.best = incoming;
+            ctx.neighbors.iter().map(|&w| (w, self.best)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Inbox transcript recorder: the strongest determinism witness — any
+/// change in delivery *order*, not just content, changes the state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Transcript {
+    log: Vec<(usize, u32, u64)>,
+    hops: u32,
+}
+
+impl NodeProgram for Transcript {
+    type Msg = u64;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u64)> {
+        ctx.neighbors
+            .iter()
+            .map(|&w| (w, u64::from(ctx.id.0) << 8))
+            .collect()
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, inbox: &[(VertexId, u64)]) -> Vec<(VertexId, u64)> {
+        for &(from, v) in inbox {
+            self.log.push((ctx.round, from.0, v));
+        }
+        if ctx.round >= usize::from(self.hops as u16) {
+            return Vec::new();
+        }
+        let min = inbox.iter().map(|&(_, v)| v).min().unwrap_or(0);
+        ctx.neighbors.iter().map(|&w| (w, min + 1)).collect()
+    }
+}
+
+fn grid(rows: usize, cols: usize, diagonals: bool) -> Graph {
+    let idx = |r: usize, c: usize| (r * cols + c) as u32;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((idx(r, c), idx(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((idx(r, c), idx(r + 1, c)));
+            }
+            if diagonals && r + 1 < rows && c + 1 < cols {
+                edges.push((idx(r, c), idx(r + 1, c + 1)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, edges).unwrap()
+}
+
+fn workloads() -> Vec<(&'static str, Graph)> {
+    vec![
+        (
+            "path32",
+            Graph::from_edges(32, (0..31u32).map(|i| (i, i + 1))).unwrap(),
+        ),
+        (
+            "star17",
+            Graph::from_edges(17, (1..17u32).map(|i| (0, i))).unwrap(),
+        ),
+        ("grid8x8", grid(8, 8, false)),
+        ("trigrid6x6", grid(6, 6, true)),
+    ]
+}
+
+fn flood_programs(g: &Graph) -> Vec<MaxFlood> {
+    (0..g.vertex_count())
+        .map(|i| MaxFlood {
+            best: (i as u32 * 7) % 64,
+        })
+        .collect()
+}
+
+fn transcript_programs(g: &Graph) -> Vec<Transcript> {
+    (0..g.vertex_count())
+        .map(|_| Transcript {
+            log: Vec::new(),
+            hops: 6,
+        })
+        .collect()
+}
+
+/// Fault plans the parallel path must replay identically at every thread
+/// count: channel chaos, crash-stops, link-down windows, all combined.
+fn fault_plans() -> Vec<(&'static str, FaultPlan)> {
+    let chaos = FaultPlan::uniform(12, 0.1, 0.1, 0.2, 3);
+    let mut crashes = FaultPlan::default();
+    crashes.crashes.push((VertexId(2), 3));
+    crashes.crashes.push((VertexId(5), 0));
+    let mut everything = FaultPlan::uniform(13, 0.08, 0.05, 0.15, 2);
+    everything.crashes.push((VertexId(3), 4));
+    everything.link_down.push(LinkDown {
+        from: VertexId(1),
+        to: VertexId(2),
+        start: 1,
+        end: 3,
+    });
+    vec![
+        ("none", FaultPlan::default()),
+        ("chaos", chaos),
+        ("crashes", crashes),
+        ("everything", everything),
+    ]
+}
+
+fn with_threads(cfg: &SimConfig, threads: usize) -> SimConfig {
+    SimConfig {
+        threads: Some(threads),
+        ..cfg.clone()
+    }
+}
+
+/// Runs `mk()` solo at the given thread count under a memory trace sink
+/// and returns (final states, metrics, full event stream).
+fn run_solo_traced<P>(
+    label: &str,
+    g: &Graph,
+    programs: Vec<P>,
+    cfg: &SimConfig,
+    threads: usize,
+) -> (Vec<P>, congest_sim::Metrics, Vec<TraceEvent>)
+where
+    P: NodeProgram + Send,
+    P::Msg: Send + Sync,
+{
+    let sink = MemorySink::unbounded();
+    let mut cfg = with_threads(cfg, threads);
+    cfg.trace = TraceHandle::to(sink.clone());
+    let out = run(g, programs, &cfg)
+        .unwrap_or_else(|e| panic!("{label}@{threads}t: parallel run failed: {e}"));
+    (out.programs, out.metrics, sink.events())
+}
+
+/// Solo runs: states, metrics and the full ordered trace stream are
+/// bit-identical at threads 1/2/4/8 — fault-free and under every fault
+/// plan — and match the reference kernel.
+#[test]
+fn solo_runs_identical_at_every_thread_count() {
+    for (plan_name, plan) in fault_plans() {
+        let cfg = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        for (name, g) in workloads() {
+            let label = format!("{name}/{plan_name}");
+            let reference = run_reference(&g, transcript_programs(&g), &cfg)
+                .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
+            let base = run_solo_traced(&label, &g, transcript_programs(&g), &cfg, 1);
+            assert_eq!(
+                base.0, reference.programs,
+                "{label}: parallel kernel diverged from the reference"
+            );
+            assert_eq!(base.1, reference.metrics, "{label}: reference metrics");
+            for threads in THREAD_COUNTS {
+                let got = run_solo_traced(&label, &g, transcript_programs(&g), &cfg, threads);
+                assert_eq!(got.0, base.0, "{label}@{threads}t: states diverge");
+                assert_eq!(got.1, base.1, "{label}@{threads}t: metrics diverge");
+                assert_eq!(got.2, base.2, "{label}@{threads}t: trace stream diverges");
+            }
+        }
+    }
+}
+
+/// Flood programs too (distinct send pattern: fan-out bursts that spill
+/// multi-message arcs), fault-free, all thread counts.
+#[test]
+fn solo_flood_identical_at_every_thread_count() {
+    let cfg = SimConfig::default();
+    for (name, g) in workloads() {
+        let base = run_solo_traced(name, &g, flood_programs(&g), &cfg, 1);
+        for threads in THREAD_COUNTS {
+            let got = run_solo_traced(name, &g, flood_programs(&g), &cfg, threads);
+            assert_eq!(got.0, base.0, "{name}@{threads}t: states diverge");
+            assert_eq!(got.1, base.1, "{name}@{threads}t: metrics diverge");
+            assert_eq!(got.2, base.2, "{name}@{threads}t: trace stream diverges");
+        }
+    }
+}
+
+/// Three mutually unreachable components in one vertex space (path, grid,
+/// star) — the batched suite's shape, where vertex-disjoint instances are
+/// also message-disjoint.
+fn components() -> (Graph, Vec<Vec<VertexId>>) {
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    edges.extend((0..11).map(|i| (i, i + 1)));
+    let gidx = |r: u32, c: u32| 12 + r * 4 + c;
+    for r in 0..4 {
+        for c in 0..4 {
+            if c + 1 < 4 {
+                edges.push((gidx(r, c), gidx(r, c + 1)));
+            }
+            if r + 1 < 4 {
+                edges.push((gidx(r, c), gidx(r + 1, c)));
+            }
+        }
+    }
+    edges.extend((29..37).map(|i| (28, i)));
+    let g = Graph::from_edges(37, edges).unwrap();
+    let members = vec![
+        (0..12).map(VertexId).collect(),
+        (12..28).map(VertexId).collect(),
+        (28..37).map(VertexId).collect(),
+    ];
+    (g, members)
+}
+
+fn transcript_instances(members: &[Vec<VertexId>]) -> Vec<Instance<Transcript>> {
+    members
+        .iter()
+        .map(|m| {
+            Instance::new(
+                m.iter()
+                    .map(|&v| {
+                        (
+                            v,
+                            Transcript {
+                                log: Vec::new(),
+                                hops: 6,
+                            },
+                        )
+                    })
+                    .collect(),
+            )
+        })
+        .collect()
+}
+
+/// Batched runs: per-instance states and metrics, batch metrics, and the
+/// full trace stream are identical at every thread count, fault-free and
+/// under chaos, and match the reference kernel.
+#[test]
+fn batched_runs_identical_at_every_thread_count() {
+    let (g, members) = components();
+    for (plan_name, plan) in fault_plans() {
+        let cfg = SimConfig {
+            faults: plan,
+            ..SimConfig::default()
+        };
+        let reference = run_reference_many(&g, transcript_instances(&members), &cfg)
+            .unwrap_or_else(|e| panic!("{plan_name}: reference batched run failed: {e}"));
+        let mut base: Option<(congest_sim::MultiOutcome<Transcript>, Vec<TraceEvent>)> = None;
+        for threads in THREAD_COUNTS {
+            let sink = MemorySink::unbounded();
+            let mut tcfg = with_threads(&cfg, threads);
+            tcfg.trace = TraceHandle::to(sink.clone());
+            let out = run_many(&g, transcript_instances(&members), &tcfg)
+                .unwrap_or_else(|e| panic!("{plan_name}@{threads}t: batched run failed: {e}"));
+            let events = sink.events();
+            assert_eq!(out.metrics, reference.metrics, "{plan_name}@{threads}t");
+            for (i, (f, r)) in out.instances.iter().zip(&reference.instances).enumerate() {
+                assert_eq!(f.members, r.members, "{plan_name}@{threads}t: inst {i}");
+                assert_eq!(f.programs, r.programs, "{plan_name}@{threads}t: inst {i}");
+                assert_eq!(f.metrics, r.metrics, "{plan_name}@{threads}t: inst {i}");
+            }
+            match &base {
+                None => base = Some((out, events)),
+                Some((b, bev)) => {
+                    assert_eq!(
+                        out.metrics, b.metrics,
+                        "{plan_name}@{threads}t: batch metrics diverge"
+                    );
+                    for (i, (f, s)) in out.instances.iter().zip(&b.instances).enumerate() {
+                        assert_eq!(
+                            f.programs, s.programs,
+                            "{plan_name}@{threads}t: inst {i} states diverge"
+                        );
+                        assert_eq!(
+                            f.metrics, s.metrics,
+                            "{plan_name}@{threads}t: inst {i} metrics diverge"
+                        );
+                    }
+                    assert_eq!(
+                        &events, bev,
+                        "{plan_name}@{threads}t: trace stream diverges"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Chaos + reliable-delivery cell with the `TraceAuditor` armed: the
+/// ack/retransmit wrapper under a lossy plan, metrics independently
+/// recomputed from the event stream at every thread count, solo and
+/// batched.
+#[test]
+fn reliable_chaos_audits_clean_at_every_thread_count() {
+    let cfg = SimConfig {
+        budget_words: 3 * congest_sim::DEFAULT_BUDGET_WORDS + 2,
+        faults: FaultPlan::uniform(21, 0.2, 0.1, 0.2, 2),
+        ..SimConfig::default()
+    };
+    let rel = ReliableConfig::default();
+    for (name, g) in workloads() {
+        let mk = || {
+            transcript_programs(&g)
+                .into_iter()
+                .map(|p| Reliable::new(p, rel.clone()))
+                .collect::<Vec<_>>()
+        };
+        let mut base: Option<(Vec<Reliable<Transcript>>, congest_sim::Metrics)> = None;
+        for threads in THREAD_COUNTS {
+            let audit = AuditSink::new();
+            let mut tcfg = with_threads(&cfg, threads);
+            tcfg.trace = TraceHandle::to(audit.clone());
+            let out = run(&g, mk(), &tcfg)
+                .unwrap_or_else(|e| panic!("{name}@{threads}t: wrapped run failed: {e}"));
+            assert!(
+                audit.ok(),
+                "{name}@{threads}t: trace audit failed: {:?}",
+                audit.report().mismatches
+            );
+            match &base {
+                None => base = Some((out.programs, out.metrics)),
+                Some((bp, bm)) => {
+                    assert_eq!(&out.programs, bp, "{name}@{threads}t: states diverge");
+                    assert_eq!(&out.metrics, bm, "{name}@{threads}t: metrics diverge");
+                }
+            }
+        }
+    }
+
+    // Batched counterpart: wrapped instances over the component graph, with
+    // per-instance metrics recomputed by the auditor.
+    let (g, members) = components();
+    let mk = || {
+        transcript_instances(&members)
+            .into_iter()
+            .map(|inst| inst.map(|p| Reliable::new(p, rel.clone())))
+            .collect::<Vec<_>>()
+    };
+    let mut base: Option<congest_sim::MultiOutcome<Reliable<Transcript>>> = None;
+    for threads in THREAD_COUNTS {
+        let audit = AuditSink::new();
+        let mut tcfg = with_threads(&cfg, threads);
+        tcfg.trace = TraceHandle::to(audit.clone());
+        let out = run_many(&g, mk(), &tcfg)
+            .unwrap_or_else(|e| panic!("batched@{threads}t: wrapped run failed: {e}"));
+        assert!(
+            audit.ok(),
+            "batched@{threads}t: trace audit failed: {:?}",
+            audit.report().mismatches
+        );
+        match &base {
+            None => base = Some(out),
+            Some(b) => {
+                assert_eq!(out.metrics, b.metrics, "batched@{threads}t");
+                for (i, (f, s)) in out.instances.iter().zip(&b.instances).enumerate() {
+                    assert_eq!(f.programs, s.programs, "batched@{threads}t: inst {i}");
+                    assert_eq!(f.metrics, s.metrics, "batched@{threads}t: inst {i}");
+                }
+            }
+        }
+    }
+}
+
+/// A program whose node 0 addresses a non-neighbor in round 2: the error
+/// value and everything queued before it must be identical at every
+/// thread count (the parallel path buffers validation errors and
+/// surfaces them at the sequential replay position).
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct BadSender;
+
+impl NodeProgram for BadSender {
+    type Msg = u32;
+
+    fn init(&mut self, ctx: &NodeCtx<'_>) -> Vec<(VertexId, u32)> {
+        ctx.neighbors.iter().map(|&w| (w, 1)).collect()
+    }
+
+    fn on_round(&mut self, ctx: &NodeCtx<'_>, _inbox: &[(VertexId, u32)]) -> Vec<(VertexId, u32)> {
+        if ctx.round == 2 && ctx.id == VertexId(0) {
+            // First a valid send, then a non-neighbor: the valid one must
+            // still be queued (and traced) before the error fires.
+            let mut out: Vec<(VertexId, u32)> = ctx.neighbors.iter().map(|&w| (w, 9)).collect();
+            out.push((VertexId(u32::MAX - 1), 9));
+            return out;
+        }
+        if ctx.round < 4 {
+            ctx.neighbors.iter().map(|&w| (w, 2)).collect()
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[test]
+fn errors_identical_at_every_thread_count() {
+    let g = grid(4, 4, false);
+    let base_cfg = SimConfig::default();
+    let mut streams: Vec<(usize, SimError, Vec<TraceEvent>)> = Vec::new();
+    for threads in THREAD_COUNTS {
+        let sink = MemorySink::unbounded();
+        let mut cfg = with_threads(&base_cfg, threads);
+        cfg.trace = TraceHandle::to(sink.clone());
+        let err = run(&g, vec![BadSender; 16], &cfg)
+            .err()
+            .unwrap_or_else(|| panic!("@{threads}t: bad send must abort the run"));
+        streams.push((threads, err, sink.events()));
+    }
+    let (_, base_err, base_events) = &streams[0];
+    assert!(matches!(base_err, SimError::InvalidDestination { .. }));
+    for (threads, err, events) in &streams[1..] {
+        assert_eq!(err, base_err, "@{threads}t: error value diverges");
+        assert_eq!(events, base_events, "@{threads}t: trace stream diverges");
+    }
+}
+
+/// `PLANAR_THREADS`-driven automatic resolution also stays deterministic:
+/// a run with `threads: None` equals a pinned run (the auto count only
+/// picks *how many* workers, never what they compute).
+#[test]
+fn auto_thread_count_matches_pinned() {
+    let (name, g) = ("grid8x8", grid(8, 8, false));
+    let cfg = SimConfig::default();
+    let auto = run(&g, transcript_programs(&g), &cfg).unwrap();
+    for threads in THREAD_COUNTS {
+        let pinned = run(&g, transcript_programs(&g), &with_threads(&cfg, threads)).unwrap();
+        assert_eq!(pinned.programs, auto.programs, "{name}@{threads}t");
+        assert_eq!(pinned.metrics, auto.metrics, "{name}@{threads}t");
+    }
+}

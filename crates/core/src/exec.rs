@@ -230,8 +230,8 @@ impl<'g> ExecutionContext<'g> {
     /// Propagates [`SimError`] exactly as [`congest_sim::run`] does.
     pub fn run_phase<P>(&mut self, programs: Vec<P>) -> Result<SimOutcome<P>, SimError>
     where
-        P: NodeProgram,
-        P::Msg: 'static,
+        P: NodeProgram + Send,
+        P::Msg: Send + Sync + 'static,
     {
         match &self.reliability {
             None => match self.kernel {
@@ -271,7 +271,8 @@ impl<'g> ExecutionContext<'g> {
         programs: Vec<P>,
     ) -> Result<SimOutcome<P>, SimError>
     where
-        P: NodeProgram,
+        P: NodeProgram + Send,
+        P::Msg: Send + Sync,
     {
         match (&self.reliability, self.kernel) {
             (None, Kernel::Fast) => run(g, programs, &self.sim),
@@ -306,8 +307,8 @@ impl<'g> ExecutionContext<'g> {
         instances: Vec<Instance<P>>,
     ) -> Result<MultiOutcome<P>, SimError>
     where
-        P: NodeProgram,
-        P::Msg: 'static,
+        P: NodeProgram + Send,
+        P::Msg: Send + Sync + 'static,
     {
         match &self.reliability {
             None => match self.kernel {
