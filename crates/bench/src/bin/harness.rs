@@ -1,9 +1,10 @@
 //! The experiment harness: regenerates every table of EXPERIMENTS.md.
 //!
-//! Usage:
+//! Usage (the authoritative list lives in [`planar_bench::cli`]; run with
+//! an unknown subcommand for the full listing):
 //!
 //! ```text
-//! harness [t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|all] [--large]
+//! harness [all|t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|sched|dst] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
@@ -41,6 +42,17 @@
 //! level-synchronous runs, pinning thread-count determinism and recording
 //! parallel-round-execution scaling. Also not part of `all`; run it under
 //! `--release` (`--large` extends to n = 100,000 and threads 1/2/4/8).
+//!
+//! `dst` runs the deterministic-simulation-testing swarm (`crates/dst`):
+//! `--swarm <count> --seed <base>` checks `count` seeded scenarios against
+//! the full shadow-oracle stack, minimizes any violation, writes one
+//! canonical artifact per run under `--artifacts <dir>` (default
+//! `dst-artifacts`) plus the `BENCH_dst.json` summary, and exits non-zero
+//! if any scenario violated an oracle. A bare `--seed <n>` replays that
+//! single scenario bit-identically and prints its full artifact.
+//! `--canary` arms the test-only broken-fate canary (divergences are then
+//! the *expected* outcome — a self-test of the oracles and the
+//! minimizer). Not part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -60,27 +72,15 @@ fn main() {
     };
     let run_all = which == "all";
 
-    const KNOWN: &[&str] = &[
-        "all",
-        "t1",
-        "t2",
-        "t3",
-        "t4",
-        "t5",
-        "t6",
-        "fobs",
-        "fsafe",
-        "ablate",
-        "bench-kernel",
-        "chaos",
-        "cert",
-        "trace",
-        "sched",
-    ];
-    if !KNOWN.contains(&which) {
+    if planar_bench::cli::subcommand(which).is_none() {
         eprintln!("unknown experiment `{which}`");
-        eprintln!("usage: harness [{}] [--large]", KNOWN.join("|"));
+        eprint!("{}", planar_bench::cli::usage());
         std::process::exit(2);
+    }
+
+    if which == "dst" {
+        run_dst(&args);
+        return;
     }
 
     if which == "bench-kernel" {
@@ -566,5 +566,116 @@ fn main() {
             "{}",
             render(&["family", "n", "invariantsHeld", "mergesChecked"], &data)
         );
+    }
+}
+
+/// The test-only canary skew `--canary` arms (any non-zero value works;
+/// this one is recognizable in artifacts).
+const CANARY_SKEW: u64 = 0xDEAD_BEEF_0BAD_CAFE;
+
+/// `harness dst [--swarm <count>] [--seed <base>] [--canary]
+/// [--artifacts <dir>]`: swarm mode with `--swarm`, single-seed
+/// bit-identical replay without. Exits 1 if any scenario violated an
+/// oracle (except under `--canary`, where violations are the expected
+/// outcome and *zero* divergences would be the failure), 2 on bad flags.
+fn run_dst(args: &[String]) {
+    let mut swarm: Option<usize> = None;
+    let mut seed: u64 = 0;
+    let mut canary = false;
+    let mut artifacts = String::from("dst-artifacts");
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| match it.next() {
+            Some(v) => v.to_string(),
+            None => {
+                eprintln!("{flag} needs a value");
+                std::process::exit(2);
+            }
+        };
+        match arg {
+            "dst" => {}
+            "--swarm" => {
+                swarm = Some(value_of("--swarm").parse().unwrap_or_else(|_| {
+                    eprintln!("--swarm needs an integer count");
+                    std::process::exit(2);
+                }));
+            }
+            "--seed" => {
+                seed = value_of("--seed").parse().unwrap_or_else(|_| {
+                    eprintln!("--seed needs a u64");
+                    std::process::exit(2);
+                });
+            }
+            "--canary" => canary = true,
+            "--artifacts" => artifacts = value_of("--artifacts"),
+            "--help" => {
+                print!("{}", planar_bench::cli::usage());
+                return;
+            }
+            other => {
+                eprintln!("unknown dst flag `{other}`");
+                eprint!("{}", planar_bench::cli::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+    let skew = if canary { CANARY_SKEW } else { 0 };
+
+    let Some(count) = swarm else {
+        // Single-seed replay: the bit-identical reproduction path for a
+        // failing seed reported by a swarm.
+        let run = planar_dst::run_one(seed, skew, planar_dst::DEFAULT_BUDGET);
+        println!("{}", run.progress_line());
+        print!("{}", planar_dst::run_artifact(&run));
+        if !run.report.violations.is_empty() && !canary {
+            std::process::exit(1);
+        }
+        return;
+    };
+
+    println!(
+        "== dst: {count} scenarios from seed {seed}{} ==",
+        if canary { " (canary armed)" } else { "" }
+    );
+    let options = planar_dst::SwarmOptions {
+        base_seed: seed,
+        count,
+        canary_skew: skew,
+        ..planar_dst::SwarmOptions::default()
+    };
+    let report = planar_dst::run_swarm(&options, |run| println!("{}", run.progress_line()));
+
+    let dir = std::path::Path::new(&artifacts);
+    std::fs::create_dir_all(dir).expect("create artifact directory");
+    for run in &report.runs {
+        let path = dir.join(format!("dst_{}.json", run.seed));
+        std::fs::write(&path, planar_dst::run_artifact(run)).expect("write run artifact");
+    }
+    let summary = std::path::Path::new("BENCH_dst.json");
+    std::fs::write(summary, report.to_json()).expect("write BENCH_dst.json");
+    println!(
+        "wrote {} and {} artifacts under {}",
+        summary.display(),
+        report.runs.len(),
+        dir.display()
+    );
+
+    let violating = report.violating();
+    if canary {
+        // Self-test mode: the armed canary must be caught on every faulty
+        // scenario whose fate function is actually consulted; zero catches
+        // means the oracles are blind.
+        println!("canary mode: {violating}/{count} scenarios caught the armed canary");
+        if violating == 0 {
+            eprintln!("canary escaped every scenario — shadow oracles are not looking");
+            std::process::exit(1);
+        }
+    } else if violating > 0 {
+        eprintln!(
+            "{violating} scenario(s) violated an oracle: seeds {:?} (replay with \
+             `harness dst --seed <seed>`; minimized reproducers are in the artifacts)",
+            report.violating_seeds()
+        );
+        std::process::exit(1);
     }
 }

@@ -76,26 +76,19 @@ fn substrate(family: &'static str, n: usize) -> Graph {
     }
 }
 
-/// Deterministic per-trial plan seed from the row coordinates.
-///
-/// Each coordinate goes through a full splitmix64 finalization before being
+/// Deterministic per-trial plan seed from the row coordinates, via the
+/// workspace's shared audited mixer ([`congest_sim::mix_seed`]): each
+/// coordinate goes through a full splitmix64 finalization before being
 /// mixed in, so distinct coordinate tuples map to distinct seeds. The old
-/// shift-and-add packing was collision-prone: coordinates could carry into
-/// each other's bit ranges (e.g. `(rate_idx, trial) = (0, 256)` packed to
-/// the same value as `(1, 0)`), silently running two supposedly independent
-/// trials on the same fault plan.
+/// local shift-and-add packing was collision-prone (coordinates could carry
+/// into each other's bit ranges, e.g. `(rate_idx, trial) = (0, 256)` packed
+/// the same as `(1, 0)`); the fixed mixer now lives in `congest_sim::faults`
+/// so this sweep and the DST scenario engine derive sub-seeds identically.
 fn trial_seed(fam_idx: usize, n: usize, rate_idx: usize, trial: usize) -> u64 {
-    fn splitmix(x: u64) -> u64 {
-        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-    let mut seed = 0u64;
-    for coord in [fam_idx as u64, n as u64, rate_idx as u64, trial as u64] {
-        seed = splitmix(seed ^ splitmix(coord));
-    }
-    seed
+    congest_sim::mix_seed(
+        0,
+        &[fam_idx as u64, n as u64, rate_idx as u64, trial as u64],
+    )
 }
 
 /// Runs one chaos cell: `TRIALS` seeded faulty runs against the fault-free

@@ -1,0 +1,167 @@
+//! The harness subcommand registry: one authoritative list of every
+//! subcommand with its one-line description, the usage text derived from
+//! it, and nothing else.
+//!
+//! `harness.rs` dispatches against this list and prints [`usage`] on an
+//! unknown subcommand (then exits non-zero); the test below pins the list
+//! so adding a subcommand without registering it — or registering one
+//! without documenting it — fails in CI, not in a user's terminal.
+
+/// One harness subcommand.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Subcommand {
+    /// The name typed on the command line.
+    pub name: &'static str,
+    /// One-line description for the usage listing.
+    pub description: &'static str,
+}
+
+/// Every subcommand the harness accepts, in display order.
+pub const SUBCOMMANDS: &[Subcommand] = &[
+    Subcommand {
+        name: "all",
+        description: "run every EXPERIMENTS.md table (t1-t6, fobs, fsafe, ablate); the default",
+    },
+    Subcommand {
+        name: "t1",
+        description: "Theorem 1.1 scaling: rounds vs n, ours vs trivial baseline",
+    },
+    Subcommand {
+        name: "t2",
+        description: "rounds vs diameter at fixed n (grid aspect sweep)",
+    },
+    Subcommand {
+        name: "t3",
+        description: "Lemmas 4.2/4.3: recursion depth, part ratios, final parts",
+    },
+    Subcommand {
+        name: "t4",
+        description: "Lemma 5.3 symmetry breaking on outerplanar graphs",
+    },
+    Subcommand {
+        name: "t5",
+        description: "Omega(D) lower-bound instance (subdivided K4)",
+    },
+    Subcommand {
+        name: "t6",
+        description: "CONGEST discipline audit (words per edge per round)",
+    },
+    Subcommand {
+        name: "fobs",
+        description: "Observation 3.2 interface characterization (exhaustive)",
+    },
+    Subcommand {
+        name: "fsafe",
+        description: "Definition 3.1 partition safety with full invariant checking",
+    },
+    Subcommand {
+        name: "ablate",
+        description: "per-edge word budget vs rounds ablation",
+    },
+    Subcommand {
+        name: "bench-kernel",
+        description: "kernel throughput vs the preserved seed kernel -> BENCH_kernel.json",
+    },
+    Subcommand {
+        name: "chaos",
+        description: "embedding under seeded link faults, reliable delivery on -> BENCH_chaos.json",
+    },
+    Subcommand {
+        name: "cert",
+        description: "certification sweep: label sizes, O(1) verification, mutation soundness -> BENCH_cert.json",
+    },
+    Subcommand {
+        name: "trace",
+        description: "audited per-round profile of the full pipeline -> BENCH_trace.json",
+    },
+    Subcommand {
+        name: "sched",
+        description: "level-synchronous scheduler vs sequential oracle timings -> BENCH_sched.json",
+    },
+    Subcommand {
+        name: "dst",
+        description: "deterministic simulation testing: seeded scenario swarm, shadow oracles, \
+                      failing-seed minimization -> BENCH_dst.json (see `harness dst --help`)",
+    },
+];
+
+/// Looks a subcommand up by name.
+pub fn subcommand(name: &str) -> Option<&'static Subcommand> {
+    SUBCOMMANDS.iter().find(|s| s.name == name)
+}
+
+/// The full usage text: synopsis plus one aligned line per subcommand.
+pub fn usage() -> String {
+    let names: Vec<&str> = SUBCOMMANDS.iter().map(|s| s.name).collect();
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0);
+    let mut out = format!(
+        "usage: harness [{}] [--large]\n\nsubcommands:\n",
+        names.join("|")
+    );
+    for s in SUBCOMMANDS {
+        out.push_str(&format!("  {:width$}  {}\n", s.name, s.description));
+    }
+    out.push_str(
+        "\ndst options:\n  \
+         --swarm <count>    run a swarm of scenarios from consecutive seeds\n  \
+         --seed <base>      base (swarm) or single replay seed; default 0\n  \
+         --canary           arm the test-only broken-fate canary (divergences expected)\n  \
+         --artifacts <dir>  per-run artifact directory (default dst-artifacts)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The pinned subcommand list: renaming, removing, or adding a harness
+    /// subcommand must update this test (and the docs that quote it).
+    #[test]
+    fn subcommand_list_is_pinned() {
+        let names: Vec<&str> = SUBCOMMANDS.iter().map(|s| s.name).collect();
+        assert_eq!(
+            names,
+            [
+                "all",
+                "t1",
+                "t2",
+                "t3",
+                "t4",
+                "t5",
+                "t6",
+                "fobs",
+                "fsafe",
+                "ablate",
+                "bench-kernel",
+                "chaos",
+                "cert",
+                "trace",
+                "sched",
+                "dst",
+            ]
+        );
+    }
+
+    #[test]
+    fn names_are_unique_and_resolvable() {
+        let mut seen = std::collections::HashSet::new();
+        for s in SUBCOMMANDS {
+            assert!(seen.insert(s.name), "duplicate subcommand {}", s.name);
+            assert_eq!(subcommand(s.name), Some(s));
+            assert!(!s.description.is_empty());
+        }
+        assert_eq!(subcommand("no-such-subcommand"), None);
+    }
+
+    #[test]
+    fn usage_mentions_every_subcommand() {
+        let text = usage();
+        assert!(text.starts_with("usage: harness ["));
+        for s in SUBCOMMANDS {
+            assert!(text.contains(s.name), "usage missing {}", s.name);
+        }
+        assert!(text.contains("--large"));
+        assert!(text.contains("--swarm"));
+    }
+}

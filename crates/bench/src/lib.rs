@@ -40,6 +40,7 @@
 
 pub mod certbench;
 pub mod chaos;
+pub mod cli;
 pub mod experiments;
 pub mod kernelbench;
 pub mod parallel;

@@ -50,9 +50,41 @@
 //! bandwidth), while [`Metrics`](crate::Metrics) congestion counters keep
 //! reporting *delivered* traffic.
 
+use std::error::Error;
+use std::fmt;
+
 use planar_graph::VertexId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// The SplitMix64 finalizer: a full-avalanche bijection on `u64`.
+///
+/// The workspace's one audited seed-mixing primitive. Every sub-seed
+/// derivation — the per-message fate hash below, the chaos sweep's
+/// per-trial seeds (`planar-bench`), and the DST scenario engine's
+/// dimension draws (`crates/dst`) — goes through this function, so the
+/// collision analysis done for PR 4 (distinct coordinate tuples map to
+/// distinct seeds) holds everywhere instead of in one copy per crate.
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a sub-seed from a base seed and a coordinate tuple.
+///
+/// Each coordinate is independently finalized through [`splitmix64`]
+/// before being folded in, so coordinates cannot carry into each other's
+/// bit ranges — the collision mode the old shift-and-add packings had
+/// (e.g. `(0, 256)` packing to the same value as `(1, 0)`).
+pub fn mix_seed(base: u64, coords: &[u64]) -> u64 {
+    let mut seed = base;
+    for &coord in coords {
+        seed = splitmix64(seed ^ splitmix64(coord));
+    }
+    seed
+}
 
 /// Per-link fault probabilities (applied independently per message).
 #[derive(Clone, Debug, PartialEq)]
@@ -158,6 +190,17 @@ pub struct FaultPlan {
     pub link_down: Vec<LinkDown>,
     /// Behavior of sends addressed to already-crashed nodes.
     pub on_crashed_send: CrashPolicy,
+    /// **Test-only canary hook for the DST harness** (`crates/dst`): when
+    /// non-zero, the fast kernel resolves message fates through
+    /// [`FaultPlan::fate_canary`] with `seed ^ canary_skew` while the
+    /// reference kernel keeps the honest [`FaultPlan::fate`] — a
+    /// deliberately broken fate function that makes the two kernels
+    /// diverge under any non-empty link-fault schedule. The DST shadow
+    /// oracles must catch that divergence and the failing-seed minimizer
+    /// must shrink it; nothing else may ever set this. Zero (the default)
+    /// makes `fate_canary` identical to `fate`, byte for byte.
+    #[doc(hidden)]
+    pub canary_skew: u64,
 }
 
 impl FaultPlan {
@@ -239,6 +282,28 @@ impl FaultPlan {
     /// `send_round`. Pure in `(self, from, to, send_round, k)` — see the
     /// module docs for the replayability contract.
     pub fn fate(&self, from: VertexId, to: VertexId, send_round: usize, k: u32) -> Fate {
+        self.fate_with_seed(self.seed, from, to, send_round, k)
+    }
+
+    /// The fast kernel's fate entry point: identical to [`FaultPlan::fate`]
+    /// unless the test-only [`FaultPlan::canary_skew`] canary is armed, in
+    /// which case the decision seed is skewed so the fast kernel's fault
+    /// schedule deliberately diverges from the reference kernel's. See the
+    /// field docs — this exists solely so the DST harness can prove its
+    /// shadow oracles and minimizer catch a real cross-kernel divergence.
+    #[doc(hidden)]
+    pub fn fate_canary(&self, from: VertexId, to: VertexId, send_round: usize, k: u32) -> Fate {
+        self.fate_with_seed(self.seed ^ self.canary_skew, from, to, send_round, k)
+    }
+
+    fn fate_with_seed(
+        &self,
+        seed: u64,
+        from: VertexId,
+        to: VertexId,
+        send_round: usize,
+        k: u32,
+    ) -> Fate {
         let due = send_round + 1;
         if self
             .link_down
@@ -254,7 +319,7 @@ impl FaultPlan {
                 delay: 0,
             };
         }
-        let mut rng = StdRng::seed_from_u64(mix(self.seed, from, to, send_round, k));
+        let mut rng = StdRng::seed_from_u64(mix(seed, from, to, send_round, k));
         // Fixed draw order — drop, duplicate, delay, delay amount — so the
         // schedule is stable under changes to *which* faults a plan enables.
         if unit(&mut rng) < lf.drop {
@@ -267,6 +332,160 @@ impl FaultPlan {
             0
         };
         Fate::Deliver { copies, delay }
+    }
+}
+
+/// A structural defect in a [`FaultPlan`], reported by
+/// [`FaultPlan::validate`].
+///
+/// The kernels themselves deliberately tolerate these shapes — out-of-range
+/// crash victims are ignored (pinned by the PR 4 regression suite), and
+/// probabilities are only ever compared against a `[0, 1)` draw — but a
+/// *generated* plan carrying one of them almost certainly means the
+/// generator is buggy, silently testing less than it claims. The DST
+/// scenario engine and callers constructing plans programmatically validate
+/// before running.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum FaultPlanError {
+    /// A drop/duplicate/delay probability is not a finite value in
+    /// `[0, 1]`.
+    ProbabilityOutOfRange {
+        /// Which probability field (`"drop"`, `"duplicate"`, `"delay"`).
+        field: &'static str,
+        /// `None` for the global [`FaultPlan::link`] faults, `Some` for a
+        /// per-link override.
+        link: Option<(VertexId, VertexId)>,
+        /// The offending value.
+        value: f64,
+    },
+    /// A [`LinkDown`] window with `start >= end` covers no rounds: the
+    /// outage it describes would silently never happen.
+    EmptyLinkDownWindow {
+        /// Sender side of the window's link.
+        from: VertexId,
+        /// Receiver side of the window's link.
+        to: VertexId,
+        /// The window's (inclusive) start round.
+        start: usize,
+        /// The window's (exclusive) end round.
+        end: usize,
+    },
+    /// A crash entry names a vertex the graph does not have; the kernels
+    /// would silently ignore it.
+    CrashVictimOutOfRange {
+        /// The out-of-range vertex.
+        victim: VertexId,
+        /// Its scheduled crash round.
+        round: usize,
+        /// The vertex count the plan was validated against.
+        n: usize,
+    },
+    /// A link-down window or link override names a vertex the graph does
+    /// not have; it could never match a real link.
+    LinkEndpointOutOfRange {
+        /// The out-of-range vertex.
+        vertex: VertexId,
+        /// The vertex count the plan was validated against.
+        n: usize,
+    },
+}
+
+impl fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultPlanError::ProbabilityOutOfRange { field, link, value } => match link {
+                Some((a, b)) => write!(
+                    f,
+                    "{field} probability {value} on link override ({a}, {b}) is not in [0, 1]"
+                ),
+                None => write!(f, "{field} probability {value} is not in [0, 1]"),
+            },
+            FaultPlanError::EmptyLinkDownWindow {
+                from,
+                to,
+                start,
+                end,
+            } => write!(
+                f,
+                "link-down window ({from}, {to}) [{start}, {end}) covers no rounds"
+            ),
+            FaultPlanError::CrashVictimOutOfRange { victim, round, n } => write!(
+                f,
+                "crash victim {victim} (round {round}) is out of range for a {n}-vertex graph"
+            ),
+            FaultPlanError::LinkEndpointOutOfRange { vertex, n } => write!(
+                f,
+                "link endpoint {vertex} is out of range for a {n}-vertex graph"
+            ),
+        }
+    }
+}
+
+impl Error for FaultPlanError {}
+
+fn validate_link_faults(
+    lf: &LinkFaults,
+    link: Option<(VertexId, VertexId)>,
+) -> Result<(), FaultPlanError> {
+    for (field, value) in [
+        ("drop", lf.drop),
+        ("duplicate", lf.duplicate),
+        ("delay", lf.delay),
+    ] {
+        if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+            return Err(FaultPlanError::ProbabilityOutOfRange { field, link, value });
+        }
+    }
+    Ok(())
+}
+
+impl FaultPlan {
+    /// Validates the plan against an `n`-vertex graph: all probabilities
+    /// finite and in `[0, 1]`, no empty/inverted link-down windows, every
+    /// crash victim and link endpoint in range.
+    ///
+    /// Validation is opt-in and changes no kernel behavior: the kernels
+    /// keep silently ignoring out-of-range victims (the documented PR 4
+    /// semantics) so graph-agnostic plans stay usable. Callers that
+    /// *generate* plans — the DST scenario engine, programmatic sweeps —
+    /// call this (via [`SimConfig::validate`](crate::SimConfig::validate))
+    /// to fail fast on plans that would silently test nothing.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FaultPlanError`] found, in field order.
+    pub fn validate(&self, n: usize) -> Result<(), FaultPlanError> {
+        validate_link_faults(&self.link, None)?;
+        for ((from, to), lf) in &self.link_overrides {
+            for &v in [from, to] {
+                if v.index() >= n {
+                    return Err(FaultPlanError::LinkEndpointOutOfRange { vertex: v, n });
+                }
+            }
+            validate_link_faults(lf, Some((*from, *to)))?;
+        }
+        for w in &self.link_down {
+            for v in [w.from, w.to] {
+                if v.index() >= n {
+                    return Err(FaultPlanError::LinkEndpointOutOfRange { vertex: v, n });
+                }
+            }
+            if w.start >= w.end {
+                return Err(FaultPlanError::EmptyLinkDownWindow {
+                    from: w.from,
+                    to: w.to,
+                    start: w.start,
+                    end: w.end,
+                });
+            }
+        }
+        for &(victim, round) in &self.crashes {
+            if victim.index() >= n {
+                return Err(FaultPlanError::CrashVictimOutOfRange { victim, round, n });
+            }
+        }
+        Ok(())
     }
 }
 
@@ -416,6 +635,139 @@ mod tests {
         assert_eq!(plan.crashed_by(2), 0);
         assert_eq!(plan.crashed_by(3), 1);
         assert_eq!(plan.crashed_by(10), 2);
+    }
+
+    #[test]
+    fn mix_seed_is_collision_resistant_and_order_sensitive() {
+        // The shared mixer must keep the PR 4 guarantee the chaos sweep
+        // relied on: distinct coordinate tuples map to distinct seeds, and
+        // coordinate order matters (no commutative folding).
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..40u64 {
+            for b in 0..40u64 {
+                assert!(seen.insert(mix_seed(7, &[a, b])), "collision at ({a}, {b})");
+            }
+        }
+        assert_ne!(mix_seed(7, &[1, 2]), mix_seed(7, &[2, 1]));
+        assert_ne!(mix_seed(7, &[0]), mix_seed(8, &[0]));
+        // The old carry-prone packing's canonical collision must not exist.
+        assert_ne!(mix_seed(0, &[0, 256]), mix_seed(0, &[1, 0]));
+    }
+
+    #[test]
+    fn validate_accepts_sane_plans_and_defaults() {
+        assert_eq!(FaultPlan::default().validate(0), Ok(()));
+        let mut plan = FaultPlan::uniform(3, 0.1, 0.05, 0.1, 3);
+        plan.crashes.push((VertexId(9), 4));
+        plan.link_down.push(LinkDown {
+            from: VertexId(0),
+            to: VertexId(1),
+            start: 2,
+            end: 5,
+        });
+        plan.link_overrides
+            .push(((VertexId(1), VertexId(0)), LinkFaults::NONE));
+        assert_eq!(plan.validate(10), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_range_probabilities() {
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let plan = FaultPlan::uniform(1, bad, 0.0, 0.0, 0);
+            assert!(matches!(
+                plan.validate(4),
+                Err(FaultPlanError::ProbabilityOutOfRange { field: "drop", .. })
+            ));
+        }
+        let mut plan = FaultPlan::default();
+        plan.link_overrides.push((
+            (VertexId(0), VertexId(1)),
+            LinkFaults {
+                drop: 0.0,
+                duplicate: 2.0,
+                delay: 0.0,
+                max_delay: 0,
+            },
+        ));
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::ProbabilityOutOfRange {
+                field: "duplicate",
+                link: Some(_),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_empty_windows_and_out_of_range_victims() {
+        let mut plan = FaultPlan::default();
+        plan.link_down.push(LinkDown {
+            from: VertexId(0),
+            to: VertexId(1),
+            start: 5,
+            end: 5,
+        });
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::EmptyLinkDownWindow {
+                start: 5,
+                end: 5,
+                ..
+            })
+        ));
+
+        let mut plan = FaultPlan::default();
+        plan.crashes.push((VertexId(4), 0));
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::CrashVictimOutOfRange {
+                victim: VertexId(4),
+                n: 4,
+                ..
+            })
+        ));
+        assert_eq!(plan.validate(5), Ok(()));
+
+        let mut plan = FaultPlan::default();
+        plan.link_down.push(LinkDown {
+            from: VertexId(7),
+            to: VertexId(1),
+            start: 0,
+            end: 2,
+        });
+        assert!(matches!(
+            plan.validate(4),
+            Err(FaultPlanError::LinkEndpointOutOfRange {
+                vertex: VertexId(7),
+                n: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn canary_skew_zero_is_the_honest_fate_function() {
+        let plan = FaultPlan::uniform(42, 0.3, 0.2, 0.3, 4);
+        assert_eq!(plan.canary_skew, 0, "default plan must be canary-free");
+        for k in 0..100u32 {
+            assert_eq!(
+                plan.fate(VertexId(3), VertexId(7), 11, k),
+                plan.fate_canary(VertexId(3), VertexId(7), 11, k)
+            );
+        }
+    }
+
+    #[test]
+    fn canary_skew_diverges_from_the_honest_fates() {
+        let mut plan = FaultPlan::uniform(42, 0.3, 0.2, 0.3, 4);
+        plan.canary_skew = 0xDEAD_BEEF;
+        let diverged = (0..200u32)
+            .filter(|&k| {
+                plan.fate(VertexId(0), VertexId(1), 1, k)
+                    != plan.fate_canary(VertexId(0), VertexId(1), 1, k)
+            })
+            .count();
+        assert!(diverged > 0, "skewed canary must change some fates");
     }
 
     #[test]

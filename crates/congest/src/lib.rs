@@ -77,7 +77,9 @@ pub mod routing;
 pub mod session;
 pub mod trace;
 
-pub use faults::{CrashPolicy, Fate, FaultPlan, LinkDown, LinkFaults};
+pub use faults::{
+    mix_seed, splitmix64, CrashPolicy, Fate, FaultPlan, FaultPlanError, LinkDown, LinkFaults,
+};
 pub use message::{word_bits, Words};
 pub use metrics::{Metrics, Phase, PhaseRounds};
 pub use network::{

@@ -206,6 +206,25 @@ impl Default for SimConfig {
     }
 }
 
+impl SimConfig {
+    /// Validates the configuration against an `n`-vertex graph — today
+    /// that means [`FaultPlan::validate`] on the fault plan: probabilities
+    /// in `[0, 1]`, no empty/inverted link-down windows, crash victims and
+    /// link endpoints in range.
+    ///
+    /// Opt-in (the kernels keep their documented lenient semantics);
+    /// callers that *generate* configurations — the DST scenario engine,
+    /// programmatic sweeps — call this to fail fast on plans that would
+    /// silently inject nothing.
+    ///
+    /// # Errors
+    ///
+    /// The first [`FaultPlanError`](crate::faults::FaultPlanError) found.
+    pub fn validate(&self, n: usize) -> Result<(), crate::faults::FaultPlanError> {
+        self.faults.validate(n)
+    }
+}
+
 /// Errors surfaced by the kernel.
 #[derive(Clone, Debug, PartialEq, Eq)]
 #[non_exhaustive]
@@ -915,7 +934,10 @@ impl<M: Words + Clone> Simulator<M> {
                     }
                 }
             }
-            match cfg.faults.fate(from, dest, round, k) {
+            // `fate_canary` == `fate` unless the DST harness armed the
+            // test-only `canary_skew` divergence canary (see `faults`);
+            // the reference kernel always calls the honest `fate`.
+            match cfg.faults.fate_canary(from, dest, round, k) {
                 Fate::Dropped => {
                     metrics.dropped += 1;
                     if from_inst != u32::MAX {

@@ -53,6 +53,9 @@ impl NodeProgram for ChildNotify {
             self.children.push(from);
         }
         self.children.sort();
+        // Duplication faults on a bare run deliver the same notify twice;
+        // a child is a child once.
+        self.children.dedup();
         Vec::new()
     }
 }
@@ -91,6 +94,9 @@ pub struct Convergecast {
     /// Set at the root once every subtree has reported.
     result: Option<u64>,
     participates: bool,
+    /// Whether this node already reported upward (fault injection can
+    /// surface values from undeclared children afterwards; report once).
+    fired: bool,
 }
 
 impl Convergecast {
@@ -105,6 +111,7 @@ impl Convergecast {
             child_values: HashMap::new(),
             result: None,
             participates: true,
+            fired: false,
         }
     }
 
@@ -118,6 +125,7 @@ impl Convergecast {
             child_values: HashMap::new(),
             result: None,
             participates: false,
+            fired: false,
         }
     }
 
@@ -156,6 +164,7 @@ impl NodeProgram for Convergecast {
             return Vec::new();
         }
         if self.pending_children == 0 {
+            self.fired = true;
             self.fire()
         } else {
             Vec::new()
@@ -166,12 +175,27 @@ impl NodeProgram for Convergecast {
         if !self.participates {
             return Vec::new();
         }
+        let mut fresh = false;
         for &(from, v) in inbox {
-            self.child_values.insert(from, v);
+            // Count each sender once: duplication faults on a bare
+            // (unwrapped) run deliver identical copies of a child's
+            // aggregate, and a second copy must neither re-combine nor
+            // decrement the pending counter (found by the DST swarm,
+            // `crates/dst`).
+            if self.child_values.insert(from, v).is_some() {
+                continue;
+            }
             self.acc = self.op.combine(self.acc, v);
-            self.pending_children -= 1;
+            // Saturating: if this sender's earlier `ChildNotify` was lost
+            // to fault injection it never entered `pending_children`, and
+            // the honest decrement underflowed (also a DST-swarm find).
+            // The run is degraded either way; the protocol must stay
+            // total.
+            self.pending_children = self.pending_children.saturating_sub(1);
+            fresh = true;
         }
-        if self.pending_children == 0 && inbox.iter().len() > 0 {
+        if self.pending_children == 0 && fresh && !self.fired {
+            self.fired = true;
             self.fire()
         } else {
             Vec::new()
@@ -296,6 +320,36 @@ mod tests {
         let out = run(&g, programs, &SimConfig::default()).unwrap();
         assert_eq!(out.programs[0].result(), Some(9));
         assert_eq!(out.metrics.rounds, 1);
+    }
+
+    /// Duplication faults on a bare (unwrapped) run deliver identical
+    /// copies of each child's aggregate; the second copy must be ignored,
+    /// not re-combined or counted against `pending_children` (the original
+    /// decrement underflowed — found by the DST swarm, `crates/dst`).
+    #[test]
+    fn convergecast_survives_duplicated_deliveries() {
+        let (g, parents) = path_tree(6);
+        let programs: Vec<Convergecast> = (0..6)
+            .map(|i| {
+                let children: Vec<VertexId> = if i < 5 {
+                    vec![VertexId(i as u32 + 1)]
+                } else {
+                    vec![]
+                };
+                Convergecast::new(parents[i], &children, 1, AggOp::Sum)
+            })
+            .collect();
+        let cfg = SimConfig {
+            faults: crate::faults::FaultPlan::uniform(7, 0.0, 1.0, 0.0, 0),
+            ..SimConfig::default()
+        };
+        let out = run(&g, programs, &cfg).unwrap();
+        assert_eq!(
+            out.programs[0].result(),
+            Some(6),
+            "duplicates double-counted"
+        );
+        assert!(out.metrics.duplicated > 0, "plan never duplicated anything");
     }
 
     #[test]

@@ -260,7 +260,17 @@ fn run_recursion(
         }
         Scheduler::LevelSync => solve_level_sync(g, &setup.tree, cfg, &mut stats, ctx)?,
     };
-    debug_assert_eq!(part.len(), n);
+    if part.len() != n {
+        // Message loss can leave the merged top-level part short of
+        // vertices with every phase reporting success; surface a typed
+        // failure so fault mode degrades to `PhaseIncomplete` instead of
+        // asserting (found by the DST swarm, `crates/dst`). A fault-free
+        // run can never trip this — there it is a genuine bug report.
+        return Err(EmbedError::Internal(format!(
+            "recursion merged only {} of {n} vertices",
+            part.len()
+        )));
+    }
     metrics.add(rec_metrics);
     stats.depth = stats.levels.len();
     Ok((part, metrics, stats))

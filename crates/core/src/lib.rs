@@ -30,6 +30,9 @@
 //! * [`resilience`] — fault-tolerance policy: reliable-delivery budget
 //!   widening, watchdog policy, and the [`EmbedError::Degraded`]
 //!   degradation semantics for runs under injected faults.
+//! * [`outcome`] — terminal-outcome classification ([`OutcomeClass`]) and
+//!   the allowed-terminal lattice the DST shadow oracles (`crates/dst`)
+//!   compare runs against.
 //! * [`ExecutionContext`] — the typed execution context every phase runs
 //!   through: one kernel session per graph, kernel selection
 //!   ([`Kernel`]), reliable delivery, the phase-attributed round tally,
@@ -75,6 +78,7 @@ mod exec;
 pub mod interface;
 pub mod merge;
 pub mod neighborhood;
+pub mod outcome;
 pub mod partition;
 pub mod parts;
 pub mod patterns;
@@ -92,5 +96,6 @@ pub use congest_sim::protocols::ReliableConfig;
 pub use driver::{embed_distributed, embed_recursion, EmbedderConfig, EmbeddingOutcome};
 pub use error::{DegradedCause, EmbedError};
 pub use exec::{ExecutionContext, Kernel, Scheduler};
+pub use outcome::{degraded_fingerprint, OutcomeClass};
 pub use stats::{LevelStats, MergeStats, RecursionStats};
 pub use verify::{is_planar_distributed, verify_embedding, verify_surviving_embedding};

@@ -1,0 +1,434 @@
+//! The oracle stack: everything one scenario run is checked against.
+//!
+//! A single [`check_scenario`] call runs the scenario's primary
+//! configuration plus three shadow configurations, each with the trace
+//! auditor armed, and cross-examines the results:
+//!
+//! 1. **Trace audit** — every run's kernel-reported [`Metrics`] must
+//!    survive independent recomputation from the event stream
+//!    ([`congest_sim::AuditSink`]); drift is [`ViolationKind::AuditDrift`].
+//! 2. **Terminal lattice** — the outcome class must be allowed for the
+//!    scenario ([`OutcomeClass::allowed_on_planar_input`]): fault-free
+//!    scenarios must embed, faulty ones may degrade but never fail with an
+//!    internal error ([`ViolationKind::Lattice`]).
+//! 3. **Centralized oracle** — a successful run's rotation must
+//!    re-validate against the input graph, be genus 0, and agree with the
+//!    centralized planarity check ([`ViolationKind::BadEmbedding`]).
+//! 4. **Certification oracle** — certification artifacts must be present
+//!    iff requested and accepted, and an independent fault-free
+//!    re-certification of the rotation must accept
+//!    ([`ViolationKind::Certification`]).
+//! 5. **Shadow bit-identity** — the kernel-flipped and thread-flipped
+//!    shadows must agree *exactly* (rotation, metrics, stats,
+//!    certification, full degraded fingerprint); the scheduler-flipped
+//!    shadow must agree exactly on success and on everything except
+//!    `rounds_used` when degraded ([`ViolationKind::Divergence`]). The
+//!    equality tiers mirror the conformance contracts pinned in
+//!    `core/tests/scheduler.rs`.
+
+use congest_sim::AuditSink;
+use planar_embedding::{
+    certify_embedding, degraded_fingerprint, embed_distributed, verify_embedding, EmbedError,
+    EmbedderConfig, EmbeddingOutcome, Kernel, OutcomeClass, Scheduler,
+};
+use planar_graph::Graph;
+use planar_lib::is_planar;
+
+use crate::artifact::outcome_digest;
+use crate::scenario::Scenario;
+
+/// The kind of contract a violation broke. Minimization reproduces *by
+/// kind*: a shrunk scenario counts as reproducing iff it violates the same
+/// kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ViolationKind {
+    /// The trace auditor's independent metrics recomputation disagreed
+    /// with the kernel's own accounting.
+    AuditDrift,
+    /// The run terminated in a class the scenario does not allow.
+    Lattice,
+    /// A successful run's rotation failed centralized re-validation.
+    BadEmbedding,
+    /// Certification artifacts missing/unexpected/rejected, or the
+    /// independent re-certification rejected the rotation.
+    Certification,
+    /// Two runs of the same scenario that must agree did not.
+    Divergence,
+}
+
+impl ViolationKind {
+    /// Stable identifier for artifacts and log lines.
+    pub fn code(self) -> &'static str {
+        match self {
+            ViolationKind::AuditDrift => "audit-drift",
+            ViolationKind::Lattice => "lattice",
+            ViolationKind::BadEmbedding => "bad-embedding",
+            ViolationKind::Certification => "certification",
+            ViolationKind::Divergence => "divergence",
+        }
+    }
+}
+
+/// One oracle violation: the kind, which shadow run surfaced it (`None`
+/// for the primary), and a human-readable account.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Broken contract.
+    pub kind: ViolationKind,
+    /// Shadow label (`"kernel-flip"`, `"thread-flip"`, `"scheduler-flip"`)
+    /// or `None` for the primary run.
+    pub shadow: Option<&'static str>,
+    /// What exactly disagreed.
+    pub detail: String,
+}
+
+/// A compact, comparable summary of one run for artifacts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunSummary {
+    /// Terminal class.
+    pub class: OutcomeClass,
+    /// Rounds consumed (successful runs) or charged (degraded runs);
+    /// 0 for other errors.
+    pub rounds: usize,
+    /// Messages delivered (successful runs only; 0 otherwise).
+    pub messages: usize,
+    /// Messages discarded by fault injection (successful runs only).
+    pub dropped: usize,
+    /// Degraded fingerprint `(surviving, rounds, verified, cause)`, if
+    /// degraded.
+    pub degraded: Option<(usize, usize, bool, &'static str)>,
+    /// Order-sensitive digest of the full result (rotation + metrics +
+    /// certification verdicts), for artifact-level bit-identity checks.
+    pub digest: u64,
+}
+
+impl RunSummary {
+    fn of(result: &Result<EmbeddingOutcome, EmbedError>) -> RunSummary {
+        let (rounds, messages, dropped) = match result {
+            Ok(out) => (
+                out.metrics.rounds,
+                out.metrics.messages,
+                out.metrics.dropped,
+            ),
+            Err(EmbedError::Degraded { rounds_used, .. }) => (*rounds_used, 0, 0),
+            Err(_) => (0, 0, 0),
+        };
+        RunSummary {
+            class: OutcomeClass::of(result),
+            rounds,
+            messages,
+            dropped,
+            degraded: degraded_fingerprint(result),
+            digest: outcome_digest(result),
+        }
+    }
+}
+
+/// Everything [`check_scenario`] learned about one scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScenarioReport {
+    /// The scenario as run (canary skew included, if armed).
+    pub scenario: Scenario,
+    /// Actual vertex count of the built graph.
+    pub n: usize,
+    /// Edge count of the built graph.
+    pub edges: usize,
+    /// The primary run.
+    pub primary: RunSummary,
+    /// The shadow runs, labeled.
+    pub shadows: Vec<(&'static str, RunSummary)>,
+    /// Every violation found, in oracle order. Empty means the scenario
+    /// passed all checks.
+    pub violations: Vec<Violation>,
+}
+
+impl ScenarioReport {
+    /// Kind of the first (highest-priority) violation, if any — the kind
+    /// the minimizer reproduces.
+    pub fn first_violation(&self) -> Option<ViolationKind> {
+        self.violations.first().map(|v| v.kind)
+    }
+}
+
+fn run_once(
+    sc: &Scenario,
+    g: &Graph,
+    kernel: Kernel,
+    scheduler: Scheduler,
+    threads: usize,
+) -> (
+    Result<EmbeddingOutcome, EmbedError>,
+    std::sync::Arc<AuditSink>,
+) {
+    let audit = AuditSink::new();
+    let mut cfg = sc.config(kernel, scheduler, threads);
+    cfg.sim.trace = congest_sim::TraceHandle::to(audit.clone());
+    (embed_distributed(g, &cfg), audit)
+}
+
+/// Compares two runs of the same scenario. `strict_rounds` is true for
+/// kernel/thread flips (full bit-identity) and false for scheduler flips
+/// (degraded runs legitimately charge different partial round tallies).
+/// Returns a description of the first disagreement.
+fn compare_runs(
+    a: &Result<EmbeddingOutcome, EmbedError>,
+    b: &Result<EmbeddingOutcome, EmbedError>,
+    strict_rounds: bool,
+) -> Option<String> {
+    let (ca, cb) = (OutcomeClass::of(a), OutcomeClass::of(b));
+    if ca != cb {
+        return Some(format!("class {} vs {}", ca.code(), cb.code()));
+    }
+    match (a, b) {
+        (Ok(oa), Ok(ob)) => {
+            if oa.rotation != ob.rotation {
+                Some("rotations differ".into())
+            } else if oa.metrics != ob.metrics {
+                Some(format!(
+                    "metrics differ: {:?} vs {:?}",
+                    oa.metrics, ob.metrics
+                ))
+            } else if oa.stats != ob.stats {
+                Some("recursion stats differ".into())
+            } else if oa.certification != ob.certification {
+                Some("certification artifacts differ".into())
+            } else {
+                None
+            }
+        }
+        (Err(_), Err(_)) => {
+            let fa = degraded_fingerprint(a);
+            let fb = degraded_fingerprint(b);
+            match (fa, fb) {
+                (Some(mut fa), Some(mut fb)) => {
+                    if !strict_rounds {
+                        fa.1 = 0;
+                        fb.1 = 0;
+                    }
+                    if fa != fb {
+                        Some(format!("degraded fingerprints differ: {fa:?} vs {fb:?}"))
+                    } else {
+                        None
+                    }
+                }
+                // Same non-degraded class (e.g. both NonPlanar): agreed.
+                _ => None,
+            }
+        }
+        // Class equality above rules out Ok-vs-Err here.
+        _ => None,
+    }
+}
+
+/// Runs the full oracle stack over one scenario: primary + three shadows,
+/// audited, lattice-checked, centrally re-validated, re-certified, and
+/// cross-compared. Deterministic: the same scenario yields the same
+/// report, byte for byte.
+pub fn check_scenario(sc: &Scenario) -> ScenarioReport {
+    let g = sc.build_graph();
+    let n = g.vertex_count();
+    let mut violations = Vec::new();
+
+    let (primary, audit) = run_once(sc, &g, sc.kernel, sc.scheduler, sc.threads);
+    audit_check(&audit, None, &mut violations);
+
+    // Terminal lattice: the generator guarantees a connected planar input.
+    let class = OutcomeClass::of(&primary);
+    if !class.allowed_on_planar_input(sc.faulty()) {
+        violations.push(Violation {
+            kind: ViolationKind::Lattice,
+            shadow: None,
+            detail: format!(
+                "class {} not allowed for a {} scenario on a planar input ({})",
+                class.code(),
+                if sc.faulty() { "faulty" } else { "fault-free" },
+                describe(&primary),
+            ),
+        });
+    }
+
+    if let Ok(out) = &primary {
+        // Centralized oracle: re-validate the rotation against the input
+        // and against the centralized planarity check.
+        if let Err(e) = verify_embedding(&g, &out.rotation) {
+            violations.push(Violation {
+                kind: ViolationKind::BadEmbedding,
+                shadow: None,
+                detail: format!("centralized re-validation rejected the rotation: {e}"),
+            });
+        } else if !out.rotation.is_planar_embedding() {
+            violations.push(Violation {
+                kind: ViolationKind::BadEmbedding,
+                shadow: None,
+                detail: "rotation is not genus 0".into(),
+            });
+        } else if !is_planar(&g) {
+            violations.push(Violation {
+                kind: ViolationKind::BadEmbedding,
+                shadow: None,
+                detail: "centralized check calls the embedded input non-planar".into(),
+            });
+        }
+
+        // Certification oracle: artifacts present iff requested, accepted
+        // when present, and an independent fault-free re-certification of
+        // the rotation must accept.
+        match (&out.certification, sc.certify) {
+            (Some(cert), true) => {
+                if !cert.accepted() {
+                    violations.push(Violation {
+                        kind: ViolationKind::Certification,
+                        shadow: None,
+                        detail: format!(
+                            "in-run certification rejected a successful embedding \
+                             ({} rejections, {} incomplete)",
+                            cert.report.rejections.len(),
+                            cert.report.incomplete.len()
+                        ),
+                    });
+                }
+            }
+            (None, true) => violations.push(Violation {
+                kind: ViolationKind::Certification,
+                shadow: None,
+                detail: "certification requested but missing from the outcome".into(),
+            }),
+            (Some(_), false) => violations.push(Violation {
+                kind: ViolationKind::Certification,
+                shadow: None,
+                detail: "certification present although never requested".into(),
+            }),
+            (None, false) => {}
+        }
+        let clean = EmbedderConfig {
+            check_invariants: false,
+            kernel: sc.kernel,
+            ..EmbedderConfig::default()
+        };
+        match certify_embedding(&g, &out.rotation, &clean) {
+            Ok(cert) if cert.accepted() => {}
+            Ok(cert) => violations.push(Violation {
+                kind: ViolationKind::Certification,
+                shadow: None,
+                detail: format!(
+                    "independent fault-free re-certification rejected the rotation \
+                     ({} rejections)",
+                    cert.report.rejections.len()
+                ),
+            }),
+            Err(e) => violations.push(Violation {
+                kind: ViolationKind::Certification,
+                shadow: None,
+                detail: format!("independent re-certification aborted: {e}"),
+            }),
+        }
+    }
+
+    // Shadow runs. Kernel flip and thread flip demand full bit-identity
+    // (the PR 1/2 conformance contract: states, metrics, and errors equal;
+    // fault schedules replay identically on both kernels). Scheduler flip
+    // relaxes only the degraded round tally.
+    let flip_kernel = match sc.kernel {
+        Kernel::Fast => Kernel::Reference,
+        Kernel::Reference => Kernel::Fast,
+    };
+    let flip_threads = if sc.threads == 1 { 4 } else { 1 };
+    let flip_sched = match sc.scheduler {
+        Scheduler::LevelSync => Scheduler::Sequential,
+        Scheduler::Sequential => Scheduler::LevelSync,
+    };
+    let shadow_plan: [(&'static str, Kernel, Scheduler, usize, bool); 3] = [
+        ("kernel-flip", flip_kernel, sc.scheduler, sc.threads, true),
+        ("thread-flip", sc.kernel, sc.scheduler, flip_threads, true),
+        ("scheduler-flip", sc.kernel, flip_sched, sc.threads, false),
+    ];
+    let mut shadows = Vec::with_capacity(shadow_plan.len());
+    for (label, kernel, scheduler, threads, strict) in shadow_plan {
+        let (result, audit) = run_once(sc, &g, kernel, scheduler, threads);
+        audit_check(&audit, Some(label), &mut violations);
+        if let Some(diff) = compare_runs(&primary, &result, strict) {
+            violations.push(Violation {
+                kind: ViolationKind::Divergence,
+                shadow: Some(label),
+                detail: format!("{label}: {diff}"),
+            });
+        }
+        shadows.push((label, RunSummary::of(&result)));
+    }
+
+    ScenarioReport {
+        scenario: sc.clone(),
+        n,
+        edges: g.edge_count(),
+        primary: RunSummary::of(&primary),
+        shadows,
+        violations,
+    }
+}
+
+fn audit_check(audit: &AuditSink, shadow: Option<&'static str>, out: &mut Vec<Violation>) {
+    if !audit.ok() {
+        out.push(Violation {
+            kind: ViolationKind::AuditDrift,
+            shadow,
+            detail: format!(
+                "trace auditor found accounting drift: {:?}",
+                audit.report().mismatches
+            ),
+        });
+    }
+}
+
+fn describe(result: &Result<EmbeddingOutcome, EmbedError>) -> String {
+    match result {
+        Ok(out) => format!("embedded in {} rounds", out.metrics.rounds),
+        Err(e) => e.to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+
+    /// A fault-free scenario passes the whole oracle stack; its report is
+    /// reproducible byte for byte.
+    #[test]
+    fn fault_free_scenario_passes_and_replays() {
+        let sc = (0..)
+            .map(Scenario::generate)
+            .find(|s| !s.faulty() && s.certify)
+            .unwrap();
+        let a = check_scenario(&sc);
+        assert_eq!(a.violations, vec![], "seed {}", sc.seed);
+        assert_eq!(a.primary.class, OutcomeClass::Embedded);
+        let b = check_scenario(&sc);
+        assert_eq!(a, b, "oracle report must replay identically");
+    }
+
+    /// A faulty scenario terminates in an allowed class and all shadows
+    /// agree — the conformance contracts hold under fault injection.
+    #[test]
+    fn faulty_scenario_passes_the_oracle_stack() {
+        let sc = (0..)
+            .map(Scenario::generate)
+            .find(|s| s.faulty() && s.reliability.is_some())
+            .unwrap();
+        let report = check_scenario(&sc);
+        assert_eq!(report.violations, vec![], "seed {}", sc.seed);
+        assert!(report.primary.class.allowed_on_planar_input(true));
+    }
+
+    #[test]
+    fn violation_kind_codes_are_distinct() {
+        let kinds = [
+            ViolationKind::AuditDrift,
+            ViolationKind::Lattice,
+            ViolationKind::BadEmbedding,
+            ViolationKind::Certification,
+            ViolationKind::Divergence,
+        ];
+        let codes: std::collections::HashSet<_> = kinds.iter().map(|k| k.code()).collect();
+        assert_eq!(codes.len(), kinds.len());
+    }
+}

@@ -1,0 +1,118 @@
+//! The canary acceptance test: the DST suite must prove its own teeth.
+//!
+//! `FaultPlan::canary_skew` (armed via [`Scenario::arm_canary`]) is a
+//! deliberately broken fate function behind a test-only flag: the fast
+//! kernel resolves message fates with a skewed seed while the reference
+//! kernel stays honest, so the two kernels genuinely diverge on any
+//! scenario whose link-fault schedule is actually consulted. This file
+//! asserts the whole detection pipeline works end to end: the shadow
+//! oracles *catch* the divergence, and the failing-seed minimizer
+//! *shrinks* it to a small reproducer while the bug keeps reproducing.
+
+use planar_dst::{check_scenario, minimize, run_one, Scenario, ViolationKind};
+
+const SKEW: u64 = 0xDEAD_BEEF_0BAD_CAFE;
+
+/// First seed whose scenario has a lossy link schedule (drop rate high
+/// enough that fates are consulted and differ under the skew).
+fn lossy_seed() -> u64 {
+    (0u64..500)
+        .find(|&seed| {
+            let sc = Scenario::generate(seed);
+            sc.faulty() && sc.faults.link.drop >= 0.01
+        })
+        .expect("a lossy scenario exists in the first 500 seeds")
+}
+
+#[test]
+fn canary_divergence_is_caught_and_minimized() {
+    let seed = lossy_seed();
+    let mut sc = Scenario::generate(seed);
+    sc.arm_canary(SKEW);
+
+    // Caught: the kernel-flip shadow pits the skewed fast kernel against
+    // the honest reference kernel, so the runs cannot agree.
+    let report = check_scenario(&sc);
+    let divergences: Vec<_> = report
+        .violations
+        .iter()
+        .filter(|v| v.kind == ViolationKind::Divergence)
+        .collect();
+    assert!(
+        !divergences.is_empty(),
+        "seed {seed}: armed canary escaped the shadow oracles: {:?}",
+        report.violations
+    );
+    assert!(
+        divergences.iter().any(|v| v.shadow == Some("kernel-flip")),
+        "divergence must be attributed to the kernel flip: {divergences:?}"
+    );
+
+    // Minimized: the shrinker keeps the divergence reproducible while
+    // strictly reducing the scenario.
+    let minimized = minimize(&sc, ViolationKind::Divergence, 48);
+    assert!(minimized.runs <= 48);
+    assert!(
+        !minimized.steps.is_empty(),
+        "seed {seed}: shrinker failed to remove anything from {sc:?}"
+    );
+    assert!(minimized.scenario.requested_n <= sc.requested_n);
+    let final_report = check_scenario(&minimized.scenario);
+    assert!(
+        final_report
+            .violations
+            .iter()
+            .any(|v| v.kind == ViolationKind::Divergence),
+        "minimized scenario no longer reproduces: {:?}",
+        minimized.scenario
+    );
+    // The canary only fires while fates are consulted, so the minimal
+    // reproducer must still inject link faults — the shrinker learned
+    // that zeroing the whole plan kills reproduction.
+    assert!(
+        minimized.scenario.faulty(),
+        "minimized scenario lost its fault plan entirely: {:?}",
+        minimized.scenario
+    );
+    // The graph dimension must actually shrink: the divergence does not
+    // depend on the original instance size.
+    assert!(
+        minimized.scenario.requested_n < sc.requested_n,
+        "shrinker never reduced the graph: {} vs {}",
+        minimized.scenario.requested_n,
+        sc.requested_n
+    );
+}
+
+/// The swarm pipeline wires catch → minimize automatically: a canary-armed
+/// `run_one` produces both the violation and the minimization, and the
+/// artifact records them.
+#[test]
+fn canary_swarm_run_attaches_a_minimized_reproducer() {
+    let seed = lossy_seed();
+    let run = run_one(seed, SKEW, 48);
+    assert!(!run.report.violations.is_empty());
+    let minimized = run
+        .minimized
+        .as_ref()
+        .expect("violation triggers minimization");
+    assert!(minimized.runs > 0);
+    let artifact = planar_dst::run_artifact(&run);
+    assert!(artifact.contains("\"divergence\""));
+    assert!(artifact.contains("\"minimized\""));
+    assert!(artifact.contains(&format!("\"canary_skew\": {SKEW}")));
+}
+
+/// Skew zero is byte-identical to the honest path: arming the canary with
+/// 0 changes nothing (the production invariant that makes the hook safe
+/// to ship).
+#[test]
+fn zero_skew_is_inert() {
+    let seed = lossy_seed();
+    let honest = run_one(seed, 0, 8);
+    let mut sc = Scenario::generate(seed);
+    sc.arm_canary(0);
+    let armed = check_scenario(&sc);
+    assert_eq!(honest.report.primary, armed.primary);
+    assert!(armed.violations.is_empty());
+}

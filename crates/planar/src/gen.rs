@@ -302,6 +302,172 @@ pub fn wheel_chain(k: usize, w: usize) -> Graph {
     Graph::from_edges(n as usize, edges).expect("wheel chain edges are valid")
 }
 
+/// One generator family as the DST scenario engine consumes it: a name, a
+/// declared invariant set, and a uniform `(n, seed)` constructor that maps
+/// any requested size onto the family's nearest valid instance.
+///
+/// Every family in [`registry`] declares — and the seeded smoke test
+/// `tests/gen_invariants.rs` verifies against the centralized checks — that
+/// its graphs are **connected** and **planar**; families with
+/// [`Family::outerplanar`] set are additionally outerplanar. Downstream
+/// harnesses (the DST swarm in `crates/dst`) lean on those invariants to
+/// classify run outcomes, so a generator regression would masquerade as an
+/// algorithm bug; the smoke test pins the contract at the source.
+#[derive(Clone, Copy)]
+pub struct Family {
+    /// Stable family name (used in artifacts and seeds).
+    pub name: &'static str,
+    /// The smallest vertex count the constructor accepts; `build` clamps
+    /// smaller requests up to it.
+    pub min_n: usize,
+    /// Whether every instance is outerplanar (checked, not aspirational).
+    pub outerplanar: bool,
+    /// Whether the constructor consumes the seed (deterministic families
+    /// ignore it; their instances depend on `n` alone).
+    pub randomized: bool,
+    /// Builds an instance with *approximately* `n` vertices (families with
+    /// rigid shapes — grids, subdivisions, chains — round to the nearest
+    /// valid size; the caller reads the actual count off the graph).
+    pub build: fn(n: usize, seed: u64) -> Graph,
+}
+
+impl std::fmt::Debug for Family {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Family")
+            .field("name", &self.name)
+            .field("min_n", &self.min_n)
+            .field("outerplanar", &self.outerplanar)
+            .field("randomized", &self.randomized)
+            .finish()
+    }
+}
+
+/// The generator registry: every family above, uniformly constructible.
+///
+/// Order is stable (artifacts and scenario seeds index into it); append
+/// new families at the end.
+pub const FAMILIES: &[Family] = &[
+    Family {
+        name: "path",
+        min_n: 2,
+        outerplanar: true,
+        randomized: false,
+        build: |n, _| path(n.max(2)),
+    },
+    Family {
+        name: "cycle",
+        min_n: 3,
+        outerplanar: true,
+        randomized: false,
+        build: |n, _| cycle(n.max(3)),
+    },
+    Family {
+        name: "star",
+        min_n: 2,
+        outerplanar: true,
+        randomized: false,
+        build: |n, _| star(n.max(2)),
+    },
+    Family {
+        name: "grid",
+        min_n: 4,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| {
+            let side = (n.max(4) as f64).sqrt().round().max(2.0) as usize;
+            grid(side, side)
+        },
+    },
+    Family {
+        name: "tri-grid",
+        min_n: 4,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| {
+            let side = (n.max(4) as f64).sqrt().round().max(2.0) as usize;
+            triangulated_grid(side, side)
+        },
+    },
+    Family {
+        name: "fan",
+        min_n: 2,
+        outerplanar: true,
+        randomized: false,
+        build: |n, _| fan(n.max(2)),
+    },
+    Family {
+        name: "wheel",
+        min_n: 4,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| wheel(n.max(4)),
+    },
+    Family {
+        name: "theta",
+        min_n: 5,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| theta(3, (n.max(5) / 3).max(2)),
+    },
+    Family {
+        name: "k4-subdivided",
+        min_n: 4,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| k4_subdivided(n.saturating_sub(4) / 6 + 1),
+    },
+    Family {
+        name: "wheel-chain",
+        min_n: 5,
+        outerplanar: false,
+        randomized: false,
+        build: |n, _| wheel_chain((n.max(5) / 5).max(1), 5),
+    },
+    Family {
+        name: "random-tree",
+        min_n: 2,
+        outerplanar: true,
+        randomized: true,
+        build: |n, seed| random_tree(n.max(2), seed),
+    },
+    Family {
+        name: "random-maximal-planar",
+        min_n: 3,
+        outerplanar: false,
+        randomized: true,
+        build: |n, seed| random_maximal_planar(n.max(3), seed),
+    },
+    Family {
+        name: "random-planar",
+        min_n: 3,
+        outerplanar: false,
+        randomized: true,
+        build: |n, seed| {
+            let n = n.max(3);
+            random_planar(n, n + n / 2, seed)
+        },
+    },
+    Family {
+        name: "random-outerplanar",
+        min_n: 3,
+        outerplanar: true,
+        randomized: true,
+        build: |n, seed| random_outerplanar(n.max(3), seed),
+    },
+    Family {
+        name: "sparse-outerplanar",
+        min_n: 4,
+        outerplanar: true,
+        randomized: true,
+        build: |n, seed| sparse_outerplanar(n.max(4), n / 3, seed),
+    },
+];
+
+/// Looks a family up by name.
+pub fn family(name: &str) -> Option<&'static Family> {
+    FAMILIES.iter().find(|f| f.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
