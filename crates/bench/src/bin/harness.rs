@@ -4,7 +4,7 @@
 //! an unknown subcommand for the full listing):
 //!
 //! ```text
-//! harness [all|t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|sched|dst] [--large]
+//! harness [all|t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|sched|dst|service] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
@@ -53,6 +53,16 @@
 //! `--canary` arms the test-only broken-fate canary (divergences are then
 //! the *expected* outcome — a self-test of the oracles and the
 //! minimizer). Not part of `all`.
+//!
+//! `service` soaks the multi-tenant embedding service (`crates/service`):
+//! `--fleet <count>` tenant graphs (default 1024) are admitted round-robin
+//! over the fleet families, each then receives `--deltas <count>` seeded
+//! churn deltas (default 4) with the full re-embed oracle armed on every
+//! delta. Writes `BENCH_service.json` (embeddings/sec, p50/p99 incremental
+//! vs full latency, speedup per family) and exits non-zero if any
+//! incremental result diverged from the oracle or the headline cell's
+//! incremental path is not faster than the full re-embed. `--large`
+//! doubles the per-tenant graph size. Not part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -80,6 +90,11 @@ fn main() {
 
     if which == "dst" {
         run_dst(&args);
+        return;
+    }
+
+    if which == "service" {
+        run_service(&args, large);
         return;
     }
 
@@ -677,5 +692,104 @@ fn run_dst(args: &[String]) {
             report.violating_seeds()
         );
         std::process::exit(1);
+    }
+}
+
+/// `harness service [--fleet <count>] [--deltas <count>] [--large]`:
+/// multi-tenant churn soak with the full re-embed oracle armed on every
+/// delta. Exits 1 on any incremental-vs-oracle divergence or if the
+/// headline cell's incremental path fails to beat the full re-embed,
+/// 2 on bad flags.
+fn run_service(args: &[String], large: bool) {
+    let mut opts = planar_bench::servicebench::ServiceBenchOptions::default();
+    if large {
+        opts.tenant_n *= 2;
+    }
+    let mut it = args.iter().map(String::as_str).peekable();
+    while let Some(arg) = it.next() {
+        let mut value_of = |flag: &str| -> usize {
+            match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("{flag} needs an integer value");
+                    std::process::exit(2);
+                }
+            }
+        };
+        match arg {
+            "service" | "--large" => {}
+            "--fleet" => opts.fleet = value_of("--fleet"),
+            "--deltas" => opts.deltas = value_of("--deltas"),
+            "--help" => {
+                print!("{}", planar_bench::cli::usage());
+                return;
+            }
+            other => {
+                eprintln!("unknown service flag `{other}`");
+                eprint!("{}", planar_bench::cli::usage());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "== service: {} tenants x {} deltas (n ~ {}), full re-embed oracle armed ==",
+        opts.fleet, opts.deltas, opts.tenant_n
+    );
+    let report = planar_bench::servicebench::service_soak(&opts);
+    let data: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.family.to_string(),
+                r.tenants.to_string(),
+                r.applied.to_string(),
+                r.incremental.to_string(),
+                r.full_fallbacks.to_string(),
+                r.rejected_nonplanar.to_string(),
+                format!("{:.0}", r.p50_service_us),
+                format!("{:.0}", r.p99_service_us),
+                format!("{:.0}", r.p50_incremental_us),
+                format!("{:.0}", r.p50_full_us),
+                format!("{:.2}x", r.speedup_p50),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render(
+            &[
+                "family", "tenants", "applied", "incr", "fallback", "rejected", "p50(us)",
+                "p99(us)", "incrP50", "fullP50", "speedup"
+            ],
+            &data
+        )
+    );
+    println!(
+        "fleet: {} tenants, {} embeddings in {:.2}s service time = {:.0} embeddings/sec",
+        report.fleet, report.total_embeddings, report.service_secs, report.embeddings_per_sec
+    );
+    let path = std::path::Path::new("BENCH_service.json");
+    planar_bench::servicebench::write_json(path, &report).expect("write BENCH_service.json");
+    println!("wrote {}", path.display());
+
+    if report.divergences > 0 {
+        eprintln!(
+            "{} incremental re-embedding(s) diverged from the full re-embed oracle — \
+             the bit-identity contract is broken",
+            report.divergences
+        );
+        std::process::exit(1);
+    }
+    if let Some(headline) = report.headline() {
+        if headline.speedup_p50 <= 1.0 {
+            eprintln!(
+                "incremental re-embedding is not faster than a full re-embed at the \
+                 headline cell ({}: {:.2}x)",
+                headline.family, headline.speedup_p50
+            );
+            std::process::exit(1);
+        }
     }
 }

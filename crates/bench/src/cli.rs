@@ -83,6 +83,11 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         description: "deterministic simulation testing: seeded scenario swarm, shadow oracles, \
                       failing-seed minimization -> BENCH_dst.json (see `harness dst --help`)",
     },
+    Subcommand {
+        name: "service",
+        description: "multi-tenant churn soak: incremental vs full re-embed latency across a \
+                      tenant fleet -> BENCH_service.json",
+    },
 ];
 
 /// Looks a subcommand up by name.
@@ -107,6 +112,11 @@ pub fn usage() -> String {
          --seed <base>      base (swarm) or single replay seed; default 0\n  \
          --canary           arm the test-only broken-fate canary (divergences expected)\n  \
          --artifacts <dir>  per-run artifact directory (default dst-artifacts)\n",
+    );
+    out.push_str(
+        "\nservice options:\n  \
+         --fleet <count>    concurrent tenant graphs in the soak (default 1024)\n  \
+         --deltas <count>   churn deltas applied per tenant (default 4)\n",
     );
     out
 }
@@ -139,6 +149,7 @@ mod tests {
                 "trace",
                 "sched",
                 "dst",
+                "service",
             ]
         );
     }
@@ -163,5 +174,7 @@ mod tests {
         }
         assert!(text.contains("--large"));
         assert!(text.contains("--swarm"));
+        assert!(text.contains("--fleet"));
+        assert!(text.contains("--deltas"));
     }
 }

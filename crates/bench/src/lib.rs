@@ -31,7 +31,9 @@
 //! runs the pipeline under the trace auditor and emits the per-round
 //! profile as `BENCH_trace.json`; [`schedbench`] times the
 //! level-synchronous scheduler against the sequential oracle and emits
-//! `BENCH_sched.json`.
+//! `BENCH_sched.json`; [`servicebench`] soaks the multi-tenant embedding
+//! service under seeded churn with the full re-embed oracle armed and
+//! emits `BENCH_service.json`.
 //!
 //! Run everything with `cargo run --release -p planar-bench --bin harness`.
 
@@ -45,6 +47,7 @@ pub mod experiments;
 pub mod kernelbench;
 pub mod parallel;
 pub mod schedbench;
+pub mod servicebench;
 pub mod table;
 pub mod timing;
 pub mod tracebench;

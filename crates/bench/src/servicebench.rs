@@ -1,0 +1,388 @@
+//! Multi-tenant service soak: the record behind `BENCH_service.json`.
+//!
+//! The soak admits a fleet of tenant graphs (round-robin over a fixed set
+//! of generator families) into one [`ServiceState`] and drives every
+//! tenant with a seeded churn stream, the full re-embed oracle armed on
+//! every delta ([`OracleMode::Always`]). Each applied delta therefore
+//! yields a latency *pair* — the service-side handling (validation, gate,
+//! incremental re-embedding) and the full re-embed of the same mutated
+//! graph — measured on the same host, same graph, same delta. Per family
+//! the sweep reports p50/p99 of both, the p50 speedup, and the path
+//! split (incremental vs recorded full fallback vs rejection); fleet-wide
+//! it reports sustained embeddings/sec (admissions + applied deltas over
+//! service-side wall time, oracle time excluded — the oracle is the
+//! checker, not the product).
+//!
+//! Any incremental-vs-oracle divergence is a bit-identity contract
+//! violation: it is counted in the report and the harness exits non-zero
+//! (the CI gate).
+//!
+//! [`ServiceState`]: planar_service::ServiceState
+//! [`OracleMode::Always`]: planar_service::OracleMode::Always
+
+use congest_sim::mix_seed;
+use planar_lib::gen;
+use planar_service::{ChurnGen, DeltaOutcome, OracleMode, ServiceConfig, ServiceState, TenantId};
+
+/// Families the fleet cycles through: the deterministic substrates the
+/// other sweeps use plus the seeded planar/outerplanar samplers, so both
+/// rigid and irregular tenants are resident at once.
+pub const FLEET_FAMILIES: &[&str] = &[
+    "grid",
+    "tri-grid",
+    "wheel",
+    "fan",
+    "random-tree",
+    "random-planar",
+    "random-outerplanar",
+    "random-maximal-planar",
+];
+
+/// Soak shape: fleet size, churn depth, per-tenant size, base seed.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceBenchOptions {
+    /// Concurrent tenant graphs (the `--fleet` flag).
+    pub fleet: usize,
+    /// Churn deltas applied to every tenant (the `--deltas` flag).
+    pub deltas: usize,
+    /// Requested vertex count per tenant graph.
+    pub tenant_n: usize,
+    /// Base seed; tenant graph seeds and churn seeds derive from it.
+    pub seed: u64,
+}
+
+impl Default for ServiceBenchOptions {
+    fn default() -> Self {
+        ServiceBenchOptions {
+            fleet: 1024,
+            deltas: 4,
+            tenant_n: 24,
+            seed: 7,
+        }
+    }
+}
+
+/// Aggregated soak results for one generator family.
+#[derive(Clone, Debug)]
+pub struct ServiceFamilyRow {
+    /// Family name (from [`FLEET_FAMILIES`]).
+    pub family: &'static str,
+    /// Tenants of this family in the fleet.
+    pub tenants: usize,
+    /// Deltas submitted across those tenants.
+    pub deltas: usize,
+    /// Deltas applied (incremental + full fallbacks).
+    pub applied: usize,
+    /// Applied via the incremental path.
+    pub incremental: usize,
+    /// Applied via a recorded full fallback.
+    pub full_fallbacks: usize,
+    /// Deltas rejected as planarity-breaking (gate or embedder).
+    pub rejected_nonplanar: usize,
+    /// p50 service-side latency over ALL applied deltas (the operator's
+    /// view: validation + gate + whichever re-embed path ran), µs.
+    pub p50_service_us: f64,
+    /// p99 service-side latency over all applied deltas, µs.
+    pub p99_service_us: f64,
+    /// p50 service-side latency over *incremental-path* deltas only, µs.
+    pub p50_incremental_us: f64,
+    /// p50 full re-embed (oracle) latency over those same
+    /// incremental-path deltas, µs — the apples-to-apples cost a
+    /// from-scratch re-embed would have paid for them.
+    pub p50_full_us: f64,
+    /// p99 full re-embed latency over the incremental-path deltas, µs.
+    pub p99_full_us: f64,
+    /// `p50_full_us / p50_incremental_us` — the incremental dividend
+    /// (0 when the family produced no incremental-path deltas).
+    pub speedup_p50: f64,
+    /// Incremental-vs-oracle divergences (must be 0).
+    pub divergences: usize,
+}
+
+/// The full soak record.
+#[derive(Clone, Debug)]
+pub struct ServiceBenchReport {
+    /// Fleet size actually admitted.
+    pub fleet: usize,
+    /// Deltas per tenant.
+    pub deltas_per_tenant: usize,
+    /// Requested per-tenant vertex count.
+    pub tenant_n: usize,
+    /// Embeddings produced by the service (admissions + applied deltas).
+    pub total_embeddings: usize,
+    /// Service-side wall time (admissions + delta handling; oracle
+    /// re-embeds excluded), seconds.
+    pub service_secs: f64,
+    /// `total_embeddings / service_secs`.
+    pub embeddings_per_sec: f64,
+    /// Total incremental-vs-oracle divergences (the CI gate; must be 0).
+    pub divergences: usize,
+    /// Per-family aggregates.
+    pub rows: Vec<ServiceFamilyRow>,
+}
+
+impl ServiceBenchReport {
+    /// The headline cell: the family row with the most incremental-path
+    /// deltas (the most evidence for the incremental-vs-full
+    /// comparison). The harness gates on its speedup.
+    pub fn headline(&self) -> Option<&ServiceFamilyRow> {
+        self.rows.iter().max_by_key(|r| r.incremental)
+    }
+}
+
+fn percentile(sorted_nanos: &[u128], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_nanos.len() - 1) as f64 * q).round() as usize;
+    sorted_nanos[idx] as f64 / 1_000.0
+}
+
+/// Runs the soak: admits `fleet` tenants round-robin over
+/// [`FLEET_FAMILIES`], applies `deltas` seeded churn deltas to each with
+/// the full re-embed oracle armed, and aggregates latency pairs per
+/// family.
+///
+/// # Panics
+///
+/// Panics if a tenant admission fails (every fleet graph is planar and
+/// connected by construction) or the service reports an internal error.
+pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
+    let cfg = ServiceConfig {
+        oracle: OracleMode::Always,
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceState::new(cfg);
+
+    // Admission: the whole fleet becomes resident before any churn, so
+    // the churn phase runs against a fully loaded tenant table.
+    let mut tenants: Vec<(TenantId, &'static str, u64)> = Vec::with_capacity(opts.fleet);
+    let admission = std::time::Instant::now();
+    for i in 0..opts.fleet {
+        let name = FLEET_FAMILIES[i % FLEET_FAMILIES.len()];
+        let family = gen::family(name).expect("fleet family is registered");
+        let graph_seed = mix_seed(opts.seed, &[1, i as u64]);
+        let g = (family.build)(opts.tenant_n.max(family.min_n), graph_seed);
+        let id = svc
+            .create_tenant_labeled(g, Some(name))
+            .unwrap_or_else(|e| panic!("admission of {name} tenant {i} failed: {e}"));
+        tenants.push((id, name, mix_seed(opts.seed, &[2, i as u64])));
+    }
+    let admission_secs = admission.elapsed().as_secs_f64();
+
+    for &(id, name, churn_seed) in &tenants {
+        let mut churn = ChurnGen::new(churn_seed);
+        for step in 0..opts.deltas {
+            let delta = churn.next_delta(svc.tenant(id).unwrap().graph());
+            svc.apply(id, delta)
+                .unwrap_or_else(|e| panic!("{name} tenant, delta {step}: {e}"));
+        }
+    }
+
+    // Aggregate per family from the tenant delta logs.
+    let mut rows = Vec::new();
+    let mut service_nanos_total: u128 = 0;
+    let mut total_applied = 0usize;
+    for &family in FLEET_FAMILIES {
+        let mut row = ServiceFamilyRow {
+            family,
+            tenants: 0,
+            deltas: 0,
+            applied: 0,
+            incremental: 0,
+            full_fallbacks: 0,
+            rejected_nonplanar: 0,
+            p50_service_us: 0.0,
+            p99_service_us: 0.0,
+            p50_incremental_us: 0.0,
+            p50_full_us: 0.0,
+            p99_full_us: 0.0,
+            speedup_p50: 0.0,
+            divergences: 0,
+        };
+        let mut service_ns: Vec<u128> = Vec::new();
+        let mut incr_ns: Vec<u128> = Vec::new();
+        let mut full_ns: Vec<u128> = Vec::new();
+        for (_, tenant) in svc.tenants().filter(|(_, t)| t.label() == Some(family)) {
+            row.tenants += 1;
+            let stats = tenant.stats();
+            row.applied += stats.applied;
+            row.incremental += stats.incremental;
+            row.full_fallbacks += stats.full_fallbacks;
+            row.rejected_nonplanar += stats.rejected_nonplanar;
+            row.divergences += stats.divergences;
+            for record in tenant.records() {
+                row.deltas += 1;
+                service_nanos_total += record.service_nanos;
+                if let DeltaOutcome::Applied { report, .. } = &record.outcome {
+                    service_ns.push(record.service_nanos);
+                    // The incremental dividend compares the incremental
+                    // path's latency with the full re-embed the oracle
+                    // paid for the very same delta.
+                    if report.is_incremental() {
+                        incr_ns.push(record.service_nanos);
+                        if let Some(full) = record.oracle_nanos {
+                            full_ns.push(full);
+                        }
+                    }
+                }
+            }
+        }
+        if row.tenants == 0 {
+            continue;
+        }
+        service_ns.sort_unstable();
+        incr_ns.sort_unstable();
+        full_ns.sort_unstable();
+        row.p50_service_us = percentile(&service_ns, 0.50);
+        row.p99_service_us = percentile(&service_ns, 0.99);
+        row.p50_incremental_us = percentile(&incr_ns, 0.50);
+        row.p50_full_us = percentile(&full_ns, 0.50);
+        row.p99_full_us = percentile(&full_ns, 0.99);
+        row.speedup_p50 = if row.p50_incremental_us > 0.0 {
+            row.p50_full_us / row.p50_incremental_us
+        } else {
+            0.0
+        };
+        total_applied += row.applied;
+        rows.push(row);
+    }
+
+    let service_secs = admission_secs + service_nanos_total as f64 / 1e9;
+    let total_embeddings = opts.fleet + total_applied;
+    ServiceBenchReport {
+        fleet: opts.fleet,
+        deltas_per_tenant: opts.deltas,
+        tenant_n: opts.tenant_n,
+        total_embeddings,
+        service_secs,
+        embeddings_per_sec: if service_secs > 0.0 {
+            total_embeddings as f64 / service_secs
+        } else {
+            0.0
+        },
+        divergences: svc.divergences(),
+        rows,
+    }
+}
+
+/// Renders the report as the `BENCH_service.json` document (hand-rolled
+/// JSON like the other BENCH files: numeric fields and known-safe
+/// literals only).
+pub fn to_json(report: &ServiceBenchReport) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"benchmark\": \"service\",\n");
+    s.push_str(
+        "  \"metric\": \"multi-tenant churn soak: service-side delta latency (validation + \
+         pre-flight gate + incremental re-embedding) vs full re-embed of the same mutated \
+         graph, oracle-checked bit-identical per delta; embeddings/sec over admissions + \
+         applied deltas\",\n",
+    );
+    s.push_str(&format!("  \"fleet\": {},\n", report.fleet));
+    s.push_str(&format!(
+        "  \"deltas_per_tenant\": {},\n",
+        report.deltas_per_tenant
+    ));
+    s.push_str(&format!("  \"tenant_n\": {},\n", report.tenant_n));
+    s.push_str(&format!(
+        "  \"total_embeddings\": {},\n",
+        report.total_embeddings
+    ));
+    s.push_str(&format!(
+        "  \"service_secs\": {:.6},\n",
+        report.service_secs
+    ));
+    s.push_str(&format!(
+        "  \"embeddings_per_sec\": {:.1},\n",
+        report.embeddings_per_sec
+    ));
+    s.push_str(&format!("  \"divergences\": {},\n", report.divergences));
+    s.push_str("  \"families\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"family\": \"{}\", \"tenants\": {}, \"deltas\": {}, ",
+                "\"applied\": {}, \"incremental\": {}, \"full_fallbacks\": {}, ",
+                "\"rejected_nonplanar\": {}, ",
+                "\"p50_service_us\": {:.1}, \"p99_service_us\": {:.1}, ",
+                "\"p50_incremental_us\": {:.1}, ",
+                "\"p50_full_us\": {:.1}, \"p99_full_us\": {:.1}, ",
+                "\"speedup_p50\": {:.2}, \"divergences\": {}}}{}\n"
+            ),
+            r.family,
+            r.tenants,
+            r.deltas,
+            r.applied,
+            r.incremental,
+            r.full_fallbacks,
+            r.rejected_nonplanar,
+            r.p50_service_us,
+            r.p99_service_us,
+            r.p50_incremental_us,
+            r.p50_full_us,
+            r.p99_full_us,
+            r.speedup_p50,
+            r.divergences,
+            if i + 1 < report.rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Writes [`to_json`] to `path`.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_json(path: &std::path::Path, report: &ServiceBenchReport) -> std::io::Result<()> {
+    std::fs::write(path, to_json(report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_soak_accounts_for_every_delta_and_stays_identical() {
+        let opts = ServiceBenchOptions {
+            fleet: 8,
+            deltas: 2,
+            tenant_n: 12,
+            seed: 5,
+        };
+        let report = service_soak(&opts);
+        assert_eq!(report.fleet, 8);
+        assert_eq!(report.divergences, 0, "incremental diverged from oracle");
+        let deltas: usize = report.rows.iter().map(|r| r.deltas).sum();
+        assert_eq!(deltas, 8 * 2, "every submitted delta must be recorded");
+        let applied: usize = report.rows.iter().map(|r| r.applied).sum();
+        let rejected: usize = report.rows.iter().map(|r| r.rejected_nonplanar).sum();
+        assert_eq!(applied + rejected, deltas, "churn draws are always valid");
+        assert_eq!(report.total_embeddings, 8 + applied);
+        assert!(report.embeddings_per_sec > 0.0);
+        assert!(report.headline().is_some());
+    }
+
+    #[test]
+    fn json_document_is_well_formed_enough() {
+        let report = service_soak(&ServiceBenchOptions {
+            fleet: 4,
+            deltas: 1,
+            tenant_n: 12,
+            seed: 1,
+        });
+        let s = to_json(&report);
+        assert!(s.contains("\"benchmark\": \"service\""));
+        assert!(s.contains("\"families\": ["));
+        assert!(s.contains("\"divergences\": 0"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+    }
+
+    #[test]
+    fn fleet_families_are_registered() {
+        for name in FLEET_FAMILIES {
+            assert!(gen::family(name).is_some(), "unknown fleet family {name}");
+        }
+    }
+}

@@ -86,7 +86,7 @@ pub use network::{
     run, run_many, Instance, InstanceOutcome, MultiOutcome, NodeCtx, NodeProgram, SimConfig,
     SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
 };
-pub use session::SimSession;
+pub use session::{KernelCache, SimSession};
 pub use trace::{
     AuditReport, AuditSink, JsonlSink, MemorySink, RoundProfile, TraceAuditor, TraceEvent,
     TraceHandle, TraceSink,

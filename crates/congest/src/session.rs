@@ -27,23 +27,71 @@ use crate::network::{
     Instance, MultiOutcome, NodeProgram, SimConfig, SimError, SimOutcome, Simulator,
 };
 
+/// The graph-independent half of a session: one warm [`Simulator`] per
+/// message type. Simulators carry no logical state between runs — every
+/// run `resize()`s its buffers to the graph at hand and reinitializes
+/// them — so a cache can outlive the graph it was warmed on and be
+/// rebound to a *different* graph (larger, smaller, different topology)
+/// without affecting outcomes. Long-lived callers (the embedding service
+/// re-running one tenant across edge deltas) keep a `KernelCache` per
+/// tenant and thread it through successive [`SimSession`]s via
+/// [`SimSession::with_cache`]/[`SimSession::into_cache`].
+#[derive(Default)]
+pub struct KernelCache {
+    sims: HashMap<TypeId, Box<dyn Any>>,
+}
+
+impl KernelCache {
+    /// An empty cache; simulators are created on first use.
+    pub fn new() -> Self {
+        KernelCache::default()
+    }
+
+    /// Number of message types with a warm simulator.
+    pub fn kernels(&self) -> usize {
+        self.sims.len()
+    }
+}
+
+impl fmt::Debug for KernelCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KernelCache")
+            .field("kernels", &self.sims.len())
+            .finish()
+    }
+}
+
 /// Per-graph simulation session: one arc index, one cached [`Simulator`]
 /// per message type (programs of different phases exchange different
 /// message enums; each gets its own typed mailbox arena).
 pub struct SimSession<'g> {
     g: &'g Graph,
     idx: ArcIndex,
-    sims: HashMap<TypeId, Box<dyn Any>>,
+    cache: KernelCache,
 }
 
 impl<'g> SimSession<'g> {
     /// Opens a session over `g`, building its arc index once.
     pub fn new(g: &'g Graph) -> Self {
+        SimSession::with_cache(g, KernelCache::new())
+    }
+
+    /// Opens a session over `g` reusing the warm simulators of `cache`
+    /// (typically recovered from a previous session via
+    /// [`into_cache`](SimSession::into_cache)). Outcome-invariant versus
+    /// [`new`](SimSession::new): only buffer capacity survives in a cache.
+    pub fn with_cache(g: &'g Graph, cache: KernelCache) -> Self {
         SimSession {
             g,
             idx: g.arc_index(),
-            sims: HashMap::new(),
+            cache,
         }
+    }
+
+    /// Closes the session, returning its kernel cache for reuse against a
+    /// later (possibly different) graph.
+    pub fn into_cache(self) -> KernelCache {
+        self.cache
     }
 
     /// The session's graph.
@@ -71,8 +119,8 @@ impl<'g> SimSession<'g> {
         P: NodeProgram + Send,
         P::Msg: Send + Sync + 'static,
     {
-        let SimSession { g, idx, sims } = self;
-        sim_for::<P::Msg>(sims).run_with_index(g, idx, programs, cfg)
+        let SimSession { g, idx, cache } = self;
+        sim_for::<P::Msg>(&mut cache.sims).run_with_index(g, idx, programs, cfg)
     }
 
     /// Runs vertex-disjoint instances in one shared round lattice over the
@@ -95,8 +143,8 @@ impl<'g> SimSession<'g> {
         P: NodeProgram + Send,
         P::Msg: Send + Sync + 'static,
     {
-        let SimSession { g, idx, sims } = self;
-        sim_for::<P::Msg>(sims).run_many_with_index(g, idx, instances, cfg)
+        let SimSession { g, idx, cache } = self;
+        sim_for::<P::Msg>(&mut cache.sims).run_many_with_index(g, idx, instances, cfg)
     }
 }
 
@@ -105,7 +153,7 @@ impl fmt::Debug for SimSession<'_> {
         f.debug_struct("SimSession")
             .field("vertices", &self.g.vertex_count())
             .field("arcs", &self.idx.arc_count())
-            .field("cached_kernels", &self.sims.len())
+            .field("cached_kernels", &self.cache.sims.len())
             .finish()
     }
 }
@@ -162,6 +210,26 @@ mod tests {
             let oneshot = run(&g, (0..n).map(|_| Relay).collect::<Vec<_>>(), &cfg).unwrap();
             assert_eq!(session_out.metrics, oneshot.metrics);
         }
-        assert_eq!(session.sims.len(), 1);
+        assert_eq!(session.cache.kernels(), 1);
+    }
+
+    /// A kernel cache recovered from one session can be rebound to a
+    /// different (here larger, then smaller) graph without changing any
+    /// outcome versus a cold one-shot run.
+    #[test]
+    fn cache_reuse_across_graphs_matches_one_shot() {
+        let cfg = SimConfig::default();
+        let mut cache = KernelCache::new();
+        for n in [6usize, 12, 4] {
+            let g = Graph::from_edges(n, (0..n as u32 - 1).map(|i| (i, i + 1))).unwrap();
+            let mut session = SimSession::with_cache(&g, cache);
+            let warm = session
+                .run((0..n).map(|_| Relay).collect::<Vec<_>>(), &cfg)
+                .unwrap();
+            let cold = run(&g, (0..n).map(|_| Relay).collect::<Vec<_>>(), &cfg).unwrap();
+            assert_eq!(warm.metrics, cold.metrics, "n = {n}");
+            cache = session.into_cache();
+        }
+        assert_eq!(cache.kernels(), 1);
     }
 }

@@ -62,6 +62,26 @@ pub fn certify_embedding(
     cfg: &EmbedderConfig,
 ) -> Result<Certification, EmbedError> {
     let certificates = build_certificates(g, rotation).map_err(lift)?;
+    certify_with_certificates(g, rotation, certificates, cfg)
+}
+
+/// Runs the distributed verifier on a *pre-supplied* certificate set —
+/// the entry the incremental re-embedding path uses after splicing a
+/// resident set against a scratch build
+/// ([`planar_cert::splice_certificates`]). Since a spliced set is
+/// element-wise equal to the scratch set, the verdict is identical to
+/// [`certify_embedding`]'s; what differs is only the accounting of which
+/// certificates had to be re-distributed.
+///
+/// # Errors
+///
+/// As [`certify_embedding`].
+pub fn certify_with_certificates(
+    g: &Graph,
+    rotation: &RotationSystem,
+    certificates: Vec<Certificate>,
+    cfg: &EmbedderConfig,
+) -> Result<Certification, EmbedError> {
     let verifier_kernel = match cfg.kernel {
         Kernel::Fast => planar_cert::Kernel::Fast,
         Kernel::Reference => planar_cert::Kernel::Reference,

@@ -276,6 +276,44 @@ fn run_recursion(
     Ok((part, metrics, stats))
 }
 
+/// [`run_recursion`] with every intermediate artifact retained: the
+/// global BFS tree from setup and the full level-synchronous recursion
+/// arena, alongside the usual metrics and statistics. This is the driver
+/// entry point the incremental re-embedding path builds its resident
+/// state from (always [`Scheduler::LevelSync`] — the arena *is* the
+/// level-synchronous recursion).
+pub(crate) fn run_recursion_retained(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<(GlobalTree, Vec<RecNode>, Metrics, RecursionStats), EmbedError> {
+    let n = g.vertex_count();
+    ctx.enter(Phase::Setup);
+    let (setup, setup_metrics) = run_setup_ctx(ctx)?;
+    ctx.charge(&setup_metrics);
+    if n >= 3 && g.edge_count() > 3 * n - 6 {
+        return Err(EmbedError::NonPlanar);
+    }
+
+    let mut stats = RecursionStats {
+        n,
+        bfs_depth: setup.tree.tree_depth() as usize,
+        safety_checked: cfg.check_invariants,
+        ..Default::default()
+    };
+    let mut metrics = setup_metrics;
+    let nodes = solve_level_sync_retained(g, &setup.tree, cfg, &mut stats, ctx)?;
+    let merged = nodes[0].part.as_ref().expect("root solved").len();
+    if merged != n {
+        return Err(EmbedError::Internal(format!(
+            "recursion merged only {merged} of {n} vertices"
+        )));
+    }
+    metrics.add(nodes[0].metrics);
+    stats.depth = stats.levels.len();
+    Ok((setup.tree, nodes, metrics, stats))
+}
+
 /// Runs only the distributed pipeline — setup plus the scheduled
 /// partition/merge recursion — skipping the centralized fidelity epilogue
 /// (see the module-level note) and certification. This is the unit the
@@ -451,21 +489,28 @@ fn solve_sequential(
 }
 
 /// One subproblem of the level-synchronous recursion arena.
-struct RecNode {
-    root: VertexId,
-    level: usize,
-    children: Vec<usize>,
+///
+/// The arena is *retained*: after a run, every node still holds its
+/// partition, solved part, and merge statistics (nothing is `take()`n in
+/// the merge pass). That makes the arena a resumable artifact — the
+/// incremental re-embedding path (`crate::incremental`) re-runs only the
+/// merges of nodes whose subtree contains a delta endpoint and reuses
+/// every other node's retained state verbatim.
+pub(crate) struct RecNode {
+    pub(crate) root: VertexId,
+    pub(crate) level: usize,
+    pub(crate) children: Vec<usize>,
     /// `Some` for internal nodes after their level's batched partition.
-    partition: Option<Partition>,
+    pub(crate) partition: Option<Partition>,
     /// The solved part; set for leaves immediately, for internal nodes by
     /// the bottom-up merge pass.
-    part: Option<PartState>,
+    pub(crate) part: Option<PartState>,
     /// Parallel-composed cost of this subtree (partition + children in
     /// parallel + merge) — identical to what [`solve_sequential`] returns.
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     /// The node's merge statistics, collected into `stats.merges` in DFS
     /// post-order afterwards so the two schedulers' reports coincide.
-    merge_stats: Option<MergeStats>,
+    pub(crate) merge_stats: Option<MergeStats>,
 }
 
 /// [`Scheduler::LevelSync`]: the level-synchronous recursion. Top-down,
@@ -481,6 +526,24 @@ fn solve_level_sync(
     stats: &mut RecursionStats,
     ctx: &mut ExecutionContext<'_>,
 ) -> Result<(PartState, Metrics), EmbedError> {
+    let mut nodes = solve_level_sync_retained(g, tree, cfg, stats, ctx)?;
+    let root_metrics = nodes[0].metrics;
+    let part = nodes[0].part.take().expect("root solved");
+    Ok((part, root_metrics))
+}
+
+/// [`solve_level_sync`] with the recursion arena kept alive: identical
+/// execution, but instead of surrendering just the root part it returns
+/// the full arena — every node's partition, solved part, metrics, and
+/// merge statistics retained — for the incremental re-embedding path to
+/// resume from.
+pub(crate) fn solve_level_sync_retained(
+    g: &Graph,
+    tree: &GlobalTree,
+    cfg: &EmbedderConfig,
+    stats: &mut RecursionStats,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<Vec<RecNode>, EmbedError> {
     let mut nodes: Vec<RecNode> = vec![RecNode {
         root: tree.root,
         level: 0,
@@ -541,21 +604,28 @@ fn solve_level_sync(
     // Merges stay per-subproblem (their cost is charged analytically and
     // their symmetry breaking runs on per-merge virtual graphs).
     for ni in (0..nodes.len()).rev() {
-        let Some(partition) = nodes[ni].partition.take() else {
+        // Retained arena: clone what the merge consumes instead of
+        // `take()`ing it, so the node keeps its partition and the children
+        // keep their parts after the pass.
+        let Some((p0, partition_metrics)) = nodes[ni]
+            .partition
+            .as_ref()
+            .map(|p| (p.p0.clone(), p.metrics))
+        else {
             continue; // leaf: already solved
         };
         let mut children_metrics = Metrics::new();
         let mut hanging = Vec::with_capacity(nodes[ni].children.len());
         for ci in nodes[ni].children.clone() {
             children_metrics.join_parallel(nodes[ci].metrics);
-            hanging.push(nodes[ci].part.take().expect("child solved before parent"));
+            hanging.push(nodes[ci].part.clone().expect("child solved before parent"));
         }
         ctx.enter(Phase::Merge);
-        let merged = merge_parts_ctx(ctx, partition.p0, hanging, cfg.check_invariants)?;
+        let merged = merge_parts_ctx(ctx, p0, hanging, cfg.check_invariants)?;
         ctx.charge(&merged.metrics);
         nodes[ni].merge_stats = Some(merged.stats);
 
-        let mut total = partition.metrics;
+        let mut total = partition_metrics;
         total.add(children_metrics);
         total.add(merged.metrics);
         let level = nodes[ni].level;
@@ -566,10 +636,20 @@ fn solve_level_sync(
 
     // Collect merge statistics in DFS post-order — the order the
     // sequential scheduler pushes them in.
+    collect_merge_stats(&nodes, stats);
+
+    Ok(nodes)
+}
+
+/// Pushes the arena's merge statistics into `stats.merges` in DFS
+/// post-order — the order the sequential scheduler pushes them in. The
+/// arena is read, not drained, so the pass can rerun after an incremental
+/// re-merge.
+pub(crate) fn collect_merge_stats(nodes: &[RecNode], stats: &mut RecursionStats) {
     let mut stack: Vec<(usize, bool)> = vec![(0, false)];
     while let Some((ni, visited)) = stack.pop() {
         if visited {
-            if let Some(ms) = nodes[ni].merge_stats.take() {
+            if let Some(ms) = nodes[ni].merge_stats.clone() {
                 stats.merges.push(ms);
             }
         } else {
@@ -579,10 +659,6 @@ fn solve_level_sync(
             }
         }
     }
-
-    let root_metrics = nodes[0].metrics;
-    let part = nodes[0].part.take().expect("root solved");
-    Ok((part, root_metrics))
 }
 
 #[cfg(test)]

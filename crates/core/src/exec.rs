@@ -34,8 +34,8 @@ use congest_sim::protocols::{
 };
 use congest_sim::reference::{run_reference, run_reference_many};
 use congest_sim::{
-    run, Instance, Metrics, MultiOutcome, NodeProgram, Phase, PhaseRounds, SimConfig, SimError,
-    SimOutcome, SimSession, TraceEvent,
+    run, Instance, KernelCache, Metrics, MultiOutcome, NodeProgram, Phase, PhaseRounds, SimConfig,
+    SimError, SimOutcome, SimSession, TraceEvent,
 };
 use planar_graph::Graph;
 
@@ -98,8 +98,17 @@ impl<'g> ExecutionContext<'g> {
     /// Opens a context over `g` with the embedder's full configuration
     /// (kernel, reliability, simulation parameters).
     pub fn new(g: &'g Graph, cfg: &EmbedderConfig) -> Self {
+        ExecutionContext::with_kernel_cache(g, cfg, KernelCache::new())
+    }
+
+    /// Opens a context over `g` reusing a warm [`KernelCache`] from an
+    /// earlier run (possibly over a different graph — the cache is
+    /// graph-independent by the simulator's contract). The incremental
+    /// re-embedding path threads one cache per tenant across deltas, so
+    /// every re-run starts on warm mailbox arenas.
+    pub fn with_kernel_cache(g: &'g Graph, cfg: &EmbedderConfig, cache: KernelCache) -> Self {
         ExecutionContext {
-            session: SimSession::new(g),
+            session: SimSession::with_cache(g, cache),
             sim: cfg.sim.clone(),
             reliability: cfg.reliability.clone(),
             kernel: cfg.kernel,
@@ -109,6 +118,11 @@ impl<'g> ExecutionContext<'g> {
                 phase: Phase::Setup,
             },
         }
+    }
+
+    /// Closes the context, recovering the kernel cache for a later run.
+    pub fn into_kernel_cache(self) -> KernelCache {
+        self.session.into_cache()
     }
 
     /// Opens a bare context over `g` from simulation parameters alone: fast

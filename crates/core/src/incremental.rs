@@ -1,0 +1,769 @@
+//! Incremental re-embedding: resident embeddings that absorb edge deltas
+//! by re-running only the affected part of the recursion.
+//!
+//! A [`ResidentEmbedding`] keeps everything one level-synchronous run
+//! produced: the global BFS tree, the *retained* recursion arena (every
+//! subproblem's partition, solved part, metrics, and merge statistics —
+//! see [`RecNode`]), the rotation system, and the certification
+//! artifacts, plus a warm [`KernelCache`] so successive kernel runs reuse
+//! their mailbox arenas. [`ResidentEmbedding::reembed`] then brings the
+//! resident state to a mutated graph at a fraction of a full run's cost:
+//!
+//! 1. **Setup re-runs** (cheap, `O(D)` rounds) and the new BFS tree is
+//!    compared to the resident one. Partition content is a pure function
+//!    of the tree — centroid walks are built from tree data and a
+//!    subproblem's members are `tree.subtree_members(root)` — so with the
+//!    tree unchanged *every* retained partition is still exact and no
+//!    partition protocol re-runs at all.
+//! 2. **Dirty-merge analysis**: an edge delta `{u, v}` can only be seen
+//!    by merges whose subproblem contains `u` or `v` (half-embedded and
+//!    attachment edges need an endpoint inside the subproblem's member
+//!    set). The subproblems containing a vertex form one root-to-leaf
+//!    chain of the recursion, so a delta dirties at most two arena nodes
+//!    per level — `O(log n)` of the arena's `O(n)` merges. Only those
+//!    merges re-run; every clean node's retained part is reused verbatim.
+//! 3. **Epilogue**: the centralized fidelity stand-in
+//!    ([`planar_lib::embed`]) produces the rotation exactly as the full
+//!    driver does (see the fidelity note in `driver.rs`), and
+//!    certification splices the resident certificate set against a
+//!    scratch build ([`planar_cert::splice_certificates`]) before one
+//!    distributed re-verification — so only changed certificates need
+//!    re-distribution.
+//!
+//! **Bit-identity contract**: the rotation system, the certification
+//! verdict, and the planarity outcome of `reembed` are bit-identical to a
+//! full re-embedding of the mutated graph ([`embed_distributed`] with the
+//! same configuration). The rotation comes from the same centralized
+//! epilogue on the same graph; the planarity outcome agrees because the
+//! density guard runs in both paths and the epilogue decides the rest;
+//! the certification verdict agrees because a spliced certificate set is
+//! element-wise equal to the scratch set. What incremental runs *save* is
+//! kernel simulation of clean recursion subtrees — metrics and round
+//! tallies are intentionally not part of the contract.
+//!
+//! Deltas the analysis cannot scope — a changed BFS tree (the delta
+//! touched tree edges or BFS distances) or a changed vertex set (node
+//! arrivals/departures renumber ids) — fall back to a full retained
+//! re-run, recorded as such in the [`ReembedReport`]. A rejected delta
+//! (the mutated graph is non-planar) leaves the resident state *and* the
+//! resident graph untouched: all recomputation is staged in an overlay
+//! and committed only after the epilogue accepts.
+//!
+//! [`embed_distributed`]: crate::embed_distributed
+
+use congest_sim::{KernelCache, Metrics, Phase};
+use planar_cert::{build_certificates, splice_certificates, SpliceStats};
+use planar_graph::{Graph, RotationSystem, VertexId};
+
+use crate::certify::{certify_embedding, certify_with_certificates, Certification};
+use crate::driver::{run_recursion_retained, RecNode};
+use crate::error::EmbedError;
+use crate::exec::ExecutionContext;
+use crate::parts::PartState;
+use crate::setup::run_setup_ctx;
+use crate::stats::MergeStats;
+use crate::tree::GlobalTree;
+use crate::Scheduler;
+use crate::{EmbedderConfig, Kernel};
+
+/// Why a re-embedding took the full (non-incremental) path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FullCause {
+    /// The first build of the resident embedding — nothing to reuse yet.
+    InitialBuild,
+    /// The delta changed the vertex set (node arrival/departure), which
+    /// renumbers ids; the retained arena is not addressable on the new
+    /// graph.
+    VertexSetChanged,
+    /// The delta changed the global BFS tree, invalidating every retained
+    /// partition (partition content is a pure function of the tree).
+    TreeChanged,
+}
+
+/// Which path one [`ResidentEmbedding::reembed`] call took, with its
+/// reuse accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ReembedPath {
+    /// A full retained re-run (setup, all partitions, all merges).
+    Full {
+        /// Why the incremental analysis did not apply.
+        cause: FullCause,
+    },
+    /// The incremental path: setup re-ran, every retained partition was
+    /// reused, and only the dirty merges re-ran.
+    Incremental {
+        /// Merges re-run because their subproblem contains a delta
+        /// endpoint (`O(log n)` per delta edge).
+        recomputed_merges: usize,
+        /// Internal nodes whose retained merge result was reused.
+        reused_merges: usize,
+        /// Retained partitions reused (every internal node — the tree was
+        /// unchanged, so partition content was still exact).
+        reused_partitions: usize,
+        /// Certificate splice accounting, when certification is on.
+        splice: Option<SpliceStats>,
+    },
+}
+
+/// The outcome report of one build or re-embed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReembedReport {
+    /// Which path ran and what it reused.
+    pub path: ReembedPath,
+    /// Sequential kernel rounds the call consumed (setup + re-run merges
+    /// + certification for incremental; the full tally otherwise).
+    pub rounds: usize,
+}
+
+impl ReembedReport {
+    /// `true` if this report came from the incremental path.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self.path, ReembedPath::Incremental { .. })
+    }
+}
+
+/// Staged results of the incremental analysis, committed only after the
+/// epilogue accepts the mutated graph.
+struct Overlay {
+    /// `(arena index, merged part, subtree metrics, merge stats)` per
+    /// re-run merge.
+    merges: Vec<(usize, PartState, Metrics, MergeStats)>,
+    rotation: RotationSystem,
+    certification: Option<Certification>,
+    splice: Option<SpliceStats>,
+    recomputed: usize,
+}
+
+/// What the incremental attempt decided.
+enum Attempt {
+    /// Incremental analysis succeeded; commit the overlay.
+    Done(Box<Overlay>),
+    /// The BFS tree changed; the caller must take the full path.
+    TreeChanged,
+}
+
+/// A long-lived embedding of one graph, retaining every artifact needed
+/// to absorb edge deltas incrementally. See the module docs for the
+/// reuse structure and the bit-identity contract.
+pub struct ResidentEmbedding {
+    graph: Graph,
+    cfg: EmbedderConfig,
+    tree: GlobalTree,
+    nodes: Vec<RecNode>,
+    rotation: RotationSystem,
+    certification: Option<Certification>,
+    cache: Option<KernelCache>,
+}
+
+impl std::fmt::Debug for ResidentEmbedding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResidentEmbedding")
+            .field("vertices", &self.graph.vertex_count())
+            .field("edges", &self.graph.edge_count())
+            .field("arena_nodes", &self.nodes.len())
+            .field("certified", &self.certification.is_some())
+            .finish()
+    }
+}
+
+impl ResidentEmbedding {
+    /// Builds the resident embedding of `graph` — a full level-synchronous
+    /// run with the recursion arena retained.
+    ///
+    /// The configuration is normalized to the resident contract: the
+    /// scheduler is forced to [`Scheduler::LevelSync`] (the arena *is*
+    /// that recursion) and fault plans are rejected — a resident
+    /// embedding models a long-lived service tenant, not a chaos run.
+    ///
+    /// # Errors
+    ///
+    /// As [`embed_distributed`](crate::embed_distributed) on `graph`,
+    /// plus [`EmbedError::Internal`] for a faulted configuration.
+    pub fn build(graph: Graph, cfg: &EmbedderConfig) -> Result<(Self, ReembedReport), EmbedError> {
+        if !cfg.sim.faults.is_empty() {
+            return Err(EmbedError::Internal(
+                "resident embeddings require a fault-free configuration".into(),
+            ));
+        }
+        let mut cfg = cfg.clone();
+        cfg.scheduler = Scheduler::LevelSync;
+        let (tree, nodes, rotation, certification, rounds, cache) =
+            full_pass(&graph, &cfg, KernelCache::new()).map_err(|(e, _)| e)?;
+        let resident = ResidentEmbedding {
+            graph,
+            cfg,
+            tree,
+            nodes,
+            rotation,
+            certification,
+            cache: Some(cache),
+        };
+        let report = ReembedReport {
+            path: ReembedPath::Full {
+                cause: FullCause::InitialBuild,
+            },
+            rounds,
+        };
+        Ok((resident, report))
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The resident rotation system.
+    pub fn rotation(&self) -> &RotationSystem {
+        &self.rotation
+    }
+
+    /// The resident certification artifacts (present iff the
+    /// configuration certifies).
+    pub fn certification(&self) -> Option<&Certification> {
+        self.certification.as_ref()
+    }
+
+    /// `true` if `{u, v}` is an edge of the resident BFS tree. Deleting
+    /// a *non*-tree edge preserves every BFS distance and parent choice,
+    /// so such deltas are guaranteed to take the incremental path —
+    /// callers (benchmarks, tests) use this to construct
+    /// incremental-friendly workloads without re-deriving the driver's
+    /// deterministic tree.
+    pub fn is_tree_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let tree_parent = |x: VertexId| self.tree.parent.get(x.index()).copied().flatten();
+        tree_parent(u) == Some(v) || tree_parent(v) == Some(u)
+    }
+
+    /// The configuration the resident embedding runs under.
+    pub fn config(&self) -> &EmbedderConfig {
+        &self.cfg
+    }
+
+    /// The kernel executing resident runs.
+    pub fn kernel(&self) -> Kernel {
+        self.cfg.kernel
+    }
+
+    /// Re-embeds onto `new_graph` (the resident graph after one or more
+    /// deltas), incrementally when the delta analysis applies and by a
+    /// full retained re-run otherwise (recorded in the report).
+    ///
+    /// On error — most importantly [`EmbedError::NonPlanar`] when the
+    /// delta broke planarity — the resident state is unchanged: the old
+    /// graph, rotation, arena, and certificates all stay resident, so the
+    /// caller can reject the delta and continue serving.
+    ///
+    /// # Errors
+    ///
+    /// As [`embed_distributed`](crate::embed_distributed) on `new_graph`.
+    pub fn reembed(&mut self, new_graph: Graph) -> Result<ReembedReport, EmbedError> {
+        let cache = self.cache.take().unwrap_or_default();
+        if new_graph.vertex_count() != self.graph.vertex_count() {
+            return self.reembed_full(new_graph, cache, FullCause::VertexSetChanged);
+        }
+
+        let (attempt, rounds, cache) = {
+            let mut ctx = ExecutionContext::with_kernel_cache(&new_graph, &self.cfg, cache);
+            let attempt = self.try_incremental(&new_graph, &mut ctx);
+            let rounds = ctx.rounds_used();
+            (attempt, rounds, ctx.into_kernel_cache())
+        };
+        match attempt {
+            Ok(Attempt::Done(overlay)) => {
+                let Overlay {
+                    merges,
+                    rotation,
+                    certification,
+                    splice,
+                    recomputed,
+                } = *overlay;
+                let internal = self.nodes.iter().filter(|n| n.partition.is_some()).count();
+                for (ni, part, metrics, stats) in merges {
+                    self.nodes[ni].part = Some(part);
+                    self.nodes[ni].metrics = metrics;
+                    self.nodes[ni].merge_stats = Some(stats);
+                }
+                self.graph = new_graph;
+                self.rotation = rotation;
+                self.certification = certification;
+                self.cache = Some(cache);
+                Ok(ReembedReport {
+                    path: ReembedPath::Incremental {
+                        recomputed_merges: recomputed,
+                        reused_merges: internal - recomputed,
+                        reused_partitions: internal,
+                        splice,
+                    },
+                    rounds,
+                })
+            }
+            Ok(Attempt::TreeChanged) => self.reembed_full(new_graph, cache, FullCause::TreeChanged),
+            Err(e) => {
+                self.cache = Some(cache);
+                Err(e)
+            }
+        }
+    }
+
+    /// The full fallback: a retained re-run on `new_graph`, committing
+    /// only on success (a rejected delta leaves the resident state
+    /// untouched, exactly like the incremental path).
+    fn reembed_full(
+        &mut self,
+        new_graph: Graph,
+        cache: KernelCache,
+        cause: FullCause,
+    ) -> Result<ReembedReport, EmbedError> {
+        match full_pass(&new_graph, &self.cfg, cache) {
+            Ok((tree, nodes, rotation, certification, rounds, cache)) => {
+                self.graph = new_graph;
+                self.tree = tree;
+                self.nodes = nodes;
+                self.rotation = rotation;
+                self.certification = certification;
+                self.cache = Some(cache);
+                Ok(ReembedReport {
+                    path: ReembedPath::Full { cause },
+                    rounds,
+                })
+            }
+            Err((e, cache)) => {
+                self.cache = Some(cache);
+                Err(e)
+            }
+        }
+    }
+
+    /// The incremental analysis: setup, tree comparison, dirty-merge
+    /// re-runs, epilogue — all staged into an [`Overlay`], never touching
+    /// the resident state.
+    fn try_incremental(
+        &self,
+        new_graph: &Graph,
+        ctx: &mut ExecutionContext<'_>,
+    ) -> Result<Attempt, EmbedError> {
+        let n = new_graph.vertex_count();
+        ctx.enter(Phase::Setup);
+        let (setup, setup_metrics) = run_setup_ctx(ctx)?;
+        ctx.charge(&setup_metrics);
+        // The same density guard the full driver runs before recursing.
+        if n >= 3 && new_graph.edge_count() > 3 * n - 6 {
+            return Err(EmbedError::NonPlanar);
+        }
+        if !same_tree(&self.tree, &setup.tree) {
+            return Ok(Attempt::TreeChanged);
+        }
+
+        // Vertices incident to any changed edge; the merges that can see
+        // them are exactly the arena nodes whose subtree contains one.
+        let dirty_vertices = edge_delta_endpoints(&self.graph, new_graph);
+        let (tin, tout) = preorder_spans(&self.tree);
+        let in_subtree = |root: VertexId, v: VertexId| {
+            tin[root.index()] <= tin[v.index()] && tin[v.index()] < tout[root.index()]
+        };
+
+        let mut merges: Vec<(usize, PartState, Metrics, MergeStats)> = Vec::new();
+        let part_of =
+            |nodes: &[RecNode], merges: &[(usize, PartState, Metrics, MergeStats)], ci: usize| {
+                merges
+                    .iter()
+                    .find(|(mi, ..)| *mi == ci)
+                    .map(|(_, p, m, _)| (p.clone(), *m))
+                    .unwrap_or_else(|| {
+                        (
+                            nodes[ci].part.clone().expect("child solved"),
+                            nodes[ci].metrics,
+                        )
+                    })
+            };
+        // Bottom-up over the retained arena (children have higher indices
+        // than their parents), re-merging only the dirty internal nodes.
+        for ni in (0..self.nodes.len()).rev() {
+            let Some(partition) = self.nodes[ni].partition.as_ref() else {
+                continue; // leaf: its part is graph-independent
+            };
+            let root = self.nodes[ni].root;
+            let dirty = dirty_vertices.iter().any(|&v| in_subtree(root, v))
+                || merges
+                    .iter()
+                    .any(|(mi, ..)| self.nodes[ni].children.contains(mi));
+            if !dirty {
+                continue;
+            }
+            let mut children_metrics = Metrics::new();
+            let mut hanging = Vec::with_capacity(self.nodes[ni].children.len());
+            for &ci in &self.nodes[ni].children {
+                let (part, m) = part_of(&self.nodes, &merges, ci);
+                children_metrics.join_parallel(m);
+                hanging.push(part);
+            }
+            ctx.enter(Phase::Merge);
+            let merged = crate::merge::merge_parts_ctx(
+                ctx,
+                partition.p0.clone(),
+                hanging,
+                self.cfg.check_invariants,
+            )?;
+            ctx.charge(&merged.metrics);
+            let mut total = partition.metrics;
+            total.add(children_metrics);
+            total.add(merged.metrics);
+            merges.push((ni, merged.part, total, merged.stats));
+        }
+        let recomputed = merges.len();
+
+        let (root_part, _) = part_of(&self.nodes, &merges, 0);
+        if root_part.len() != n {
+            return Err(EmbedError::Internal(format!(
+                "incremental recursion merged only {} of {n} vertices",
+                root_part.len()
+            )));
+        }
+
+        // Centralized fidelity epilogue — the same call, on the same
+        // graph, as the full driver's (`driver.rs` fidelity note), so the
+        // resulting rotation is bit-identical by construction.
+        let rotation = planar_lib::embed(new_graph)?;
+        debug_assert!(rotation.is_planar_embedding());
+
+        let (certification, splice) = if self.cfg.certify {
+            ctx.enter(Phase::Cert);
+            let scratch = build_certificates(new_graph, &rotation)
+                .map_err(|e| EmbedError::Internal(format!("certification: {e}")))?;
+            let old = self
+                .certification
+                .as_ref()
+                .map(|c| c.certificates.as_slice())
+                .unwrap_or(&[]);
+            let (spliced, stats) = splice_certificates(old, scratch);
+            let cert = certify_with_certificates(new_graph, &rotation, spliced, &self.cfg)?;
+            ctx.charge(&cert.report.metrics);
+            if !cert.accepted() {
+                return Err(EmbedError::Internal(format!(
+                    "distributed certification rejected the re-embedding: rejections {:?}, incomplete {:?}",
+                    cert.report.rejections, cert.report.incomplete
+                )));
+            }
+            (Some(cert), Some(stats))
+        } else {
+            (None, None)
+        };
+
+        Ok(Attempt::Done(Box::new(Overlay {
+            merges,
+            rotation,
+            certification,
+            splice,
+            recomputed,
+        })))
+    }
+}
+
+/// One full retained run: recursion with the arena kept, centralized
+/// epilogue, optional certification. Returns the cache even on error so
+/// the caller's warm buffers survive a rejected delta.
+type FullPassOk = (
+    GlobalTree,
+    Vec<RecNode>,
+    RotationSystem,
+    Option<Certification>,
+    usize,
+    KernelCache,
+);
+
+fn full_pass(
+    graph: &Graph,
+    cfg: &EmbedderConfig,
+    cache: KernelCache,
+) -> Result<FullPassOk, (EmbedError, KernelCache)> {
+    let mut ctx = ExecutionContext::with_kernel_cache(graph, cfg, cache);
+    let result = run_full(graph, cfg, &mut ctx);
+    let rounds = ctx.rounds_used();
+    let cache = ctx.into_kernel_cache();
+    match result {
+        Ok((tree, nodes, rotation, certification)) => {
+            Ok((tree, nodes, rotation, certification, rounds, cache))
+        }
+        Err(e) => Err((e, cache)),
+    }
+}
+
+#[allow(clippy::type_complexity)]
+fn run_full(
+    graph: &Graph,
+    cfg: &EmbedderConfig,
+    ctx: &mut ExecutionContext<'_>,
+) -> Result<
+    (
+        GlobalTree,
+        Vec<RecNode>,
+        RotationSystem,
+        Option<Certification>,
+    ),
+    EmbedError,
+> {
+    let (tree, nodes, _metrics, _stats) = run_recursion_retained(graph, cfg, ctx)?;
+    let rotation = planar_lib::embed(graph)?;
+    debug_assert!(rotation.is_planar_embedding());
+    let certification = if cfg.certify {
+        ctx.enter(Phase::Cert);
+        let cert = certify_embedding(graph, &rotation, cfg)?;
+        ctx.charge(&cert.report.metrics);
+        if !cert.accepted() {
+            return Err(EmbedError::Internal(format!(
+                "distributed certification rejected the embedding: rejections {:?}, incomplete {:?}",
+                cert.report.rejections, cert.report.incomplete
+            )));
+        }
+        Some(cert)
+    } else {
+        None
+    };
+    Ok((tree, nodes, rotation, certification))
+}
+
+/// Field-wise equality of two global BFS trees. `GlobalTree` has no
+/// `PartialEq` (it is a derived artifact, not a value type), but the
+/// incremental analysis needs exactly this: identical trees mean every
+/// retained partition is still exact.
+fn same_tree(a: &GlobalTree, b: &GlobalTree) -> bool {
+    a.root == b.root
+        && a.parent == b.parent
+        && a.children == b.children
+        && a.depth == b.depth
+        && a.subtree_size == b.subtree_size
+}
+
+/// Endpoints of the symmetric difference of the two graphs' edge sets —
+/// the vertices whose incident structure a delta changed. Both edge
+/// iterators yield canonical sorted order, so a single merge walk
+/// suffices.
+fn edge_delta_endpoints(old: &Graph, new: &Graph) -> Vec<VertexId> {
+    let mut out = Vec::new();
+    let mut a = old.edges().peekable();
+    let mut b = new.edges().peekable();
+    let mut push = |e: planar_graph::EdgeId| {
+        out.push(e.lo());
+        out.push(e.hi());
+    };
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) if x == y => {
+                a.next();
+                b.next();
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                push(x);
+                a.next();
+            }
+            (Some(_), Some(&y)) => {
+                push(y);
+                b.next();
+            }
+            (Some(&x), None) => {
+                push(x);
+                a.next();
+            }
+            (None, Some(&y)) => {
+                push(y);
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Preorder entry/exit spans of the tree, for `O(1)` subtree-membership
+/// tests (`v` is in the subtree of `r` iff `tin[r] <= tin[v] < tout[r]`).
+fn preorder_spans(tree: &GlobalTree) -> (Vec<usize>, Vec<usize>) {
+    let n = tree.parent.len();
+    let mut tin = vec![0usize; n];
+    let mut tout = vec![0usize; n];
+    let mut timer = 0usize;
+    let mut stack: Vec<(VertexId, bool)> = vec![(tree.root, false)];
+    while let Some((v, done)) = stack.pop() {
+        if done {
+            tout[v.index()] = timer;
+        } else {
+            tin[v.index()] = timer;
+            timer += 1;
+            stack.push((v, true));
+            for &c in tree.children[v.index()].iter().rev() {
+                stack.push((c, false));
+            }
+        }
+    }
+    (tin, tout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::embed_distributed;
+    use planar_lib::gen;
+
+    fn cfg(certify: bool) -> EmbedderConfig {
+        EmbedderConfig {
+            certify,
+            ..EmbedderConfig::default()
+        }
+    }
+
+    /// The resident build equals a one-shot embed on the same graph.
+    #[test]
+    fn build_matches_embed_distributed() {
+        let g = gen::grid(4, 5);
+        let (resident, report) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let full = embed_distributed(&g, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &full.rotation);
+        assert_eq!(
+            resident.certification().map(|c| c.accepted()),
+            full.certification.as_ref().map(|c| c.accepted())
+        );
+        assert!(matches!(
+            report.path,
+            ReembedPath::Full {
+                cause: FullCause::InitialBuild
+            }
+        ));
+    }
+
+    /// A non-tree edge delta takes the incremental path and matches the
+    /// full oracle bit for bit (rotation, certification verdict).
+    #[test]
+    fn incremental_edge_delta_matches_oracle() {
+        let g = gen::grid(8, 8);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        // Delete a non-tree edge: removing it leaves every tree path (and
+        // hence every BFS distance and deterministic parent choice)
+        // intact, so setup reproduces the resident tree and the delta
+        // takes the incremental path.
+        let mut mutated = g.clone();
+        let victim = g
+            .edges()
+            .find(|e| {
+                resident.tree.parent[e.lo().index()] != Some(e.hi())
+                    && resident.tree.parent[e.hi().index()] != Some(e.lo())
+            })
+            .expect("a grid has non-tree edges");
+        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
+
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(report.is_incremental(), "path: {:?}", report.path);
+        if let ReembedPath::Incremental {
+            recomputed_merges,
+            reused_merges,
+            splice,
+            ..
+        } = &report.path
+        {
+            assert!(*recomputed_merges > 0);
+            assert!(
+                reused_merges > recomputed_merges,
+                "most merges must be reused ({reused_merges} reused, {recomputed_merges} re-run)"
+            );
+            assert!(splice.as_ref().unwrap().reused > 0);
+        }
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+        assert_eq!(
+            resident.certification().unwrap().report.accepted,
+            oracle.certification.unwrap().report.accepted
+        );
+        assert_eq!(resident.graph(), &mutated);
+    }
+
+    /// A planarity-breaking delta is rejected with the resident state
+    /// fully intact (graph, rotation, certificates).
+    #[test]
+    fn rejected_delta_leaves_resident_untouched() {
+        let g = gen::grid(4, 4);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let before_rotation = resident.rotation().clone();
+        // K5 on the first five vertices makes the graph non-planar.
+        let mut mutated = g.clone();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                if !mutated.has_edge(VertexId(u), VertexId(v)) {
+                    mutated.add_edge(VertexId(u), VertexId(v)).unwrap();
+                }
+            }
+        }
+        let err = resident.reembed(mutated).unwrap_err();
+        assert!(matches!(err, EmbedError::NonPlanar));
+        assert_eq!(resident.graph(), &g);
+        assert_eq!(resident.rotation(), &before_rotation);
+        // And the resident can still serve further deltas.
+        let mut ok = g.clone();
+        ok.add_edge(VertexId(0), VertexId(5)).unwrap_or(());
+        // (edge may exist in the grid; reembed on the unchanged graph is
+        // also a valid no-op delta)
+        let report = resident.reembed(ok).unwrap();
+        assert!(report.rounds > 0);
+    }
+
+    /// A vertex delta (changed vertex set) falls back to the full path
+    /// and still matches the oracle.
+    #[test]
+    fn vertex_delta_falls_back_to_full() {
+        let g = gen::wheel(10);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let mut mutated = g.clone();
+        let v = mutated.add_vertex();
+        mutated.add_edge(v, VertexId(0)).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(matches!(
+            report.path,
+            ReembedPath::Full {
+                cause: FullCause::VertexSetChanged
+            }
+        ));
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+    }
+
+    /// A delta that removes a BFS-tree edge changes the tree and is
+    /// recorded as a tree-changed full fallback.
+    #[test]
+    fn tree_edge_delta_falls_back_to_full() {
+        let g = gen::grid(4, 4);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(false)).unwrap();
+        let victim = g
+            .edges()
+            .find(|e| {
+                let mut m = g.clone();
+                m.remove_edge(e.lo(), e.hi()).unwrap();
+                if !m.is_connected() {
+                    return false;
+                }
+                let (probe, _) = ResidentEmbedding::build(m, &cfg(false)).unwrap();
+                !same_tree(&probe.tree, &resident.tree)
+            })
+            .expect("some grid edge changes the BFS tree");
+        let mut mutated = g.clone();
+        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(matches!(
+            report.path,
+            ReembedPath::Full {
+                cause: FullCause::TreeChanged
+            }
+        ));
+        let oracle = embed_distributed(&mutated, &EmbedderConfig::default()).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+    }
+
+    /// Faulted configurations are rejected up front.
+    #[test]
+    fn faulted_config_is_rejected() {
+        let mut c = cfg(false);
+        c.sim.faults = congest_sim::FaultPlan::uniform(3, 0.1, 0.0, 0.0, 1);
+        assert!(matches!(
+            ResidentEmbedding::build(gen::path(4), &c),
+            Err(EmbedError::Internal(_))
+        ));
+    }
+}

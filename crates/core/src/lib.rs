@@ -75,6 +75,7 @@ pub mod certify;
 mod driver;
 mod error;
 mod exec;
+pub mod incremental;
 pub mod interface;
 pub mod merge;
 pub mod neighborhood;
@@ -91,11 +92,14 @@ pub mod tree;
 mod verify;
 
 pub use baseline::embed_baseline;
-pub use certify::{certify_embedding, certify_surviving_embedding, Certification};
+pub use certify::{
+    certify_embedding, certify_surviving_embedding, certify_with_certificates, Certification,
+};
 pub use congest_sim::protocols::ReliableConfig;
 pub use driver::{embed_distributed, embed_recursion, EmbedderConfig, EmbeddingOutcome};
 pub use error::{DegradedCause, EmbedError};
 pub use exec::{ExecutionContext, Kernel, Scheduler};
+pub use incremental::{FullCause, ReembedPath, ReembedReport, ResidentEmbedding};
 pub use outcome::{degraded_fingerprint, OutcomeClass};
 pub use stats::{LevelStats, MergeStats, RecursionStats};
 pub use verify::{is_planar_distributed, verify_embedding, verify_surviving_embedding};

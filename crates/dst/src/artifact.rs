@@ -14,7 +14,7 @@ use planar_embedding::{
     degraded_fingerprint, EmbedError, EmbeddingOutcome, Kernel, OutcomeClass, Scheduler,
 };
 
-use crate::oracle::{RunSummary, ScenarioReport, Violation};
+use crate::oracle::{ChurnSummary, RunSummary, ScenarioReport, Violation};
 use crate::scenario::Scenario;
 
 /// A JSON value with canonical (sorted-key) rendering.
@@ -281,6 +281,8 @@ pub fn scenario_json(sc: &Scenario) -> Json {
         ("scheduler", Json::Str(scheduler_code(sc.scheduler).into())),
         ("threads", Json::U64(sc.threads as u64)),
         ("certify", Json::Bool(sc.certify)),
+        ("churn_deltas", Json::U64(sc.churn_deltas as u64)),
+        ("churn_seed", Json::U64(sc.churn_seed)),
     ])
 }
 
@@ -303,6 +305,16 @@ fn run_summary_json(run: &RunSummary) -> Json {
             },
         ),
         ("digest", Json::Str(format!("{:016x}", run.digest))),
+    ])
+}
+
+fn churn_summary_json(c: &ChurnSummary) -> Json {
+    Json::obj([
+        ("applied", Json::U64(c.applied as u64)),
+        ("incremental", Json::U64(c.incremental as u64)),
+        ("full_fallbacks", Json::U64(c.full_fallbacks as u64)),
+        ("rejected_nonplanar", Json::U64(c.rejected_nonplanar as u64)),
+        ("divergences", Json::U64(c.divergences as u64)),
     ])
 }
 
@@ -345,6 +357,13 @@ pub fn report_json(report: &ScenarioReport) -> Json {
                     })
                     .collect(),
             ),
+        ),
+        (
+            "churn",
+            match &report.churn {
+                Some(c) => churn_summary_json(c),
+                None => Json::Null,
+            },
         ),
         (
             "violations",

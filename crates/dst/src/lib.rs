@@ -15,7 +15,12 @@
 //!   re-certification must accept every successful embedding;
 //! * **shadow bit-identity** — the same scenario re-run with the kernel
 //!   flipped, the thread count flipped, and the scheduler flipped must
-//!   agree (exactly, exactly, and up to the degraded round tally).
+//!   agree (exactly, exactly, and up to the degraded round tally);
+//! * the **churn oracle** — fault-free scenarios may draw a seeded churn
+//!   dimension: the graph is hosted as a tenant of the multi-tenant
+//!   embedding service (`planar-service`) and every delta's incremental
+//!   re-embedding is diffed against a full re-embed of the mutated graph
+//!   (rotation, certification verdict, planarity outcome).
 //!
 //! Any violation triggers automatic failing-seed minimization
 //! ([`minimize`]): greedy delta-debugging over graph size, fault-plan
@@ -40,6 +45,8 @@ pub mod swarm;
 
 pub use artifact::Json;
 pub use minimize::{minimize, Minimized, DEFAULT_BUDGET};
-pub use oracle::{check_scenario, RunSummary, ScenarioReport, Violation, ViolationKind};
+pub use oracle::{
+    check_scenario, ChurnSummary, RunSummary, ScenarioReport, Violation, ViolationKind,
+};
 pub use scenario::{Scenario, MAX_N, MIN_N, THREAD_CHOICES};
 pub use swarm::{run_artifact, run_one, run_swarm, SwarmOptions, SwarmReport, SwarmRun};

@@ -151,6 +151,27 @@ fn candidates(sc: &Scenario) -> Vec<(String, Scenario)> {
         cand.faults.link.drop = 0.0;
         out.push(("zero drop rate".into(), cand));
     }
+    // 2b. Churn shrinking: drop the whole pass first, then halve and
+    // decrement the delta count (the churn seed stays fixed — a shorter
+    // prefix of the same stream).
+    if sc.churn_deltas > 0 {
+        let mut cand = sc.clone();
+        cand.churn_deltas = 0;
+        cand.churn_seed = 0;
+        out.push(("drop churn pass".into(), cand));
+    }
+    for target in [sc.churn_deltas / 2, sc.churn_deltas.saturating_sub(1)] {
+        if target >= 1 && target < sc.churn_deltas {
+            let mut cand = sc.clone();
+            cand.churn_deltas = target;
+            if !out.iter().any(|(_, c)| *c == cand) {
+                out.push((
+                    format!("churn_deltas {} -> {target}", sc.churn_deltas),
+                    cand,
+                ));
+            }
+        }
+    }
     // 3. Configuration dimensions.
     if sc.certify {
         let mut cand = sc.clone();
@@ -199,6 +220,10 @@ mod tests {
                 );
                 assert!(
                     cand.faults.link_down.len() <= sc.faults.link_down.len(),
+                    "seed {seed}: '{desc}'"
+                );
+                assert!(
+                    cand.churn_deltas <= sc.churn_deltas,
                     "seed {seed}: '{desc}'"
                 );
                 let n = cand.build_graph().vertex_count();

@@ -54,6 +54,9 @@ pub enum ViolationKind {
     Certification,
     /// Two runs of the same scenario that must agree did not.
     Divergence,
+    /// The service's incremental re-embedding disagreed with its full
+    /// re-embed oracle under churn, or the churn pass failed internally.
+    ChurnDivergence,
 }
 
 impl ViolationKind {
@@ -65,6 +68,7 @@ impl ViolationKind {
             ViolationKind::BadEmbedding => "bad-embedding",
             ViolationKind::Certification => "certification",
             ViolationKind::Divergence => "divergence",
+            ViolationKind::ChurnDivergence => "churn-divergence",
         }
     }
 }
@@ -124,6 +128,22 @@ impl RunSummary {
     }
 }
 
+/// Outcome tally of the churn pass, when the scenario drew one.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChurnSummary {
+    /// Deltas the service applied (incremental + full fallbacks).
+    pub applied: usize,
+    /// Applied via the incremental path (affected-subtree re-run).
+    pub incremental: usize,
+    /// Applied via a recorded full fallback (tree/vertex-set change).
+    pub full_fallbacks: usize,
+    /// Deltas rejected as planarity-breaking (gate or embedder).
+    pub rejected_nonplanar: usize,
+    /// Incremental-vs-full-oracle disagreements (must be 0; any nonzero
+    /// value also appears as a [`ViolationKind::ChurnDivergence`]).
+    pub divergences: usize,
+}
+
 /// Everything [`check_scenario`] learned about one scenario.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ScenarioReport {
@@ -137,6 +157,8 @@ pub struct ScenarioReport {
     pub primary: RunSummary,
     /// The shadow runs, labeled.
     pub shadows: Vec<(&'static str, RunSummary)>,
+    /// The churn pass tally, when the scenario drew churn deltas.
+    pub churn: Option<ChurnSummary>,
     /// Every violation found, in oracle order. Empty means the scenario
     /// passed all checks.
     pub violations: Vec<Violation>,
@@ -356,13 +378,85 @@ pub fn check_scenario(sc: &Scenario) -> ScenarioReport {
         shadows.push((label, RunSummary::of(&result)));
     }
 
+    // Churn pass: host the scenario graph as a service tenant and drive
+    // the seeded delta stream with the incremental-vs-full oracle armed.
+    let churn = (sc.churned() && !sc.faulty()).then(|| check_churn(sc, &g, &mut violations));
+
     ScenarioReport {
         scenario: sc.clone(),
         n,
         edges: g.edge_count(),
         primary: RunSummary::of(&primary),
         shadows,
+        churn,
         violations,
+    }
+}
+
+/// Runs the scenario's churn dimension: admits the built graph as a
+/// tenant of a [`planar_service::ServiceState`] with
+/// [`planar_service::OracleMode::Always`] (every delta diffed against a
+/// full re-embed) and the trace auditor armed, then applies
+/// `churn_deltas` draws of the seeded stream. Divergences and internal
+/// failures surface as [`ViolationKind::ChurnDivergence`]; audit drift
+/// as [`ViolationKind::AuditDrift`].
+fn check_churn(sc: &Scenario, g: &Graph, violations: &mut Vec<Violation>) -> ChurnSummary {
+    use planar_service::{ChurnGen, OracleMode, ServiceConfig, ServiceState};
+
+    let audit = AuditSink::new();
+    let mut cfg = ServiceConfig {
+        kernel: sc.kernel,
+        certify: sc.certify,
+        oracle: OracleMode::Always,
+        ..ServiceConfig::default()
+    };
+    cfg.sim.threads = Some(sc.threads);
+    cfg.sim.trace = congest_sim::TraceHandle::to(audit.clone());
+    let mut svc = ServiceState::new(cfg);
+
+    let id = match svc.create_tenant(g.clone()) {
+        Ok(id) => id,
+        Err(e) => {
+            // The generator guarantees a connected planar input, so a
+            // fault-free admission can never fail.
+            violations.push(Violation {
+                kind: ViolationKind::ChurnDivergence,
+                shadow: Some("churn"),
+                detail: format!("service admission failed on a planar input: {e}"),
+            });
+            return ChurnSummary::default();
+        }
+    };
+    let mut churn = ChurnGen::new(sc.churn_seed);
+    for step in 0..sc.churn_deltas {
+        let delta = churn.next_delta(svc.tenant(id).unwrap().graph());
+        let shown = delta.clone();
+        if let Err(e) = svc.apply(id, delta) {
+            violations.push(Violation {
+                kind: ViolationKind::ChurnDivergence,
+                shadow: Some("churn"),
+                detail: format!("step {step} ({shown}): service error: {e}"),
+            });
+            break;
+        }
+        let record = svc.tenant(id).unwrap().records().last().cloned();
+        if let Some(diff) = record.and_then(|r| r.diverged) {
+            violations.push(Violation {
+                kind: ViolationKind::ChurnDivergence,
+                shadow: Some("churn"),
+                detail: format!("step {step} ({shown}): {diff}"),
+            });
+        }
+    }
+    audit_check(&audit, Some("churn"), violations);
+
+    let stats = svc.tenant(id).unwrap().stats();
+    ChurnSummary {
+        applied: stats.applied,
+        incremental: stats.incremental,
+        full_fallbacks: stats.full_fallbacks,
+        rejected_nonplanar: stats.rejected_nonplanar,
+        divergences: stats.divergences,
     }
 }
 
@@ -419,6 +513,38 @@ mod tests {
         assert!(report.primary.class.allowed_on_planar_input(true));
     }
 
+    /// A churned scenario runs the service churn pass cleanly: deltas
+    /// are exercised, nothing diverges from the full re-embed oracle,
+    /// and the report replays byte for byte.
+    #[test]
+    fn churned_scenario_passes_the_churn_oracle() {
+        let sc = (0..)
+            .map(Scenario::generate)
+            .find(|s| s.churned() && s.certify)
+            .unwrap();
+        let report = check_scenario(&sc);
+        assert_eq!(report.violations, vec![], "seed {}", sc.seed);
+        let churn = report.churn.expect("churned scenario must tally churn");
+        assert_eq!(
+            churn.applied + churn.rejected_nonplanar,
+            sc.churn_deltas,
+            "seed {}: every delta must be judged",
+            sc.seed
+        );
+        assert_eq!(churn.divergences, 0);
+        assert_eq!(check_scenario(&sc), report, "churn pass must replay");
+    }
+
+    /// Unchurned scenarios carry no churn tally.
+    #[test]
+    fn unchurned_scenarios_skip_the_churn_pass() {
+        let sc = (0..)
+            .map(Scenario::generate)
+            .find(|s| !s.churned())
+            .unwrap();
+        assert_eq!(check_scenario(&sc).churn, None);
+    }
+
     #[test]
     fn violation_kind_codes_are_distinct() {
         let kinds = [
@@ -427,6 +553,7 @@ mod tests {
             ViolationKind::BadEmbedding,
             ViolationKind::Certification,
             ViolationKind::Divergence,
+            ViolationKind::ChurnDivergence,
         ];
         let codes: std::collections::HashSet<_> = kinds.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), kinds.len());

@@ -37,6 +37,8 @@ const DIM_GRAPH: u64 = 3;
 const DIM_FAULT_DRAWS: u64 = 4;
 const DIM_FAULT_PLAN: u64 = 5;
 const DIM_EXEC: u64 = 6;
+const DIM_CHURN_DRAWS: u64 = 7;
+const DIM_CHURN_SEED: u64 = 8;
 
 /// Thread counts the scenario engine cycles through for the fast kernel's
 /// parallel round execution (`Some(t)` pins, bypassing host detection).
@@ -67,6 +69,13 @@ pub struct Scenario {
     pub threads: usize,
     /// Whether the run appends the distributed certification phase.
     pub certify: bool,
+    /// Seeded churn deltas applied through the multi-tenant service after
+    /// the primary embedding, each judged incremental-vs-full-oracle
+    /// (`0` ⇒ no churn pass). Drawn only for fault-free scenarios — the
+    /// service hosts long-lived embeddings, not chaos runs.
+    pub churn_deltas: usize,
+    /// Seed of the churn stream (inert when `churn_deltas == 0`).
+    pub churn_seed: u64,
 }
 
 impl Scenario {
@@ -121,6 +130,19 @@ impl Scenario {
         let threads = THREAD_CHOICES[exec.gen_range(0usize..THREAD_CHOICES.len())];
         let certify = exec.gen_range(0u32..100) < 50;
 
+        // Churn is a fault-free-only dimension: the embedding service
+        // rejects fault plans (tenants are long-lived embeddings), so
+        // drawing churn for faulty scenarios would silently no-op.
+        let mut churn = StdRng::seed_from_u64(mix_seed(seed, &[DIM_CHURN_DRAWS]));
+        let (churn_deltas, churn_seed) = if faults.is_empty() && churn.gen_range(0u32..100) < 40 {
+            (
+                churn.gen_range(1usize..=6),
+                mix_seed(seed, &[DIM_CHURN_SEED]),
+            )
+        } else {
+            (0, 0)
+        };
+
         Scenario {
             seed,
             family: family.name,
@@ -132,6 +154,8 @@ impl Scenario {
             scheduler,
             threads,
             certify,
+            churn_deltas,
+            churn_seed,
         }
     }
 
@@ -146,6 +170,12 @@ impl Scenario {
     /// allowed-terminal lattice keys on.
     pub fn faulty(&self) -> bool {
         !self.faults.is_empty()
+    }
+
+    /// Whether the scenario runs the churn pass (service-hosted seeded
+    /// deltas with incremental-vs-full-oracle judging).
+    pub fn churned(&self) -> bool {
+        self.churn_deltas > 0
     }
 
     /// Assembles the [`EmbedderConfig`] for one run of this scenario with
@@ -288,6 +318,12 @@ mod tests {
             .any(|s| s.scheduler == Scheduler::Sequential));
         assert!(scenarios.iter().any(|s| s.certify));
         assert!(scenarios.iter().any(|s| !s.certify));
+        assert!(scenarios.iter().any(|s| s.churned()));
+        assert!(scenarios.iter().any(|s| !s.faulty() && !s.churned()));
+        assert!(
+            scenarios.iter().all(|s| !(s.faulty() && s.churned())),
+            "churn must only be drawn for fault-free scenarios"
+        );
         assert!(scenarios.iter().any(|s| s.reliability.is_some()));
         assert!(scenarios
             .iter()

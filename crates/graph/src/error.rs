@@ -35,6 +35,13 @@ pub enum GraphError {
         /// Number of vertices in the graph.
         n: usize,
     },
+    /// An edge removal referenced an edge that is not present.
+    MissingEdge {
+        /// First endpoint of the missing edge.
+        u: VertexId,
+        /// Second endpoint of the missing edge.
+        v: VertexId,
+    },
     /// An operation that requires a connected graph was given a disconnected one.
     Disconnected,
     /// A rotation system was inconsistent with the underlying graph.
@@ -61,6 +68,9 @@ impl fmt::Display for GraphError {
                     f,
                     "vertex {vertex} out of range for a graph on {n} vertices"
                 )
+            }
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "edge {{{u}, {v}}} is not present in the graph")
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::InvalidRotation { reason } => {

@@ -132,6 +132,61 @@ impl Graph {
         Ok(())
     }
 
+    /// Removes the undirected edge `{u, v}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::MissingEdge`] when the edge is absent and
+    /// [`GraphError::VertexOutOfRange`] for invalid endpoints; the graph is
+    /// unchanged on error.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> Result<(), GraphError> {
+        self.check_vertex(u)?;
+        self.check_vertex(v)?;
+        let pos_u = match self.adj[u.index()].binary_search(&v) {
+            Ok(pos) => pos,
+            Err(_) => return Err(GraphError::MissingEdge { u, v }),
+        };
+        let pos_v = self.adj[v.index()]
+            .binary_search(&u)
+            .expect("adjacency lists out of sync");
+        self.adj[u.index()].remove(pos_u);
+        self.adj[v.index()].remove(pos_v);
+        self.m -= 1;
+        Ok(())
+    }
+
+    /// Appends a fresh isolated vertex and returns its id (`n` before the
+    /// call). Existing vertex ids are unaffected.
+    pub fn add_vertex(&mut self) -> VertexId {
+        self.adj.push(Vec::new());
+        VertexId::from_index(self.adj.len() - 1)
+    }
+
+    /// Removes vertex `v` along with all incident edges. Every vertex with
+    /// id greater than `v` is renumbered down by one, preserving the
+    /// relative id order of the survivors (the algorithm's leader election
+    /// and tie-breaks are id-based, so compaction keeps the graph in the
+    /// canonical `0..n` id space).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::VertexOutOfRange`] when `v` is invalid; the
+    /// graph is unchanged on error.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Result<(), GraphError> {
+        self.check_vertex(v)?;
+        self.m -= self.adj[v.index()].len();
+        self.adj.remove(v.index());
+        for nbrs in &mut self.adj {
+            nbrs.retain(|&w| w != v);
+            for w in nbrs.iter_mut() {
+                if *w > v {
+                    *w = VertexId(w.0 - 1);
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Returns `true` if the undirected edge `{u, v}` is present.
     #[inline]
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
@@ -293,5 +348,70 @@ mod tests {
     fn induced_subgraph_rejects_duplicates() {
         let g = k4();
         assert!(g.induced_subgraph(&[VertexId(1), VertexId(1)]).is_err());
+    }
+
+    #[test]
+    fn remove_edge_round_trips_with_add() {
+        let mut g = k4();
+        g.remove_edge(VertexId(1), VertexId(3)).unwrap();
+        assert_eq!(g.edge_count(), 5);
+        assert!(!g.has_edge(VertexId(1), VertexId(3)));
+        assert!(!g.has_edge(VertexId(3), VertexId(1)));
+        g.add_edge(VertexId(3), VertexId(1)).unwrap();
+        assert_eq!(g, k4());
+    }
+
+    #[test]
+    fn remove_edge_rejects_missing_and_out_of_range() {
+        let mut g = Graph::from_edges(3, [(0, 1)]).unwrap();
+        let before = g.clone();
+        assert!(matches!(
+            g.remove_edge(VertexId(0), VertexId(2)),
+            Err(GraphError::MissingEdge { .. })
+        ));
+        assert!(matches!(
+            g.remove_edge(VertexId(0), VertexId(9)),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn add_vertex_appends_isolated() {
+        let mut g = k4();
+        let v = g.add_vertex();
+        assert_eq!(v, VertexId(4));
+        assert_eq!(g.vertex_count(), 5);
+        assert_eq!(g.degree(v), 0);
+        assert_eq!(g.edge_count(), 6);
+        g.add_edge(v, VertexId(0)).unwrap();
+        assert!(g.has_edge(VertexId(0), VertexId(4)));
+    }
+
+    #[test]
+    fn remove_vertex_compacts_ids() {
+        // Path 0-1-2-3 plus chord 0-3; removing vertex 1 leaves 0, 2->1,
+        // 3->2 with edges {1,2} (old {2,3}) and {0,2} (old {0,3}).
+        let mut g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (0, 3)]).unwrap();
+        g.remove_vertex(VertexId(1)).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(VertexId(1), VertexId(2)));
+        assert!(g.has_edge(VertexId(0), VertexId(2)));
+        assert!(!g.has_edge(VertexId(0), VertexId(1)));
+        // Adjacency stays sorted after renumbering.
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            assert!(nbrs.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn remove_vertex_updates_edge_count() {
+        let mut g = k4();
+        g.remove_vertex(VertexId(0)).unwrap();
+        assert_eq!(g.vertex_count(), 3);
+        assert_eq!(g.edge_count(), 3); // the remaining triangle
+        assert!(g.remove_vertex(VertexId(7)).is_err());
     }
 }

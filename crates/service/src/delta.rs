@@ -1,0 +1,222 @@
+//! The typed delta API: the four mutations a tenant graph can receive,
+//! with validation that leaves the resident graph untouched on rejection.
+//!
+//! Deltas model the sensor-fleet churn of Huc–Jarry–Leone–Rolim
+//! (*Distributed Planarization and Local Routing Strategies in Sensor
+//! Networks*): links appearing ([`Delta::InsertEdge`]) and failing
+//! ([`Delta::DeleteEdge`]), nodes arriving ([`Delta::AddNode`]) and
+//! departing ([`Delta::RemoveNode`]). [`apply_delta`] materializes the
+//! mutated graph *by value* — the service commits it to the resident
+//! embedding only after the re-embedding accepts, so an invalid or
+//! planarity-breaking delta never corrupts tenant state.
+//!
+//! Validity here is *structural* (simple graph, connected network —
+//! the embedder's input contract), not planarity: a delta producing a
+//! non-planar graph is structurally valid and gets rejected later, by
+//! the pre-flight gate or the re-embedding itself.
+
+use std::fmt;
+
+use planar_graph::{Graph, GraphError, VertexId};
+
+/// One mutation of a tenant graph.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Delta {
+    /// Insert the undirected edge `{u, v}` (a new sensor link).
+    InsertEdge(VertexId, VertexId),
+    /// Delete the undirected edge `{u, v}` (a link failure).
+    DeleteEdge(VertexId, VertexId),
+    /// A node arrival: append a fresh vertex attached to the listed
+    /// existing vertices (at least one, to keep the network connected).
+    AddNode {
+        /// Existing vertices the new node links to.
+        attach: Vec<VertexId>,
+    },
+    /// A node departure: remove the vertex and its incident links;
+    /// higher ids shift down by one (the id space stays `0..n`).
+    RemoveNode(VertexId),
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Delta::InsertEdge(u, v) => write!(f, "+{{{u},{v}}}"),
+            Delta::DeleteEdge(u, v) => write!(f, "-{{{u},{v}}}"),
+            Delta::AddNode { attach } => {
+                write!(f, "+node(")?;
+                for (i, v) in attach.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Delta::RemoveNode(v) => write!(f, "-node({v})"),
+        }
+    }
+}
+
+/// Why a delta was structurally invalid for the graph it targeted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DeltaError {
+    /// The underlying graph mutation failed (self-loop, parallel edge,
+    /// missing edge, out-of-range vertex).
+    Graph(GraphError),
+    /// The mutation would disconnect the network, violating the
+    /// embedder's input contract.
+    WouldDisconnect,
+    /// An [`Delta::AddNode`] with no attachments (the arrival would be an
+    /// isolated node — a disconnected network).
+    EmptyAttachment,
+    /// An [`Delta::AddNode`] listing the same attachment twice.
+    DuplicateAttachment(VertexId),
+    /// A [`Delta::RemoveNode`] that would leave an empty network.
+    LastVertex,
+}
+
+impl fmt::Display for DeltaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeltaError::Graph(e) => write!(f, "{e}"),
+            DeltaError::WouldDisconnect => write!(f, "delta would disconnect the network"),
+            DeltaError::EmptyAttachment => write!(f, "node arrival with no attachments"),
+            DeltaError::DuplicateAttachment(v) => {
+                write!(f, "node arrival lists attachment {v} twice")
+            }
+            DeltaError::LastVertex => write!(f, "cannot remove the last vertex"),
+        }
+    }
+}
+
+impl std::error::Error for DeltaError {}
+
+impl From<GraphError> for DeltaError {
+    fn from(e: GraphError) -> Self {
+        DeltaError::Graph(e)
+    }
+}
+
+/// Applies `delta` to a copy of `g`, returning the mutated graph.
+///
+/// # Errors
+///
+/// [`DeltaError`] when the delta is structurally invalid; `g` itself is
+/// never modified either way.
+pub fn apply_delta(g: &Graph, delta: &Delta) -> Result<Graph, DeltaError> {
+    let mut out = g.clone();
+    match delta {
+        Delta::InsertEdge(u, v) => {
+            out.add_edge(*u, *v)?;
+        }
+        Delta::DeleteEdge(u, v) => {
+            out.remove_edge(*u, *v)?;
+            if !out.is_connected() {
+                return Err(DeltaError::WouldDisconnect);
+            }
+        }
+        Delta::AddNode { attach } => {
+            if attach.is_empty() {
+                return Err(DeltaError::EmptyAttachment);
+            }
+            for (i, &v) in attach.iter().enumerate() {
+                g.check_vertex(v)?;
+                if attach[..i].contains(&v) {
+                    return Err(DeltaError::DuplicateAttachment(v));
+                }
+            }
+            let fresh = out.add_vertex();
+            for &v in attach {
+                out.add_edge(fresh, v)?;
+            }
+        }
+        Delta::RemoveNode(v) => {
+            if g.vertex_count() <= 1 {
+                return Err(DeltaError::LastVertex);
+            }
+            out.remove_vertex(*v)?;
+            if !out.is_connected() {
+                return Err(DeltaError::WouldDisconnect);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_delete_round_trip() {
+        let g = cycle4();
+        let with_chord = apply_delta(&g, &Delta::InsertEdge(VertexId(0), VertexId(2))).unwrap();
+        assert!(with_chord.has_edge(VertexId(0), VertexId(2)));
+        let back = apply_delta(&with_chord, &Delta::DeleteEdge(VertexId(0), VertexId(2))).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn delete_rejects_disconnection() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
+        assert_eq!(
+            apply_delta(&g, &Delta::DeleteEdge(VertexId(0), VertexId(1))),
+            Err(DeltaError::WouldDisconnect)
+        );
+        assert!(matches!(
+            apply_delta(&g, &Delta::DeleteEdge(VertexId(0), VertexId(2))),
+            Err(DeltaError::Graph(GraphError::MissingEdge { .. }))
+        ));
+    }
+
+    #[test]
+    fn add_node_validates_attachments() {
+        let g = cycle4();
+        assert_eq!(
+            apply_delta(&g, &Delta::AddNode { attach: vec![] }),
+            Err(DeltaError::EmptyAttachment)
+        );
+        assert_eq!(
+            apply_delta(
+                &g,
+                &Delta::AddNode {
+                    attach: vec![VertexId(1), VertexId(1)]
+                }
+            ),
+            Err(DeltaError::DuplicateAttachment(VertexId(1)))
+        );
+        let grown = apply_delta(
+            &g,
+            &Delta::AddNode {
+                attach: vec![VertexId(0), VertexId(2)],
+            },
+        )
+        .unwrap();
+        assert_eq!(grown.vertex_count(), 5);
+        assert!(grown.has_edge(VertexId(4), VertexId(0)));
+        assert!(grown.is_connected());
+    }
+
+    #[test]
+    fn remove_node_keeps_connectivity_or_rejects() {
+        let g = cycle4();
+        let shrunk = apply_delta(&g, &Delta::RemoveNode(VertexId(3))).unwrap();
+        assert_eq!(shrunk.vertex_count(), 3);
+        assert!(shrunk.is_connected());
+        // A star center cannot depart.
+        let star = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3)]).unwrap();
+        assert_eq!(
+            apply_delta(&star, &Delta::RemoveNode(VertexId(0))),
+            Err(DeltaError::WouldDisconnect)
+        );
+        let single = Graph::new(1);
+        assert_eq!(
+            apply_delta(&single, &Delta::RemoveNode(VertexId(0))),
+            Err(DeltaError::LastVertex)
+        );
+    }
+}

@@ -1,0 +1,133 @@
+//! The bit-identity property suite: for every generator family, seeded
+//! churn sequence, and kernel, the service's incremental path must match
+//! the full re-embed oracle *exactly* — rotation system, certification
+//! verdict, and planarity outcome — with the simulator's audit sink
+//! armed so any kernel protocol violation fails the run too.
+//!
+//! This is the contract the whole service rests on ("incremental" may
+//! never mean "approximate"); [`OracleMode::Always`] performs the diff
+//! on every delta, and `ServiceState::divergences()` must stay 0.
+
+use congest_sim::{AuditSink, TraceHandle};
+use planar_embedding::Kernel;
+use planar_lib::gen;
+use planar_service::{
+    ChurnGen, Delta, DeltaOutcome, OracleMode, ServiceConfig, ServiceState, TenantId,
+};
+
+/// Deltas per (family, kernel, seed) cell. Small on purpose — the suite
+/// covers 15 families × 2 kernels × 2 seeds; depth is the soak's job
+/// (`harness service`).
+const DELTAS: usize = 5;
+const SEEDS: [u64; 2] = [11, 202];
+
+fn audited_service(kernel: Kernel, audit: &std::sync::Arc<AuditSink>) -> ServiceState {
+    let mut cfg = ServiceConfig {
+        kernel,
+        certify: true,
+        oracle: OracleMode::Always,
+        ..ServiceConfig::default()
+    };
+    cfg.sim.trace = TraceHandle::to(audit.clone());
+    ServiceState::new(cfg)
+}
+
+fn churn_tenant(svc: &mut ServiceState, id: TenantId, seed: u64, family: &str, kernel: Kernel) {
+    let mut churn = ChurnGen::new(seed);
+    for step in 0..DELTAS {
+        let delta = churn.next_delta(svc.tenant(id).unwrap().graph());
+        let shown = delta.clone();
+        let outcome = svc
+            .apply(id, delta)
+            .unwrap_or_else(|e| panic!("{family}/{kernel:?}/seed {seed} step {step}: {e}"));
+        assert!(
+            !matches!(outcome, DeltaOutcome::RejectedInvalid { .. }),
+            "{family}/{kernel:?}/seed {seed} step {step}: churn drew invalid delta {shown}"
+        );
+        let tenant = svc.tenant(id).unwrap();
+        if let Some(record) = tenant.records().last() {
+            assert!(
+                record.diverged.is_none(),
+                "{family}/{kernel:?}/seed {seed} step {step} ({shown}): {}",
+                record.diverged.as_deref().unwrap()
+            );
+        }
+        assert!(
+            tenant.rotation().is_planar_embedding(),
+            "{family}/{kernel:?}/seed {seed} step {step}: resident rotation not planar"
+        );
+        assert!(
+            tenant.certification().is_some_and(|c| c.accepted()),
+            "{family}/{kernel:?}/seed {seed} step {step}: resident certification not accepted"
+        );
+    }
+}
+
+/// The headline property: every family × seed × kernel, incremental
+/// re-embedding under churn is bit-identical to the full oracle, and
+/// the kernel audit stays clean.
+#[test]
+fn churned_families_match_full_oracle_on_both_kernels() {
+    for kernel in [Kernel::Fast, Kernel::Reference] {
+        let audit = AuditSink::new();
+        let mut svc = audited_service(kernel, &audit);
+        let mut tenants = Vec::new();
+        for family in gen::FAMILIES {
+            let n = family.min_n.max(10);
+            for seed in SEEDS {
+                let g = (family.build)(n, seed);
+                let id = svc
+                    .create_tenant_labeled(g, Some(family.name))
+                    .unwrap_or_else(|e| {
+                        panic!("{}/{kernel:?}: admission failed: {e}", family.name)
+                    });
+                tenants.push((id, family.name, seed));
+            }
+        }
+        for (id, family, seed) in tenants {
+            churn_tenant(&mut svc, id, seed, family, kernel);
+        }
+        assert_eq!(
+            svc.divergences(),
+            0,
+            "{kernel:?}: incremental re-embedding diverged from the full oracle"
+        );
+        let report = audit.report();
+        assert!(
+            report.mismatches.is_empty(),
+            "{kernel:?}: kernel audit violations: {:?}",
+            report.mismatches
+        );
+        assert!(audit.ok());
+    }
+}
+
+/// The incremental path is genuinely exercised (not 100% fallback): a
+/// non-tree edge deletion on a grid takes the subtree-recompute path and
+/// still matches the oracle.
+#[test]
+fn incremental_path_is_taken_and_matches() {
+    let audit = AuditSink::new();
+    let mut svc = audited_service(Kernel::Fast, &audit);
+    let g = gen::grid(8, 8);
+    let id = svc.create_tenant(g.clone()).unwrap();
+    // Any chord of the grid's BFS tree: deleting it preserves all BFS
+    // distances, so the resident tree is reproduced and the incremental
+    // path applies.
+    let tenant = svc.tenant(id).unwrap();
+    let victim = g
+        .edges()
+        .find(|e| !tenant.is_tree_edge(e.lo(), e.hi()))
+        .expect("a grid has non-tree edges");
+    let outcome = svc
+        .apply(id, Delta::DeleteEdge(victim.lo(), victim.hi()))
+        .unwrap();
+    match outcome {
+        DeltaOutcome::Applied { report, .. } => {
+            assert!(report.is_incremental(), "expected the incremental path");
+        }
+        other => panic!("expected Applied, got {other:?}"),
+    }
+    assert_eq!(svc.divergences(), 0);
+    assert!(audit.ok());
+}

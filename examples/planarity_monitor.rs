@@ -1,81 +1,142 @@
-//! The embedding algorithm as a distributed planarity *test*: when a merge
-//! discovers a part whose half-embedded edges cannot share a face, the
-//! network is provably non-planar (contrapositive of the safety property's
-//! guarantee, Section 3).
+//! The embedding service as a distributed planarity *monitor*: a topology
+//! operator submits link additions as typed deltas, and the service
+//! answers — with the pre-flight gate where the answer is free, with an
+//! incremental re-embedding where it is not — before any change reaches
+//! the production network. Planarity-breaking deltas are rejected and the
+//! resident embedding is left untouched, so the monitor can keep serving
+//! routes (e.g. the planar-only O(D)-round MST of the paper's part II)
+//! throughout.
 //!
-//! A topology monitor can use this to detect when link additions have
-//! destroyed planarity — e.g. before relying on planar-only optimizations
-//! such as the O(D)-round MST of the paper's part II.
+//! The gate is one-sided (Levi–Medina–Ron style): `DefinitelyPlanar` and
+//! `DefinitelyNonPlanar` are certain, `Unknown` defers to the embedder.
 //!
 //! ```text
 //! cargo run --release --example planarity_monitor
 //! ```
 
-use planar_embedding::{embed_distributed, EmbedError, EmbedderConfig};
-use planar_graph::{Graph, VertexId};
+use planar_graph::VertexId;
+use planar_service::{Delta, DeltaOutcome, GateVerdict, OracleMode, ServiceConfig, ServiceState};
 
-fn check(name: &str, g: &Graph) {
-    match embed_distributed(g, &EmbedderConfig::default()) {
-        Ok(out) => println!(
-            "{name}: PLANAR — embedding computed in {} rounds, {} faces",
-            out.metrics.rounds,
-            out.rotation.face_count()
-        ),
-        Err(EmbedError::NonPlanar) => println!("{name}: NON-PLANAR — rejected"),
-        Err(e) => println!("{name}: error — {e}"),
+fn verdict(v: GateVerdict) -> &'static str {
+    match v {
+        GateVerdict::DefinitelyPlanar => "gate: definitely planar",
+        GateVerdict::DefinitelyNonPlanar => "gate: definitely NON-planar",
+        GateVerdict::Unknown => "gate: unknown, embedder decides",
     }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A healthy planar backbone.
-    let mut backbone = planar_lib::gen::grid(5, 5);
-    check("5x5 grid backbone", &backbone);
+    // Oracle armed: every decision below is cross-checked against a full
+    // re-embed, so the printout doubles as a correctness demonstration.
+    let mut svc = ServiceState::new(ServiceConfig {
+        oracle: OracleMode::Always,
+        ..ServiceConfig::default()
+    });
 
-    // Operators add long-range shortcuts one by one; most keep planarity...
-    backbone.add_edge(VertexId(0), VertexId(6))?; // a diagonal in one cell
-    check("backbone + short diagonal", &backbone);
+    // A healthy planar backbone becomes a resident tenant.
+    let id = svc.create_tenant(planar_lib::gen::grid(5, 5))?;
+    println!(
+        "5x5 grid backbone admitted: planar, {} faces, certificates accepted\n",
+        svc.tenant(id).unwrap().rotation().face_count()
+    );
 
-    // ...but careless cross-links can destroy it.
-    let mut sabotaged = backbone.clone();
-    sabotaged.add_edge(VertexId(2), VertexId(10))?;
-    sabotaged.add_edge(VertexId(2), VertexId(14))?;
-    sabotaged.add_edge(VertexId(2), VertexId(22))?;
-    sabotaged.add_edge(VertexId(10), VertexId(14))?;
-    sabotaged.add_edge(VertexId(10), VertexId(22))?;
-    sabotaged.add_edge(VertexId(14), VertexId(22))?;
-    check("backbone + K4 of cross-links", &sabotaged);
-
-    // Classical obstructions, detected without the density shortcut.
-    let k33 = Graph::from_edges(
-        6,
-        [
-            (0, 3),
-            (0, 4),
-            (0, 5),
-            (1, 3),
-            (1, 4),
-            (1, 5),
-            (2, 3),
-            (2, 4),
-            (2, 5),
-        ],
-    )?;
-    check("K3,3", &k33);
-
-    let k5 = planar_lib::gen::complete(5);
-    check("K5", &k5);
-
-    // A subdivided K5 dodges every density bound; only the real algorithm
-    // catches it.
-    let mut k5sub = Graph::new(5 + 10);
-    let mut mid = 5u32;
-    for u in 0..5u32 {
-        for v in (u + 1)..5 {
-            k5sub.add_edge(VertexId(u), VertexId(mid))?;
-            k5sub.add_edge(VertexId(mid), VertexId(v))?;
-            mid += 1;
+    // Operators submit cross-links one by one. The monitor accepts each
+    // one that keeps the accepted topology planar and rejects the one
+    // that would not — and a rejection costs the network nothing.
+    let proposals = [
+        (
+            "short diagonal 0-6",
+            Delta::InsertEdge(VertexId(0), VertexId(6)),
+        ),
+        (
+            "cross-link 2-10",
+            Delta::InsertEdge(VertexId(2), VertexId(10)),
+        ),
+        (
+            "cross-link 2-14",
+            Delta::InsertEdge(VertexId(2), VertexId(14)),
+        ),
+        (
+            "cross-link 2-22",
+            Delta::InsertEdge(VertexId(2), VertexId(22)),
+        ),
+        (
+            "cross-link 10-14",
+            Delta::InsertEdge(VertexId(10), VertexId(14)),
+        ),
+        (
+            "cross-link 10-22",
+            Delta::InsertEdge(VertexId(10), VertexId(22)),
+        ),
+        (
+            "cross-link 14-22",
+            Delta::InsertEdge(VertexId(14), VertexId(22)),
+        ),
+    ];
+    for (name, delta) in proposals {
+        let outcome = svc.apply(id, delta)?;
+        match outcome {
+            DeltaOutcome::Applied { report, gate } => println!(
+                "{name}: ACCEPTED ({}; {} path)",
+                verdict(gate),
+                if report.is_incremental() {
+                    "incremental"
+                } else {
+                    "full re-embed"
+                }
+            ),
+            DeltaOutcome::RejectedNonPlanar { gate } => println!(
+                "{name}: REJECTED — would destroy planarity ({})",
+                verdict(gate)
+            ),
+            DeltaOutcome::RejectedInvalid { error } => {
+                println!("{name}: INVALID — {error}")
+            }
         }
     }
-    check("subdivided K5 (sparse!)", &k5sub);
+
+    // The rejected delta never touched the resident embedding: the tenant
+    // still serves a planar rotation for the accepted topology.
+    let tenant = svc.tenant(id).unwrap();
+    println!(
+        "\nresident topology after monitoring: n = {}, m = {}, planar = {}, certified = {}",
+        tenant.graph().vertex_count(),
+        tenant.graph().edge_count(),
+        tenant.rotation().is_planar_embedding(),
+        tenant.certification().is_some_and(|c| c.accepted()),
+    );
+
+    // Density-violating proposals are rejected by the gate alone — no
+    // re-embedding runs at all. Admit a maximal planar tenant and try.
+    let maximal = planar_lib::gen::random_maximal_planar(12, 3);
+    let dense = svc.create_tenant(maximal.clone())?;
+    let (u, v) = {
+        let mut pick = None;
+        'outer: for a in maximal.vertices() {
+            for b in maximal.vertices() {
+                if a < b && !maximal.has_edge(a, b) {
+                    pick = Some((a, b));
+                    break 'outer;
+                }
+            }
+        }
+        pick.expect("a 12-vertex maximal planar graph is not complete")
+    };
+    match svc.apply(dense, Delta::InsertEdge(u, v))? {
+        DeltaOutcome::RejectedNonPlanar { gate } => println!(
+            "\nmaximal planar tenant + any edge: REJECTED by the density bound ({}) — \
+             zero embedding work spent",
+            verdict(gate)
+        ),
+        other => panic!("density-violating insert must be gate-rejected, got {other:?}"),
+    }
+    assert_eq!(
+        svc.tenant(dense).unwrap().stats().gate_short_circuits,
+        1,
+        "the gate, not the embedder, rejected the dense proposal"
+    );
+
+    assert_eq!(svc.divergences(), 0);
+    println!("\nevery verdict above was cross-checked bit-identical against a full re-embed.");
     Ok(())
 }

@@ -3,3 +3,4 @@ pub use congest_sim as congest;
 pub use planar_embedding as embedding;
 pub use planar_graph as graph;
 pub use planar_lib as planar;
+pub use planar_service as service;
