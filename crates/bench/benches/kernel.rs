@@ -10,7 +10,8 @@
 fn main() {
     let sizes = [1024usize, 10_000, 100_000];
     let rows = planar_bench::kernelbench::kernel_bench(&sizes);
+    let embeds = planar_bench::kernelbench::embed_mem_stage(&[100_000, 1_000_000]);
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernel.json");
-    planar_bench::kernelbench::write_json(&path, &rows).expect("write BENCH_kernel.json");
+    planar_bench::kernelbench::write_json(&path, &rows, &embeds).expect("write BENCH_kernel.json");
     println!("wrote {}", path.display());
 }

@@ -4,16 +4,23 @@
 //! an unknown subcommand for the full listing):
 //!
 //! ```text
-//! harness [all|t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|chaos|cert|trace|sched|dst|service] [--large]
+//! harness [all|t1|t2|t3|t4|t5|t6|fobs|fsafe|ablate|bench-kernel|mem|chaos|cert|trace|sched|dst|service] [--large]
 //! ```
 //!
 //! `--large` extends the sweeps to larger instances (minutes instead of
 //! seconds).
 //!
 //! `bench-kernel` times the simulation kernel against the preserved seed
-//! kernel (flood throughput on grid/tri-grid substrates) and writes the
+//! kernel (flood throughput on grid / tri-grid / random-maximal-planar
+//! substrates, with per-row kernel-arena bytes and peak RSS), runs the
+//! distributed-pipeline embedding memory stage (`--large` includes the
+//! n = 1,000,000 random-maximal-planar acceptance point), and writes the
 //! record to `BENCH_kernel.json` in the current directory. It is not part
 //! of `all`; run it explicitly (ideally under `--release`).
+//!
+//! `mem` is the CI memory gate: one n = 250,000 random-maximal-planar
+//! graph through the distributed pipeline, failing if process peak RSS
+//! exceeds its ceiling. Also not part of `all`.
 //!
 //! `chaos` sweeps the embedder under seeded link faults (drop / duplicate /
 //! delay at several rates, reliable delivery on) over grid and tri-grid
@@ -106,11 +113,27 @@ fn main() {
         } else {
             &[1024, 10_000]
         };
+        // The memory stage: distributed-pipeline embeddings on random
+        // maximal planar substrates. --large runs the million-node
+        // acceptance point (minutes).
+        let embed_ns: &[usize] = if large {
+            &[100_000, 1_000_000]
+        } else {
+            &[10_000]
+        };
         println!("== kernel throughput: flood, fast vs seed reference kernel ==");
         let rows = planar_bench::kernelbench::kernel_bench(ns);
+        println!("== embedding memory: distributed pipeline on random maximal planar ==");
+        let embeds = planar_bench::kernelbench::embed_mem_stage(embed_ns);
         let path = std::path::Path::new("BENCH_kernel.json");
-        planar_bench::kernelbench::write_json(path, &rows).expect("write BENCH_kernel.json");
+        planar_bench::kernelbench::write_json(path, &rows, &embeds)
+            .expect("write BENCH_kernel.json");
         println!("wrote {}", path.display());
+        return;
+    }
+
+    if which == "mem" {
+        run_mem();
         return;
     }
 
@@ -261,6 +284,7 @@ fn main() {
                     r.rounds.to_string(),
                     r.sequential_rounds.to_string(),
                     r.outputs_identical.to_string(),
+                    planar_bench::mem::fmt_bytes(r.peak_rss_bytes),
                 ]
             })
             .collect();
@@ -276,7 +300,8 @@ fn main() {
                     "speedup",
                     "rounds",
                     "seqRounds",
-                    "identical"
+                    "identical",
+                    "peakRSS"
                 ],
                 &data
             )
@@ -582,6 +607,54 @@ fn main() {
             render(&["family", "n", "invariantsHeld", "mergesChecked"], &data)
         );
     }
+}
+
+/// `harness mem`: the CI memory gate. Runs an n = 250,000
+/// random-maximal-planar graph through the full distributed pipeline
+/// ([`planar_bench::kernelbench::embed_mem`]) and fails (exit 1) if the
+/// process peak RSS exceeds the ceiling — the regression guard for the
+/// struct-of-arrays kernel layout (a layout regression multiplies
+/// per-node bytes, which at this n clears the headroom long before it
+/// hurts anyone's laptop). Skips the gate (with a notice) where the
+/// peak-RSS probe is unavailable.
+fn run_mem() {
+    /// Peak-RSS ceiling for the n = 250k smoke embedding. The measured
+    /// peak on the reference host is ~480 MiB (the retained kernel
+    /// arena is ~234 MiB ≈ 983 B/node; the rest is the graph and
+    /// driver artifacts), so 2 GiB is >4x headroom without tolerating
+    /// a per-node blowup.
+    const CEILING_BYTES: usize = 2 << 30;
+    const N: usize = 250_000;
+
+    println!("== mem: n = {N} random-maximal-planar embedding, peak-RSS gate ==");
+    let row = planar_bench::kernelbench::embed_mem(N);
+    println!(
+        "embed/{} n={} rounds={} secs={:.3} kernel={} ({:.1} B/node) rss={}",
+        row.family,
+        row.n,
+        row.rounds,
+        row.secs,
+        planar_bench::mem::fmt_bytes(row.kernel_bytes),
+        row.bytes_per_node(),
+        planar_bench::mem::fmt_bytes(row.peak_rss_bytes),
+    );
+    if row.peak_rss_bytes == 0 {
+        println!("peak-RSS probe unavailable on this platform; ceiling not gated");
+        return;
+    }
+    if row.peak_rss_bytes > CEILING_BYTES {
+        eprintln!(
+            "peak RSS {} exceeds the {} ceiling — kernel memory layout regression",
+            planar_bench::mem::fmt_bytes(row.peak_rss_bytes),
+            planar_bench::mem::fmt_bytes(CEILING_BYTES),
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "peak RSS {} within the {} ceiling",
+        planar_bench::mem::fmt_bytes(row.peak_rss_bytes),
+        planar_bench::mem::fmt_bytes(CEILING_BYTES),
+    );
 }
 
 /// The test-only canary skew `--canary` arms (any non-zero value works;

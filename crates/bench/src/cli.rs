@@ -63,6 +63,10 @@ pub const SUBCOMMANDS: &[Subcommand] = &[
         description: "kernel throughput vs the preserved seed kernel -> BENCH_kernel.json",
     },
     Subcommand {
+        name: "mem",
+        description: "memory gate: n=250k random-maximal-planar embedding under a peak-RSS ceiling",
+    },
+    Subcommand {
         name: "chaos",
         description: "embedding under seeded link faults, reliable delivery on -> BENCH_chaos.json",
     },
@@ -144,6 +148,7 @@ mod tests {
                 "fsafe",
                 "ablate",
                 "bench-kernel",
+                "mem",
                 "chaos",
                 "cert",
                 "trace",

@@ -45,6 +45,7 @@ pub mod chaos;
 pub mod cli;
 pub mod experiments;
 pub mod kernelbench;
+pub mod mem;
 pub mod parallel;
 pub mod schedbench;
 pub mod servicebench;

@@ -63,6 +63,10 @@ pub struct SchedRow {
     /// Whether metrics and recursion statistics were bit-identical
     /// (asserted — recorded for the JSON reader's benefit).
     pub outputs_identical: bool,
+    /// Process peak RSS after this cell, bytes (0 = probe unavailable).
+    /// Monotone across rows — the last cell of a sweep bounds the whole
+    /// sweep; per-n deltas bound the marginal cost of a cell.
+    pub peak_rss_bytes: usize,
 }
 
 fn substrate(family: &'static str, n: usize) -> planar_graph::Graph {
@@ -156,6 +160,7 @@ pub fn sched_cell_threads(family: &'static str, n: usize, threads: &[usize]) -> 
             rounds: lvl_metrics.rounds,
             sequential_rounds: lvl_stats.sequential_rounds,
             outputs_identical: identical,
+            peak_rss_bytes: crate::mem::peak_rss_bytes(),
         });
     }
     rows
@@ -196,7 +201,7 @@ pub fn to_json(rows: &[SchedRow]) -> String {
                 "    {{\"family\": \"{}\", \"n\": {}, \"threads\": {}, \"iters\": {}, ",
                 "\"sequential_secs\": {:.6}, \"level_sync_secs\": {:.6}, ",
                 "\"speedup\": {:.3}, \"rounds\": {}, \"sequential_rounds\": {}, ",
-                "\"outputs_identical\": {}}}{}\n"
+                "\"outputs_identical\": {}, \"peak_rss_bytes\": {}}}{}\n"
             ),
             r.family,
             r.n,
@@ -208,6 +213,7 @@ pub fn to_json(rows: &[SchedRow]) -> String {
             r.rounds,
             r.sequential_rounds,
             r.outputs_identical,
+            r.peak_rss_bytes,
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }

@@ -80,11 +80,11 @@ pub mod trace;
 pub use faults::{
     mix_seed, splitmix64, CrashPolicy, Fate, FaultPlan, FaultPlanError, LinkDown, LinkFaults,
 };
-pub use message::{word_bits, Words};
+pub use message::{word_bits, BitReader, BitSink, Words};
 pub use metrics::{Metrics, Phase, PhaseRounds};
 pub use network::{
-    run, run_many, Instance, InstanceOutcome, MultiOutcome, NodeCtx, NodeProgram, SimConfig,
-    SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
+    parallel_plan, run, run_many, Instance, InstanceOutcome, MultiOutcome, NodeCtx, NodeProgram,
+    ParallelPlan, SimConfig, SimError, SimOutcome, Simulator, DEFAULT_BUDGET_WORDS,
 };
 pub use session::{KernelCache, SimSession};
 pub use trace::{

@@ -1,12 +1,149 @@
-//! Message size accounting.
+//! Message size accounting and B-bit word packing.
 //!
 //! The CONGEST model allows `O(log n)` bits per edge per round. We account
 //! message sizes in *words*, where one word is one `O(log n)`-bit quantity
 //! (a vertex id, an edge id half, a counter bounded by `poly(n)`). A message
 //! of `w` words therefore occupies `w · ceil(log2 n)` bits, and the standard
 //! per-round budget is a small constant number of words.
+//!
+//! # Word packing
+//!
+//! The budget machinery charges messages per declared word; since the
+//! million-node memory refactor the fast kernel's mailbox arena can also
+//! *store* them that way. A type opts in by implementing
+//! [`Words::pack`]/[`Words::unpack`]: `pack` appends exactly `words()`
+//! B-bit words to a [`BitSink`] (B = `word_bits(n)` for the run's graph)
+//! and may refuse (return `false`) when a field does not fit in B bits —
+//! the kernel then falls back to storing that message natively, so packing
+//! is always lossless and outcome-invariant. `unpack` must be the exact
+//! inverse. The primitive word types below all pack; protocol enums keep
+//! the `false` default and cost nothing.
 
 use planar_graph::{EdgeId, VertexId};
+
+/// Append-only bit buffer for B-bit word packing (see [`Words::pack`]).
+///
+/// Bits are appended little-endian within 64-bit backing words; a value
+/// written with [`BitSink::push_bits`] at offset `o` is read back by a
+/// [`BitReader`] positioned at `o`.
+#[derive(Clone, Debug, Default)]
+pub struct BitSink {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        BitSink::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len
+    }
+
+    /// Clears the sink, keeping capacity.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
+    /// Rewinds to `bits` (must not exceed [`len_bits`](Self::len_bits)) —
+    /// used to discard a partial `pack` that bailed midway.
+    pub fn truncate(&mut self, bits: usize) {
+        assert!(bits <= self.len, "cannot truncate forward");
+        self.words.truncate(bits.div_ceil(64));
+        if !bits.is_multiple_of(64) {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << (bits % 64)) - 1;
+            }
+        }
+        self.len = bits;
+    }
+
+    /// Appends the low `width` bits of `value` (`1..=64`; higher bits of
+    /// `value` must be zero).
+    pub fn push_bits(&mut self, value: u64, width: u32) {
+        debug_assert!((1..=64).contains(&width));
+        debug_assert!(width == 64 || value >> width == 0, "value wider than width");
+        let off = self.len % 64;
+        if off == 0 {
+            self.words.push(value);
+        } else {
+            *self.words.last_mut().expect("off != 0 implies a word") |= value << off;
+            if (64 - off) < width as usize {
+                self.words.push(value >> (64 - off));
+            }
+        }
+        self.len += width as usize;
+    }
+
+    /// Heap bytes backing the sink (capacity, not length).
+    pub fn memory_bytes(&self) -> usize {
+        self.words.capacity() * 8
+    }
+
+    /// A reader positioned at bit `offset`.
+    pub fn reader_at(&self, offset: usize) -> BitReader<'_> {
+        debug_assert!(offset <= self.len);
+        BitReader {
+            words: &self.words,
+            pos: offset,
+        }
+    }
+}
+
+/// Cursor reading back values written by [`BitSink::push_bits`].
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl BitReader<'_> {
+    /// Reads the next `width` bits (`1..=64`).
+    pub fn read_bits(&mut self, width: u32) -> u64 {
+        debug_assert!((1..=64).contains(&width));
+        let w = self.pos / 64;
+        let off = self.pos % 64;
+        let mut v = self.words[w] >> off;
+        if off != 0 && (64 - off) < width as usize {
+            v |= self.words[w + 1] << (64 - off);
+        }
+        if width < 64 {
+            v &= (1u64 << width) - 1;
+        }
+        self.pos += width as usize;
+        v
+    }
+}
+
+/// Packs `value` as `words` consecutive B-bit words (most-significant word
+/// first), or returns `false` if it does not fit.
+fn pack_uint(value: u64, words: u32, b: u32, sink: &mut BitSink) -> bool {
+    let total = words * b;
+    if total < 64 && value >> total != 0 {
+        return false;
+    }
+    for i in (0..words).rev() {
+        let shift = i * b;
+        let w = if shift >= 64 { 0 } else { value >> shift };
+        let mask = if b == 64 { u64::MAX } else { (1u64 << b) - 1 };
+        sink.push_bits(w & mask, b);
+    }
+    true
+}
+
+/// Inverse of [`pack_uint`].
+fn unpack_uint(words: u32, b: u32, src: &mut BitReader<'_>) -> u64 {
+    let mut v: u64 = 0;
+    for _ in 0..words {
+        let w = src.read_bits(b);
+        v = if b >= 64 { w } else { (v << b) | w };
+    }
+    v
+}
 
 /// Types whose on-wire size is a known number of `O(log n)`-bit words.
 ///
@@ -17,11 +154,40 @@ use planar_graph::{EdgeId, VertexId};
 pub trait Words {
     /// Number of `O(log n)`-bit words this value occupies on the wire.
     fn words(&self) -> usize;
+
+    /// Appends this value as exactly [`words`](Self::words) B-bit words to
+    /// `sink` and returns `true`, or returns `false` (possibly after
+    /// writing a partial prefix — the caller rewinds) when the value does
+    /// not fit in B-bit words or the type has no packed form (the
+    /// default). Must be a pure function of the value and `b`.
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        let _ = (b, sink);
+        false
+    }
+
+    /// Exact inverse of [`pack`](Self::pack) for values that packed at the
+    /// same `b`. Only called on bits `pack` produced; `None` from a
+    /// packing type indicates corruption (the kernel treats it as a bug).
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = (b, src);
+        None
+    }
 }
 
 impl Words for u32 {
     fn words(&self) -> usize {
         1
+    }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(u64::from(*self), 1, b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        u32::try_from(unpack_uint(1, b, src)).ok()
     }
 }
 
@@ -32,11 +198,27 @@ impl Words for u64 {
         // to stay conservative.
         2
     }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(*self, 2, b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        Some(unpack_uint(2, b, src))
+    }
 }
 
 impl Words for usize {
     fn words(&self) -> usize {
         1
+    }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(*self as u64, 1, b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        usize::try_from(unpack_uint(1, b, src)).ok()
     }
 }
 
@@ -44,11 +226,31 @@ impl Words for bool {
     fn words(&self) -> usize {
         1
     }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(u64::from(*self), 1, b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        match unpack_uint(1, b, src) {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
 }
 
 impl Words for VertexId {
     fn words(&self) -> usize {
         1
+    }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(u64::from(self.0), 1, b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        u32::try_from(unpack_uint(1, b, src)).ok().map(VertexId)
     }
 }
 
@@ -65,11 +267,39 @@ impl<T: Words> Words for Option<T> {
             None => 1,
         }
     }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        match self {
+            None => pack_uint(0, 1, b, sink),
+            Some(t) => pack_uint(1, 1, b, sink) && t.pack(b, sink),
+        }
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        match unpack_uint(1, b, src) {
+            0 => Some(None),
+            1 => T::unpack(b, src).map(Some),
+            _ => None,
+        }
+    }
 }
 
 impl<T: Words> Words for Vec<T> {
     fn words(&self) -> usize {
         1 + self.iter().map(Words::words).sum::<usize>()
+    }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        pack_uint(self.len() as u64, 1, b, sink) && self.iter().all(|t| t.pack(b, sink))
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        let len = usize::try_from(unpack_uint(1, b, src)).ok()?;
+        let mut v = Vec::with_capacity(len);
+        for _ in 0..len {
+            v.push(T::unpack(b, src)?);
+        }
+        Some(v)
     }
 }
 
@@ -77,11 +307,27 @@ impl<A: Words, B: Words> Words for (A, B) {
     fn words(&self) -> usize {
         self.0.words() + self.1.words()
     }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        self.0.pack(b, sink) && self.1.pack(b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        Some((A::unpack(b, src)?, B::unpack(b, src)?))
+    }
 }
 
 impl<A: Words, B: Words, C: Words> Words for (A, B, C) {
     fn words(&self) -> usize {
         self.0.words() + self.1.words() + self.2.words()
+    }
+
+    fn pack(&self, b: u32, sink: &mut BitSink) -> bool {
+        self.0.pack(b, sink) && self.1.pack(b, sink) && self.2.pack(b, sink)
+    }
+
+    fn unpack(b: u32, src: &mut BitReader<'_>) -> Option<Self> {
+        Some((A::unpack(b, src)?, B::unpack(b, src)?, C::unpack(b, src)?))
     }
 }
 
@@ -114,5 +360,98 @@ mod tests {
         assert_eq!(word_bits(1024), 10);
         assert_eq!(word_bits(1025), 11);
         assert!(word_bits(0) >= 1);
+    }
+
+    fn roundtrip<T: Words + PartialEq + std::fmt::Debug>(v: &T, b: u32) {
+        let mut sink = BitSink::new();
+        let before = sink.len_bits();
+        assert!(v.pack(b, &mut sink), "{v:?} should fit at b={b}");
+        assert_eq!(
+            sink.len_bits() - before,
+            v.words() * b as usize,
+            "pack must emit exactly words()*b bits"
+        );
+        let got = T::unpack(b, &mut sink.reader_at(before)).expect("unpack");
+        assert_eq!(&got, v);
+    }
+
+    #[test]
+    fn pack_roundtrips_primitives() {
+        for b in [1u32, 3, 7, 10, 17, 32, 33, 63, 64] {
+            let max_1w: u64 = if b >= 64 { u64::MAX } else { (1 << b) - 1 };
+            for v in [0u64, 1, max_1w / 2, max_1w] {
+                if let Ok(v32) = u32::try_from(v) {
+                    roundtrip(&v32, b);
+                    roundtrip(&VertexId(v32), b);
+                }
+                if let Ok(vus) = usize::try_from(v) {
+                    roundtrip(&vus, b);
+                }
+            }
+            roundtrip(&false, b);
+            roundtrip(&true, b);
+        }
+        // u64 spans two words.
+        for b in [10u32, 17, 32, 33, 64] {
+            let max_2w: u64 = if b >= 32 {
+                u64::MAX
+            } else {
+                (1 << (2 * b)) - 1
+            };
+            for v in [0u64, 1, max_2w / 3, max_2w] {
+                roundtrip(&v, b);
+            }
+        }
+    }
+
+    #[test]
+    fn pack_roundtrips_compounds() {
+        let b = 11;
+        roundtrip(&None::<VertexId>, b);
+        roundtrip(&Some(VertexId(2047)), b);
+        roundtrip(&vec![1u32, 2, 2047], b);
+        roundtrip(&Vec::<u32>::new(), b);
+        roundtrip(&(VertexId(7), 100u32), b);
+        roundtrip(&(true, 3usize, Some(9u32)), b);
+    }
+
+    #[test]
+    fn pack_refuses_oversized_values() {
+        let mut sink = BitSink::new();
+        // 2^10 does not fit in 10 bits.
+        assert!(!1024u32.pack(10, &mut sink));
+        assert!(!VertexId(1 << 12).pack(10, &mut sink));
+        // A compound may leave a partial prefix behind; callers rewind.
+        sink.clear();
+        let v = vec![1u32, 5000, 2];
+        assert!(!v.pack(10, &mut sink));
+        sink.truncate(0);
+        assert_eq!(sink.len_bits(), 0);
+        // A two-word u64 at b=10 holds 20 bits.
+        assert!(!(1u64 << 20).pack(10, &mut sink));
+        assert!((1u64 << 19).pack(10, &mut sink));
+    }
+
+    #[test]
+    fn bit_sink_truncate_discards_partial_writes() {
+        let mut sink = BitSink::new();
+        sink.push_bits(0b101, 3);
+        let mark = sink.len_bits();
+        sink.push_bits(0x3FF, 10);
+        sink.push_bits(0x7F, 7);
+        sink.truncate(mark);
+        // Writes after a rewind must not see stale bits from the discarded
+        // region.
+        sink.push_bits(0, 10);
+        let mut r = sink.reader_at(0);
+        assert_eq!(r.read_bits(3), 0b101);
+        assert_eq!(r.read_bits(10), 0);
+    }
+
+    #[test]
+    fn edge_id_falls_back_to_native() {
+        let mut sink = BitSink::new();
+        assert!(!EdgeId::new(VertexId(0), VertexId(1)).pack(16, &mut sink));
+        assert_eq!(sink.len_bits(), 0);
     }
 }

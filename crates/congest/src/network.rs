@@ -99,7 +99,7 @@ use std::fmt;
 use planar_graph::{ArcId, ArcIndex, Graph, VertexId};
 
 use crate::faults::{CrashPolicy, Fate, FaultPlan};
-use crate::message::Words;
+use crate::message::{BitSink, Words};
 use crate::metrics::Metrics;
 use crate::trace::{TraceEvent, TraceHandle};
 
@@ -286,6 +286,36 @@ pub enum SimError {
         /// The round in which the send was attempted.
         round: usize,
     },
+    /// The graph exceeds the fast kernel's `u32`-indexed layout (vertex
+    /// ids, arc ids, chain links and slot tables all reserve `u32::MAX` as
+    /// a sentinel). Checked at run setup, so an oversized graph is a typed
+    /// error instead of silent index truncation. The reference kernel has
+    /// no such bound (`usize` throughout).
+    CapacityExceeded {
+        /// Vertices in the offending graph.
+        nodes: usize,
+        /// Directed arcs in the offending graph.
+        arcs: usize,
+        /// The exclusive limit both counts must stay under.
+        limit: usize,
+    },
+}
+
+/// Validates that an `n`-vertex, `arcs`-arc graph fits the fast kernel's
+/// `u32`-indexed state (`u32::MAX` itself is reserved as the `NIL` /
+/// bystander sentinel throughout). A pure function of the raw counts so
+/// the boundary is unit-testable without materializing a 4-billion-arc
+/// graph.
+pub(crate) fn check_capacity(n: usize, arcs: usize) -> Result<(), SimError> {
+    const LIMIT: usize = u32::MAX as usize;
+    if n >= LIMIT || arcs >= LIMIT {
+        return Err(SimError::CapacityExceeded {
+            nodes: n,
+            arcs,
+            limit: LIMIT,
+        });
+    }
+    Ok(())
 }
 
 impl fmt::Display for SimError {
@@ -311,6 +341,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "node {from} sent to {to} outside its instance in round {round}"
+                )
+            }
+            SimError::CapacityExceeded { nodes, arcs, limit } => {
+                write!(
+                    f,
+                    "graph exceeds the fast kernel's u32 index space: {nodes} nodes / {arcs} arcs (both must be < {limit})"
                 )
             }
         }
@@ -430,33 +466,175 @@ pub struct MultiOutcome<P> {
     pub metrics: Metrics,
 }
 
-/// One direction of the double-buffered mailbox plane, with a dirty list so
-/// resets touch only active arcs. All vectors are sized once (`2m` arcs)
-/// and reused.
+/// Chain-link / index sentinel of the struct-of-arrays mailbox layout.
+const NIL: u32 = u32::MAX;
+
+/// `MsgPool` payload locator layout (one `u64` per entry):
+/// bit 63 = packed flag; bits 48..63 = declared word count
+/// (`POOL_WORDS_MASK` = "oversized, ask the payload"); bits 0..48 = bit
+/// offset into the pool's [`BitSink`] (packed) or index into `native`.
+const POOL_PACKED: u64 = 1 << 63;
+const POOL_WORDS_SHIFT: u32 = 48;
+const POOL_WORDS_MASK: u64 = 0x7FFF;
+const POOL_PAYLOAD_MASK: u64 = (1 << POOL_WORDS_SHIFT) - 1;
+
+/// Per-round message arena: every queued message of one mailbox plane, in a
+/// single struct-of-arrays pool instead of one heap queue per arc.
 ///
-/// Per-arc FIFOs keep their head message *inline* (`head[a]`) and spill
-/// only messages beyond the first into the heap-backed `spill[a]`. Under a
-/// CONGEST budget an arc almost always carries at most one message per
-/// round, so the common path never touches the heap (a plain `Vec` per arc
-/// would malloc on the first push of every freshly-activated arc), and the
-/// hot random-access working set is just the compact `head`/`words` arrays
-/// plus the tiny `spilled` bitset — the pointer-heavy `spill` vector is
-/// cold unless an arc actually batches messages.
-///
-/// Invariant: `head[a].is_none()` implies `spill[a].is_empty()` and the
-/// `spilled` bit for `a` is clear (pushes fill the head before spilling;
-/// delivery drains head + spill together), so `head` alone answers "any
-/// messages queued?".
+/// An entry is a `u32` chain link (`next`) plus a `u64` payload locator
+/// (`slot`). Payload words are *bit-packed to the run's declared B-bit word
+/// width* (`B = ceil(log2 n)`, [`crate::message::word_bits`]) whenever the
+/// message's [`Words::pack`] accepts — the budget machinery charges per
+/// B-bit word, so storage finally matches the charge: a 2-word adjacency
+/// message at n=1M costs 40 bits here instead of a heap-backed enum. A
+/// message whose fields exceed B bits (or whose type has no packed form)
+/// falls back to the `native` side table, so packing is lossless by
+/// construction and invisible to outcomes.
+struct MsgPool<M> {
+    /// Next entry in the same arc's FIFO chain (`NIL` = tail).
+    next: Vec<u32>,
+    /// Payload locator per entry (see the layout constants above).
+    slot: Vec<u64>,
+    /// Natively stored payloads (packing declined). `Option` so the
+    /// sequential drain can move messages out without shifting.
+    native: Vec<Option<M>>,
+    /// B-bit packed payload words of all packed entries, in push order.
+    bits: BitSink,
+    /// The run's word width: `ceil(log2 n)` bits.
+    word_bits: u32,
+}
+
+impl<M: Words> MsgPool<M> {
+    fn new() -> Self {
+        MsgPool {
+            next: Vec::new(),
+            slot: Vec::new(),
+            native: Vec::new(),
+            bits: BitSink::new(),
+            word_bits: 1,
+        }
+    }
+
+    /// Drops all entries, keeping capacity.
+    fn clear(&mut self) {
+        self.next.clear();
+        self.slot.clear();
+        self.native.clear();
+        self.bits.clear();
+    }
+
+    /// Appends `msg` as a fresh chain tail and returns its entry index.
+    fn push(&mut self, msg: M) -> u32 {
+        // The u32 index space is the construction-time capacity guard's
+        // invariant; a round queueing 4 billion messages would have failed
+        // `check_capacity` long before (entries per round are bounded by
+        // arcs × budget plus fault copies).
+        assert!(
+            self.next.len() < NIL as usize,
+            "message pool exhausted its u32 index space"
+        );
+        let e = self.next.len() as u32;
+        self.next.push(NIL);
+        let w = msg.words();
+        let mark = self.bits.len_bits();
+        if (w as u64) < POOL_WORDS_MASK
+            && mark as u64 <= POOL_PAYLOAD_MASK
+            && msg.pack(self.word_bits, &mut self.bits)
+        {
+            debug_assert_eq!(
+                self.bits.len_bits() - mark,
+                w * self.word_bits as usize,
+                "pack must emit exactly words()*B bits"
+            );
+            self.slot
+                .push(POOL_PACKED | ((w as u64) << POOL_WORDS_SHIFT) | mark as u64);
+        } else {
+            self.bits.truncate(mark); // discard a partial pack
+            let words_tag = (w as u64).min(POOL_WORDS_MASK);
+            self.slot
+                .push((words_tag << POOL_WORDS_SHIFT) | self.native.len() as u64);
+            self.native.push(Some(msg));
+        }
+        e
+    }
+
+    /// The declared word count of entry `e` (for trace emission without
+    /// materializing the payload).
+    fn words_of(&self, e: u32) -> usize {
+        let s = self.slot[e as usize];
+        let w = (s >> POOL_WORDS_SHIFT) & POOL_WORDS_MASK;
+        if w == POOL_WORDS_MASK && s & POOL_PACKED == 0 {
+            // Oversized native payload: the tag saturated, ask the message.
+            self.native[(s & POOL_PAYLOAD_MASK) as usize]
+                .as_ref()
+                .expect("oversized payload still present")
+                .words()
+        } else {
+            w as usize
+        }
+    }
+
+    /// Materializes entry `e` without consuming it (parallel workers clone
+    /// from the shared plane).
+    fn get(&self, e: u32) -> M
+    where
+        M: Clone,
+    {
+        let s = self.slot[e as usize];
+        if s & POOL_PACKED != 0 {
+            let w = ((s >> POOL_WORDS_SHIFT) & POOL_WORDS_MASK) as u32;
+            let mut r = self.bits.reader_at((s & POOL_PAYLOAD_MASK) as usize);
+            let m = M::unpack(self.word_bits, &mut r).expect("packed payload round-trips");
+            debug_assert_eq!(m.words(), w as usize);
+            m
+        } else {
+            self.native[(s & POOL_PAYLOAD_MASK) as usize]
+                .as_ref()
+                .expect("native payload present")
+                .clone()
+        }
+    }
+
+    /// Moves entry `e` out (sequential delivery drains in place; packed
+    /// entries decode, native entries move without a clone).
+    fn take(&mut self, e: u32) -> M {
+        let s = self.slot[e as usize];
+        if s & POOL_PACKED != 0 {
+            let mut r = self.bits.reader_at((s & POOL_PAYLOAD_MASK) as usize);
+            M::unpack(self.word_bits, &mut r).expect("packed payload round-trips")
+        } else {
+            self.native[(s & POOL_PAYLOAD_MASK) as usize]
+                .take()
+                .expect("each queued message is taken exactly once")
+        }
+    }
+
+    /// Heap bytes currently reserved (capacities, not lengths).
+    fn memory_bytes(&self) -> usize {
+        self.next.capacity() * 4
+            + self.slot.capacity() * 8
+            + self.native.capacity() * std::mem::size_of::<Option<M>>()
+            + self.bits.memory_bytes()
+    }
+}
+
+/// One direction of the double-buffered mailbox plane, struct-of-arrays:
+/// the hot per-arc state is two flat `u32` vectors (`head` chain entry,
+/// `words` budget counter — 8 bytes/arc/plane, down from the pre-refactor
+/// ~80), and every payload lives in the shared [`MsgPool`] arena. A per-arc
+/// FIFO is a `NIL`-terminated chain through `pool.next`; an arc has exactly
+/// one sender, so chain order is emission order, and the in-arcs of a node
+/// — enumerated through the reverse-arc table in slot order — arrive
+/// already sorted by sender id.
 struct MailPlane<M> {
-    /// Inline FIFO head per arc (`None` = arc idle this round).
-    head: Vec<Option<M>>,
+    /// First pool entry of each arc's FIFO (`NIL` = arc idle this round).
+    head: Vec<u32>,
     /// Word total queued per arc this round (budget + congestion metrics).
-    words: Vec<u64>,
-    /// Overflow tails beyond the head, in emission order (single sender per
-    /// arc). Cold: only touched when an arc carries 2+ messages.
-    spill: Vec<Vec<M>>,
-    /// Bitset over arcs: set iff `spill[a]` is non-empty.
-    spilled: Vec<u64>,
+    /// Saturating `u32`: the budget comparison happens in `u64` before the
+    /// store, and a physical arc cannot carry 4 billion words in a round.
+    words: Vec<u32>,
+    /// This round's message arena.
+    pool: MsgPool<M>,
     /// Arc ids with at least one queued message (each exactly once).
     touched: Vec<u32>,
     /// Recipients in first-delivery order (each exactly once).
@@ -465,59 +643,100 @@ struct MailPlane<M> {
     msg_count: usize,
 }
 
-impl<M> MailPlane<M> {
+impl<M: Words> MailPlane<M> {
     fn new() -> Self {
         MailPlane {
             head: Vec::new(),
             words: Vec::new(),
-            spill: Vec::new(),
-            spilled: Vec::new(),
+            pool: MsgPool::new(),
             touched: Vec::new(),
             recipients: Vec::new(),
             msg_count: 0,
         }
     }
 
-    /// Sizes and clears the plane for a run over `arcs` arcs, retaining
-    /// previously allocated capacity (sequential writes over warm memory —
-    /// much cheaper than fresh page-faulting allocations).
-    fn prepare(&mut self, arcs: usize) {
+    /// Sizes and clears the plane for a run over `arcs` arcs with
+    /// `word_bits`-bit words, retaining previously allocated capacity
+    /// (sequential writes over warm memory — much cheaper than fresh
+    /// page-faulting allocations).
+    fn prepare(&mut self, arcs: usize, word_bits: u32) {
         self.head.clear();
-        self.head.resize_with(arcs, || None);
+        self.head.resize(arcs, NIL);
         self.words.clear();
         self.words.resize(arcs, 0);
-        for q in &mut self.spill {
-            q.clear();
-        }
-        if self.spill.len() < arcs {
-            self.spill.resize_with(arcs, Vec::new);
-        }
-        self.spilled.clear();
-        self.spilled.resize(arcs.div_ceil(64), 0);
+        self.pool.clear();
+        self.pool.word_bits = word_bits;
         self.touched.clear();
         self.recipients.clear();
         self.msg_count = 0;
     }
 
-    /// Ends a round: drains every touched arc's queue and clears the
-    /// bookkeeping. `O(touched)`, never `O(arcs)`; retains every buffer's
-    /// capacity. After a sequential round the queues are already empty
-    /// (delivery `take`s them into inboxes) and only `words` needs
-    /// zeroing; after a parallel round the messages are still in place
-    /// (workers clone from the shared plane) and are dropped here.
+    /// Appends `msg` to arc `a`'s FIFO and schedules `dest` for
+    /// `deliver_round` (word accounting is the caller's job — the fault-free
+    /// path folds it into its budget check). The tail walk is `O(queue
+    /// length)`, which the budget bounds by a small constant.
+    fn push(
+        &mut self,
+        recipient_round: &mut [usize],
+        a: usize,
+        dest: VertexId,
+        deliver_round: usize,
+        msg: M,
+    ) {
+        let e = self.pool.push(msg);
+        if self.head[a] == NIL {
+            self.head[a] = e;
+            self.touched.push(a as u32);
+        } else {
+            let mut t = self.head[a] as usize;
+            while self.pool.next[t] != NIL {
+                t = self.pool.next[t] as usize;
+            }
+            self.pool.next[t] = e;
+        }
+        self.msg_count += 1;
+        if recipient_round[dest.index()] != deliver_round {
+            recipient_round[dest.index()] = deliver_round;
+            self.recipients.push(dest);
+        }
+    }
+
+    /// Messages currently queued on arc `a`.
+    fn queue_len(&self, a: usize) -> usize {
+        let mut n = 0;
+        let mut e = self.head[a];
+        while e != NIL {
+            n += 1;
+            e = self.pool.next[e as usize];
+        }
+        n
+    }
+
+    /// Ends a round: clears every touched arc's chain head and drops the
+    /// round's pool. `O(touched)`, never `O(arcs)`; retains every buffer's
+    /// capacity. After a sequential round the payloads are already taken
+    /// (delivery drains them into inboxes); after a parallel round they
+    /// are still in place (workers clone from the shared plane) and are
+    /// dropped with the pool here.
     fn reset(&mut self) {
         for &a in &self.touched {
             let a = a as usize;
             self.words[a] = 0;
-            self.head[a] = None;
-            if self.spilled[a >> 6] & (1 << (a & 63)) != 0 {
-                self.spilled[a >> 6] &= !(1 << (a & 63));
-                self.spill[a].clear();
-            }
+            self.head[a] = NIL;
         }
+        self.pool.clear();
         self.touched.clear();
         self.recipients.clear();
         self.msg_count = 0;
+    }
+
+    /// Heap bytes currently reserved (capacities, not lengths).
+    fn memory_bytes(&self) -> usize {
+        self.head.capacity() * 4
+            + self.words.capacity() * 4
+            + self.pool.memory_bytes()
+            + self.touched.capacity() * 4
+            + self.recipients.capacity() * std::mem::size_of::<VertexId>()
     }
 }
 
@@ -550,8 +769,12 @@ pub struct Simulator<M> {
     /// the start of the delivery round (after the max-rounds check) to
     /// match the reference kernel's observable error ordering.
     pending_overflow: Option<SimError>,
-    /// Reusable inbox assembled for one recipient at a time.
-    inbox: Vec<(VertexId, M)>,
+    /// Sequential delivery scratch: one cache-sized block of inboxes at a
+    /// time, concatenated (see `deliver_sequential`).
+    seq_inbox: Vec<(VertexId, M)>,
+    /// Sequential delivery scratch: end offset of each block recipient's
+    /// slice in `seq_inbox`.
+    seq_bounds: Vec<u32>,
     /// Whether this run has a non-empty fault plan. Cached so the round
     /// loop's fault hooks cost one predictable branch when faults are off.
     fault_mode: bool,
@@ -598,19 +821,79 @@ pub struct Simulator<M> {
     par_scratch: Vec<ParScratch<M>>,
 }
 
-/// Minimum recipients in a round before an *automatic* thread count
-/// engages the parallel delivery path; below this, fan-out overhead beats
-/// the win. An explicit [`SimConfig::threads`] override lowers the floor
-/// to 2 so the conformance suites exercise the machinery on tiny graphs.
-const PAR_AUTO_MIN_RECIPIENTS: usize = 256;
+/// Minimum recipients *per worker thread* in a round before an automatic
+/// thread count engages the parallel delivery path; below this, clone-inbox
+/// and fan-out overhead beat the win.
+const PAR_AUTO_MIN_RECIPIENTS_PER_THREAD: usize = 256;
+
+/// Recipients processed per block by the sequential delivery loop: all of a
+/// block's inboxes are gathered from the `cur` plane first (a tight scan
+/// over the chain/pool arrays), then its programs step. 256 recipients ×
+/// a budget-bounded handful of small messages keeps the block's working
+/// set inside L2 while amortizing the gather/step mode switch.
+const SEQ_BLOCK: usize = 256;
+
+/// How a run schedules delivery: worker count plus the per-round recipient
+/// floor below which it steps sequentially anyway. Resolved once per run by
+/// [`parallel_plan`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelPlan {
+    /// Worker threads phase A may fan out over (1 = always sequential).
+    pub threads: usize,
+    /// Minimum recipients in a round before the parallel path engages.
+    pub min_recipients: usize,
+}
+
+/// Decides the delivery schedule for one run.
+///
+/// * An **explicit** [`SimConfig::threads`] pin is absolute: the requested
+///   count runs with an engagement floor of 2, so the conformance suites
+///   can force the parallel machinery onto tiny graphs on any host.
+/// * An **automatic** count (`None`: `PLANAR_THREADS` or host parallelism,
+///   already resolved to `resolved` by [`crate::pool::kernel_threads`]) is
+///   capped at `cores` ([`crate::pool::available_cores`]) and engages only
+///   with [`PAR_AUTO_MIN_RECIPIENTS_PER_THREAD`] recipients of per-round
+///   work *per worker*. On a host without real parallelism the parallel
+///   path is pure overhead — phase A clones every inbox and phase B
+///   replays every send, all on one core — which is exactly the n≈100k
+///   `threads=4` regression BENCH_kernel.json recorded; auto mode now
+///   never selects it.
+///
+/// Outcomes are bit-identical either way; the plan only affects wall time.
+pub fn parallel_plan(explicit: Option<usize>, resolved: usize, cores: usize) -> ParallelPlan {
+    if explicit.is_some() {
+        return ParallelPlan {
+            threads: resolved,
+            min_recipients: 2,
+        };
+    }
+    let threads = resolved.min(cores.max(1));
+    if threads <= 1 {
+        ParallelPlan {
+            threads: 1,
+            min_recipients: usize::MAX,
+        }
+    } else {
+        ParallelPlan {
+            threads,
+            min_recipients: threads * PAR_AUTO_MIN_RECIPIENTS_PER_THREAD,
+        }
+    }
+}
 
 /// Per-worker scratch for one parallel delivery phase: everything a worker
 /// computes in phase A, replayed sequentially in phase B (see the module
 /// docs). Buffers are retained across rounds.
 struct ParScratch<M> {
+    /// Indices into the round's shared recipient list owned by this
+    /// worker's shard, in recipient-list order. Filled by the main thread
+    /// before fan-out, so a worker visits exactly its own recipients
+    /// instead of scanning (and re-deriving shard ownership for) the whole
+    /// list — the old `O(workers × recipients)` scan.
+    bucket: Vec<u32>,
     /// One record per recipient this worker handled, in the order the
-    /// worker encountered them while scanning the shared recipient list —
-    /// i.e. recipient-list order restricted to this worker's shard.
+    /// worker encountered them — i.e. recipient-list order restricted to
+    /// this worker's shard.
     recs: Vec<ParRec>,
     /// Resolved sends of all this worker's recipients, concatenated in
     /// step order. `Option` so the replay can move each message out
@@ -641,6 +924,7 @@ struct ParRec {
 impl<M> ParScratch<M> {
     fn new() -> Self {
         ParScratch {
+            bucket: Vec::new(),
             recs: Vec::new(),
             resolved: Vec::new(),
             inbox: Vec::new(),
@@ -650,6 +934,7 @@ impl<M> ParScratch<M> {
 
     /// Clears logical state for a fresh delivery phase, keeping capacity.
     fn begin(&mut self) {
+        self.bucket.clear();
         self.recs.clear();
         self.resolved.clear();
         self.inbox.clear();
@@ -681,7 +966,8 @@ impl<M: Words + Clone> Simulator<M> {
             sender_epoch: 0,
             recipient_round: Vec::new(),
             pending_overflow: None,
-            inbox: Vec::new(),
+            seq_inbox: Vec::new(),
+            seq_bounds: Vec::new(),
             fault_mode: false,
             crashed_at: Vec::new(),
             att_words: Vec::new(),
@@ -705,8 +991,9 @@ impl<M: Words + Clone> Simulator<M> {
     /// `Simulator` — no state can leak between runs (including from a run
     /// that aborted mid-round with an error).
     fn prepare(&mut self, n: usize, arcs: usize, cfg: &SimConfig) {
-        self.cur.prepare(arcs);
-        self.nxt.prepare(arcs);
+        let word_bits = crate::message::word_bits(n) as u32;
+        self.cur.prepare(arcs, word_bits);
+        self.nxt.prepare(arcs, word_bits);
         self.slot_epoch.clear();
         self.slot_epoch.resize(n, 0);
         self.slot_val.clear();
@@ -715,7 +1002,8 @@ impl<M: Words + Clone> Simulator<M> {
         self.recipient_round.clear();
         self.recipient_round.resize(n, usize::MAX);
         self.pending_overflow = None;
-        self.inbox.clear();
+        self.seq_inbox.clear();
+        self.seq_bounds.clear();
         self.delayed.clear();
         self.att_dirty.clear();
         // Leaving a previous batch's instance table in place would drag a
@@ -755,6 +1043,38 @@ impl<M: Words + Clone> Simulator<M> {
         }
     }
 
+    /// Heap bytes currently reserved by this simulator's buffers
+    /// (capacities, not lengths — the figure that stays resident when the
+    /// simulator is cached for reuse, see [`crate::session::KernelCache`]).
+    /// The bench harness divides this by `n` for its bytes/node column.
+    pub fn memory_bytes(&self) -> usize {
+        let per_vertex = self.slot_epoch.capacity() * 8
+            + self.slot_val.capacity() * 4
+            + self.recipient_round.capacity() * 8
+            + self.crashed_at.capacity() * 8
+            + self.ran_round.capacity() * 8
+            + self.inst_of.capacity() * 4
+            + self.inst_slot.capacity() * 4
+            + self.flat_slot.capacity() * 4;
+        let fault = self.att_words.capacity() * 8
+            + self.att_seq.capacity() * 4
+            + self.att_dirty.capacity() * 4
+            + self.delayed.capacity() * std::mem::size_of::<DelayedMsg<M>>();
+        let scratch = self.seq_inbox.capacity() * std::mem::size_of::<(VertexId, M)>()
+            + self.seq_bounds.capacity() * 4
+            + self
+                .par_scratch
+                .iter()
+                .map(|s| {
+                    s.bucket.capacity() * 4
+                        + s.recs.capacity() * std::mem::size_of::<ParRec>()
+                        + s.resolved.capacity() * std::mem::size_of::<Option<(u32, VertexId, M)>>()
+                        + s.inbox.capacity() * std::mem::size_of::<(VertexId, M)>()
+                })
+                .sum::<usize>();
+        self.cur.memory_bytes() + self.nxt.memory_bytes() + per_vertex + fault + scratch
+    }
+
     /// Queues one surviving message copy onto arc `a` of `plane` for
     /// delivery in round `deliver_round` (fault mode only; the fault-free
     /// path queues inline in [`Simulator::record_sends`]).
@@ -766,19 +1086,9 @@ impl<M: Words + Clone> Simulator<M> {
         deliver_round: usize,
         msg: M,
     ) {
-        plane.words[a] += msg.words() as u64;
-        if plane.head[a].is_none() {
-            plane.head[a] = Some(msg);
-            plane.touched.push(a as u32);
-        } else {
-            plane.spill[a].push(msg);
-            plane.spilled[a >> 6] |= 1 << (a & 63);
-        }
-        plane.msg_count += 1;
-        if recipient_round[dest.index()] != deliver_round {
-            recipient_round[dest.index()] = deliver_round;
-            plane.recipients.push(dest);
-        }
+        plane.words[a] =
+            (u64::from(plane.words[a]) + msg.words() as u64).min(u64::from(u32::MAX)) as u32;
+        plane.push(recipient_round, a, dest, deliver_round, msg);
     }
 
     /// Records `from`'s outgoing messages (sent during `round`, delivered in
@@ -864,29 +1174,22 @@ impl<M: Words + Clone> Simulator<M> {
             }
             if !self.fault_mode {
                 // Fault-free fast path: queue inline on the `nxt` plane.
+                // The budget comparison (and the reported total) happens in
+                // u64 before the saturating u32 store, so the observable
+                // error is exact.
                 let plane = &mut self.nxt;
-                plane.words[a] += msg.words() as u64;
-                if plane.words[a] > cfg.budget_words as u64 && self.pending_overflow.is_none() {
+                let total = u64::from(plane.words[a]) + msg.words() as u64;
+                plane.words[a] = total.min(u64::from(u32::MAX)) as u32;
+                if total > cfg.budget_words as u64 && self.pending_overflow.is_none() {
                     self.pending_overflow = Some(SimError::BudgetExceeded {
                         from,
                         to: dest,
-                        words: plane.words[a] as usize,
+                        words: total as usize,
                         budget: cfg.budget_words,
                         round: round + 1,
                     });
                 }
-                if plane.head[a].is_none() {
-                    plane.head[a] = Some(msg);
-                    plane.touched.push(a as u32);
-                } else {
-                    plane.spill[a].push(msg);
-                    plane.spilled[a >> 6] |= 1 << (a & 63);
-                }
-                plane.msg_count += 1;
-                if self.recipient_round[dest.index()] != round + 1 {
-                    self.recipient_round[dest.index()] = round + 1;
-                    plane.recipients.push(dest);
-                }
+                plane.push(&mut self.recipient_round, a, dest, round + 1, msg);
                 return Ok(());
             }
 
@@ -1087,6 +1390,20 @@ impl<M: Words + Clone> Simulator<M> {
         if self.par_scratch.len() < shard_count {
             self.par_scratch.resize_with(shard_count, ParScratch::new);
         }
+        // Bucket the recipient list by owning shard up front (one O(n)
+        // pass on the main thread), so each worker visits exactly its own
+        // recipients instead of every worker rescanning the full list.
+        for s in &mut self.par_scratch {
+            s.begin();
+        }
+        for (r, &v) in self.cur.recipients.iter().enumerate() {
+            let fi = if self.flat_slot.is_empty() {
+                v.index()
+            } else {
+                self.flat_slot[v.index()] as usize
+            };
+            self.par_scratch[fi / chunk].bucket.push(r as u32);
+        }
 
         // Phase A: parallel, pure compute. Workers read the `cur` plane and
         // the instance tables through shared references and mutate only
@@ -1111,30 +1428,24 @@ impl<M: Words + Clone> Simulator<M> {
                 let scratch: &mut ParScratch<M> = scratch;
                 let slice: &mut [T] = slice;
                 let lo = w * chunk;
-                let hi = lo + slice.len();
-                scratch.begin();
-                for (r, &v) in cur.recipients.iter().enumerate() {
+                for i in 0..scratch.bucket.len() {
+                    let r = scratch.bucket[i] as usize;
+                    let v = cur.recipients[r];
                     let fi = if flat_slot.is_empty() {
                         v.index()
                     } else {
                         flat_slot[v.index()] as usize
                     };
-                    if fi < lo || fi >= hi {
-                        continue; // another worker's recipient
-                    }
                     // Clone the inbox from the shared plane — same content
-                    // and order as the sequential path's draining `take`s
-                    // (in-arcs in slot order, head before spill).
+                    // and order as the sequential path's draining takes
+                    // (in-arcs in slot order, chain order per arc).
                     scratch.inbox.clear();
                     for (_, a, from) in idx.out_arcs(v) {
                         let b = idx.rev(a).index();
-                        if let Some(msg) = &cur.head[b] {
-                            scratch.inbox.push((from, msg.clone()));
-                            if cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                                for msg in &cur.spill[b] {
-                                    scratch.inbox.push((from, msg.clone()));
-                                }
-                            }
+                        let mut e = cur.head[b];
+                        while e != NIL {
+                            scratch.inbox.push((from, cur.pool.get(e)));
+                            e = cur.pool.next[e as usize];
                         }
                     }
                     let ctx = NodeCtx {
@@ -1226,23 +1537,15 @@ impl<M: Words + Clone> Simulator<M> {
             if tracing {
                 for (_, a, from) in idx.out_arcs(v) {
                     let b = idx.rev(a).index();
-                    if let Some(msg) = &self.cur.head[b] {
+                    let mut e = self.cur.head[b];
+                    while e != NIL {
                         cfg.trace.emit(TraceEvent::Deliver {
                             round,
                             from,
                             to: v,
-                            words: msg.words(),
+                            words: self.cur.pool.words_of(e),
                         });
-                        if self.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                            for msg in &self.cur.spill[b] {
-                                cfg.trace.emit(TraceEvent::Deliver {
-                                    round,
-                                    from,
-                                    to: v,
-                                    words: msg.words(),
-                                });
-                            }
-                        }
+                        e = self.cur.pool.next[e as usize];
                     }
                 }
             }
@@ -1257,6 +1560,95 @@ impl<M: Words + Clone> Simulator<M> {
             }
         }
         Ok(())
+    }
+
+    /// One round of sequential delivery, blocked over cache-sized recipient
+    /// chunks ([`SEQ_BLOCK`]): for each block, first *gather* every
+    /// recipient's inbox out of the `cur` plane into one contiguous scratch
+    /// buffer (a tight pass over the chain heads and the message pool —
+    /// the cache-hostile part of the round), then *step* the block's
+    /// programs over their slices. Sends during the step phase land in the
+    /// `nxt` plane, never `cur`, so gathering a block ahead of stepping it
+    /// is invisible to programs; `Deliver` trace events are emitted at
+    /// step time, so the event stream interleaves exactly like an
+    /// unblocked loop. `progs`/`step` abstract solo vs batched dispatch as
+    /// in [`Simulator::deliver_parallel`].
+    #[allow(clippy::too_many_arguments)]
+    fn deliver_sequential<T, F>(
+        &mut self,
+        g: &Graph,
+        idx: &ArcIndex,
+        cfg: &SimConfig,
+        round: usize,
+        progs: &mut [T],
+        step: &F,
+        metrics: &mut Metrics,
+    ) -> Result<(), SimError>
+    where
+        F: Fn(&mut T, &NodeCtx<'_>, &[(VertexId, M)]) -> Vec<(VertexId, M)>,
+    {
+        let tracing = cfg.trace.is_on();
+        let nrec = self.cur.recipients.len();
+        let mut inboxes = std::mem::take(&mut self.seq_inbox);
+        let mut bounds = std::mem::take(&mut self.seq_bounds);
+        let mut result = Ok(());
+        'blocks: for lo in (0..nrec).step_by(SEQ_BLOCK) {
+            let hi = (lo + SEQ_BLOCK).min(nrec);
+            inboxes.clear();
+            bounds.clear();
+            for r in lo..hi {
+                let v = self.cur.recipients[r];
+                // In-arcs in slot order == sender-id order (sorted
+                // adjacency); chain order per arc == emission order.
+                for (_, a, w) in idx.out_arcs(v) {
+                    let b = idx.rev(a).index();
+                    let mut e = self.cur.head[b];
+                    if e != NIL {
+                        self.cur.head[b] = NIL;
+                        while e != NIL {
+                            inboxes.push((w, self.cur.pool.take(e)));
+                            e = self.cur.pool.next[e as usize];
+                        }
+                    }
+                }
+                bounds.push(inboxes.len() as u32);
+            }
+            let mut start = 0usize;
+            for r in lo..hi {
+                let v = self.cur.recipients[r];
+                let end = bounds[r - lo] as usize;
+                let inbox = &inboxes[start..end];
+                start = end;
+                if tracing {
+                    for (from, msg) in inbox {
+                        cfg.trace.emit(TraceEvent::Deliver {
+                            round,
+                            from: *from,
+                            to: v,
+                            words: msg.words(),
+                        });
+                    }
+                }
+                let fi = if self.flat_slot.is_empty() {
+                    v.index()
+                } else {
+                    self.flat_slot[v.index()] as usize
+                };
+                let ctx = NodeCtx {
+                    id: v,
+                    neighbors: g.neighbors(v),
+                    round,
+                };
+                let out = step(&mut progs[fi], &ctx, inbox);
+                if let Err(e) = self.record_sends(idx, cfg, v, round, out, metrics) {
+                    result = Err(e);
+                    break 'blocks;
+                }
+            }
+        }
+        self.seq_inbox = inboxes;
+        self.seq_bounds = bounds;
+        result
     }
 
     /// Runs `programs` (one per vertex of `g`, indexed by vertex id) to
@@ -1315,6 +1707,7 @@ impl<M: Words + Clone> Simulator<M> {
             2 * g.edge_count(),
             "arc index does not match the graph"
         );
+        check_capacity(g.vertex_count(), idx.arc_count())?;
         let mut metrics = Metrics::new();
         self.prepare(g.vertex_count(), idx.arc_count(), cfg);
         let kernel = self;
@@ -1356,15 +1749,12 @@ impl<M: Words + Clone> Simulator<M> {
                 .enumerate()
                 .any(|(i, p)| kernel.crashed_at[i] > 1 && p.wants_tick());
 
-        // Parallel round execution (see module docs): resolved once per
-        // run. An explicit `cfg.threads` lowers the engagement floor so
-        // conformance suites exercise the parallel path on tiny graphs.
-        let threads = crate::pool::kernel_threads(cfg.threads);
-        let par_min = if cfg.threads.is_some() {
-            2
-        } else {
-            PAR_AUTO_MIN_RECIPIENTS
-        };
+        // Delivery schedule (see [`parallel_plan`]): resolved once per run.
+        let plan = parallel_plan(
+            cfg.threads,
+            crate::pool::kernel_threads(cfg.threads),
+            crate::pool::available_cores(),
+        );
 
         let mut round = 0usize;
         loop {
@@ -1450,53 +1840,29 @@ impl<M: Words + Clone> Simulator<M> {
 
             // Deliver and run recipients in first-delivery order (outcome
             // independent of this order; see module docs).
-            if threads > 1 && kernel.cur.recipients.len() >= par_min {
+            let step =
+                |p: &mut P, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| p.on_round(ctx, inbox);
+            if plan.threads > 1 && kernel.cur.recipients.len() >= plan.min_recipients {
                 kernel.deliver_parallel(
                     g,
                     idx,
                     cfg,
                     round,
-                    threads,
+                    plan.threads,
                     &mut programs,
-                    &|p: &mut P, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| p.on_round(ctx, inbox),
+                    &step,
                     &mut metrics,
                 )?;
             } else {
-                for r in 0..kernel.cur.recipients.len() {
-                    let v = kernel.cur.recipients[r];
-                    kernel.inbox.clear();
-                    // In-arcs in slot order == sender-id order (sorted
-                    // adjacency).
-                    for (_, a, w) in idx.out_arcs(v) {
-                        let b = idx.rev(a).index();
-                        if let Some(msg) = kernel.cur.head[b].take() {
-                            kernel.inbox.push((w, msg));
-                            if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                                kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
-                                for msg in kernel.cur.spill[b].drain(..) {
-                                    kernel.inbox.push((w, msg));
-                                }
-                            }
-                        }
-                    }
-                    let ctx = NodeCtx {
-                        id: v,
-                        neighbors: g.neighbors(v),
-                        round,
-                    };
-                    if tracing {
-                        for (from, msg) in &kernel.inbox {
-                            cfg.trace.emit(TraceEvent::Deliver {
-                                round,
-                                from: *from,
-                                to: v,
-                                words: msg.words(),
-                            });
-                        }
-                    }
-                    let out = programs[v.index()].on_round(&ctx, &kernel.inbox);
-                    kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
-                }
+                kernel.deliver_sequential(
+                    g,
+                    idx,
+                    cfg,
+                    round,
+                    &mut programs,
+                    &step,
+                    &mut metrics,
+                )?;
             }
             if kernel.fault_mode {
                 // Timer ticks: live non-recipients that asked for empty-inbox
@@ -1618,6 +1984,7 @@ impl<M: Words + Clone> Simulator<M> {
             "arc index does not match the graph"
         );
         let k = instances.len();
+        check_capacity(n, idx.arc_count())?;
         let mut metrics = Metrics::new();
         self.prepare(n, idx.arc_count(), cfg);
         let kernel = self;
@@ -1717,13 +2084,12 @@ impl<M: Words + Clone> Simulator<M> {
             }
         }
 
-        // Parallel round execution, as in [`Simulator::run_with_index`].
-        let threads = crate::pool::kernel_threads(cfg.threads);
-        let par_min = if cfg.threads.is_some() {
-            2
-        } else {
-            PAR_AUTO_MIN_RECIPIENTS
-        };
+        // Delivery schedule, as in [`Simulator::run_with_index`].
+        let plan = parallel_plan(
+            cfg.threads,
+            crate::pool::kernel_threads(cfg.threads),
+            crate::pool::available_cores(),
+        );
 
         let mut round = 0usize;
         loop {
@@ -1816,7 +2182,7 @@ impl<M: Words + Clone> Simulator<M> {
                 round_max = round_max.max(w);
                 let im =
                     &mut kernel.inst_metrics[kernel.inst_of[idx.head(ArcId(a)).index()] as usize];
-                im.messages += 1 + kernel.cur.spill[a as usize].len();
+                im.messages += kernel.cur.queue_len(a as usize);
                 im.words += w;
                 im.max_words_edge_round = im.max_words_edge_round.max(w);
             }
@@ -1824,56 +2190,22 @@ impl<M: Words + Clone> Simulator<M> {
             metrics.messages += kernel.cur.msg_count;
             metrics.words += round_words;
 
-            if threads > 1 && kernel.cur.recipients.len() >= par_min {
+            let step = |p: &mut Option<P>, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| {
+                p.as_mut().expect("member program").on_round(ctx, inbox)
+            };
+            if plan.threads > 1 && kernel.cur.recipients.len() >= plan.min_recipients {
                 kernel.deliver_parallel(
                     g,
                     idx,
                     cfg,
                     round,
-                    threads,
+                    plan.threads,
                     &mut flat,
-                    &|p: &mut Option<P>, ctx: &NodeCtx<'_>, inbox: &[(VertexId, M)]| {
-                        p.as_mut().expect("member program").on_round(ctx, inbox)
-                    },
+                    &step,
                     &mut metrics,
                 )?;
             } else {
-                for r in 0..kernel.cur.recipients.len() {
-                    let v = kernel.cur.recipients[r];
-                    kernel.inbox.clear();
-                    for (_, a, w) in idx.out_arcs(v) {
-                        let b = idx.rev(a).index();
-                        if let Some(msg) = kernel.cur.head[b].take() {
-                            kernel.inbox.push((w, msg));
-                            if kernel.cur.spilled[b >> 6] & (1 << (b & 63)) != 0 {
-                                kernel.cur.spilled[b >> 6] &= !(1 << (b & 63));
-                                for msg in kernel.cur.spill[b].drain(..) {
-                                    kernel.inbox.push((w, msg));
-                                }
-                            }
-                        }
-                    }
-                    let ctx = NodeCtx {
-                        id: v,
-                        neighbors: g.neighbors(v),
-                        round,
-                    };
-                    if tracing {
-                        for (from, msg) in &kernel.inbox {
-                            cfg.trace.emit(TraceEvent::Deliver {
-                                round,
-                                from: *from,
-                                to: v,
-                                words: msg.words(),
-                            });
-                        }
-                    }
-                    let out = flat[kernel.flat_slot[v.index()] as usize]
-                        .as_mut()
-                        .expect("member program")
-                        .on_round(&ctx, &kernel.inbox);
-                    kernel.record_sends(idx, cfg, v, round, out, &mut metrics)?;
-                }
+                kernel.deliver_sequential(g, idx, cfg, round, &mut flat, &step, &mut metrics)?;
             }
             if kernel.fault_mode {
                 for &v in &kernel.cur.recipients {
@@ -2268,5 +2600,66 @@ mod tests {
         .unwrap();
         assert_eq!(out.metrics.rounds, 0);
         assert_eq!(out.metrics.messages, 0);
+    }
+
+    /// The u32-index capacity guard at its exact boundary: `u32::MAX` is
+    /// the reserved sentinel, so counts of `u32::MAX - 1` are the largest
+    /// admissible and `u32::MAX` itself must be refused — as a typed error
+    /// carrying the offending counts, never a silent `as u32` truncation.
+    #[test]
+    fn capacity_guard_boundary() {
+        const LIMIT: usize = u32::MAX as usize;
+        assert_eq!(check_capacity(0, 0), Ok(()));
+        assert_eq!(check_capacity(LIMIT - 1, LIMIT - 1), Ok(()));
+        for (n, arcs) in [(LIMIT, 0), (0, LIMIT), (LIMIT + 7, LIMIT + 7)] {
+            assert_eq!(
+                check_capacity(n, arcs),
+                Err(SimError::CapacityExceeded {
+                    nodes: n,
+                    arcs,
+                    limit: LIMIT,
+                }),
+                "n = {n}, arcs = {arcs}"
+            );
+        }
+        let msg = check_capacity(LIMIT, 2).unwrap_err().to_string();
+        assert!(msg.contains("u32 index space"), "got: {msg}");
+    }
+
+    /// Engagement planning for the n≈100k regression: an automatically
+    /// resolved thread count never exceeds the host's real cores (a
+    /// single-core host always steps sequentially, whatever
+    /// `PLANAR_THREADS` says), while an explicit `SimConfig::threads` pin
+    /// stays absolute with the floor-2 engagement the conformance suites
+    /// rely on to force the parallel path onto tiny graphs.
+    #[test]
+    fn parallel_plan_gates_auto_threads_on_cores() {
+        // Auto on a single core: sequential, never engages.
+        let p = parallel_plan(None, 4, 1);
+        assert_eq!(
+            p,
+            ParallelPlan {
+                threads: 1,
+                min_recipients: usize::MAX
+            }
+        );
+        // Auto capped at the core count, engagement floor scales per worker.
+        let p = parallel_plan(None, 8, 2);
+        assert_eq!(p.threads, 2);
+        assert_eq!(p.min_recipients, 2 * PAR_AUTO_MIN_RECIPIENTS_PER_THREAD);
+        // Auto below the core count keeps the resolved request.
+        assert_eq!(parallel_plan(None, 2, 16).threads, 2);
+        // Resolved 1 (or degenerate cores=0) is sequential.
+        assert_eq!(parallel_plan(None, 1, 8).threads, 1);
+        assert_eq!(parallel_plan(None, 3, 0).threads, 1);
+        // Explicit pins ignore the core count entirely.
+        let p = parallel_plan(Some(4), 4, 1);
+        assert_eq!(
+            p,
+            ParallelPlan {
+                threads: 4,
+                min_recipients: 2
+            }
+        );
     }
 }

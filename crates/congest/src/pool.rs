@@ -72,6 +72,22 @@ impl Drop for WorkerMark {
     }
 }
 
+/// Cores the host can actually run concurrently (cached
+/// `available_parallelism`, 1 on query failure). Distinct from
+/// [`worker_threads`]: `PLANAR_THREADS` can *request* any worker count, but
+/// the kernel's automatic parallel-path engagement caps itself at this
+/// figure — on a single-core host, forked workers only add clone and
+/// coordination overhead to a round that one core must execute serially
+/// anyway (the n≈100k `threads=4` regression in BENCH_kernel.json).
+pub fn available_cores() -> usize {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CORES.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+    })
+}
+
 /// Number of worker threads the pool uses by default: `PLANAR_THREADS` if
 /// set and parseable (clamped to >= 1), else the host's available
 /// parallelism, else 1. Always 1 with the `parallel` feature disabled.

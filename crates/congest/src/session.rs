@@ -27,6 +27,25 @@ use crate::network::{
     Instance, MultiOutcome, NodeProgram, SimConfig, SimError, SimOutcome, Simulator,
 };
 
+/// A type-erased cached [`Simulator`]: downcasting for the typed entry
+/// points plus the uniform queries the cache can answer without knowing
+/// the message type (memory accounting for the bench harness's bytes/node
+/// column and the service's per-tenant footprint).
+trait CachedSim: Any {
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn memory_bytes(&self) -> usize;
+}
+
+impl<M: Words + Clone + 'static> CachedSim for Simulator<M> {
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+
+    fn memory_bytes(&self) -> usize {
+        Simulator::memory_bytes(self)
+    }
+}
+
 /// The graph-independent half of a session: one warm [`Simulator`] per
 /// message type. Simulators carry no logical state between runs — every
 /// run `resize()`s its buffers to the graph at hand and reinitializes
@@ -38,7 +57,7 @@ use crate::network::{
 /// [`SimSession::with_cache`]/[`SimSession::into_cache`].
 #[derive(Default)]
 pub struct KernelCache {
-    sims: HashMap<TypeId, Box<dyn Any>>,
+    sims: HashMap<TypeId, Box<dyn CachedSim>>,
 }
 
 impl KernelCache {
@@ -50,6 +69,13 @@ impl KernelCache {
     /// Number of message types with a warm simulator.
     pub fn kernels(&self) -> usize {
         self.sims.len()
+    }
+
+    /// Heap bytes currently reserved across every cached simulator —
+    /// the resident cost of keeping this cache warm (buffer capacities,
+    /// see [`Simulator::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        self.sims.values().map(|s| s.memory_bytes()).sum()
     }
 }
 
@@ -102,6 +128,12 @@ impl<'g> SimSession<'g> {
     /// The session's prebuilt arc index.
     pub fn arc_index(&self) -> &ArcIndex {
         &self.idx
+    }
+
+    /// Heap bytes currently reserved by the session: the arc index plus
+    /// every cached simulator's buffers.
+    pub fn memory_bytes(&self) -> usize {
+        self.idx.memory_bytes() + self.cache.memory_bytes()
     }
 
     /// Runs `programs` over the session graph (see [`Simulator::run`]),
@@ -161,10 +193,11 @@ impl fmt::Debug for SimSession<'_> {
 /// The session's cached simulator for message type `M`, created on first
 /// use.
 fn sim_for<M: Words + Clone + 'static>(
-    sims: &mut HashMap<TypeId, Box<dyn Any>>,
+    sims: &mut HashMap<TypeId, Box<dyn CachedSim>>,
 ) -> &mut Simulator<M> {
     sims.entry(TypeId::of::<M>())
         .or_insert_with(|| Box::new(Simulator::<M>::new()))
+        .as_any_mut()
         .downcast_mut::<Simulator<M>>()
         .expect("simulator cache is keyed by message type")
 }

@@ -338,6 +338,25 @@ pub fn embed_recursion(
     Ok((metrics, stats))
 }
 
+/// [`embed_recursion`] plus the bytes retained by the execution context's
+/// kernel arenas when the recursion finishes — the figure the bench
+/// harness's memory stage records as `kernel_bytes`. Kept out of
+/// [`RecursionStats`] on purpose: retained capacity is a host-side
+/// property of the arena, not part of the scheduler-conformance contract
+/// (the two schedulers retain different arenas while producing
+/// bit-identical stats).
+pub fn embed_recursion_with_memory(
+    g: &Graph,
+    cfg: &EmbedderConfig,
+) -> Result<(Metrics, RecursionStats, usize), EmbedError> {
+    let mut ctx = ExecutionContext::new(g, cfg);
+    let (_part, metrics, mut stats) = run_recursion(g, cfg, &mut ctx)?;
+    stats.sequential_rounds = ctx.rounds_used();
+    stats.phase_rounds = ctx.phase_rounds();
+    let kernel_bytes = ctx.memory_bytes();
+    Ok((metrics, stats, kernel_bytes))
+}
+
 fn embed_inner(
     g: &Graph,
     cfg: &EmbedderConfig,

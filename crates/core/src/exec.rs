@@ -163,6 +163,14 @@ impl<'g> ExecutionContext<'g> {
         self.kernel
     }
 
+    /// Heap bytes currently reserved by the context's retained arenas: the
+    /// session's arc index plus every warm simulator in the kernel cache.
+    /// This is the driver's resident kernel footprint — the bench harness
+    /// divides it by `n` for its bytes/node column.
+    pub fn memory_bytes(&self) -> usize {
+        self.session.memory_bytes()
+    }
+
     /// Enters `phase`: subsequent charges land in its bucket, a failure
     /// before the next [`enter`](Self::enter) is attributed to it, and the
     /// transition is announced on the trace sink (a no-op with tracing

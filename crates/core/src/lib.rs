@@ -96,7 +96,10 @@ pub use certify::{
     certify_embedding, certify_surviving_embedding, certify_with_certificates, Certification,
 };
 pub use congest_sim::protocols::ReliableConfig;
-pub use driver::{embed_distributed, embed_recursion, EmbedderConfig, EmbeddingOutcome};
+pub use driver::{
+    embed_distributed, embed_recursion, embed_recursion_with_memory, EmbedderConfig,
+    EmbeddingOutcome,
+};
 pub use error::{DegradedCause, EmbedError};
 pub use exec::{ExecutionContext, Kernel, Scheduler};
 pub use incremental::{FullCause, ReembedPath, ReembedReport, ResidentEmbedding};

@@ -26,8 +26,10 @@ use rand::{Rng, SeedableRng};
 pub const MIN_N: usize = 8;
 /// Largest requested vertex count the generator draws. Small on purpose:
 /// the swarm's power comes from scenario *count*, and small instances both
-/// run fast and minimize well.
-pub const MAX_N: usize = 48;
+/// run fast and minimize well. Raised from 48 so the draw range covers
+/// multi-level recursion and the kernel's blocked-delivery boundary
+/// (blocks of 256 recipients) while staying minimizer-friendly.
+pub const MAX_N: usize = 96;
 
 /// Dimension tags for sub-seed derivation: `mix_seed(seed, &[DIM_*])`.
 /// Stable — renumbering silently re-rolls every scenario ever reported.

@@ -14,12 +14,14 @@ use planar_dst::{check_scenario, minimize, run_one, Scenario, ViolationKind};
 const SKEW: u64 = 0xDEAD_BEEF_0BAD_CAFE;
 
 /// First seed whose scenario has a lossy link schedule (drop rate high
-/// enough that fates are consulted and differ under the skew).
+/// enough that fates are consulted and differ under the skew — a ~1%
+/// schedule on a small instance can draw identical fate sets from the
+/// skewed and honest streams, so require a few percent).
 fn lossy_seed() -> u64 {
     (0u64..500)
         .find(|&seed| {
             let sc = Scenario::generate(seed);
-            sc.faulty() && sc.faults.link.drop >= 0.01
+            sc.faulty() && sc.faults.link.drop >= 0.04
         })
         .expect("a lossy scenario exists in the first 500 seeds")
 }

@@ -95,6 +95,15 @@ impl ArcIndex {
         self.head.len()
     }
 
+    /// Heap bytes backing the CSR tables (capacities, not lengths) — the
+    /// resident cost of keeping this index built, reported alongside the
+    /// kernel's buffers in memory accounting.
+    pub fn memory_bytes(&self) -> usize {
+        self.start.capacity() * std::mem::size_of::<usize>()
+            + self.head.capacity() * std::mem::size_of::<VertexId>()
+            + self.rev.capacity() * std::mem::size_of::<ArcId>()
+    }
+
     /// Out-degree of `u`.
     #[inline]
     pub fn degree(&self, u: VertexId) -> usize {
