@@ -66,10 +66,13 @@
 //! over the fleet families, each then receives `--deltas <count>` seeded
 //! churn deltas (default 4) with the full re-embed oracle armed on every
 //! delta. Writes `BENCH_service.json` (embeddings/sec, p50/p99 incremental
-//! vs full latency, speedup per family) and exits non-zero if any
-//! incremental result diverged from the oracle or the headline cell's
-//! incremental path is not faster than the full re-embed. `--large`
-//! doubles the per-tenant graph size. Not part of `all`.
+//! vs full latency, speedup per family, and per-`DeltaClass` incremental
+//! coverage + dividend) and exits non-zero if any incremental result
+//! diverged from the oracle, if incremental coverage falls below the
+//! committed baseline (default 50%, `--min-coverage` to override), or if
+//! any class with enough evidence — headline family included — is not
+//! faster than the full re-embed. `--large` doubles the per-tenant graph
+//! size. Not part of `all`.
 
 use planar_bench::table::render;
 use planar_bench::*;
@@ -768,13 +771,25 @@ fn run_dst(args: &[String]) {
     }
 }
 
-/// `harness service [--fleet <count>] [--deltas <count>] [--large]`:
-/// multi-tenant churn soak with the full re-embed oracle armed on every
-/// delta. Exits 1 on any incremental-vs-oracle divergence or if the
-/// headline cell's incremental path fails to beat the full re-embed,
-/// 2 on bad flags.
+/// The committed incremental-coverage baseline: the delta planner keeps
+/// a majority of ChurnGen's applied deltas off the full path. The gate
+/// fails a soak whose coverage drops below this (override per run with
+/// `--min-coverage`).
+const SERVICE_MIN_COVERAGE: f64 = 0.5;
+
+/// Classes need this many measured latency pairs before their dividend
+/// gate arms — a near-empty cell's p50 is noise, not evidence.
+const SERVICE_CLASS_GATE_MIN_COUNT: usize = 8;
+
+/// `harness service [--fleet <count>] [--deltas <count>] [--min-coverage
+/// <frac>] [--large]`: multi-tenant churn soak with the full re-embed
+/// oracle armed on every delta. Exits 1 on any incremental-vs-oracle
+/// divergence, if incremental coverage drops below the committed
+/// baseline, or if any class with enough evidence (headline family
+/// included) fails to beat the full re-embed; 2 on bad flags.
 fn run_service(args: &[String], large: bool) {
     let mut opts = planar_bench::servicebench::ServiceBenchOptions::default();
+    let mut min_coverage = SERVICE_MIN_COVERAGE;
     if large {
         opts.tenant_n *= 2;
     }
@@ -793,6 +808,15 @@ fn run_service(args: &[String], large: bool) {
             "service" | "--large" => {}
             "--fleet" => opts.fleet = value_of("--fleet"),
             "--deltas" => opts.deltas = value_of("--deltas"),
+            "--min-coverage" => {
+                min_coverage = match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(v) if (0.0..=1.0).contains(&v) => v,
+                    _ => {
+                        eprintln!("--min-coverage needs a fraction in [0, 1]");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--help" => {
                 print!("{}", planar_bench::cli::usage());
                 return;
@@ -819,6 +843,9 @@ fn run_service(args: &[String], large: bool) {
                 r.tenants.to_string(),
                 r.applied.to_string(),
                 r.incremental.to_string(),
+                r.tree_preserving.to_string(),
+                r.tree_repairable.to_string(),
+                r.vertex_set.to_string(),
                 r.full_fallbacks.to_string(),
                 r.rejected_nonplanar.to_string(),
                 format!("{:.0}", r.p50_service_us),
@@ -833,15 +860,41 @@ fn run_service(args: &[String], large: bool) {
         "{}",
         render(
             &[
-                "family", "tenants", "applied", "incr", "fallback", "rejected", "p50(us)",
-                "p99(us)", "incrP50", "fullP50", "speedup"
+                "family", "tenants", "applied", "incr", "treeP", "treeR", "vset", "fallback",
+                "rejected", "p50(us)", "p99(us)", "incrP50", "fullP50", "speedup"
             ],
             &data
         )
     );
+    let class_data: Vec<Vec<String>> = report
+        .classes
+        .iter()
+        .map(|c| {
+            vec![
+                c.class.code().to_string(),
+                c.count.to_string(),
+                format!("{:.0}", c.p50_incremental_us),
+                format!("{:.0}", c.p50_full_us),
+                format!("{:.2}x", c.speedup_p50),
+            ]
+        })
+        .collect();
     println!(
-        "fleet: {} tenants, {} embeddings in {:.2}s service time = {:.0} embeddings/sec",
-        report.fleet, report.total_embeddings, report.service_secs, report.embeddings_per_sec
+        "{}",
+        render(
+            &["class", "count", "incrP50", "fullP50", "speedup"],
+            &class_data
+        )
+    );
+    println!(
+        "fleet: {} tenants, {} embeddings in {:.2}s service time = {:.0} embeddings/sec, \
+         incremental coverage {:.1}% (baseline {:.0}%)",
+        report.fleet,
+        report.total_embeddings,
+        report.service_secs,
+        report.embeddings_per_sec,
+        report.incremental_coverage * 100.0,
+        min_coverage * 100.0
     );
     let path = std::path::Path::new("BENCH_service.json");
     planar_bench::servicebench::write_json(path, &report).expect("write BENCH_service.json");
@@ -855,6 +908,28 @@ fn run_service(args: &[String], large: bool) {
         );
         std::process::exit(1);
     }
+    if report.incremental_coverage < min_coverage {
+        eprintln!(
+            "incremental coverage {:.1}% fell below the committed baseline {:.0}% — \
+             the delta planner is sending too many deltas to the full path",
+            report.incremental_coverage * 100.0,
+            min_coverage * 100.0
+        );
+        std::process::exit(1);
+    }
+    let mut gate_failed = false;
+    for c in &report.classes {
+        if c.count >= SERVICE_CLASS_GATE_MIN_COUNT && c.speedup_p50 <= 1.0 {
+            eprintln!(
+                "class {} claims the incremental path but pays no dividend \
+                 ({:.2}x over {} deltas)",
+                c.class.code(),
+                c.speedup_p50,
+                c.count
+            );
+            gate_failed = true;
+        }
+    }
     if let Some(headline) = report.headline() {
         if headline.speedup_p50 <= 1.0 {
             eprintln!(
@@ -862,7 +937,10 @@ fn run_service(args: &[String], large: bool) {
                  headline cell ({}: {:.2}x)",
                 headline.family, headline.speedup_p50
             );
-            std::process::exit(1);
+            gate_failed = true;
         }
+    }
+    if gate_failed {
+        std::process::exit(1);
     }
 }

@@ -119,8 +119,9 @@ pub fn usage() -> String {
     );
     out.push_str(
         "\nservice options:\n  \
-         --fleet <count>    concurrent tenant graphs in the soak (default 1024)\n  \
-         --deltas <count>   churn deltas applied per tenant (default 4)\n",
+         --fleet <count>        concurrent tenant graphs in the soak (default 1024)\n  \
+         --deltas <count>       churn deltas applied per tenant (default 4)\n  \
+         --min-coverage <frac>  fail if incremental coverage drops below this (default 0.5)\n",
     );
     out
 }
@@ -181,5 +182,6 @@ mod tests {
         assert!(text.contains("--swarm"));
         assert!(text.contains("--fleet"));
         assert!(text.contains("--deltas"));
+        assert!(text.contains("--min-coverage"));
     }
 }

@@ -8,10 +8,13 @@
 //! incremental re-embedding) and the full re-embed of the same mutated
 //! graph — measured on the same host, same graph, same delta. Per family
 //! the sweep reports p50/p99 of both, the p50 speedup, and the path
-//! split (incremental vs recorded full fallback vs rejection); fleet-wide
-//! it reports sustained embeddings/sec (admissions + applied deltas over
-//! service-side wall time, oracle time excluded — the oracle is the
-//! checker, not the product).
+//! split (incremental by [`DeltaClass`] vs recorded full fallback vs
+//! rejection); fleet-wide it reports sustained embeddings/sec (admissions
+//! plus applied deltas over service-side wall time, oracle time excluded
+//! — the oracle is the checker, not the product), the incremental
+//! *coverage* (the fraction of applied deltas the delta planner kept off
+//! the full path — the CI gate holds it above a committed baseline), and
+//! the per-class incremental dividend.
 //!
 //! Any incremental-vs-oracle divergence is a bit-identity contract
 //! violation: it is counted in the report and the harness exits non-zero
@@ -22,7 +25,9 @@
 
 use congest_sim::mix_seed;
 use planar_lib::gen;
-use planar_service::{ChurnGen, DeltaOutcome, OracleMode, ServiceConfig, ServiceState, TenantId};
+use planar_service::{
+    ChurnGen, DeltaClass, DeltaOutcome, OracleMode, ServiceConfig, ServiceState, TenantId,
+};
 
 /// Families the fleet cycles through: the deterministic substrates the
 /// other sweeps use plus the seeded planar/outerplanar samplers, so both
@@ -75,6 +80,12 @@ pub struct ServiceFamilyRow {
     pub applied: usize,
     /// Applied via the incremental path.
     pub incremental: usize,
+    /// Applied incrementally as `DeltaClass::TreePreserving`.
+    pub tree_preserving: usize,
+    /// Applied incrementally as `DeltaClass::TreeRepairable`.
+    pub tree_repairable: usize,
+    /// Applied incrementally as `DeltaClass::VertexSetChange`.
+    pub vertex_set: usize,
     /// Applied via a recorded full fallback.
     pub full_fallbacks: usize,
     /// Deltas rejected as planarity-breaking (gate or embedder).
@@ -99,6 +110,24 @@ pub struct ServiceFamilyRow {
     pub divergences: usize,
 }
 
+/// Fleet-wide aggregates for one [`DeltaClass`] claiming the incremental
+/// path: how often the planner took it and what dividend it paid versus
+/// the full re-embed the oracle ran on the very same deltas.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceClassRow {
+    /// The class.
+    pub class: DeltaClass,
+    /// Applied deltas executed as this class, fleet-wide.
+    pub count: usize,
+    /// p50 service-side latency of this class's deltas, µs.
+    pub p50_incremental_us: f64,
+    /// p50 full re-embed (oracle) latency of those same deltas, µs.
+    pub p50_full_us: f64,
+    /// `p50_full_us / p50_incremental_us` — the class's incremental
+    /// dividend (0 when the class never fired).
+    pub speedup_p50: f64,
+}
+
 /// The full soak record.
 #[derive(Clone, Debug)]
 pub struct ServiceBenchReport {
@@ -117,6 +146,13 @@ pub struct ServiceBenchReport {
     pub embeddings_per_sec: f64,
     /// Total incremental-vs-oracle divergences (the CI gate; must be 0).
     pub divergences: usize,
+    /// Fraction of *applied* deltas that took the incremental path,
+    /// fleet-wide — the coverage the CI gate holds above its committed
+    /// baseline.
+    pub incremental_coverage: f64,
+    /// Per-incremental-class aggregates, in `DeltaClass::ALL` order
+    /// (fallback excluded — it is the complement of the coverage).
+    pub classes: Vec<ServiceClassRow>,
     /// Per-family aggregates.
     pub rows: Vec<ServiceFamilyRow>,
 }
@@ -179,10 +215,20 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
         }
     }
 
-    // Aggregate per family from the tenant delta logs.
+    // Aggregate per family from the tenant delta logs; the per-class
+    // latency pairs aggregate fleet-wide (a class's dividend is a
+    // property of the planner, not of one substrate).
     let mut rows = Vec::new();
     let mut service_nanos_total: u128 = 0;
     let mut total_applied = 0usize;
+    let mut total_incremental = 0usize;
+    let incremental_classes = [
+        DeltaClass::TreePreserving,
+        DeltaClass::TreeRepairable,
+        DeltaClass::VertexSetChange,
+    ];
+    let mut class_incr_ns: Vec<Vec<u128>> = vec![Vec::new(); incremental_classes.len()];
+    let mut class_full_ns: Vec<Vec<u128>> = vec![Vec::new(); incremental_classes.len()];
     for &family in FLEET_FAMILIES {
         let mut row = ServiceFamilyRow {
             family,
@@ -190,6 +236,9 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
             deltas: 0,
             applied: 0,
             incremental: 0,
+            tree_preserving: 0,
+            tree_repairable: 0,
+            vertex_set: 0,
             full_fallbacks: 0,
             rejected_nonplanar: 0,
             p50_service_us: 0.0,
@@ -208,6 +257,9 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
             let stats = tenant.stats();
             row.applied += stats.applied;
             row.incremental += stats.incremental;
+            row.tree_preserving += stats.tree_preserving;
+            row.tree_repairable += stats.tree_repairable;
+            row.vertex_set += stats.vertex_set;
             row.full_fallbacks += stats.full_fallbacks;
             row.rejected_nonplanar += stats.rejected_nonplanar;
             row.divergences += stats.divergences;
@@ -223,6 +275,15 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
                         incr_ns.push(record.service_nanos);
                         if let Some(full) = record.oracle_nanos {
                             full_ns.push(full);
+                        }
+                        if let Some(ci) = record
+                            .class
+                            .and_then(|c| incremental_classes.iter().position(|&k| k == c))
+                        {
+                            class_incr_ns[ci].push(record.service_nanos);
+                            if let Some(full) = record.oracle_nanos {
+                                class_full_ns[ci].push(full);
+                            }
                         }
                     }
                 }
@@ -245,8 +306,31 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
             0.0
         };
         total_applied += row.applied;
+        total_incremental += row.incremental;
         rows.push(row);
     }
+
+    let classes = incremental_classes
+        .iter()
+        .enumerate()
+        .map(|(ci, &class)| {
+            class_incr_ns[ci].sort_unstable();
+            class_full_ns[ci].sort_unstable();
+            let p50_incremental_us = percentile(&class_incr_ns[ci], 0.50);
+            let p50_full_us = percentile(&class_full_ns[ci], 0.50);
+            ServiceClassRow {
+                class,
+                count: class_incr_ns[ci].len(),
+                p50_incremental_us,
+                p50_full_us,
+                speedup_p50: if p50_incremental_us > 0.0 {
+                    p50_full_us / p50_incremental_us
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect();
 
     let service_secs = admission_secs + service_nanos_total as f64 / 1e9;
     let total_embeddings = opts.fleet + total_applied;
@@ -262,6 +346,12 @@ pub fn service_soak(opts: &ServiceBenchOptions) -> ServiceBenchReport {
             0.0
         },
         divergences: svc.divergences(),
+        incremental_coverage: if total_applied > 0 {
+            total_incremental as f64 / total_applied as f64
+        } else {
+            0.0
+        },
+        classes,
         rows,
     }
 }
@@ -297,12 +387,39 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
         report.embeddings_per_sec
     ));
     s.push_str(&format!("  \"divergences\": {},\n", report.divergences));
+    s.push_str(&format!(
+        "  \"incremental_coverage\": {:.4},\n",
+        report.incremental_coverage
+    ));
+    s.push_str("  \"classes\": [\n");
+    for (i, c) in report.classes.iter().enumerate() {
+        s.push_str(&format!(
+            concat!(
+                "    {{\"class\": \"{}\", \"count\": {}, ",
+                "\"p50_incremental_us\": {:.1}, \"p50_full_us\": {:.1}, ",
+                "\"speedup_p50\": {:.2}}}{}\n"
+            ),
+            c.class.code(),
+            c.count,
+            c.p50_incremental_us,
+            c.p50_full_us,
+            c.speedup_p50,
+            if i + 1 < report.classes.len() {
+                ","
+            } else {
+                ""
+            }
+        ));
+    }
+    s.push_str("  ],\n");
     s.push_str("  \"families\": [\n");
     for (i, r) in report.rows.iter().enumerate() {
         s.push_str(&format!(
             concat!(
                 "    {{\"family\": \"{}\", \"tenants\": {}, \"deltas\": {}, ",
-                "\"applied\": {}, \"incremental\": {}, \"full_fallbacks\": {}, ",
+                "\"applied\": {}, \"incremental\": {}, ",
+                "\"tree_preserving\": {}, \"tree_repairable\": {}, \"vertex_set\": {}, ",
+                "\"full_fallbacks\": {}, ",
                 "\"rejected_nonplanar\": {}, ",
                 "\"p50_service_us\": {:.1}, \"p99_service_us\": {:.1}, ",
                 "\"p50_incremental_us\": {:.1}, ",
@@ -314,6 +431,9 @@ pub fn to_json(report: &ServiceBenchReport) -> String {
             r.deltas,
             r.applied,
             r.incremental,
+            r.tree_preserving,
+            r.tree_repairable,
+            r.vertex_set,
             r.full_fallbacks,
             r.rejected_nonplanar,
             r.p50_service_us,
@@ -362,6 +482,24 @@ mod tests {
         assert_eq!(report.total_embeddings, 8 + applied);
         assert!(report.embeddings_per_sec > 0.0);
         assert!(report.headline().is_some());
+        // Per-class accounting partitions the incremental count, at
+        // every level of aggregation.
+        let incremental: usize = report.rows.iter().map(|r| r.incremental).sum();
+        for r in &report.rows {
+            assert_eq!(
+                r.tree_preserving + r.tree_repairable + r.vertex_set,
+                r.incremental,
+                "{}: class counts must partition the incremental count",
+                r.family
+            );
+        }
+        let class_total: usize = report.classes.iter().map(|c| c.count).sum();
+        assert_eq!(class_total, incremental);
+        assert_eq!(report.classes.len(), 3, "one row per incremental class");
+        if applied > 0 {
+            let expect = incremental as f64 / applied as f64;
+            assert!((report.incremental_coverage - expect).abs() < 1e-9);
+        }
     }
 
     #[test]
@@ -376,6 +514,12 @@ mod tests {
         assert!(s.contains("\"benchmark\": \"service\""));
         assert!(s.contains("\"families\": ["));
         assert!(s.contains("\"divergences\": 0"));
+        assert!(s.contains("\"incremental_coverage\": "));
+        assert!(s.contains("\"classes\": ["));
+        assert!(s.contains("\"class\": \"tree-preserving\""));
+        assert!(s.contains("\"class\": \"tree-repairable\""));
+        assert!(s.contains("\"class\": \"vertex-set\""));
+        assert!(s.contains("\"tree_preserving\": "));
         assert_eq!(s.matches('{').count(), s.matches('}').count());
     }
 

@@ -51,7 +51,7 @@ pub mod verifier;
 pub use certificate::{build_certificates, build_certificates_with_tree, Certificate};
 pub use error::CertError;
 pub use mutate::{apply_mutation, mutation_classes, Mutation, MutationClass};
-pub use splice::{splice_certificates, SpliceStats};
+pub use splice::{splice_certificates, splice_certificates_shifted, SpliceStats};
 pub use verifier::{
     verify_distributed, verify_distributed_reference, verify_distributed_with, verify_orders_with,
     CertMsg, CertVerifier, Kernel, Verdict, VerifyReport, Violation,

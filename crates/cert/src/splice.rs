@@ -92,6 +92,40 @@ pub fn splice_certificates(
     (spliced, stats)
 }
 
+/// [`splice_certificates`] for a *departure* delta: the resident graph
+/// lost vertex `removed`, so resident ids above it shifted down by one in
+/// the new graph. Scratch certificate `i` is compared against resident
+/// certificate `i` below the removal point and `i + 1` at or above it —
+/// nodes whose certificate content survived the renumbering (faces and
+/// counters away from the departed vertex) still splice, which a naive
+/// index-aligned comparison would miss for every id above `removed`.
+pub fn splice_certificates_shifted(
+    old: &[Certificate],
+    scratch: Vec<Certificate>,
+    removed: usize,
+) -> (Vec<Certificate>, SpliceStats) {
+    let mut stats = SpliceStats::default();
+    let spliced = scratch
+        .into_iter()
+        .enumerate()
+        .map(|(i, fresh)| {
+            let old_index = if i < removed { i } else { i + 1 };
+            match old.get(old_index) {
+                Some(resident) if *resident == fresh => {
+                    stats.reused += 1;
+                    stats.words_reused += resident.words() as u64;
+                    resident.clone()
+                }
+                _ => {
+                    stats.rebuilt += 1;
+                    fresh
+                }
+            }
+        })
+        .collect();
+    (spliced, stats)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -423,11 +423,27 @@ fn note_partition(
             lvl.max_part_depth = lvl
                 .max_part_depth
                 .max(tree.subtree_depth(part.root) as usize);
-            if ratio > 2.0 / 3.0 + 1e-9 {
-                return Err(EmbedError::Internal(format!(
-                    "Lemma 4.2 violated: part ratio {ratio}"
-                )));
-            }
+        }
+    }
+    validate_partition(g, size, partition, cfg)
+}
+
+/// The Lemma 4.1/4.2 gate on one subproblem's partition, shared by both
+/// schedulers and the incremental rebuild: every hanging part must stay
+/// within the 2/3 ratio, and (under `check_invariants`) the partition
+/// must be safe in the Definition 3.1 sense.
+pub(crate) fn validate_partition(
+    g: &Graph,
+    size: usize,
+    partition: &Partition,
+    cfg: &EmbedderConfig,
+) -> Result<(), EmbedError> {
+    for part in &partition.parts {
+        let ratio = part.members.len() as f64 / size as f64;
+        if ratio > 2.0 / 3.0 + 1e-9 {
+            return Err(EmbedError::Internal(format!(
+                "Lemma 4.2 violated: part ratio {ratio}"
+            )));
         }
     }
     if cfg.check_invariants {

@@ -1,5 +1,5 @@
-//! Incremental re-embedding: resident embeddings that absorb edge deltas
-//! by re-running only the affected part of the recursion.
+//! Incremental re-embedding: resident embeddings that absorb deltas by
+//! re-running only the dirty region of the recursion.
 //!
 //! A [`ResidentEmbedding`] keeps everything one level-synchronous run
 //! produced: the global BFS tree, the *retained* recursion arena (every
@@ -9,26 +9,34 @@
 //! their mailbox arenas. [`ResidentEmbedding::reembed`] then brings the
 //! resident state to a mutated graph at a fraction of a full run's cost:
 //!
-//! 1. **Setup re-runs** (cheap, `O(D)` rounds) and the new BFS tree is
-//!    compared to the resident one. Partition content is a pure function
-//!    of the tree — centroid walks are built from tree data and a
-//!    subproblem's members are `tree.subtree_members(root)` — so with the
-//!    tree unchanged *every* retained partition is still exact and no
-//!    partition protocol re-runs at all.
-//! 2. **Dirty-merge analysis**: an edge delta `{u, v}` can only be seen
-//!    by merges whose subproblem contains `u` or `v` (half-embedded and
-//!    attachment edges need an endpoint inside the subproblem's member
-//!    set). The subproblems containing a vertex form one root-to-leaf
-//!    chain of the recursion, so a delta dirties at most two arena nodes
-//!    per level — `O(log n)` of the arena's `O(n)` merges. Only those
-//!    merges re-run; every clean node's retained part is reused verbatim.
+//! 1. **Planning** (`crate::planner`): the delta is classified into a
+//!    typed [`DeltaClass`] and the resident tree is repaired host-side —
+//!    spliced, grafted, or pruned via the `tree.rs` machinery — under the
+//!    *sticky-root* model: the tree stays rooted where the last full
+//!    build elected, and the planner maintains it as exactly the BFS tree
+//!    the deterministic kernel would build from that root (min-id parent
+//!    rule, sorted children). The staged repair must equal a from-scratch
+//!    host model of the mutated graph field-for-field before anything
+//!    else runs; a miss falls back to the full path as
+//!    [`FullCause::PlanRejected`]. No distributed setup re-runs on the
+//!    incremental path at all.
+//! 2. **Dirty-region rebuild**: the recursion arena is rebuilt top-down
+//!    over the repaired tree. Every subproblem is the full subtree of its
+//!    root, so a node whose subtree contains neither a tree-record change
+//!    nor a delta endpoint is *adopted* wholesale — partition, part,
+//!    metrics, merge statistics, and its entire sub-arena (renumbered on
+//!    departures). A node whose subtree is only edge-dirty reuses its
+//!    retained partition (partition content is a pure function of the
+//!    tree) and re-runs just its merge; a tree-dirty node re-runs its
+//!    partition through [`ExecutionContext`] too. The dirty nodes form
+//!    the root-to-repair-site chains — `O(log n)` of the arena per delta.
 //! 3. **Epilogue**: the centralized fidelity stand-in
 //!    ([`planar_lib::embed`]) produces the rotation exactly as the full
 //!    driver does (see the fidelity note in `driver.rs`), and
 //!    certification splices the resident certificate set against a
-//!    scratch build ([`planar_cert::splice_certificates`]) before one
-//!    distributed re-verification — so only changed certificates need
-//!    re-distribution.
+//!    scratch build ([`planar_cert::splice_certificates`], shift-aware on
+//!    departures) before one distributed re-verification — so only
+//!    changed certificates need re-distribution.
 //!
 //! **Bit-identity contract**: the rotation system, the certification
 //! verdict, and the planarity outcome of `reembed` are bit-identical to a
@@ -37,31 +45,38 @@
 //! epilogue on the same graph; the planarity outcome agrees because the
 //! density guard runs in both paths and the epilogue decides the rest;
 //! the certification verdict agrees because a spliced certificate set is
-//! element-wise equal to the scratch set. What incremental runs *save* is
-//! kernel simulation of clean recursion subtrees — metrics and round
-//! tallies are intentionally not part of the contract.
+//! element-wise equal to the scratch set. The sticky root cannot leak
+//! into any of these: partitions and merges are valid for a BFS tree
+//! from *any* fixed root, and all contract outputs are root-independent.
+//! What incremental runs save is kernel simulation — setup and every
+//! clean subtree — and metrics/round tallies are intentionally not part
+//! of the contract.
 //!
-//! Deltas the analysis cannot scope — a changed BFS tree (the delta
-//! touched tree edges or BFS distances) or a changed vertex set (node
-//! arrivals/departures renumber ids) — fall back to a full retained
-//! re-run, recorded as such in the [`ReembedReport`]. A rejected delta
-//! (the mutated graph is non-planar) leaves the resident state *and* the
-//! resident graph untouched: all recomputation is staged in an overlay
-//! and committed only after the epilogue accepts.
+//! Deltas the planner cannot scope (classified [`DeltaClass::Fallback`])
+//! take a full retained re-run, which also re-elects the root (the sticky
+//! root is always the last full build's). A rejected delta (the mutated
+//! graph is non-planar) leaves the resident state *and* the resident
+//! graph untouched: all recomputation is staged in an overlay and
+//! committed only after the epilogue accepts.
 //!
 //! [`embed_distributed`]: crate::embed_distributed
 
+use std::collections::HashMap;
+
 use congest_sim::{KernelCache, Metrics, Phase};
-use planar_cert::{build_certificates, splice_certificates, SpliceStats};
+use planar_cert::{
+    build_certificates, splice_certificates, splice_certificates_shifted, SpliceStats,
+};
 use planar_graph::{Graph, RotationSystem, VertexId};
 
 use crate::certify::{certify_embedding, certify_with_certificates, Certification};
-use crate::driver::{run_recursion_retained, RecNode};
+use crate::driver::{run_recursion_retained, validate_partition, RecNode};
 use crate::error::EmbedError;
 use crate::exec::ExecutionContext;
+use crate::merge::merge_parts_ctx;
+use crate::partition::{partition_subtree_ctx, Partition, SubProblem};
 use crate::parts::PartState;
-use crate::setup::run_setup_ctx;
-use crate::stats::MergeStats;
+use crate::planner::{self, DeltaClass, PlanAction, RepairPlan};
 use crate::tree::GlobalTree;
 use crate::Scheduler;
 use crate::{EmbedderConfig, Kernel};
@@ -71,13 +86,19 @@ use crate::{EmbedderConfig, Kernel};
 pub enum FullCause {
     /// The first build of the resident embedding — nothing to reuse yet.
     InitialBuild,
-    /// The delta changed the vertex set (node arrival/departure), which
-    /// renumbers ids; the retained arena is not addressable on the new
-    /// graph.
+    /// A vertex-set delta outside the planner's repairable shapes: a
+    /// non-appended arrival, an anchor spread wider than two levels, a
+    /// departure of the root or of an internal tree vertex, or a
+    /// departure without the explicit hint
+    /// ([`ResidentEmbedding::reembed_departure`]).
     VertexSetChanged,
-    /// The delta changed the global BFS tree, invalidating every retained
-    /// partition (partition content is a pure function of the tree).
+    /// An edge delta whose BFS repair would cascade: a tree-edge deletion
+    /// with no alternative parent, or an insert that shortens distances.
     TreeChanged,
+    /// The staged repair failed its oracle-grade verification against the
+    /// from-scratch host model. This never fires in a correct build; the
+    /// DST churn oracle raises a violation when it does.
+    PlanRejected,
 }
 
 /// Which path one [`ResidentEmbedding::reembed`] call took, with its
@@ -89,17 +110,24 @@ pub enum ReembedPath {
         /// Why the incremental analysis did not apply.
         cause: FullCause,
     },
-    /// The incremental path: setup re-ran, every retained partition was
-    /// reused, and only the dirty merges re-ran.
+    /// The incremental path: no distributed setup, adopted arena
+    /// subtrees, and only the dirty chains re-run.
     Incremental {
-        /// Merges re-run because their subproblem contains a delta
-        /// endpoint (`O(log n)` per delta edge).
-        recomputed_merges: usize,
-        /// Internal nodes whose retained merge result was reused.
-        reused_merges: usize,
-        /// Retained partitions reused (every internal node — the tree was
-        /// unchanged, so partition content was still exact).
+        /// The class the delta was planned (and executed) as.
+        class: DeltaClass,
+        /// Number of distinct dirty vertices (tree-record changes plus
+        /// delta endpoints) the planner scoped the rebuild to.
+        dirty_region: usize,
+        /// Partitions re-run because their subtree's tree records
+        /// changed.
+        recomputed_partitions: usize,
+        /// Retained partitions reused (adopted or re-validated against an
+        /// unchanged subtree).
         reused_partitions: usize,
+        /// Merges re-run because their subtree contains a dirty vertex.
+        recomputed_merges: usize,
+        /// Internal nodes whose retained merge result was adopted.
+        reused_merges: usize,
         /// Certificate splice accounting, when certification is on.
         splice: Option<SpliceStats>,
     },
@@ -110,8 +138,14 @@ pub enum ReembedPath {
 pub struct ReembedReport {
     /// Which path ran and what it reused.
     pub path: ReembedPath,
-    /// Sequential kernel rounds the call consumed (setup + re-run merges
-    /// + certification for incremental; the full tally otherwise).
+    /// The class the planner predicted for the delta before executing
+    /// anything ([`DeltaClass::Fallback`] for initial builds). Equals
+    /// [`ReembedReport::taken`] unless the staged repair was rejected —
+    /// the DST churn oracle flags any disagreement.
+    pub planned: DeltaClass,
+    /// Sequential kernel rounds the call consumed (re-run partitions and
+    /// merges plus certification for incremental; the full tally
+    /// otherwise).
     pub rounds: usize,
 }
 
@@ -120,31 +154,47 @@ impl ReembedReport {
     pub fn is_incremental(&self) -> bool {
         matches!(self.path, ReembedPath::Incremental { .. })
     }
+
+    /// The class the call actually executed: the planned class on the
+    /// incremental path, [`DeltaClass::Fallback`] on the full path.
+    pub fn taken(&self) -> DeltaClass {
+        match &self.path {
+            ReembedPath::Incremental { class, .. } => *class,
+            ReembedPath::Full { .. } => DeltaClass::Fallback,
+        }
+    }
+
+    /// Dirty-region size of the plan (0 on the full path).
+    pub fn dirty_region(&self) -> usize {
+        match &self.path {
+            ReembedPath::Incremental { dirty_region, .. } => *dirty_region,
+            ReembedPath::Full { .. } => 0,
+        }
+    }
 }
 
-/// Staged results of the incremental analysis, committed only after the
+/// Reuse accounting of one dirty-region rebuild.
+#[derive(Clone, Copy, Debug, Default)]
+struct ReuseCounts {
+    recomputed_partitions: usize,
+    reused_partitions: usize,
+    recomputed_merges: usize,
+    reused_merges: usize,
+}
+
+/// Staged results of the incremental rebuild, committed only after the
 /// epilogue accepts the mutated graph.
 struct Overlay {
-    /// `(arena index, merged part, subtree metrics, merge stats)` per
-    /// re-run merge.
-    merges: Vec<(usize, PartState, Metrics, MergeStats)>,
+    nodes: Vec<RecNode>,
     rotation: RotationSystem,
     certification: Option<Certification>,
     splice: Option<SpliceStats>,
-    recomputed: usize,
-}
-
-/// What the incremental attempt decided.
-enum Attempt {
-    /// Incremental analysis succeeded; commit the overlay.
-    Done(Box<Overlay>),
-    /// The BFS tree changed; the caller must take the full path.
-    TreeChanged,
+    counts: ReuseCounts,
 }
 
 /// A long-lived embedding of one graph, retaining every artifact needed
-/// to absorb edge deltas incrementally. See the module docs for the
-/// reuse structure and the bit-identity contract.
+/// to absorb deltas incrementally. See the module docs for the reuse
+/// structure and the bit-identity contract.
 pub struct ResidentEmbedding {
     graph: Graph,
     cfg: EmbedderConfig,
@@ -202,6 +252,7 @@ impl ResidentEmbedding {
             path: ReembedPath::Full {
                 cause: FullCause::InitialBuild,
             },
+            planned: DeltaClass::Fallback,
             rounds,
         };
         Ok((resident, report))
@@ -225,10 +276,9 @@ impl ResidentEmbedding {
 
     /// `true` if `{u, v}` is an edge of the resident BFS tree. Deleting
     /// a *non*-tree edge preserves every BFS distance and parent choice,
-    /// so such deltas are guaranteed to take the incremental path —
-    /// callers (benchmarks, tests) use this to construct
-    /// incremental-friendly workloads without re-deriving the driver's
-    /// deterministic tree.
+    /// so such deltas are guaranteed `TreePreserving` — callers
+    /// (benchmarks, tests) use this to construct incremental-friendly
+    /// workloads without re-deriving the driver's deterministic tree.
     pub fn is_tree_edge(&self, u: VertexId, v: VertexId) -> bool {
         let tree_parent = |x: VertexId| self.tree.parent.get(x.index()).copied().flatten();
         tree_parent(u) == Some(v) || tree_parent(v) == Some(u)
@@ -252,8 +302,14 @@ impl ResidentEmbedding {
     }
 
     /// Re-embeds onto `new_graph` (the resident graph after one or more
-    /// deltas), incrementally when the delta analysis applies and by a
-    /// full retained re-run otherwise (recorded in the report).
+    /// deltas), incrementally when the delta planner finds a local repair
+    /// and by a full retained re-run otherwise (recorded in the report).
+    ///
+    /// Edge deltas and appended-vertex arrivals are planned from the
+    /// graph diff alone; a departure needs the explicit
+    /// [`reembed_departure`](Self::reembed_departure) hint (the removed
+    /// id is not always recoverable from the renumbered graph) and falls
+    /// back to the full path here.
     ///
     /// On error — most importantly [`EmbedError::NonPlanar`] when the
     /// delta broke planarity — the resident state is unchanged: the old
@@ -264,62 +320,115 @@ impl ResidentEmbedding {
     ///
     /// As [`embed_distributed`](crate::embed_distributed) on `new_graph`.
     pub fn reembed(&mut self, new_graph: Graph) -> Result<ReembedReport, EmbedError> {
-        let cache = self.cache.take().unwrap_or_default();
-        if new_graph.vertex_count() != self.graph.vertex_count() {
-            return self.reembed_full(new_graph, cache, FullCause::VertexSetChanged);
-        }
-
-        let (attempt, rounds, cache) = {
-            let mut ctx = ExecutionContext::with_kernel_cache(&new_graph, &self.cfg, cache);
-            let attempt = self.try_incremental(&new_graph, &mut ctx);
-            let rounds = ctx.rounds_used();
-            (attempt, rounds, ctx.into_kernel_cache())
-        };
-        match attempt {
-            Ok(Attempt::Done(overlay)) => {
-                let Overlay {
-                    merges,
-                    rotation,
-                    certification,
-                    splice,
-                    recomputed,
-                } = *overlay;
-                let internal = self.nodes.iter().filter(|n| n.partition.is_some()).count();
-                for (ni, part, metrics, stats) in merges {
-                    self.nodes[ni].part = Some(part);
-                    self.nodes[ni].metrics = metrics;
-                    self.nodes[ni].merge_stats = Some(stats);
-                }
-                self.graph = new_graph;
-                self.rotation = rotation;
-                self.certification = certification;
-                self.cache = Some(cache);
-                Ok(ReembedReport {
-                    path: ReembedPath::Incremental {
-                        recomputed_merges: recomputed,
-                        reused_merges: internal - recomputed,
-                        reused_partitions: internal,
-                        splice,
-                    },
-                    rounds,
-                })
+        let old_n = self.graph.vertex_count();
+        let new_n = new_graph.vertex_count();
+        let plan = if new_n == old_n {
+            planner::plan_edge_delta(&self.graph, &self.tree, &new_graph)
+        } else if new_n == old_n + 1 {
+            planner::plan_arrival(&self.graph, &self.tree, &new_graph)
+        } else {
+            planner::DeltaPlan {
+                planned: DeltaClass::Fallback,
+                action: PlanAction::Full(FullCause::VertexSetChanged),
             }
-            Ok(Attempt::TreeChanged) => self.reembed_full(new_graph, cache, FullCause::TreeChanged),
-            Err(e) => {
-                self.cache = Some(cache);
-                Err(e)
+        };
+        self.reembed_planned(new_graph, plan)
+    }
+
+    /// [`reembed`](Self::reembed) for a node departure: `removed` is the
+    /// departed vertex's id *in the resident graph* (ids above it shift
+    /// down by one in `new_graph`, as [`planar_graph::Graph::remove_vertex`]
+    /// compacts). Leaf departures take the incremental
+    /// [`DeltaClass::VertexSetChange`] path; root or internal departures
+    /// fall back.
+    ///
+    /// # Errors
+    ///
+    /// As [`reembed`](Self::reembed).
+    pub fn reembed_departure(
+        &mut self,
+        new_graph: Graph,
+        removed: VertexId,
+    ) -> Result<ReembedReport, EmbedError> {
+        let plan = if self.graph.vertex_count() == new_graph.vertex_count() + 1 {
+            planner::plan_departure(&self.graph, &self.tree, &new_graph, removed)
+        } else {
+            planner::DeltaPlan {
+                planned: DeltaClass::Fallback,
+                action: PlanAction::Full(FullCause::VertexSetChanged),
+            }
+        };
+        self.reembed_planned(new_graph, plan)
+    }
+
+    /// Executes a planned delta: runs the staged repair or the full
+    /// fallback, and commits only on success.
+    fn reembed_planned(
+        &mut self,
+        new_graph: Graph,
+        plan: planner::DeltaPlan,
+    ) -> Result<ReembedReport, EmbedError> {
+        let planned = plan.planned;
+        let cache = self.cache.take().unwrap_or_default();
+        match plan.action {
+            PlanAction::Full(cause) => self.reembed_full(new_graph, cache, cause, planned),
+            PlanAction::Incremental(repair) => {
+                let (result, rounds, cache) = {
+                    let mut ctx = ExecutionContext::with_kernel_cache(&new_graph, &self.cfg, cache);
+                    let result = self.run_incremental(&new_graph, &repair, &mut ctx);
+                    let rounds = ctx.rounds_used();
+                    (result, rounds, ctx.into_kernel_cache())
+                };
+                match result {
+                    Ok(overlay) => {
+                        let Overlay {
+                            nodes,
+                            rotation,
+                            certification,
+                            splice,
+                            counts,
+                        } = *overlay;
+                        let repair = *repair;
+                        let dirty_region = repair.dirty_region();
+                        self.graph = new_graph;
+                        self.tree = repair.tree;
+                        self.nodes = nodes;
+                        self.rotation = rotation;
+                        self.certification = certification;
+                        self.cache = Some(cache);
+                        Ok(ReembedReport {
+                            path: ReembedPath::Incremental {
+                                class: repair.class,
+                                dirty_region,
+                                recomputed_partitions: counts.recomputed_partitions,
+                                reused_partitions: counts.reused_partitions,
+                                recomputed_merges: counts.recomputed_merges,
+                                reused_merges: counts.reused_merges,
+                                splice,
+                            },
+                            planned,
+                            rounds,
+                        })
+                    }
+                    Err(e) => {
+                        self.cache = Some(cache);
+                        Err(e)
+                    }
+                }
             }
         }
     }
 
     /// The full fallback: a retained re-run on `new_graph`, committing
     /// only on success (a rejected delta leaves the resident state
-    /// untouched, exactly like the incremental path).
+    /// untouched, exactly like the incremental path). The tree that comes
+    /// back is rooted at the fresh election — the new sticky root.
     fn reembed_full(
         &mut self,
         new_graph: Graph,
         cache: KernelCache,
         cause: FullCause,
+        planned: DeltaClass,
     ) -> Result<ReembedReport, EmbedError> {
         match full_pass(&new_graph, &self.cfg, cache) {
             Ok((tree, nodes, rotation, certification, rounds, cache)) => {
@@ -331,6 +440,7 @@ impl ResidentEmbedding {
                 self.cache = Some(cache);
                 Ok(ReembedReport {
                     path: ReembedPath::Full { cause },
+                    planned,
                     rounds,
                 })
             }
@@ -341,91 +451,82 @@ impl ResidentEmbedding {
         }
     }
 
-    /// The incremental analysis: setup, tree comparison, dirty-merge
-    /// re-runs, epilogue — all staged into an [`Overlay`], never touching
-    /// the resident state.
-    fn try_incremental(
+    /// The staged incremental rebuild: density guard, dirty-region arena
+    /// rebuild with adoption, epilogue, certificate splice — all staged
+    /// into an [`Overlay`], never touching the resident state.
+    fn run_incremental(
         &self,
         new_graph: &Graph,
+        repair: &RepairPlan,
         ctx: &mut ExecutionContext<'_>,
-    ) -> Result<Attempt, EmbedError> {
+    ) -> Result<Box<Overlay>, EmbedError> {
         let n = new_graph.vertex_count();
-        ctx.enter(Phase::Setup);
-        let (setup, setup_metrics) = run_setup_ctx(ctx)?;
-        ctx.charge(&setup_metrics);
         // The same density guard the full driver runs before recursing.
         if n >= 3 && new_graph.edge_count() > 3 * n - 6 {
             return Err(EmbedError::NonPlanar);
         }
-        if !same_tree(&self.tree, &setup.tree) {
-            return Ok(Attempt::TreeChanged);
+
+        // Propagate dirt up the repaired tree: a subtree is dirty iff it
+        // contains a dirty vertex, so marking parents in decreasing-depth
+        // order computes every subtree's flag in O(n).
+        let tree = &repair.tree;
+        let mut has_dirty = vec![false; n];
+        let mut has_tree_dirty = vec![false; n];
+        for &v in &repair.tree_dirty {
+            has_dirty[v.index()] = true;
+            has_tree_dirty[v.index()] = true;
+        }
+        for &v in &repair.edge_dirty {
+            has_dirty[v.index()] = true;
+        }
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by_key(|&i| std::cmp::Reverse(tree.depth[i]));
+        for &i in &order {
+            if let Some(p) = tree.parent[i] {
+                if has_dirty[i] {
+                    has_dirty[p.index()] = true;
+                }
+                if has_tree_dirty[i] {
+                    has_tree_dirty[p.index()] = true;
+                }
+            }
         }
 
-        // Vertices incident to any changed edge; the merges that can see
-        // them are exactly the arena nodes whose subtree contains one.
-        let dirty_vertices = edge_delta_endpoints(&self.graph, new_graph);
-        let (tin, tout) = preorder_spans(&self.tree);
-        let in_subtree = |root: VertexId, v: VertexId| {
-            tin[root.index()] <= tin[v.index()] && tin[v.index()] < tout[root.index()]
+        // Address the old arena by subproblem root (each vertex roots at
+        // most one subproblem), under the new ids.
+        let phi = |x: VertexId| match repair.removed {
+            Some(r) if x > r => VertexId(x.0 - 1),
+            _ => x,
         };
-
-        let mut merges: Vec<(usize, PartState, Metrics, MergeStats)> = Vec::new();
-        let part_of =
-            |nodes: &[RecNode], merges: &[(usize, PartState, Metrics, MergeStats)], ci: usize| {
-                merges
-                    .iter()
-                    .find(|(mi, ..)| *mi == ci)
-                    .map(|(_, p, m, _)| (p.clone(), *m))
-                    .unwrap_or_else(|| {
-                        (
-                            nodes[ci].part.clone().expect("child solved"),
-                            nodes[ci].metrics,
-                        )
-                    })
-            };
-        // Bottom-up over the retained arena (children have higher indices
-        // than their parents), re-merging only the dirty internal nodes.
-        for ni in (0..self.nodes.len()).rev() {
-            let Some(partition) = self.nodes[ni].partition.as_ref() else {
-                continue; // leaf: its part is graph-independent
-            };
-            let root = self.nodes[ni].root;
-            let dirty = dirty_vertices.iter().any(|&v| in_subtree(root, v))
-                || merges
-                    .iter()
-                    .any(|(mi, ..)| self.nodes[ni].children.contains(mi));
-            if !dirty {
+        let mut old_at: HashMap<VertexId, usize> = HashMap::with_capacity(self.nodes.len());
+        for (oi, node) in self.nodes.iter().enumerate() {
+            if Some(node.root) == repair.removed {
                 continue;
             }
-            let mut children_metrics = Metrics::new();
-            let mut hanging = Vec::with_capacity(self.nodes[ni].children.len());
-            for &ci in &self.nodes[ni].children {
-                let (part, m) = part_of(&self.nodes, &merges, ci);
-                children_metrics.join_parallel(m);
-                hanging.push(part);
-            }
-            ctx.enter(Phase::Merge);
-            let merged = crate::merge::merge_parts_ctx(
-                ctx,
-                partition.p0.clone(),
-                hanging,
-                self.cfg.check_invariants,
-            )?;
-            ctx.charge(&merged.metrics);
-            let mut total = partition.metrics;
-            total.add(children_metrics);
-            total.add(merged.metrics);
-            merges.push((ni, merged.part, total, merged.stats));
+            let prev = old_at.insert(phi(node.root), oi);
+            debug_assert!(prev.is_none(), "a vertex roots at most one subproblem");
         }
-        let recomputed = merges.len();
 
-        let (root_part, _) = part_of(&self.nodes, &merges, 0);
-        if root_part.len() != n {
+        let mut rebuild = Rebuild {
+            old_nodes: &self.nodes,
+            old_at,
+            tree,
+            removed: repair.removed,
+            has_dirty,
+            has_tree_dirty,
+            nodes: Vec::with_capacity(self.nodes.len()),
+            counts: ReuseCounts::default(),
+        };
+        let root_ni = rebuild.build(ctx, &self.cfg, tree.root, 0)?;
+        debug_assert_eq!(root_ni, 0);
+        let root_len = rebuild.nodes[0].part.as_ref().map_or(0, PartState::len);
+        if root_len != n {
             return Err(EmbedError::Internal(format!(
-                "incremental recursion merged only {} of {n} vertices",
-                root_part.len()
+                "incremental recursion merged only {root_len} of {n} vertices"
             )));
         }
+        let counts = rebuild.counts;
+        let nodes = rebuild.nodes;
 
         // Centralized fidelity epilogue — the same call, on the same
         // graph, as the full driver's (`driver.rs` fidelity note), so the
@@ -442,7 +543,10 @@ impl ResidentEmbedding {
                 .as_ref()
                 .map(|c| c.certificates.as_slice())
                 .unwrap_or(&[]);
-            let (spliced, stats) = splice_certificates(old, scratch);
+            let (spliced, stats) = match repair.removed {
+                Some(v) => splice_certificates_shifted(old, scratch, v.index()),
+                None => splice_certificates(old, scratch),
+            };
             let cert = certify_with_certificates(new_graph, &rotation, spliced, &self.cfg)?;
             ctx.charge(&cert.report.metrics);
             if !cert.accepted() {
@@ -456,13 +560,189 @@ impl ResidentEmbedding {
             (None, None)
         };
 
-        Ok(Attempt::Done(Box::new(Overlay {
-            merges,
+        Ok(Box::new(Overlay {
+            nodes,
             rotation,
             certification,
             splice,
-            recomputed,
-        })))
+            counts,
+        }))
+    }
+}
+
+/// The dirty-region arena rebuild. Walks the repaired tree top-down,
+/// adopting clean sub-arenas from the old one and re-running partitions
+/// and merges only along the dirty chains.
+struct Rebuild<'a> {
+    old_nodes: &'a [RecNode],
+    /// Old arena index by subproblem root, in new (post-renumbering) ids.
+    old_at: HashMap<VertexId, usize>,
+    /// The repaired tree.
+    tree: &'a GlobalTree,
+    /// `Some(v)` when old ids above `v` shift down by one.
+    removed: Option<VertexId>,
+    /// `has_dirty[v]`: the repaired subtree of `v` contains a tree-record
+    /// change or a delta endpoint (its merge is stale).
+    has_dirty: Vec<bool>,
+    /// `has_tree_dirty[v]`: the repaired subtree of `v` contains a
+    /// tree-record change (its partition is stale too).
+    has_tree_dirty: Vec<bool>,
+    nodes: Vec<RecNode>,
+    counts: ReuseCounts,
+}
+
+impl Rebuild<'_> {
+    fn phi(&self, x: VertexId) -> VertexId {
+        match self.removed {
+            Some(r) if x > r => VertexId(x.0 - 1),
+            _ => x,
+        }
+    }
+
+    /// Renumbers a retained partition into the new id space. The mapping
+    /// is monotone, so sorted member lists and the root-to-splitter order
+    /// of `p0` survive as-is.
+    fn map_partition(&self, p: &Partition) -> Partition {
+        if self.removed.is_none() {
+            return p.clone();
+        }
+        Partition {
+            p0: p.p0.iter().map(|&v| self.phi(v)).collect(),
+            parts: p
+                .parts
+                .iter()
+                .map(|s| SubProblem {
+                    root: self.phi(s.root),
+                    members: s.members.iter().map(|&v| self.phi(v)).collect(),
+                })
+                .collect(),
+            metrics: p.metrics,
+        }
+    }
+
+    /// Renumbers a retained part. Monotone renumbering preserves the
+    /// sorted member order and the maximum-member leader.
+    fn map_part(&self, p: &PartState) -> PartState {
+        if self.removed.is_none() {
+            return p.clone();
+        }
+        PartState::new(p.members.iter().map(|&v| self.phi(v)).collect())
+    }
+
+    /// Adopts the old arena subtree rooted at old index `oi` wholesale:
+    /// same partitions, parts, metrics, and merge statistics, renumbered
+    /// into the new id space. Valid because the node's new subtree equals
+    /// its old one (no tree-record change inside) and no merge inside saw
+    /// a changed edge.
+    fn adopt(&mut self, oi: usize, level: usize) -> usize {
+        let ni = self.nodes.len();
+        let old = &self.old_nodes[oi];
+        let partition = old.partition.as_ref().map(|p| self.map_partition(p));
+        if partition.is_some() {
+            self.counts.reused_partitions += 1;
+            self.counts.reused_merges += 1;
+        }
+        self.nodes.push(RecNode {
+            root: self.phi(old.root),
+            level,
+            children: Vec::new(),
+            partition,
+            part: old.part.as_ref().map(|p| self.map_part(p)),
+            metrics: old.metrics,
+            merge_stats: old.merge_stats.clone(),
+        });
+        let kids = self.old_nodes[oi].children.clone();
+        for ci in kids {
+            let c = self.adopt(ci, level + 1);
+            self.nodes[ni].children.push(c);
+        }
+        ni
+    }
+
+    /// Builds the new arena node for the subproblem rooted at `root`,
+    /// adopting or re-running as the dirty flags dictate. Returns the new
+    /// node's index.
+    fn build(
+        &mut self,
+        ctx: &mut ExecutionContext<'_>,
+        cfg: &EmbedderConfig,
+        root: VertexId,
+        level: usize,
+    ) -> Result<usize, EmbedError> {
+        let ri = root.index();
+        if !self.has_dirty[ri] {
+            if let Some(&oi) = self.old_at.get(&root) {
+                return Ok(self.adopt(oi, level));
+            }
+        }
+        let ni = self.nodes.len();
+        self.nodes.push(RecNode {
+            root,
+            level,
+            children: Vec::new(),
+            partition: None,
+            part: None,
+            metrics: Metrics::new(),
+            merge_stats: None,
+        });
+        let size = self.tree.subtree_size[ri] as usize;
+        if size == 1 {
+            // Leaf subproblems are graph-independent.
+            self.nodes[ni].part = Some(PartState::new(vec![root]));
+            return Ok(ni);
+        }
+
+        // Partition: reuse the retained one when the subtree's tree
+        // records are unchanged (partition content is a pure function of
+        // the tree); re-run it through the kernel otherwise.
+        let reused = if !self.has_tree_dirty[ri] {
+            self.old_at
+                .get(&root)
+                .and_then(|&oi| self.old_nodes[oi].partition.as_ref())
+                .map(|p| self.map_partition(p))
+        } else {
+            None
+        };
+        let partition = match reused {
+            Some(p) => {
+                self.counts.reused_partitions += 1;
+                p
+            }
+            None => {
+                ctx.enter(Phase::Partition);
+                let p = partition_subtree_ctx(ctx, self.tree, root)?;
+                ctx.charge(&p.metrics);
+                validate_partition(ctx.graph(), size, &p, cfg)?;
+                self.counts.recomputed_partitions += 1;
+                p
+            }
+        };
+
+        let mut kids = Vec::with_capacity(partition.parts.len());
+        for sub in &partition.parts {
+            kids.push(self.build(ctx, cfg, sub.root, level + 1)?);
+        }
+        let mut children_metrics = Metrics::new();
+        let mut hanging = Vec::with_capacity(kids.len());
+        for &ci in &kids {
+            children_metrics.join_parallel(self.nodes[ci].metrics);
+            hanging.push(self.nodes[ci].part.clone().expect("child solved"));
+        }
+        ctx.enter(Phase::Merge);
+        let merged = merge_parts_ctx(ctx, partition.p0.clone(), hanging, cfg.check_invariants)?;
+        ctx.charge(&merged.metrics);
+        self.counts.recomputed_merges += 1;
+
+        let mut total = partition.metrics;
+        total.add(children_metrics);
+        total.add(merged.metrics);
+        let node = &mut self.nodes[ni];
+        node.children = kids;
+        node.partition = Some(partition);
+        node.part = Some(merged.part);
+        node.metrics = total;
+        node.merge_stats = Some(merged.stats);
+        Ok(ni)
     }
 }
 
@@ -529,83 +809,6 @@ fn run_full(
     Ok((tree, nodes, rotation, certification))
 }
 
-/// Field-wise equality of two global BFS trees. `GlobalTree` has no
-/// `PartialEq` (it is a derived artifact, not a value type), but the
-/// incremental analysis needs exactly this: identical trees mean every
-/// retained partition is still exact.
-fn same_tree(a: &GlobalTree, b: &GlobalTree) -> bool {
-    a.root == b.root
-        && a.parent == b.parent
-        && a.children == b.children
-        && a.depth == b.depth
-        && a.subtree_size == b.subtree_size
-}
-
-/// Endpoints of the symmetric difference of the two graphs' edge sets —
-/// the vertices whose incident structure a delta changed. Both edge
-/// iterators yield canonical sorted order, so a single merge walk
-/// suffices.
-fn edge_delta_endpoints(old: &Graph, new: &Graph) -> Vec<VertexId> {
-    let mut out = Vec::new();
-    let mut a = old.edges().peekable();
-    let mut b = new.edges().peekable();
-    let mut push = |e: planar_graph::EdgeId| {
-        out.push(e.lo());
-        out.push(e.hi());
-    };
-    loop {
-        match (a.peek(), b.peek()) {
-            (Some(&x), Some(&y)) if x == y => {
-                a.next();
-                b.next();
-            }
-            (Some(&x), Some(&y)) if x < y => {
-                push(x);
-                a.next();
-            }
-            (Some(_), Some(&y)) => {
-                push(y);
-                b.next();
-            }
-            (Some(&x), None) => {
-                push(x);
-                a.next();
-            }
-            (None, Some(&y)) => {
-                push(y);
-                b.next();
-            }
-            (None, None) => break,
-        }
-    }
-    out.sort();
-    out.dedup();
-    out
-}
-
-/// Preorder entry/exit spans of the tree, for `O(1)` subtree-membership
-/// tests (`v` is in the subtree of `r` iff `tin[r] <= tin[v] < tout[r]`).
-fn preorder_spans(tree: &GlobalTree) -> (Vec<usize>, Vec<usize>) {
-    let n = tree.parent.len();
-    let mut tin = vec![0usize; n];
-    let mut tout = vec![0usize; n];
-    let mut timer = 0usize;
-    let mut stack: Vec<(VertexId, bool)> = vec![(tree.root, false)];
-    while let Some((v, done)) = stack.pop() {
-        if done {
-            tout[v.index()] = timer;
-        } else {
-            tin[v.index()] = timer;
-            timer += 1;
-            stack.push((v, true));
-            for &c in tree.children[v.index()].iter().rev() {
-                stack.push((c, false));
-            }
-        }
-    }
-    (tin, tout)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -638,16 +841,16 @@ mod tests {
         ));
     }
 
-    /// A non-tree edge delta takes the incremental path and matches the
-    /// full oracle bit for bit (rotation, certification verdict).
+    /// A non-tree edge delta takes the `TreePreserving` incremental path
+    /// and matches the full oracle bit for bit (rotation, certification
+    /// verdict).
     #[test]
     fn incremental_edge_delta_matches_oracle() {
         let g = gen::grid(8, 8);
         let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
         // Delete a non-tree edge: removing it leaves every tree path (and
         // hence every BFS distance and deterministic parent choice)
-        // intact, so setup reproduces the resident tree and the delta
-        // takes the incremental path.
+        // intact, so the tree survives and the delta is `TreePreserving`.
         let mut mutated = g.clone();
         let victim = g
             .edges()
@@ -660,18 +863,24 @@ mod tests {
 
         let report = resident.reembed(mutated.clone()).unwrap();
         assert!(report.is_incremental(), "path: {:?}", report.path);
+        assert_eq!(report.planned, DeltaClass::TreePreserving);
+        assert_eq!(report.taken(), DeltaClass::TreePreserving);
         if let ReembedPath::Incremental {
+            recomputed_partitions,
             recomputed_merges,
             reused_merges,
             splice,
+            dirty_region,
             ..
         } = &report.path
         {
+            assert_eq!(*recomputed_partitions, 0, "the tree was preserved");
             assert!(*recomputed_merges > 0);
             assert!(
                 reused_merges > recomputed_merges,
                 "most merges must be reused ({reused_merges} reused, {recomputed_merges} re-run)"
             );
+            assert_eq!(*dirty_region, 2);
             assert!(splice.as_ref().unwrap().reused > 0);
         }
         let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
@@ -681,6 +890,207 @@ mod tests {
             oracle.certification.unwrap().report.accepted
         );
         assert_eq!(resident.graph(), &mutated);
+    }
+
+    /// Deleting a repairable tree edge splices the tree and re-runs only
+    /// the dirty chains — no full fallback, bit-identical to the oracle.
+    #[test]
+    fn tree_edge_delta_repairs_the_dirty_region() {
+        let g = gen::grid(6, 6);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let tree = &resident.tree;
+        let victim = g
+            .edges()
+            .find(|e| {
+                let c = if tree.parent[e.lo().index()] == Some(e.hi()) {
+                    e.lo()
+                } else if tree.parent[e.hi().index()] == Some(e.lo()) {
+                    e.hi()
+                } else {
+                    return false;
+                };
+                g.neighbors(c).iter().any(|&w| {
+                    tree.depth[w.index()] + 1 == tree.depth[c.index()]
+                        && Some(w) != tree.parent[c.index()]
+                })
+            })
+            .expect("a grid has a repairable tree edge");
+        let mut mutated = g.clone();
+        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
+
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert_eq!(
+            report.taken(),
+            DeltaClass::TreeRepairable,
+            "path: {:?}",
+            report.path
+        );
+        assert_eq!(report.planned, DeltaClass::TreeRepairable);
+        if let ReembedPath::Incremental {
+            recomputed_partitions,
+            reused_partitions,
+            ..
+        } = &report.path
+        {
+            assert!(*recomputed_partitions > 0, "the dirty chain re-partitions");
+            assert!(
+                reused_partitions > recomputed_partitions,
+                "most partitions must be reused"
+            );
+        }
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+        assert_eq!(resident.graph(), &mutated);
+        // The resident can keep absorbing deltas after a repair.
+        let report = resident.reembed(resident.graph().clone()).unwrap();
+        assert!(report.is_incremental());
+    }
+
+    /// An insert between same-depth endpoints takes the incremental path
+    /// — this was a guaranteed full fallback before the delta planner.
+    #[test]
+    fn insert_takes_the_incremental_path() {
+        let g = gen::grid(6, 6);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let tree = &resident.tree;
+        let mut pair = None;
+        'outer: for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v && !g.has_edge(u, v) && tree.depth[u.index()] == tree.depth[v.index()] {
+                    let mut m = g.clone();
+                    m.add_edge(u, v).unwrap();
+                    if planar_lib::embed(&m).is_ok() {
+                        pair = Some((u, v));
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        let (u, v) = pair.expect("a grid has a planar same-depth insert");
+        let mut mutated = g.clone();
+        mutated.add_edge(u, v).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(report.is_incremental(), "path: {:?}", report.path);
+        assert_eq!(report.taken(), DeltaClass::TreePreserving);
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+    }
+
+    /// A pendant arrival grafts into the resident tree and takes the
+    /// incremental `VertexSetChange` path, bit-identical to the oracle.
+    #[test]
+    fn pendant_arrival_takes_the_incremental_path() {
+        let g = gen::wheel(10);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let mut mutated = g.clone();
+        let fresh = mutated.add_vertex();
+        mutated.add_edge(fresh, VertexId(0)).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert_eq!(
+            report.taken(),
+            DeltaClass::VertexSetChange,
+            "path: {:?}",
+            report.path
+        );
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+        assert_eq!(
+            resident.certification().unwrap().report.accepted,
+            oracle.certification.unwrap().report.accepted
+        );
+    }
+
+    /// A leaf departure (with the explicit hint) renumbers the resident
+    /// arena and takes the incremental path; the certificates splice
+    /// shift-aware.
+    #[test]
+    fn leaf_departure_takes_the_incremental_path() {
+        let g = gen::grid(5, 5);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
+        let tree = &resident.tree;
+        let leaf = g
+            .vertices()
+            .find(|&v| {
+                tree.children[v.index()].is_empty() && v != tree.root && {
+                    let mut m = g.clone();
+                    m.remove_vertex(v).unwrap();
+                    m.is_connected()
+                }
+            })
+            .expect("a grid tree has removable leaves");
+        let mut mutated = g.clone();
+        mutated.remove_vertex(leaf).unwrap();
+        let report = resident.reembed_departure(mutated.clone(), leaf).unwrap();
+        assert_eq!(
+            report.taken(),
+            DeltaClass::VertexSetChange,
+            "path: {:?}",
+            report.path
+        );
+        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+        assert_eq!(resident.graph(), &mutated);
+        // And the renumbered resident keeps serving.
+        let mut again = mutated.clone();
+        let fresh = again.add_vertex();
+        again.add_edge(fresh, VertexId(0)).unwrap();
+        let report = resident.reembed(again.clone()).unwrap();
+        assert_eq!(report.taken(), DeltaClass::VertexSetChange);
+        let oracle = embed_distributed(&again, &cfg(true)).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+    }
+
+    /// A departure without the hint falls back to the full path (the
+    /// removed id is not recoverable from the renumbered graph alone).
+    #[test]
+    fn unhinted_departure_falls_back_to_full() {
+        let g = gen::grid(4, 4);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(false)).unwrap();
+        let tree = &resident.tree;
+        let leaf = g
+            .vertices()
+            .find(|&v| {
+                tree.children[v.index()].is_empty() && v != tree.root && {
+                    let mut m = g.clone();
+                    m.remove_vertex(v).unwrap();
+                    m.is_connected()
+                }
+            })
+            .unwrap();
+        let mut mutated = g.clone();
+        mutated.remove_vertex(leaf).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(matches!(
+            report.path,
+            ReembedPath::Full {
+                cause: FullCause::VertexSetChanged
+            }
+        ));
+        let oracle = embed_distributed(&mutated, &EmbedderConfig::default()).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
+    }
+
+    /// A tree-edge deletion with no alternative parent cascades and falls
+    /// back as `TreeChanged`, still matching the oracle.
+    #[test]
+    fn cascading_tree_edge_delta_falls_back_to_full() {
+        let g = gen::cycle(7);
+        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(false)).unwrap();
+        // In a cycle rooted at the max id, vertex 1 hangs under 0 and has
+        // no other up-neighbor: deleting {0, 1} re-routes its whole path.
+        let mut mutated = g.clone();
+        mutated.remove_edge(VertexId(0), VertexId(1)).unwrap();
+        let report = resident.reembed(mutated.clone()).unwrap();
+        assert!(matches!(
+            report.path,
+            ReembedPath::Full {
+                cause: FullCause::TreeChanged
+            }
+        ));
+        assert_eq!(report.planned, DeltaClass::Fallback);
+        assert_eq!(report.taken(), DeltaClass::Fallback);
+        let oracle = embed_distributed(&mutated, &EmbedderConfig::default()).unwrap();
+        assert_eq!(resident.rotation(), &oracle.rotation);
     }
 
     /// A planarity-breaking delta is rejected with the resident state
@@ -712,55 +1122,37 @@ mod tests {
         assert!(report.rounds > 0);
     }
 
-    /// A vertex delta (changed vertex set) falls back to the full path
-    /// and still matches the oracle.
+    /// A planarity-breaking *incremental-classed* delta is also rejected
+    /// with the resident untouched: the overlay staging covers the
+    /// repaired-tree path, not just the full fallback.
     #[test]
-    fn vertex_delta_falls_back_to_full() {
-        let g = gen::wheel(10);
+    fn rejected_incremental_delta_leaves_resident_untouched() {
+        // A maximal planar graph: any insert breaks the density bound.
+        let g = gen::random_maximal_planar(16, 5);
         let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(true)).unwrap();
-        let mut mutated = g.clone();
-        let v = mutated.add_vertex();
-        mutated.add_edge(v, VertexId(0)).unwrap();
-        let report = resident.reembed(mutated.clone()).unwrap();
-        assert!(matches!(
-            report.path,
-            ReembedPath::Full {
-                cause: FullCause::VertexSetChanged
-            }
-        ));
-        let oracle = embed_distributed(&mutated, &cfg(true)).unwrap();
-        assert_eq!(resident.rotation(), &oracle.rotation);
-    }
-
-    /// A delta that removes a BFS-tree edge changes the tree and is
-    /// recorded as a tree-changed full fallback.
-    #[test]
-    fn tree_edge_delta_falls_back_to_full() {
-        let g = gen::grid(4, 4);
-        let (mut resident, _) = ResidentEmbedding::build(g.clone(), &cfg(false)).unwrap();
-        let victim = g
-            .edges()
-            .find(|e| {
-                let mut m = g.clone();
-                m.remove_edge(e.lo(), e.hi()).unwrap();
-                if !m.is_connected() {
-                    return false;
+        let before_rotation = resident.rotation().clone();
+        let tree = &resident.tree;
+        let pair = {
+            let mut found = None;
+            'outer: for u in g.vertices() {
+                for v in g.vertices() {
+                    if u < v && !g.has_edge(u, v) && tree.depth[u.index()] == tree.depth[v.index()]
+                    {
+                        found = Some((u, v));
+                        break 'outer;
+                    }
                 }
-                let (probe, _) = ResidentEmbedding::build(m, &cfg(false)).unwrap();
-                !same_tree(&probe.tree, &resident.tree)
-            })
-            .expect("some grid edge changes the BFS tree");
-        let mut mutated = g.clone();
-        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
-        let report = resident.reembed(mutated.clone()).unwrap();
-        assert!(matches!(
-            report.path,
-            ReembedPath::Full {
-                cause: FullCause::TreeChanged
             }
-        ));
-        let oracle = embed_distributed(&mutated, &EmbedderConfig::default()).unwrap();
-        assert_eq!(resident.rotation(), &oracle.rotation);
+            found
+        };
+        if let Some((u, v)) = pair {
+            let mut mutated = g.clone();
+            mutated.add_edge(u, v).unwrap();
+            let err = resident.reembed(mutated).unwrap_err();
+            assert!(matches!(err, EmbedError::NonPlanar));
+            assert_eq!(resident.graph(), &g);
+            assert_eq!(resident.rotation(), &before_rotation);
+        }
     }
 
     /// Faulted configurations are rejected up front.

@@ -83,6 +83,7 @@ pub mod outcome;
 pub mod partition;
 pub mod parts;
 pub mod patterns;
+pub mod planner;
 pub mod resilience;
 pub mod ruling;
 pub mod setup;
@@ -104,5 +105,6 @@ pub use error::{DegradedCause, EmbedError};
 pub use exec::{ExecutionContext, Kernel, Scheduler};
 pub use incremental::{FullCause, ReembedPath, ReembedReport, ResidentEmbedding};
 pub use outcome::{degraded_fingerprint, OutcomeClass};
+pub use planner::DeltaClass;
 pub use stats::{LevelStats, MergeStats, RecursionStats};
 pub use verify::{is_planar_distributed, verify_embedding, verify_surviving_embedding};

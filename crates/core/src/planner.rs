@@ -1,0 +1,828 @@
+//! The delta planner: classifies a graph delta against the resident BFS
+//! tree and stages the minimal tree repair, so the incremental path
+//! (`crate::incremental`) re-runs only the dirty region of the recursion.
+//!
+//! # The sticky-root model
+//!
+//! The distributed setup elects the maximum-id vertex and floods a BFS
+//! wave from it. Both kernels deliver each round's inbox sorted ascending
+//! by sender id, and the wave from the root reaches a vertex `v` at
+//! distance `d` simultaneously from *all* of its neighbors at distance
+//! `d − 1` — so the first (and winning) offer comes from the minimum-id
+//! such neighbor. The setup tree is therefore a pure function of the
+//! graph and the root:
+//!
+//! * `depth(v)` = BFS distance from the root,
+//! * `parent(v)` = minimum-id neighbor of `v` at depth `depth(v) − 1`,
+//! * `children(v)` = sorted ascending (the kernel sorts and dedups them).
+//!
+//! [`model_bfs`] reproduces exactly this tree host-side in `O(n + m)`,
+//! without simulating a single kernel round. A resident embedding pins
+//! its tree to the root of its *last full build* (the "sticky root") and
+//! lets the planner repair that tree across deltas: partitions and merges
+//! are valid for a BFS tree from any fixed root, and every externally
+//! visible output (rotation, certificates, planarity verdict) comes from
+//! root-independent functions of the graph, so the sticky root never
+//! leaks into the bit-identity contract. Node arrivals append the new
+//! maximum id but the root stays sticky until the next full fallback
+//! re-elects.
+//!
+//! # Classification
+//!
+//! Each delta is classified into a typed [`DeltaClass`] with a proof
+//! obligation the planner then *discharges mechanically*: it applies the
+//! predicted splice to a copy of the resident tree (via the `tree.rs`
+//! machinery) and verifies the result field-for-field against a fresh
+//! [`model_bfs`] of the mutated graph. A verification miss takes the full
+//! path (recorded as [`FullCause::PlanRejected`]) instead of committing a
+//! wrong tree — and the DST churn oracle treats any planned-vs-taken
+//! mismatch as a violation, so a planner bug cannot hide.
+//!
+//! The per-class repair arguments (all under the min-id parent rule):
+//!
+//! * **Edge delete, non-tree**: tree paths realize every BFS distance, so
+//!   distances survive; the deleted endpoint was never a min-id parent
+//!   candidate winner. Tree unchanged — `TreePreserving`.
+//! * **Edge delete, tree edge `{p, c}`**: if `c` keeps another neighbor
+//!   at `depth(c) − 1`, alternative equal-length paths keep every
+//!   distance; `c` re-hangs under the min-id remaining candidate —
+//!   `TreeRepairable`. No alternative ⇒ distances cascade — `Fallback`.
+//! * **Edge insert `{u, v}`**: equal depths change no candidate set —
+//!   `TreePreserving`. Depth gap 1 with the shallow endpoint id below
+//!   `parent(deep)`: the deep endpoint re-hangs — `TreeRepairable`
+//!   (otherwise `TreePreserving`). Gap ≥ 2 shortens distances —
+//!   `Fallback`.
+//! * **Arrival** (fresh max id `p`, anchors `a₁..a_k`): if the anchor
+//!   depth spread is ≤ 2, no old distance can shortcut through `p`, and
+//!   `p` grafts as a leaf under the min-id anchor of minimum depth — `p`
+//!   is the maximum id, so it never steals an existing parent slot —
+//!   `VertexSetChange`. Wider spread — `Fallback`.
+//! * **Departure of `v`**: if `v` is a tree leaf (and not the root), no
+//!   depth or parent choice changes — `v` was never a winning candidate —
+//!   and the monotone renumbering `φ(x) = x > v ? x − 1 : x` preserves
+//!   every id-order tie-break — `VertexSetChange`. Otherwise `Fallback`.
+
+use std::collections::VecDeque;
+
+use planar_graph::{EdgeId, Graph, VertexId};
+
+use crate::incremental::FullCause;
+use crate::tree::GlobalTree;
+
+/// Typed classification of one delta against the resident embedding —
+/// which repair the planner stages, and therefore how much of the
+/// recursion re-runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeltaClass {
+    /// The BFS tree is untouched; every retained partition stays exact
+    /// and only merges seeing a delta endpoint re-run.
+    TreePreserving,
+    /// The tree is repaired by splicing the affected subtree (a
+    /// re-parent); partitions and merges along the dirty chains re-run.
+    TreeRepairable,
+    /// The vertex set changed but the tree repair is local (pendant-style
+    /// arrival graft or leaf departure prune, with monotone renumbering).
+    VertexSetChange,
+    /// No local repair exists; the delta takes the full retained re-run.
+    Fallback,
+}
+
+impl DeltaClass {
+    /// Stable string form, used in JSON reports and CI filters.
+    pub fn code(self) -> &'static str {
+        match self {
+            DeltaClass::TreePreserving => "tree-preserving",
+            DeltaClass::TreeRepairable => "tree-repairable",
+            DeltaClass::VertexSetChange => "vertex-set",
+            DeltaClass::Fallback => "fallback",
+        }
+    }
+
+    /// `true` for the classes that claim the incremental path.
+    pub fn is_incremental(self) -> bool {
+        !matches!(self, DeltaClass::Fallback)
+    }
+
+    /// All classes, in report order.
+    pub const ALL: [DeltaClass; 4] = [
+        DeltaClass::TreePreserving,
+        DeltaClass::TreeRepairable,
+        DeltaClass::VertexSetChange,
+        DeltaClass::Fallback,
+    ];
+}
+
+impl std::fmt::Display for DeltaClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+/// A staged, verified tree repair: everything the incremental engine
+/// needs to rebuild only the dirty region of the recursion arena.
+pub(crate) struct RepairPlan {
+    /// The measured class (equal to the planned class — a mismatch is
+    /// rejected before a plan is built).
+    pub class: DeltaClass,
+    /// The repaired tree, verified against [`model_bfs`] of the mutated
+    /// graph.
+    pub tree: GlobalTree,
+    /// `Some(v)` for a departure: old ids above `v` shift down by one.
+    pub removed: Option<VertexId>,
+    /// Vertices (new ids) whose tree records changed — partitions of
+    /// subtrees containing one are stale.
+    pub tree_dirty: Vec<VertexId>,
+    /// Vertices (new ids) incident to a changed edge — merges of subtrees
+    /// containing one are stale.
+    pub edge_dirty: Vec<VertexId>,
+}
+
+impl RepairPlan {
+    /// Number of distinct dirty vertices (the report's dirty-region size).
+    pub fn dirty_region(&self) -> usize {
+        let mut all: Vec<VertexId> = self
+            .tree_dirty
+            .iter()
+            .chain(self.edge_dirty.iter())
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+}
+
+/// What the planner decided for one delta.
+pub(crate) enum PlanAction {
+    /// Take the full retained re-run, for the recorded cause.
+    Full(FullCause),
+    /// Run the staged incremental repair.
+    Incremental(Box<RepairPlan>),
+}
+
+/// The planner's verdict: the predicted class plus the action. The
+/// predicted class and the taken path can disagree only through
+/// [`FullCause::PlanRejected`] — which the DST churn oracle flags.
+pub(crate) struct DeltaPlan {
+    pub planned: DeltaClass,
+    pub action: PlanAction,
+}
+
+impl DeltaPlan {
+    fn full(planned: DeltaClass, cause: FullCause) -> Self {
+        DeltaPlan {
+            planned,
+            action: PlanAction::Full(cause),
+        }
+    }
+}
+
+/// The host-side model of the deterministic kernel BFS: depths are BFS
+/// distances from `root`, each non-root vertex's parent is its minimum-id
+/// neighbor one level up, children lists are sorted ascending, and
+/// subtree sizes accumulate bottom-up. Returns `None` when some vertex is
+/// unreachable from `root` (the full path reproduces the exact
+/// `Disconnected` error in that case).
+///
+/// The conformance test below pins this model field-for-field to the
+/// distributed setup's output across the generator families.
+pub(crate) fn model_bfs(g: &Graph, root: VertexId) -> Option<GlobalTree> {
+    let n = g.vertex_count();
+    if root.index() >= n {
+        return None;
+    }
+    let mut depth = vec![u32::MAX; n];
+    let mut order = Vec::with_capacity(n);
+    depth[root.index()] = 0;
+    let mut queue = VecDeque::from([root]);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &w in g.neighbors(v) {
+            if depth[w.index()] == u32::MAX {
+                depth[w.index()] = depth[v.index()] + 1;
+                queue.push_back(w);
+            }
+        }
+    }
+    if order.len() != n {
+        return None;
+    }
+    let mut parent = vec![None; n];
+    let mut children: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let v = VertexId::from_index(i);
+        if v == root {
+            continue;
+        }
+        let want = depth[i] - 1;
+        // Adjacency is sorted, so the first match is the minimum id.
+        let p = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .find(|&w| depth[w.index()] == want)
+            .expect("every reached non-root vertex has an up-neighbor");
+        parent[i] = Some(p);
+        // Iterating v in ascending id order keeps children sorted.
+        children[p.index()].push(v);
+    }
+    let mut subtree_size = vec![1u64; n];
+    for &v in order.iter().rev() {
+        if let Some(p) = parent[v.index()] {
+            subtree_size[p.index()] += subtree_size[v.index()];
+        }
+    }
+    Some(GlobalTree {
+        root,
+        parent,
+        children,
+        depth,
+        subtree_size,
+    })
+}
+
+/// Field-wise equality of two global BFS trees — the oracle-grade check
+/// a staged repair must pass before the engine commits anything.
+pub(crate) fn same_tree(a: &GlobalTree, b: &GlobalTree) -> bool {
+    a.root == b.root
+        && a.parent == b.parent
+        && a.children == b.children
+        && a.depth == b.depth
+        && a.subtree_size == b.subtree_size
+}
+
+/// Vertices whose tree records (parent, children, depth, subtree size)
+/// differ between the two trees. Indices beyond the shorter tree count as
+/// changed, so an arrival's fresh vertex is always reported.
+pub(crate) fn tree_changes(old: &GlobalTree, new: &GlobalTree) -> Vec<VertexId> {
+    let common = old.parent.len().min(new.parent.len());
+    let longest = old.parent.len().max(new.parent.len());
+    let mut out = Vec::new();
+    for i in 0..common {
+        if old.parent[i] != new.parent[i]
+            || old.depth[i] != new.depth[i]
+            || old.subtree_size[i] != new.subtree_size[i]
+            || old.children[i] != new.children[i]
+        {
+            out.push(VertexId::from_index(i));
+        }
+    }
+    for i in common..longest {
+        out.push(VertexId::from_index(i));
+    }
+    out
+}
+
+/// The symmetric difference of the two graphs' edge sets, split into
+/// inserted and deleted edges. Both edge iterators yield canonical sorted
+/// order, so a single merge walk suffices.
+pub(crate) fn edge_diff(old: &Graph, new: &Graph) -> (Vec<EdgeId>, Vec<EdgeId>) {
+    let mut inserted = Vec::new();
+    let mut deleted = Vec::new();
+    let mut a = old.edges().peekable();
+    let mut b = new.edges().peekable();
+    loop {
+        match (a.peek(), b.peek()) {
+            (Some(&x), Some(&y)) if x == y => {
+                a.next();
+                b.next();
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                deleted.push(x);
+                a.next();
+            }
+            (Some(_), Some(&y)) => {
+                inserted.push(y);
+                b.next();
+            }
+            (Some(&x), None) => {
+                deleted.push(x);
+                a.next();
+            }
+            (None, Some(&y)) => {
+                inserted.push(y);
+                b.next();
+            }
+            (None, None) => break,
+        }
+    }
+    (inserted, deleted)
+}
+
+/// Plans an edge delta (unchanged vertex set): prediction by the
+/// classification rules, splice repair, and model verification.
+pub(crate) fn plan_edge_delta(
+    old_graph: &Graph,
+    tree: &GlobalTree,
+    new_graph: &Graph,
+) -> DeltaPlan {
+    debug_assert_eq!(old_graph.vertex_count(), new_graph.vertex_count());
+    let (inserted, deleted) = edge_diff(old_graph, new_graph);
+    let mut endpoints: Vec<VertexId> = inserted
+        .iter()
+        .chain(deleted.iter())
+        .flat_map(|e| [e.lo(), e.hi()])
+        .collect();
+    endpoints.sort_unstable();
+    endpoints.dedup();
+    if endpoints.is_empty() {
+        // A no-op delta: the entire arena is adoptable verbatim.
+        return incremental_plan(
+            DeltaClass::TreePreserving,
+            tree.clone(),
+            None,
+            Vec::new(),
+            new_graph,
+            tree,
+        );
+    }
+
+    let depth = |v: VertexId| tree.depth[v.index()];
+    let parent = |v: VertexId| tree.parent[v.index()];
+    let single = inserted.len() + deleted.len() == 1;
+    let (planned, repaired) = if single {
+        if let Some(&e) = deleted.first() {
+            let (u, v) = (e.lo(), e.hi());
+            let child = if parent(u) == Some(v) {
+                Some(u)
+            } else if parent(v) == Some(u) {
+                Some(v)
+            } else {
+                None
+            };
+            match child {
+                // Non-tree deletion: distances and parent choices survive.
+                None => (DeltaClass::TreePreserving, Some(tree.clone())),
+                Some(c) => {
+                    // Tree edge: `c` needs another up-neighbor to re-hang
+                    // from; sorted adjacency makes the first hit the
+                    // minimum id, i.e. the new deterministic parent.
+                    let want = depth(c) - 1;
+                    match new_graph
+                        .neighbors(c)
+                        .iter()
+                        .copied()
+                        .find(|&w| depth(w) == want)
+                    {
+                        Some(w) => {
+                            let mut t = tree.clone();
+                            t.splice_reparent(c, w);
+                            (DeltaClass::TreeRepairable, Some(t))
+                        }
+                        None => (DeltaClass::Fallback, None),
+                    }
+                }
+            }
+        } else {
+            let e = inserted[0];
+            let (u, v) = (e.lo(), e.hi());
+            match depth(u).abs_diff(depth(v)) {
+                // Same level: neither endpoint gains a parent candidate.
+                0 => (DeltaClass::TreePreserving, Some(tree.clone())),
+                1 => {
+                    let (shallow, deep) = if depth(u) < depth(v) { (u, v) } else { (v, u) };
+                    let p = parent(deep).expect("deep endpoint is not the root");
+                    if shallow < p {
+                        // The new edge wins the min-id parent tie-break.
+                        let mut t = tree.clone();
+                        t.splice_reparent(deep, shallow);
+                        (DeltaClass::TreeRepairable, Some(t))
+                    } else {
+                        (DeltaClass::TreePreserving, Some(tree.clone()))
+                    }
+                }
+                // A gap >= 2 shortens BFS distances: the repair cascades.
+                _ => (DeltaClass::Fallback, None),
+            }
+        }
+    } else {
+        // Multi-edge deltas (not produced by the service layer): take the
+        // incremental path only when measurement shows the tree survived.
+        match model_bfs(new_graph, tree.root) {
+            Some(model) if tree_changes(tree, &model).is_empty() => {
+                (DeltaClass::TreePreserving, Some(model))
+            }
+            _ => (DeltaClass::Fallback, None),
+        }
+    };
+
+    let Some(repaired) = repaired else {
+        return DeltaPlan::full(planned, FullCause::TreeChanged);
+    };
+    incremental_plan(planned, repaired, None, endpoints, new_graph, tree)
+}
+
+/// Plans a node arrival: `new_graph` must be `old_graph` plus one
+/// appended vertex (the fresh maximum id) and its anchor edges.
+pub(crate) fn plan_arrival(old_graph: &Graph, tree: &GlobalTree, new_graph: &Graph) -> DeltaPlan {
+    debug_assert_eq!(old_graph.vertex_count() + 1, new_graph.vertex_count());
+    let fresh = VertexId::from_index(old_graph.vertex_count());
+    let mut check = new_graph.clone();
+    if check.remove_vertex(fresh).is_err() || check != *old_graph {
+        // The delta is not a pure append; nothing to address the arena by.
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    let anchors = new_graph.neighbors(fresh);
+    if anchors.is_empty() {
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    let dmin = anchors
+        .iter()
+        .map(|&a| tree.depth[a.index()])
+        .min()
+        .unwrap();
+    let dmax = anchors
+        .iter()
+        .map(|&a| tree.depth[a.index()])
+        .max()
+        .unwrap();
+    if dmax - dmin > 2 {
+        // An old vertex could shortcut through the new one: cascade.
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    // Anchors are sorted ascending, so the first at minimum depth is the
+    // min-id parent candidate; `fresh` is the maximum id, so it grafts as
+    // a leaf without stealing any existing parent slot.
+    let graft_under = anchors
+        .iter()
+        .copied()
+        .find(|&a| tree.depth[a.index()] == dmin)
+        .unwrap();
+    let mut repaired = tree.clone();
+    let grafted = repaired.graft_leaf(graft_under);
+    debug_assert_eq!(grafted, fresh);
+    let mut edge_dirty: Vec<VertexId> = anchors.to_vec();
+    edge_dirty.push(fresh);
+    incremental_plan(
+        DeltaClass::VertexSetChange,
+        repaired,
+        None,
+        edge_dirty,
+        new_graph,
+        tree,
+    )
+}
+
+/// Plans a node departure: `new_graph` must be `old_graph` with `removed`
+/// deleted (higher ids compacted down by one).
+pub(crate) fn plan_departure(
+    old_graph: &Graph,
+    tree: &GlobalTree,
+    new_graph: &Graph,
+    removed: VertexId,
+) -> DeltaPlan {
+    debug_assert_eq!(old_graph.vertex_count(), new_graph.vertex_count() + 1);
+    if removed.index() >= old_graph.vertex_count() {
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    let mut check = old_graph.clone();
+    if check.remove_vertex(removed).is_err() || check != *new_graph {
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    if removed == tree.root || !tree.children[removed.index()].is_empty() {
+        // Root departures re-elect; internal departures re-hang whole
+        // subtrees. Both cascade.
+        return DeltaPlan::full(DeltaClass::Fallback, FullCause::VertexSetChanged);
+    }
+    let phi = |x: VertexId| {
+        if x > removed {
+            VertexId(x.0 - 1)
+        } else {
+            x
+        }
+    };
+    let repaired = tree.prune_leaf_renumbered(removed);
+    // A tree leaf is never a winning parent candidate, so only the
+    // ancestor chain's subtree sizes (and the old parent's children list)
+    // change; `tree_dirty` is that chain under the new ids.
+    let mut tree_dirty = Vec::new();
+    let mut x = tree.parent[removed.index()];
+    while let Some(a) = x {
+        tree_dirty.push(phi(a));
+        x = tree.parent[a.index()];
+    }
+    tree_dirty.sort_unstable();
+    let edge_dirty: Vec<VertexId> = old_graph
+        .neighbors(removed)
+        .iter()
+        .map(|&w| phi(w))
+        .collect();
+    verified_plan(
+        DeltaClass::VertexSetChange,
+        repaired,
+        Some(removed),
+        tree_dirty,
+        edge_dirty,
+        new_graph,
+    )
+}
+
+/// Finishes an edge/arrival plan: diffs the repaired tree against the
+/// resident one for the tree-dirty set, then verifies and packages it.
+fn incremental_plan(
+    planned: DeltaClass,
+    repaired: GlobalTree,
+    removed: Option<VertexId>,
+    edge_dirty: Vec<VertexId>,
+    new_graph: &Graph,
+    old_tree: &GlobalTree,
+) -> DeltaPlan {
+    let tree_dirty = tree_changes(old_tree, &repaired);
+    verified_plan(
+        planned, repaired, removed, tree_dirty, edge_dirty, new_graph,
+    )
+}
+
+/// The oracle-grade gate: the staged repair must equal a from-scratch
+/// [`model_bfs`] of the mutated graph field-for-field, or the plan is
+/// rejected and the delta takes the (always-correct) full path.
+fn verified_plan(
+    planned: DeltaClass,
+    repaired: GlobalTree,
+    removed: Option<VertexId>,
+    tree_dirty: Vec<VertexId>,
+    edge_dirty: Vec<VertexId>,
+    new_graph: &Graph,
+) -> DeltaPlan {
+    match model_bfs(new_graph, repaired.root) {
+        Some(model) if same_tree(&repaired, &model) => {}
+        _ => return DeltaPlan::full(planned, FullCause::PlanRejected),
+    }
+    // The measured class must match the prediction (a `TreePreserving`
+    // plan with tree changes, or vice versa, is a planner bug).
+    let measured = if planned == DeltaClass::VertexSetChange {
+        DeltaClass::VertexSetChange
+    } else if tree_dirty.is_empty() {
+        DeltaClass::TreePreserving
+    } else {
+        DeltaClass::TreeRepairable
+    };
+    if measured != planned {
+        return DeltaPlan::full(planned, FullCause::PlanRejected);
+    }
+    DeltaPlan {
+        planned,
+        action: PlanAction::Incremental(Box::new(RepairPlan {
+            class: measured,
+            tree: repaired,
+            removed,
+            tree_dirty,
+            edge_dirty,
+        })),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::run_setup;
+    use congest_sim::SimConfig;
+    use planar_lib::gen;
+
+    /// The host-side model must reproduce the distributed setup's tree
+    /// field-for-field: same root (maximum id), same min-id parents, same
+    /// sorted children, same depths and subtree sizes. This pins the
+    /// kernel semantics the whole planner is built on.
+    #[test]
+    fn model_bfs_matches_distributed_setup() {
+        let families: Vec<(&str, Graph)> = vec![
+            ("grid", gen::grid(5, 6)),
+            ("triangulated-grid", gen::triangulated_grid(4, 4)),
+            ("wheel", gen::wheel(12)),
+            ("path", gen::path(9)),
+            ("cycle", gen::cycle(11)),
+            ("star", gen::star(8)),
+            ("k4-subdivided", gen::k4_subdivided(3)),
+            ("theta", gen::theta(3, 4)),
+            ("random-planar", gen::random_planar(40, 80, 7)),
+            ("random-maximal-planar", gen::random_maximal_planar(24, 3)),
+            ("random-tree", gen::random_tree(30, 11)),
+        ];
+        for (name, g) in families {
+            let root = VertexId::from_index(g.vertex_count() - 1);
+            let model = model_bfs(&g, root).expect("connected family");
+            let (setup, _) = run_setup(&g, &SimConfig::default()).unwrap();
+            assert!(
+                same_tree(&model, &setup.tree),
+                "model tree diverges from the kernel setup tree on {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn model_bfs_detects_disconnection() {
+        let mut g = gen::path(4);
+        g.remove_edge(VertexId(1), VertexId(2)).unwrap();
+        assert!(model_bfs(&g, VertexId(3)).is_none());
+    }
+
+    #[test]
+    fn edge_diff_splits_insertions_and_deletions() {
+        let old = gen::cycle(5);
+        let mut new = old.clone();
+        new.remove_edge(VertexId(0), VertexId(1)).unwrap();
+        new.add_edge(VertexId(0), VertexId(2)).unwrap();
+        let (ins, del) = edge_diff(&old, &new);
+        assert_eq!(ins, vec![EdgeId::new(VertexId(0), VertexId(2))]);
+        assert_eq!(del, vec![EdgeId::new(VertexId(0), VertexId(1))]);
+    }
+
+    fn setup_tree(g: &Graph) -> GlobalTree {
+        run_setup(g, &SimConfig::default()).unwrap().0.tree
+    }
+
+    /// Deleting a non-tree edge is planned `TreePreserving` with an empty
+    /// tree-dirty set.
+    #[test]
+    fn non_tree_deletion_is_tree_preserving() {
+        let g = gen::grid(4, 4);
+        let tree = setup_tree(&g);
+        let victim = g
+            .edges()
+            .find(|e| {
+                tree.parent[e.lo().index()] != Some(e.hi())
+                    && tree.parent[e.hi().index()] != Some(e.lo())
+            })
+            .unwrap();
+        let mut mutated = g.clone();
+        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
+        let plan = plan_edge_delta(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::TreePreserving);
+        match plan.action {
+            PlanAction::Incremental(rp) => {
+                assert!(rp.tree_dirty.is_empty());
+                assert_eq!(rp.edge_dirty, {
+                    let mut e = vec![victim.lo(), victim.hi()];
+                    e.sort_unstable();
+                    e
+                });
+            }
+            PlanAction::Full(c) => panic!("expected incremental, got full: {c:?}"),
+        }
+    }
+
+    /// Deleting a tree edge whose child keeps another up-neighbor is
+    /// planned `TreeRepairable` and the splice survives verification.
+    #[test]
+    fn repairable_tree_deletion_is_spliced() {
+        let g = gen::grid(4, 4);
+        let tree = setup_tree(&g);
+        let victim = g
+            .edges()
+            .find(|e| {
+                let (c, p) = if tree.parent[e.lo().index()] == Some(e.hi()) {
+                    (e.lo(), e.hi())
+                } else if tree.parent[e.hi().index()] == Some(e.lo()) {
+                    (e.hi(), e.lo())
+                } else {
+                    return false;
+                };
+                let _ = p;
+                g.neighbors(c).iter().any(|&w| {
+                    tree.depth[w.index()] + 1 == tree.depth[c.index()]
+                        && Some(w) != tree.parent[c.index()]
+                })
+            })
+            .expect("a grid has a repairable tree edge");
+        let mut mutated = g.clone();
+        mutated.remove_edge(victim.lo(), victim.hi()).unwrap();
+        let plan = plan_edge_delta(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::TreeRepairable);
+        assert!(matches!(plan.action, PlanAction::Incremental(_)));
+    }
+
+    /// A cycle's deep tree edge has no alternative up-neighbor: fallback.
+    #[test]
+    fn unrepairable_tree_deletion_falls_back() {
+        let g = gen::cycle(5);
+        let tree = setup_tree(&g);
+        // In C5 rooted at 4, vertex 1 hangs under 0; deleting {0, 1}
+        // leaves 1 with only a same-depth neighbor.
+        let mut mutated = g.clone();
+        mutated.remove_edge(VertexId(0), VertexId(1)).unwrap();
+        let plan = plan_edge_delta(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::Fallback);
+        assert!(matches!(
+            plan.action,
+            PlanAction::Full(FullCause::TreeChanged)
+        ));
+    }
+
+    /// A pendant arrival grafts as a leaf under its anchor.
+    #[test]
+    fn pendant_arrival_is_vertex_set_change() {
+        let g = gen::wheel(10);
+        let tree = setup_tree(&g);
+        let mut mutated = g.clone();
+        let fresh = mutated.add_vertex();
+        mutated.add_edge(fresh, VertexId(3)).unwrap();
+        let plan = plan_arrival(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::VertexSetChange);
+        match plan.action {
+            PlanAction::Incremental(rp) => {
+                assert_eq!(rp.tree.parent[fresh.index()], Some(VertexId(3)));
+                assert!(rp.tree_dirty.contains(&fresh));
+            }
+            PlanAction::Full(c) => panic!("expected incremental, got full: {c:?}"),
+        }
+    }
+
+    /// A leaf departure prunes and renumbers; the plan records `removed`.
+    #[test]
+    fn leaf_departure_is_vertex_set_change() {
+        let g = gen::grid(4, 4);
+        let tree = setup_tree(&g);
+        let leaf = g
+            .vertices()
+            .find(|&v| {
+                tree.children[v.index()].is_empty() && v != tree.root && {
+                    let mut m = g.clone();
+                    m.remove_vertex(v).unwrap();
+                    m.is_connected()
+                }
+            })
+            .expect("a grid tree has removable leaves");
+        let mut mutated = g.clone();
+        mutated.remove_vertex(leaf).unwrap();
+        let plan = plan_departure(&g, &tree, &mutated, leaf);
+        assert_eq!(plan.planned, DeltaClass::VertexSetChange);
+        match plan.action {
+            PlanAction::Incremental(rp) => {
+                assert_eq!(rp.removed, Some(leaf));
+                assert_eq!(rp.tree.parent.len(), g.vertex_count() - 1);
+            }
+            PlanAction::Full(c) => panic!("expected incremental, got full: {c:?}"),
+        }
+    }
+
+    /// Departure of an internal tree vertex falls back.
+    #[test]
+    fn internal_departure_falls_back() {
+        let g = gen::grid(4, 4);
+        let tree = setup_tree(&g);
+        let internal = g
+            .vertices()
+            .find(|&v| {
+                !tree.children[v.index()].is_empty() && v != tree.root && {
+                    let mut m = g.clone();
+                    m.remove_vertex(v).unwrap();
+                    m.is_connected()
+                }
+            })
+            .unwrap();
+        let mut mutated = g.clone();
+        mutated.remove_vertex(internal).unwrap();
+        let plan = plan_departure(&g, &tree, &mutated, internal);
+        assert_eq!(plan.planned, DeltaClass::Fallback);
+        assert!(matches!(
+            plan.action,
+            PlanAction::Full(FullCause::VertexSetChanged)
+        ));
+    }
+
+    /// Inserting an edge between same-depth endpoints preserves the tree;
+    /// a depth-gap-2 insert falls back.
+    #[test]
+    fn insert_classification_follows_depth_gap() {
+        let g = gen::grid(4, 4);
+        let tree = setup_tree(&g);
+        let depth = |v: VertexId| tree.depth[v.index()];
+        let mut same_level = None;
+        let mut wide_gap = None;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u < v && !g.has_edge(u, v) {
+                    if depth(u) == depth(v) && same_level.is_none() {
+                        same_level = Some((u, v));
+                    }
+                    if depth(u).abs_diff(depth(v)) >= 2 && wide_gap.is_none() {
+                        wide_gap = Some((u, v));
+                    }
+                }
+            }
+        }
+        let (u, v) = same_level.expect("grid has same-depth non-edges");
+        let mut mutated = g.clone();
+        mutated.add_edge(u, v).unwrap();
+        let plan = plan_edge_delta(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::TreePreserving);
+        assert!(matches!(plan.action, PlanAction::Incremental(_)));
+
+        let (u, v) = wide_gap.expect("grid has wide-gap non-edges");
+        let mut mutated = g.clone();
+        mutated.add_edge(u, v).unwrap();
+        let plan = plan_edge_delta(&g, &tree, &mutated);
+        assert_eq!(plan.planned, DeltaClass::Fallback);
+    }
+
+    /// Class codes are stable and distinct (JSON consumers rely on them).
+    #[test]
+    fn class_codes_are_distinct() {
+        let codes: Vec<&str> = DeltaClass::ALL.iter().map(|c| c.code()).collect();
+        let mut dedup = codes.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(codes.len(), dedup.len());
+        assert_eq!(DeltaClass::TreePreserving.to_string(), "tree-preserving");
+    }
+}

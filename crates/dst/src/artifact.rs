@@ -312,6 +312,9 @@ fn churn_summary_json(c: &ChurnSummary) -> Json {
     Json::obj([
         ("applied", Json::U64(c.applied as u64)),
         ("incremental", Json::U64(c.incremental as u64)),
+        ("tree_preserving", Json::U64(c.tree_preserving as u64)),
+        ("tree_repairable", Json::U64(c.tree_repairable as u64)),
+        ("vertex_set", Json::U64(c.vertex_set as u64)),
         ("full_fallbacks", Json::U64(c.full_fallbacks as u64)),
         ("rejected_nonplanar", Json::U64(c.rejected_nonplanar as u64)),
         ("divergences", Json::U64(c.divergences as u64)),

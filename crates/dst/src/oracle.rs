@@ -57,6 +57,11 @@ pub enum ViolationKind {
     /// The service's incremental re-embedding disagreed with its full
     /// re-embed oracle under churn, or the churn pass failed internally.
     ChurnDivergence,
+    /// The delta planner executed a different [`planar_service::DeltaClass`]
+    /// than it predicted for an applied churn delta — a staged repair was
+    /// rejected by its oracle-grade verification, which a correct planner
+    /// never produces.
+    ChurnClassMismatch,
 }
 
 impl ViolationKind {
@@ -69,6 +74,7 @@ impl ViolationKind {
             ViolationKind::Certification => "certification",
             ViolationKind::Divergence => "divergence",
             ViolationKind::ChurnDivergence => "churn-divergence",
+            ViolationKind::ChurnClassMismatch => "churn-class-mismatch",
         }
     }
 }
@@ -135,6 +141,12 @@ pub struct ChurnSummary {
     pub applied: usize,
     /// Applied via the incremental path (affected-subtree re-run).
     pub incremental: usize,
+    /// Applied incrementally as `DeltaClass::TreePreserving`.
+    pub tree_preserving: usize,
+    /// Applied incrementally as `DeltaClass::TreeRepairable`.
+    pub tree_repairable: usize,
+    /// Applied incrementally as `DeltaClass::VertexSetChange`.
+    pub vertex_set: usize,
     /// Applied via a recorded full fallback (tree/vertex-set change).
     pub full_fallbacks: usize,
     /// Deltas rejected as planarity-breaking (gate or embedder).
@@ -440,12 +452,28 @@ fn check_churn(sc: &Scenario, g: &Graph, violations: &mut Vec<Violation>) -> Chu
             break;
         }
         let record = svc.tenant(id).unwrap().records().last().cloned();
-        if let Some(diff) = record.and_then(|r| r.diverged) {
-            violations.push(Violation {
-                kind: ViolationKind::ChurnDivergence,
-                shadow: Some("churn"),
-                detail: format!("step {step} ({shown}): {diff}"),
-            });
+        if let Some(record) = record {
+            if let Some(diff) = &record.diverged {
+                violations.push(Violation {
+                    kind: ViolationKind::ChurnDivergence,
+                    shadow: Some("churn"),
+                    detail: format!("step {step} ({shown}): {diff}"),
+                });
+            }
+            // The planner's prediction must be the class the engine
+            // executed: a planned-vs-taken gap means a staged repair was
+            // rejected by its verification — a planner bug by contract.
+            if let (Some(planned), Some(taken)) = (record.planned, record.class) {
+                if planned != taken {
+                    violations.push(Violation {
+                        kind: ViolationKind::ChurnClassMismatch,
+                        shadow: Some("churn"),
+                        detail: format!(
+                            "step {step} ({shown}): planned {planned} but took {taken}"
+                        ),
+                    });
+                }
+            }
         }
     }
     audit_check(&audit, Some("churn"), violations);
@@ -454,6 +482,9 @@ fn check_churn(sc: &Scenario, g: &Graph, violations: &mut Vec<Violation>) -> Chu
     ChurnSummary {
         applied: stats.applied,
         incremental: stats.incremental,
+        tree_preserving: stats.tree_preserving,
+        tree_repairable: stats.tree_repairable,
+        vertex_set: stats.vertex_set,
         full_fallbacks: stats.full_fallbacks,
         rejected_nonplanar: stats.rejected_nonplanar,
         divergences: stats.divergences,
@@ -532,6 +563,12 @@ mod tests {
             sc.seed
         );
         assert_eq!(churn.divergences, 0);
+        assert_eq!(
+            churn.tree_preserving + churn.tree_repairable + churn.vertex_set,
+            churn.incremental,
+            "seed {}: the per-class tallies partition the incremental count",
+            sc.seed
+        );
         assert_eq!(check_scenario(&sc), report, "churn pass must replay");
     }
 
@@ -554,6 +591,7 @@ mod tests {
             ViolationKind::Certification,
             ViolationKind::Divergence,
             ViolationKind::ChurnDivergence,
+            ViolationKind::ChurnClassMismatch,
         ];
         let codes: std::collections::HashSet<_> = kinds.iter().map(|k| k.code()).collect();
         assert_eq!(codes.len(), kinds.len());

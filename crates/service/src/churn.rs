@@ -58,9 +58,20 @@ impl ChurnGen {
                 return candidate;
             }
         }
-        // Guaranteed valid: a pendant arrival on a random vertex.
+        self.pendant_arrival(g)
+    }
+
+    /// The guaranteed-valid fallback: a pendant arrival whose single
+    /// attachment *is* its anchor vertex, drawn seeded and recorded in
+    /// the delta itself. A pendant arrival can never create a parallel
+    /// edge or disconnect the network, and the explicit anchor is what
+    /// the delta planner grafts the fresh leaf under — so the fallback
+    /// is deterministic for replays *and* always takes the incremental
+    /// `VertexSetChange` path.
+    fn pendant_arrival(&mut self, g: &Graph) -> Delta {
+        let anchor = self.pick_vertex(g);
         Delta::AddNode {
-            attach: vec![self.pick_vertex(g)],
+            attach: vec![anchor],
         }
     }
 
@@ -135,6 +146,40 @@ mod tests {
                 assert!(g.is_connected());
             }
         }
+    }
+
+    /// The pendant-arrival fallback is seeded, records its anchor in the
+    /// delta, and takes the incremental path. A two-vertex fleet forces
+    /// it: `n < 3` pins every draw to the insert branch, and the only
+    /// edge already exists, so all `MAX_TRIES` draws are invalid.
+    #[test]
+    fn pendant_fallback_records_a_seeded_anchor() {
+        let g = gen::path(2);
+        for seed in 0..16u64 {
+            let d = ChurnGen::new(seed).next_delta(&g);
+            let Delta::AddNode { attach } = &d else {
+                panic!("seed {seed}: expected the pendant fallback, got {d}");
+            };
+            assert_eq!(attach.len(), 1, "a pendant arrival has exactly one anchor");
+            assert!(attach[0].index() < g.vertex_count(), "anchor is resident");
+            // Deterministic across replays: the oracle side of a DST
+            // scenario must draw the identical anchor.
+            assert_eq!(d, ChurnGen::new(seed).next_delta(&g));
+            apply_delta(&g, &d).expect("the fallback is always valid");
+        }
+        // The recorded anchor is exactly what the delta planner needs: a
+        // pendant arrival grafts incrementally instead of falling back.
+        let cfg = planar_embedding::EmbedderConfig::default();
+        let (mut resident, _) =
+            planar_embedding::ResidentEmbedding::build(g.clone(), &cfg).unwrap();
+        let d = ChurnGen::new(3).next_delta(&g);
+        let mutated = apply_delta(&g, &d).unwrap();
+        let report = resident.reembed(mutated).unwrap();
+        assert_eq!(
+            report.taken(),
+            planar_embedding::DeltaClass::VertexSetChange,
+            "the anchored fallback must re-embed incrementally"
+        );
     }
 
     /// Different seeds explore different streams (sanity, not a law).

@@ -23,13 +23,18 @@
 //!   accepted as planar by minor-closedness, density-violating inserts
 //!   are rejected *without re-embedding*, co-facial witnesses promise
 //!   success; everything else defers to the embedder.
-//! * Incremental re-embedding — an applied delta re-runs only the
-//!   affected subtree of the level-synchronous recursion and splices
-//!   certificate labels (`planar_embedding::incremental`), with the
-//!   bit-identity contract: rotation, certification verdict, and
-//!   planarity outcome equal a full re-embed of the same graph. With
+//! * Incremental re-embedding — an applied delta is classified into a
+//!   typed [`DeltaClass`] by the delta planner
+//!   (`planar_embedding::planner`), the resident BFS tree is repaired
+//!   host-side, and only the dirty region of the level-synchronous
+//!   recursion re-runs, with certificate labels spliced
+//!   (`planar_embedding::incremental`). The bit-identity contract holds
+//!   for every class: rotation, certification verdict, and planarity
+//!   outcome equal a full re-embed of the same graph. With
 //!   [`OracleMode::Always`] the service *checks* that contract on every
-//!   delta by running the full re-embed oracle and diffing.
+//!   delta by running the full re-embed oracle and diffing; the
+//!   planned-vs-taken class pair lands in each [`DeltaRecord`] for the
+//!   DST churn oracle to audit.
 //! * [`ChurnGen`] — the seeded sensor-fleet workload ([`churn`]),
 //!   shared with the DST scenario space.
 
@@ -50,6 +55,7 @@ use planar_graph::{Graph, RotationSystem};
 pub use churn::ChurnGen;
 pub use delta::{apply_delta, Delta, DeltaError};
 pub use gate::{preflight, GateVerdict};
+pub use planar_embedding::DeltaClass;
 
 /// When the service runs the full re-embed oracle against the
 /// incremental result.
@@ -151,6 +157,19 @@ pub struct DeltaRecord {
     pub delta: Delta,
     /// How it ended.
     pub outcome: DeltaOutcome,
+    /// The [`DeltaClass`] the re-embedding *executed* — the planner's
+    /// class on the incremental path, [`DeltaClass::Fallback`] for a full
+    /// re-run. `None` for deltas that never reached the embedder
+    /// (invalid, or gate-short-circuited).
+    pub class: Option<DeltaClass>,
+    /// The class the planner *predicted* before executing anything.
+    /// Disagreement with [`class`](Self::class) means a staged repair was
+    /// rejected by its oracle-grade verification — the DST churn oracle
+    /// raises a violation on any mismatch.
+    pub planned: Option<DeltaClass>,
+    /// Distinct dirty vertices the planner scoped the rebuild to (0 on
+    /// the full path and for deltas that never reached the embedder).
+    pub dirty_region: usize,
     /// Wall time of the service-side handling (validation, gate,
     /// incremental re-embed) in nanoseconds.
     pub service_nanos: u128,
@@ -166,8 +185,15 @@ pub struct DeltaRecord {
 pub struct TenantStats {
     /// Deltas applied (incremental + full fallbacks).
     pub applied: usize,
-    /// Applied via the incremental path.
+    /// Applied via the incremental path (the sum of the three
+    /// per-class counters below).
     pub incremental: usize,
+    /// Applied incrementally as [`DeltaClass::TreePreserving`].
+    pub tree_preserving: usize,
+    /// Applied incrementally as [`DeltaClass::TreeRepairable`].
+    pub tree_repairable: usize,
+    /// Applied incrementally as [`DeltaClass::VertexSetChange`].
+    pub vertex_set: usize,
     /// Applied via a recorded full fallback (tree or vertex-set change).
     pub full_fallbacks: usize,
     /// Deltas rejected as planarity-breaking.
@@ -182,6 +208,19 @@ pub struct TenantStats {
     pub oracle_runs: usize,
     /// Oracle disagreements observed (must stay 0).
     pub divergences: usize,
+}
+
+impl TenantStats {
+    /// Applied deltas executed as `class` ([`DeltaClass::Fallback`] maps
+    /// to the full-fallback counter).
+    pub fn by_class(&self, class: DeltaClass) -> usize {
+        match class {
+            DeltaClass::TreePreserving => self.tree_preserving,
+            DeltaClass::TreeRepairable => self.tree_repairable,
+            DeltaClass::VertexSetChange => self.vertex_set,
+            DeltaClass::Fallback => self.full_fallbacks,
+        }
+    }
 }
 
 /// One resident client graph with its embedding and history.
@@ -368,6 +407,9 @@ impl ServiceState {
                 tenant.records.push(DeltaRecord {
                     delta,
                     outcome: outcome.clone(),
+                    class: None,
+                    planned: None,
+                    dirty_region: 0,
                     service_nanos: started.elapsed().as_nanos(),
                     oracle_nanos: None,
                     diverged: None,
@@ -380,22 +422,41 @@ impl ServiceState {
         // 2. One-sided pre-flight gate: a density rejection skips the
         //    re-embedding entirely.
         let gate = preflight(tenant.resident.graph(), tenant.resident.rotation(), &delta);
+        let mut class = None;
+        let mut planned = None;
+        let mut dirty_region = 0;
         let outcome = if gate == GateVerdict::DefinitelyNonPlanar {
             tenant.stats.rejected_nonplanar += 1;
             tenant.stats.gate_short_circuits += 1;
             DeltaOutcome::RejectedNonPlanar { gate }
         } else {
             // 3. Incremental re-embedding (full fallback recorded in the
-            //    report when the delta analysis does not apply).
-            match tenant.resident.reembed(mutated) {
+            //    report when the delta planner finds no local repair). A
+            //    departure carries the removed id as an explicit planning
+            //    hint — the renumbered graph alone cannot recover it.
+            let result = match &delta {
+                Delta::RemoveNode(v) => tenant.resident.reembed_departure(mutated, *v),
+                _ => tenant.resident.reembed(mutated),
+            };
+            match result {
                 Ok(report) => {
                     tenant.stats.applied += 1;
+                    let taken = report.taken();
                     if report.is_incremental() {
                         tenant.stats.incremental += 1;
+                        match taken {
+                            DeltaClass::TreePreserving => tenant.stats.tree_preserving += 1,
+                            DeltaClass::TreeRepairable => tenant.stats.tree_repairable += 1,
+                            DeltaClass::VertexSetChange => tenant.stats.vertex_set += 1,
+                            DeltaClass::Fallback => unreachable!("incremental path has a class"),
+                        }
                     } else {
                         tenant.stats.full_fallbacks += 1;
                     }
                     tenant.stats.rounds += report.rounds;
+                    class = Some(taken);
+                    planned = Some(report.planned);
+                    dirty_region = report.dirty_region();
                     DeltaOutcome::Applied { report, gate }
                 }
                 Err(EmbedError::NonPlanar) => {
@@ -426,6 +487,9 @@ impl ServiceState {
         tenant.records.push(DeltaRecord {
             delta,
             outcome: outcome.clone(),
+            class,
+            planned,
+            dirty_region,
             service_nanos,
             oracle_nanos,
             diverged,
